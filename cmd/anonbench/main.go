@@ -1,0 +1,68 @@
+// Command anonbench runs the reproduction experiment suite: one
+// experiment per paper artifact (Table I, Figures 1-2, Table II,
+// Theorem 5) plus the quantitative additions, printing paper-style
+// tables.
+//
+// Usage:
+//
+//	anonbench                    # run everything
+//	anonbench -experiment T2     # one experiment
+//	anonbench -list              # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"anonmutex/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anonbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("anonbench", flag.ContinueOnError)
+	expID := fs.String("experiment", "", "run a single experiment by id (default: all)")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	var toRun []experiments.Experiment
+	if *expID != "" {
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			return err
+		}
+		toRun = append(toRun, e)
+	} else {
+		toRun = experiments.All()
+	}
+
+	for i, e := range toRun {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		tbl, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		fmt.Printf("[%s] %s  (%.2fs)\n", e.ID, e.Title, time.Since(start).Seconds())
+		fmt.Print(tbl.String())
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// T1 is instantaneous; the full suite is exercised by the
+	// internal/experiments tests.
+	if err := run([]string{"-experiment", "T1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-qqq"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

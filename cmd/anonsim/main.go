@@ -1,0 +1,126 @@
+// Command anonsim runs one deterministic simulated execution of an
+// anonymous-memory mutual exclusion algorithm and reports its outcome,
+// optionally dumping the event trace.
+//
+// Usage:
+//
+//	anonsim -alg rw -n 3 -m 5 -sched random -seed 7 -sessions 2
+//	anonsim -alg rmw -n 2 -m 4 -force -sched lockstep -perms rotation -rotation-step 2 -detect-cycles
+//	anonsim -alg rw -n 2 -m 3 -trace 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anonmutex/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anonsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("anonsim", flag.ContinueOnError)
+	algName := fs.String("alg", "rw", "algorithm: rw, rmw, or greedy")
+	n := fs.Int("n", 2, "number of processes")
+	m := fs.Int("m", 3, "number of anonymous registers")
+	force := fs.Bool("force", false, "allow m outside M(n)")
+	sessions := fs.Int("sessions", 1, "lock/unlock cycles per process")
+	csTicks := fs.Int("cs-ticks", 0, "scheduler ticks spent inside the CS")
+	schedName := fs.String("sched", "rr", "schedule: rr, random, or lockstep")
+	seed := fs.Uint64("seed", 1, "schedule seed (random schedule)")
+	permsName := fs.String("perms", "identity", "permutations: identity, random, or rotation")
+	permSeed := fs.Uint64("perm-seed", 1, "permutation seed (random permutations)")
+	rotationStep := fs.Int("rotation-step", 1, "rotation step (rotation permutations)")
+	honest := fs.Bool("honest-snapshots", false, "schedule each double-scan read separately")
+	detect := fs.Bool("detect-cycles", false, "stop with a livelock verdict on a repeated state")
+	maxSteps := fs.Int("max-steps", 1_000_000, "step bound")
+	traceCap := fs.Int("trace", 0, "print up to this many trace events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var alg sim.Algorithm
+	switch *algName {
+	case "rw":
+		alg = sim.RW
+	case "rmw":
+		alg = sim.RMW
+	case "greedy":
+		alg = sim.Greedy
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+	var schedule sim.Schedule
+	switch *schedName {
+	case "rr":
+		schedule = sim.RoundRobin
+	case "random":
+		schedule = sim.RandomSchedule
+	case "lockstep":
+		schedule = sim.LockStepSchedule
+	default:
+		return fmt.Errorf("unknown schedule %q", *schedName)
+	}
+	var perms sim.Permutations
+	switch *permsName {
+	case "identity":
+		perms = sim.IdentityPerms
+	case "random":
+		perms = sim.RandomPerms
+	case "rotation":
+		perms = sim.RotationPerms
+	default:
+		return fmt.Errorf("unknown permutations %q", *permsName)
+	}
+
+	res, err := sim.Run(sim.Config{
+		Algorithm: alg,
+		N:         *n, M: *m,
+		Unchecked:       *force || alg == sim.Greedy,
+		Sessions:        *sessions,
+		CSTicks:         *csTicks,
+		Schedule:        schedule,
+		Seed:            *seed,
+		Perms:           perms,
+		PermSeed:        *permSeed,
+		RotationStep:    *rotationStep,
+		HonestSnapshots: *honest,
+		DetectCycles:    *detect,
+		MaxSteps:        *maxSteps,
+		TraceCap:        *traceCap,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm %v, n=%d, m=%d, schedule %s, permutations %s\n", alg, *n, *m, *schedName, *permsName)
+	fmt.Printf("steps: %d   entries: %d   completed: %v\n", res.Steps, res.Entries, res.Completed)
+	if res.CycleDetected {
+		fmt.Printf("LIVELOCK: global state repeated (cycle entered at step %d) — no invocation will ever complete\n", res.CycleStart)
+	}
+	if res.MEViolations > 0 {
+		fmt.Printf("MUTUAL EXCLUSION VIOLATED %d time(s)\n", res.MEViolations)
+	}
+	fmt.Println()
+	fmt.Printf("%-5s %-9s %-8s %-9s %-9s %-10s %-10s\n", "proc", "sessions", "entries", "bypasses", "max-wait", "mean-wait", "owned@entry")
+	for i, ps := range res.PerProc {
+		fmt.Printf("p%-4d %-9d %-8d %-9d %-9d %-10.1f %-10d\n",
+			i, ps.Sessions, ps.Entries, ps.Bypasses, ps.MaxWaitSteps, ps.MeanWait, ps.OwnedAtEntry)
+	}
+	if len(res.TraceLines) > 0 {
+		fmt.Println("\ntrace:")
+		for _, line := range res.TraceLines {
+			fmt.Println(" ", line)
+		}
+	}
+	if res.MEViolations > 0 {
+		os.Exit(2)
+	}
+	return nil
+}

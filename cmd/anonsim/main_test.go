@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunVariants(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "rw", "-n", "2", "-m", "3"},
+		{"-alg", "rmw", "-n", "2", "-m", "3", "-sched", "random", "-seed", "9", "-sessions", "2"},
+		{"-alg", "rmw", "-n", "3", "-m", "1", "-cs-ticks", "2"},
+		{"-alg", "rw", "-n", "2", "-m", "3", "-trace", "50"},
+		{"-alg", "rw", "-n", "2", "-m", "3", "-honest-snapshots"},
+		{"-alg", "rw", "-n", "2", "-m", "4", "-force", "-sched", "lockstep",
+			"-perms", "rotation", "-rotation-step", "2", "-detect-cycles"},
+		{"-alg", "rw", "-n", "2", "-m", "3", "-perms", "random", "-perm-seed", "3"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "bogus"},
+		{"-sched", "bogus"},
+		{"-perms", "bogus"},
+		{"-alg", "rw", "-n", "2", "-m", "4"}, // illegal size without -force
+		{"-nosuchflag"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunLegal(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "rw", "-n", "2", "-m", "3"},
+		{"-alg", "rmw", "-n", "2", "-m", "3"},
+		{"-alg", "rmw", "-n", "2", "-m", "1"},
+		{"-alg", "rmw", "-n", "2", "-m", "3", "-sessions", "2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "bogus"},
+		{"-alg", "rw", "-n", "2", "-m", "4"}, // illegal without -force
+		{"-zzz"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseAlg(t *testing.T) {
+	for _, s := range []string{"rw", "rmw", "greedy"} {
+		if _, err := parseAlg(s); err != nil {
+			t.Errorf("parseAlg(%q): %v", s, err)
+		}
+	}
+	if _, err := parseAlg("x"); err == nil {
+		t.Error("parseAlg accepted garbage")
+	}
+}

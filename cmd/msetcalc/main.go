@@ -1,0 +1,80 @@
+// Command msetcalc computes the paper's M(n) characterization: membership
+// of a given memory size, minimum legal sizes, and membership tables.
+//
+// Usage:
+//
+//	msetcalc -n 6                 # summary for n processes
+//	msetcalc -n 6 -m 35           # is m legal? which witness if not?
+//	msetcalc -n 6 -lo 1 -hi 50    # membership table over a range
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anonmutex/mnum"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "msetcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("msetcalc", flag.ContinueOnError)
+	n := fs.Int("n", 0, "number of processes (required, >= 2)")
+	m := fs.Int("m", 0, "memory size to test (optional)")
+	lo := fs.Int("lo", 0, "range start for a membership table (optional)")
+	hi := fs.Int("hi", 0, "range end for a membership table (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return fmt.Errorf("need -n >= 2")
+	}
+
+	fmt.Printf("M(%d) = { m : gcd(l, m) = 1 for every 1 < l <= %d }\n", *n, *n)
+	fmt.Printf("smallest legal RW size (m >= n):  %d\n", mnum.MinRW(*n))
+	fmt.Printf("smallest legal RMW size:          %d (degenerate); %d above 1\n",
+		mnum.MinRMW(*n), mnum.MinRMWAbove(*n))
+
+	if *m > 0 {
+		fmt.Println()
+		if mnum.InM(*n, *m) {
+			fmt.Printf("m=%d ∈ M(%d): legal for RMW", *m, *n)
+			if err := mnum.ValidateRW(*n, *m); err == nil {
+				fmt.Printf(" and RW")
+			} else {
+				fmt.Printf("; RW additionally needs m >= n")
+			}
+			fmt.Println()
+		} else {
+			l, _ := mnum.Witness(*n, *m)
+			fmt.Printf("m=%d ∉ M(%d): witness ℓ=%d divides m — Theorem 5 rules out any algorithm\n", *m, *n, l)
+		}
+	}
+
+	if *hi >= *lo && *hi > 0 {
+		fmt.Println()
+		fmt.Printf("%-6s %-8s %s\n", "m", "member", "witness")
+		for v := max(1, *lo); v <= *hi; v++ {
+			if mnum.InM(*n, v) {
+				fmt.Printf("%-6d %-8v %s\n", v, true, "-")
+			} else {
+				l, _ := mnum.Witness(*n, v)
+				fmt.Printf("%-6d %-8v ℓ=%d\n", v, false, l)
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunVariants(t *testing.T) {
+	cases := [][]string{
+		{"-n", "6"},
+		{"-n", "6", "-m", "35"},
+		{"-n", "6", "-m", "7"},
+		{"-n", "4", "-lo", "1", "-hi", "20"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},           // missing -n
+		{"-n", "1"},  // n too small
+		{"-badflag"}, // flag parse error
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

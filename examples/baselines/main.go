@@ -1,0 +1,152 @@
+// Baselines: what does anonymity cost?
+//
+// The same workload — n goroutines, each performing a fixed number of
+// lock-protected counter increments — runs over:
+//
+//   - the anonymous RW lock (Algorithm 1, random permutations),
+//   - the anonymous RMW lock (Algorithm 2, random permutations),
+//   - the same two locks "de-anonymized" (identity permutations), to
+//     isolate algorithm cost from anonymity cost,
+//   - the single-register RMW lock (m=1 ∈ M(n): effectively a CAS lock),
+//   - sync.Mutex as the runtime floor.
+//
+// Expect the anonymous RW lock to be by far the slowest — its entry
+// requires snapshotting until one process owns all m registers — the RMW
+// lock to be much cheaper (majority entry), and both to be slower than
+// the non-anonymous floor. The paper's claim is computability ("it is
+// possible at all, and with optimally few registers"), not speed; this
+// example shows the price of the weaker model.
+//
+// Run with: go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"anonmutex"
+)
+
+// locker is one goroutine's handle on some lock.
+type locker interface {
+	Lock() error
+	Unlock() error
+}
+
+// errless adapts error-free locks (sync.Mutex) to the handle interface.
+type errless struct{ mu *sync.Mutex }
+
+func (e errless) Lock() error   { e.mu.Lock(); return nil }
+func (e errless) Unlock() error { e.mu.Unlock(); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "baselines:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n, iters = 3, 120
+
+	type contender struct {
+		name  string
+		procs []locker
+	}
+	var cs []contender
+
+	add := func(name string, mk func() ([]locker, error)) error {
+		procs, err := mk()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		cs = append(cs, contender{name: name, procs: procs})
+		return nil
+	}
+
+	mkAnon := func(opts ...anonmutex.Option) func() ([]locker, error) {
+		return func() ([]locker, error) {
+			l, err := anonmutex.NewRWLock(n, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return handles(n, func() (locker, error) { return l.NewProcess() })
+		}
+	}
+	mkRMW := func(opts ...anonmutex.Option) func() ([]locker, error) {
+		return func() ([]locker, error) {
+			l, err := anonmutex.NewRMWLock(n, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return handles(n, func() (locker, error) { return l.NewProcess() })
+		}
+	}
+
+	if err := add("alg1 RW anonymous (m=5)", mkAnon()); err != nil {
+		return err
+	}
+	if err := add("alg1 RW identity perms", mkAnon(anonmutex.WithPermutations(anonmutex.PermIdentity, 0))); err != nil {
+		return err
+	}
+	if err := add("alg2 RMW anonymous (m=5)", mkRMW()); err != nil {
+		return err
+	}
+	if err := add("alg2 RMW m=1 (CAS lock)", mkRMW(anonmutex.WithRegisters(1))); err != nil {
+		return err
+	}
+	if err := add("sync.Mutex", func() ([]locker, error) {
+		var mu sync.Mutex
+		return handles(n, func() (locker, error) { return errless{&mu}, nil })
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-28s %-12s %-14s %s\n", "lock", "total time", "per session", "counter")
+	for _, c := range cs {
+		counter := 0
+		start := time.Now()
+		var wg sync.WaitGroup
+		for _, p := range c.procs {
+			p := p
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					if err := p.Lock(); err != nil {
+						panic(err)
+					}
+					counter++
+					if err := p.Unlock(); err != nil {
+						panic(err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		status := "OK"
+		if counter != n*iters {
+			status = fmt.Sprintf("VIOLATION (%d)", counter)
+		}
+		fmt.Printf("%-28s %-12s %-14s %s\n",
+			c.name, elapsed.Round(time.Microsecond),
+			(elapsed / time.Duration(n*iters)).Round(time.Nanosecond), status)
+	}
+	fmt.Println("\nshape to expect: RW-anonymous ≫ RMW-anonymous > CAS/sync.Mutex; identity permutations ≈ anonymous")
+	return nil
+}
+
+func handles(n int, mk func() (locker, error)) ([]locker, error) {
+	out := make([]locker, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}

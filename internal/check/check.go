@@ -1,0 +1,230 @@
+// Package check implements a linearizability checker for concurrent
+// histories over the anonymous-memory object (m registers supporting
+// read, write, compare&swap, and snapshot).
+//
+// The paper's model requires all register operations to be atomic
+// (linearizable) and assumes a linearizable snapshot (§II-B). The
+// substrate packages implement these with hardware atomics and the
+// double-scan construction; this checker provides the direct verification:
+// record a timestamped concurrent history from a real run and search for a
+// legal sequential witness.
+//
+// The search is Wing & Gong's algorithm: repeatedly choose a "minimal"
+// pending operation (one that is not strictly preceded in real time by
+// another pending operation), check that applying it to the current
+// sequential state reproduces its recorded response, and recurse, with
+// memoization on (pending set, state). Histories up to a few dozen
+// operations check in microseconds; the tests keep them small.
+package check
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"anonmutex/internal/id"
+)
+
+// Kind classifies history operations.
+type Kind uint8
+
+// Operation kinds.
+const (
+	KRead Kind = iota + 1
+	KWrite
+	KCAS
+	KSnapshot
+)
+
+// Op is one completed operation in a concurrent history. Inv and Res are
+// logical timestamps (from a shared counter): Inv strictly before the
+// operation's first memory access, Res strictly after its last.
+type Op struct {
+	Proc int
+	Kind Kind
+	X    int     // register index (KRead, KWrite, KCAS)
+	Arg  id.ID   // value written (KWrite) or CAS replacement (KCAS)
+	Old  id.ID   // CAS comparand
+	Ret  id.ID   // KRead result
+	OK   bool    // KCAS result
+	Snap []id.ID // KSnapshot result
+
+	Inv, Res int64
+}
+
+// Linearizable reports whether the history over an m-register memory
+// (initially all ⊥) has a legal linearization. Histories longer than 63
+// operations are rejected with an error (the pending-set bitmask is 64
+// bits; the intended use is small recorded fragments).
+func Linearizable(m int, history []Op) (bool, error) {
+	if len(history) > 63 {
+		return false, fmt.Errorf("check: history of %d ops exceeds the 63-op limit", len(history))
+	}
+	for i, op := range history {
+		if op.Inv >= op.Res {
+			return false, fmt.Errorf("check: op %d has Inv %d >= Res %d", i, op.Inv, op.Res)
+		}
+		if op.Kind == KSnapshot && len(op.Snap) != m {
+			return false, fmt.Errorf("check: op %d snapshot has %d entries, want %d", i, len(op.Snap), m)
+		}
+		if (op.Kind == KRead || op.Kind == KWrite || op.Kind == KCAS) && (op.X < 0 || op.X >= m) {
+			return false, fmt.Errorf("check: op %d register index %d out of range", i, op.X)
+		}
+	}
+	c := &checker{m: m, h: history, visited: make(map[string]bool)}
+	state := make([]id.ID, m)
+	full := uint64(1)<<len(history) - 1
+	return c.search(full, state), nil
+}
+
+type checker struct {
+	m       int
+	h       []Op
+	visited map[string]bool
+}
+
+// search tries to linearize the pending ops (bitmask) from state.
+func (c *checker) search(pending uint64, state []id.ID) bool {
+	if pending == 0 {
+		return true
+	}
+	key := c.key(pending, state)
+	if c.visited[key] {
+		return false // already proven fruitless
+	}
+
+	// Minimal response time among pending ops: any op invoked after some
+	// pending op's response cannot be linearized next.
+	minRes := int64(1<<62 - 1)
+	for i := 0; i < len(c.h); i++ {
+		if pending&(1<<i) != 0 && c.h[i].Res < minRes {
+			minRes = c.h[i].Res
+		}
+	}
+	for i := 0; i < len(c.h); i++ {
+		if pending&(1<<i) == 0 {
+			continue
+		}
+		op := &c.h[i]
+		if op.Inv > minRes {
+			continue // strictly preceded by a pending op
+		}
+		undo, ok := c.apply(op, state)
+		if !ok {
+			continue
+		}
+		if c.search(pending&^(1<<i), state) {
+			return true
+		}
+		undo(state)
+	}
+	c.visited[key] = true
+	return false
+}
+
+// apply checks op against state; on success it mutates state and returns
+// an undo function.
+func (c *checker) apply(op *Op, state []id.ID) (func([]id.ID), bool) {
+	switch op.Kind {
+	case KRead:
+		if !state[op.X].Equal(op.Ret) {
+			return nil, false
+		}
+		return func([]id.ID) {}, true
+	case KWrite:
+		prev := state[op.X]
+		x := op.X
+		state[x] = op.Arg
+		return func(s []id.ID) { s[x] = prev }, true
+	case KCAS:
+		matches := state[op.X].Equal(op.Old)
+		if matches != op.OK {
+			return nil, false
+		}
+		if !matches {
+			return func([]id.ID) {}, true
+		}
+		prev := state[op.X]
+		x := op.X
+		state[x] = op.Arg
+		return func(s []id.ID) { s[x] = prev }, true
+	case KSnapshot:
+		for x := range state {
+			if !state[x].Equal(op.Snap[x]) {
+				return nil, false
+			}
+		}
+		return func([]id.ID) {}, true
+	default:
+		return nil, false
+	}
+}
+
+func (c *checker) key(pending uint64, state []id.ID) string {
+	buf := make([]byte, 0, 8+2*len(state))
+	for s := 0; s < 64; s += 8 {
+		buf = append(buf, byte(pending>>s))
+	}
+	for _, v := range state {
+		h := id.Handle(v)
+		buf = append(buf, byte(h>>8), byte(h))
+	}
+	return string(buf)
+}
+
+// Recorder builds timestamped histories from real concurrent runs. The
+// logical clock is a shared atomic counter; callers bracket each operation
+// with Start/End. Recorder is safe for concurrent use; each process must
+// append its ops through its own Session.
+type Recorder struct {
+	clock atomic.Int64
+	ops   []chan Op // one buffered channel per session keeps appends race-free
+}
+
+// NewRecorder creates a recorder for n sessions with capacity ops each.
+func NewRecorder(n, capacity int) *Recorder {
+	r := &Recorder{ops: make([]chan Op, n)}
+	for i := range r.ops {
+		r.ops[i] = make(chan Op, capacity)
+	}
+	return r
+}
+
+// Session returns the recording session for process i.
+func (r *Recorder) Session(i int) *Session {
+	return &Session{rec: r, proc: i}
+}
+
+// History drains and merges all sessions' operations. Call only after all
+// recording goroutines have finished.
+func (r *Recorder) History() []Op {
+	var out []Op
+	for _, ch := range r.ops {
+		for {
+			select {
+			case op := <-ch:
+				out = append(out, op)
+			default:
+				goto next
+			}
+		}
+	next:
+	}
+	return out
+}
+
+// Session records one process's operations.
+type Session struct {
+	rec  *Recorder
+	proc int
+}
+
+// Start returns an invocation timestamp.
+func (s *Session) Start() int64 { return s.rec.clock.Add(1) }
+
+// End completes op with a response timestamp and records it.
+func (s *Session) End(op Op, inv int64) {
+	op.Proc = s.proc
+	op.Inv = inv
+	op.Res = s.rec.clock.Add(1)
+	s.rec.ops[s.proc] <- op
+}

@@ -1,0 +1,297 @@
+package check
+
+import (
+	"sync"
+	"testing"
+
+	"anonmutex/internal/amem"
+	"anonmutex/internal/id"
+	"anonmutex/internal/perm"
+)
+
+func ids(t *testing.T, n int) []id.ID {
+	t.Helper()
+	g := id.NewGenerator()
+	out, err := g.NewN(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func mustCheck(t *testing.T, m int, h []Op) bool {
+	t.Helper()
+	ok, err := Linearizable(m, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !mustCheck(t, 3, nil) {
+		t.Fatal("empty history not linearizable")
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	v := ids(t, 1)[0]
+	h := []Op{
+		{Kind: KWrite, X: 0, Arg: v, Inv: 1, Res: 2},
+		{Kind: KRead, X: 0, Ret: v, Inv: 3, Res: 4},
+		{Kind: KRead, X: 1, Ret: id.None, Inv: 5, Res: 6},
+	}
+	if !mustCheck(t, 2, h) {
+		t.Fatal("legal sequential history rejected")
+	}
+}
+
+func TestSequentialViolation(t *testing.T) {
+	v := ids(t, 1)[0]
+	h := []Op{
+		{Kind: KWrite, X: 0, Arg: v, Inv: 1, Res: 2},
+		{Kind: KRead, X: 0, Ret: id.None, Inv: 3, Res: 4}, // stale read after write
+	}
+	if mustCheck(t, 1, h) {
+		t.Fatal("stale sequential read accepted")
+	}
+}
+
+func TestConcurrentReadMaySeeEither(t *testing.T) {
+	v := ids(t, 1)[0]
+	// Read overlaps the write: both old and new values are legal.
+	for _, ret := range []id.ID{id.None, v} {
+		h := []Op{
+			{Kind: KWrite, X: 0, Arg: v, Inv: 1, Res: 4},
+			{Kind: KRead, X: 0, Ret: ret, Inv: 2, Res: 3},
+		}
+		if !mustCheck(t, 1, h) {
+			t.Fatalf("overlapping read returning %v rejected", ret)
+		}
+	}
+}
+
+func TestReadsMustAgreeOnOrder(t *testing.T) {
+	v := ids(t, 1)[0]
+	// Two sequential reads around a concurrent write: new-then-old is not
+	// linearizable (values cannot flow backwards).
+	h := []Op{
+		{Kind: KWrite, X: 0, Arg: v, Inv: 1, Res: 8},
+		{Kind: KRead, X: 0, Ret: v, Inv: 2, Res: 3},
+		{Kind: KRead, X: 0, Ret: id.None, Inv: 4, Res: 5},
+	}
+	if mustCheck(t, 1, h) {
+		t.Fatal("backwards value flow accepted")
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	vs := ids(t, 2)
+	p, q := vs[0], vs[1]
+	// Two concurrent CAS(⊥→·): exactly one may succeed.
+	ok := []Op{
+		{Kind: KCAS, X: 0, Old: id.None, Arg: p, OK: true, Inv: 1, Res: 4},
+		{Kind: KCAS, X: 0, Old: id.None, Arg: q, OK: false, Inv: 2, Res: 3},
+	}
+	if !mustCheck(t, 1, ok) {
+		t.Fatal("legal CAS pair rejected")
+	}
+	both := []Op{
+		{Kind: KCAS, X: 0, Old: id.None, Arg: p, OK: true, Inv: 1, Res: 4},
+		{Kind: KCAS, X: 0, Old: id.None, Arg: q, OK: true, Inv: 2, Res: 3},
+	}
+	if mustCheck(t, 1, both) {
+		t.Fatal("two successful CAS(⊥→·) accepted")
+	}
+	neither := []Op{
+		{Kind: KCAS, X: 0, Old: id.None, Arg: p, OK: false, Inv: 1, Res: 4},
+		{Kind: KCAS, X: 0, Old: id.None, Arg: q, OK: false, Inv: 2, Res: 3},
+	}
+	if mustCheck(t, 1, neither) {
+		t.Fatal("two failed CAS(⊥→·) on a fresh register accepted")
+	}
+}
+
+func TestSnapshotMustBeConsistentCut(t *testing.T) {
+	v := ids(t, 1)[0]
+	// Writer sets register 0 then register 1 sequentially. A snapshot
+	// strictly after both must see both; seeing (⊥, v) is the torn read
+	// the double scan exists to prevent.
+	legal := []Op{
+		{Kind: KWrite, X: 0, Arg: v, Inv: 1, Res: 2},
+		{Kind: KWrite, X: 1, Arg: v, Inv: 3, Res: 4},
+		{Kind: KSnapshot, Snap: []id.ID{v, v}, Inv: 5, Res: 6},
+	}
+	if !mustCheck(t, 2, legal) {
+		t.Fatal("legal snapshot rejected")
+	}
+	torn := []Op{
+		{Kind: KWrite, X: 0, Arg: v, Inv: 1, Res: 2},
+		{Kind: KWrite, X: 1, Arg: v, Inv: 3, Res: 4},
+		{Kind: KSnapshot, Snap: []id.ID{id.None, v}, Inv: 5, Res: 6},
+	}
+	if mustCheck(t, 2, torn) {
+		t.Fatal("torn snapshot accepted")
+	}
+	// Overlapping the second write, (v, ⊥) is legal (cut between writes)
+	// but (⊥, v) is not (no instant has it).
+	overlap := []Op{
+		{Kind: KWrite, X: 0, Arg: v, Inv: 1, Res: 2},
+		{Kind: KWrite, X: 1, Arg: v, Inv: 3, Res: 6},
+		{Kind: KSnapshot, Snap: []id.ID{v, id.None}, Inv: 4, Res: 5},
+	}
+	if !mustCheck(t, 2, overlap) {
+		t.Fatal("mid-cut snapshot rejected")
+	}
+	impossible := []Op{
+		{Kind: KWrite, X: 0, Arg: v, Inv: 1, Res: 2},
+		{Kind: KWrite, X: 1, Arg: v, Inv: 3, Res: 6},
+		{Kind: KSnapshot, Snap: []id.ID{id.None, v}, Inv: 4, Res: 5},
+	}
+	if mustCheck(t, 2, impossible) {
+		t.Fatal("causally impossible snapshot accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Linearizable(1, []Op{{Kind: KRead, X: 0, Inv: 2, Res: 1}}); err == nil {
+		t.Error("Inv >= Res accepted")
+	}
+	if _, err := Linearizable(1, []Op{{Kind: KRead, X: 5, Inv: 1, Res: 2}}); err == nil {
+		t.Error("out-of-range register accepted")
+	}
+	if _, err := Linearizable(2, []Op{{Kind: KSnapshot, Snap: []id.ID{}, Inv: 1, Res: 2}}); err == nil {
+		t.Error("short snapshot accepted")
+	}
+	long := make([]Op, 64)
+	for i := range long {
+		long[i] = Op{Kind: KRead, X: 0, Inv: int64(2 * i), Res: int64(2*i + 1)}
+	}
+	if _, err := Linearizable(1, long); err == nil {
+		t.Error("64-op history accepted")
+	}
+}
+
+// TestRealHistoryRegisters records a genuine concurrent history against
+// the real atomic memory and verifies it linearizes.
+func TestRealHistoryRegisters(t *testing.T) {
+	const m, workers, opsEach = 2, 3, 5
+	for trial := 0; trial < 30; trial++ {
+		mem := amem.New(m)
+		rec := NewRecorder(workers, opsEach)
+		g := id.NewGenerator()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			me := g.MustNew()
+			view, err := mem.NewView(me, perm.Identity(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := rec.Session(w)
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < opsEach; i++ {
+					x := (w + i) % m
+					switch i % 3 {
+					case 0:
+						inv := s.Start()
+						view.Write(x, view.Me())
+						s.End(Op{Kind: KWrite, X: x, Arg: view.Me()}, inv)
+					case 1:
+						inv := s.Start()
+						v := view.Read(x)
+						s.End(Op{Kind: KRead, X: x, Ret: v}, inv)
+					case 2:
+						inv := s.Start()
+						ok := view.CompareAndSwap(x, view.Me(), id.None)
+						s.End(Op{Kind: KCAS, X: x, Old: view.Me(), Arg: id.None, OK: ok}, inv)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		h := rec.History()
+		ok, err := Linearizable(m, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: real history not linearizable: %+v", trial, h)
+		}
+	}
+}
+
+// TestRealHistorySnapshots records concurrent double-scan snapshots
+// against writers and verifies linearizability — the direct validation of
+// the paper's snapshot assumption.
+func TestRealHistorySnapshots(t *testing.T) {
+	const m = 2
+	for trial := 0; trial < 30; trial++ {
+		mem := amem.New(m)
+		rec := NewRecorder(2, 8)
+		g := id.NewGenerator()
+
+		writer, err := mem.NewView(g.MustNew(), perm.Identity(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader, err := mem.NewView(g.MustNew(), perm.Identity(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			s := rec.Session(0)
+			for i := 0; i < 6; i++ {
+				x := i % m
+				val := writer.Me()
+				if i%2 == 1 {
+					val = id.None
+				}
+				inv := s.Start()
+				writer.Write(x, val)
+				s.End(Op{Kind: KWrite, X: x, Arg: val}, inv)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			s := rec.Session(1)
+			for i := 0; i < 4; i++ {
+				inv := s.Start()
+				snap := reader.Snapshot(nil)
+				cp := make([]id.ID, m)
+				copy(cp, snap)
+				s.End(Op{Kind: KSnapshot, Snap: cp}, inv)
+			}
+		}()
+		wg.Wait()
+		ok, err := Linearizable(m, rec.History())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: snapshot history not linearizable", trial)
+		}
+	}
+}
+
+func BenchmarkChecker(b *testing.B) {
+	g := id.NewGenerator()
+	v := g.MustNew()
+	h := []Op{
+		{Kind: KWrite, X: 0, Arg: v, Inv: 1, Res: 10},
+		{Kind: KRead, X: 0, Ret: v, Inv: 2, Res: 9},
+		{Kind: KRead, X: 1, Ret: id.None, Inv: 3, Res: 8},
+		{Kind: KSnapshot, Snap: []id.ID{v, id.None}, Inv: 4, Res: 7},
+		{Kind: KCAS, X: 1, Old: id.None, Arg: v, OK: true, Inv: 5, Res: 6},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := Linearizable(2, h); err != nil || !ok {
+			b.Fatal("history rejected")
+		}
+	}
+}

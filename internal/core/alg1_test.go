@@ -1,0 +1,611 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"anonmutex/internal/id"
+	"anonmutex/internal/perm"
+	"anonmutex/internal/xrand"
+)
+
+func TestAlg1Preconditions(t *testing.T) {
+	ids := newIDs(t, 1)
+	cases := []struct {
+		name   string
+		n, m   int
+		wantOK bool
+	}{
+		{"n2 m3", 2, 3, true},
+		{"n2 m5", 2, 5, true},
+		{"n2 m4 even", 2, 4, false},
+		{"n2 m2 equal", 2, 2, false},
+		{"n3 m5", 3, 5, true},
+		{"n3 m7", 3, 7, true},
+		{"n3 m9 divisible", 3, 9, false},
+		{"n4 m25 composite member", 4, 25, true},
+		{"n1 too few", 1, 3, false},
+		{"m less than n", 5, 3, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewAlg1(ids[0], tc.n, tc.m, Alg1Config{})
+			if (err == nil) != tc.wantOK {
+				t.Errorf("NewAlg1(n=%d, m=%d) error = %v, want ok=%v", tc.n, tc.m, err, tc.wantOK)
+			}
+		})
+	}
+	if _, err := NewAlg1(id.None, 2, 3, Alg1Config{}); err == nil {
+		t.Error("NewAlg1 accepted ⊥ identity")
+	}
+	if _, err := NewAlg1(ids[0], 2, 3, Alg1Config{Choice: ChooseRandomBottom}); err == nil {
+		t.Error("NewAlg1 accepted random policy without PRNG")
+	}
+	if _, err := NewAlg1Unchecked(ids[0], 4, Alg1Config{}); err != nil {
+		t.Errorf("NewAlg1Unchecked rejected m=4: %v", err)
+	}
+	if _, err := NewAlg1Unchecked(ids[0], 0, Alg1Config{}); err == nil {
+		t.Error("NewAlg1Unchecked accepted m=0")
+	}
+}
+
+func TestAlg1SoloLockStepByStep(t *testing.T) {
+	// A solo process on m=3: the exact op sequence is
+	// snapshot, write 0, snapshot, write 1, snapshot, write 2, snapshot→CS.
+	ids := newIDs(t, 1)
+	me := ids[0]
+	m, err := NewAlg1(me, 2, 3, Alg1Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newFakeExec(make(fakeMem, 3), nil)
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []struct {
+		kind OpKind
+		x    int
+	}{
+		{OpSnapshot, 0},
+		{OpWrite, 0},
+		{OpSnapshot, 0},
+		{OpWrite, 1},
+		{OpSnapshot, 0},
+		{OpWrite, 2},
+		{OpSnapshot, 0},
+	}
+	for i, want := range wantOps {
+		op := m.PendingOp()
+		if op.Kind != want.kind || (want.kind == OpWrite && op.X != want.x) {
+			t.Fatalf("step %d: op = %+v, want kind=%v x=%d", i, op, want.kind, want.x)
+		}
+		if op.Kind == OpWrite && !op.Val.Equal(me) {
+			t.Fatalf("step %d: claim write has value %v, want own id", i, op.Val)
+		}
+		step(m, e)
+	}
+	if m.Status() != StatusInCS {
+		t.Fatalf("status after solo lock = %v, want in-cs", m.Status())
+	}
+	if got := m.OwnedAtEntry(); got != 3 {
+		t.Errorf("OwnedAtEntry = %d, want all m=3 (the RW model's entry cost)", got)
+	}
+	if got := m.LockSteps(); got != len(wantOps) {
+		t.Errorf("LockSteps = %d, want %d", got, len(wantOps))
+	}
+	if !memAll(e.mem, me) {
+		t.Errorf("memory after entry = %v, want all own id", e.mem)
+	}
+}
+
+func TestAlg1SoloUnlockErasesEverything(t *testing.T) {
+	ids := newIDs(t, 1)
+	m, _ := NewAlg1(ids[0], 2, 5, Alg1Config{})
+	e := newFakeExec(make(fakeMem, 5), nil)
+	mustLock(t, m, e, 100)
+	mustUnlock(t, m, e, 100)
+	for x, v := range e.mem {
+		if !v.IsNone() {
+			t.Errorf("register %d = %v after unlock, want ⊥", x, v)
+		}
+	}
+	if m.Line() != 0 {
+		t.Errorf("Line after unlock = %d, want 0", m.Line())
+	}
+}
+
+func TestAlg1UnlockIsShrinkOverFullView(t *testing.T) {
+	// Unlock of a proper lock performs exactly m reads and m writes
+	// (shrink reads each owned register, sees its own id, erases it).
+	ids := newIDs(t, 1)
+	const mm = 3
+	m, _ := NewAlg1(ids[0], 2, mm, Alg1Config{})
+	e := newFakeExec(make(fakeMem, mm), nil)
+	mustLock(t, m, e, 100)
+	if err := m.StartUnlock(); err != nil {
+		t.Fatal(err)
+	}
+	ops := 0
+	reads, writes := 0, 0
+	for m.Status() == StatusRunning {
+		op := m.PendingOp()
+		switch op.Kind {
+		case OpRead:
+			reads++
+		case OpWrite:
+			writes++
+			if !op.Val.IsNone() {
+				t.Fatalf("unlock wrote %v, want ⊥", op.Val)
+			}
+		default:
+			t.Fatalf("unlock issued %v", op.Kind)
+		}
+		step(m, e)
+		if ops++; ops > 100 {
+			t.Fatal("unlock did not terminate")
+		}
+	}
+	if reads != mm || writes != mm {
+		t.Errorf("unlock performed %d reads and %d writes, want %d and %d", reads, writes, mm, mm)
+	}
+}
+
+func TestAlg1ShrinkSkipsOverwrittenRegisters(t *testing.T) {
+	// Claim 2 of the paper: shrink writes ⊥ only into registers that still
+	// hold the process's identity. We simulate an interferer overwriting
+	// one of the winner's registers between the read and the decision —
+	// the shrink read sees the foreign value and must not erase it.
+	ids := newIDs(t, 2)
+	me, other := ids[0], ids[1]
+	m, _ := NewAlg1(me, 2, 3, Alg1Config{})
+	e := newFakeExec(make(fakeMem, 3), nil)
+	mustLock(t, m, e, 100)
+	if err := m.StartUnlock(); err != nil {
+		t.Fatal(err)
+	}
+	// Adversary overwrites register 1 before the shrink cursor reaches it.
+	// (Cannot happen in a legal Algorithm 1 run while the winner is in the
+	// CS, but shrink's read-check is what makes that claim locally true.)
+	e.mem[1] = other
+	if _, ok := stepUntil(t, m, e, StatusIdle, 100); !ok {
+		t.Fatal("unlock did not finish")
+	}
+	if !e.mem[0].IsNone() || !e.mem[2].IsNone() {
+		t.Error("unlock failed to erase still-owned registers")
+	}
+	if !e.mem[1].Equal(other) {
+		t.Errorf("unlock erased a register owned by another process: %v", e.mem[1])
+	}
+}
+
+func TestAlg1WaitsWhileOthersPresent(t *testing.T) {
+	// Line 4 inner loop: a process that owns nothing and sees a non-empty
+	// memory must keep snapshotting — never writing.
+	ids := newIDs(t, 2)
+	me, other := ids[0], ids[1]
+	m, _ := NewAlg1(me, 2, 3, Alg1Config{})
+	mem := fakeMem{other, id.None, id.None}
+	e := newFakeExec(mem, nil)
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		op := m.PendingOp()
+		if op.Kind != OpSnapshot {
+			t.Fatalf("iteration %d: op %v, want only snapshots while blocked", i, op.Kind)
+		}
+		if m.Line() != 4 {
+			t.Fatalf("iteration %d: line %d, want 4", i, m.Line())
+		}
+		step(m, e)
+	}
+	// Once the other process disappears, the machine claims the memory.
+	for x := range e.mem {
+		e.mem[x] = id.None
+	}
+	if _, ok := stepUntil(t, m, e, StatusInCS, 100); !ok {
+		t.Fatal("machine did not proceed after memory emptied")
+	}
+}
+
+func TestAlg1TwoProcessCompetitionScripted(t *testing.T) {
+	// n=2, m=3. Script: both see an empty memory and race for register 0;
+	// q writes first and p overwrites it (legal — p's snapshot showed ⊥).
+	// q then owns nothing while the memory is non-empty, so q parks in the
+	// line 4 inner loop; p claims the rest and enters. After p unlocks, q
+	// claims the whole memory.
+	ids := newIDs(t, 2)
+	pm, _ := NewAlg1(ids[0], 2, 3, Alg1Config{})
+	qm, _ := NewAlg1(ids[1], 2, 3, Alg1Config{})
+	mem := make(fakeMem, 3)
+	pe := newFakeExec(mem, nil)
+	qe := newFakeExec(mem, nil)
+	if err := pm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	step(qm, qe) // q snapshot: empty → will claim register 0
+	step(pm, pe) // p snapshot: empty → will claim register 0 too
+	step(qm, qe) // q writes 0
+	step(pm, pe) // p writes 0 — overwrites q! (legal: p saw ⊥ there)
+	step(pm, pe) // p snapshot: owns 0; holes at 1,2 → claim 1
+	step(pm, pe) // p writes 1
+	step(qm, qe) // q snapshot: sees p at 0,1, hole at 2; q owns nothing...
+	// q's view has no q entries and is not empty → q loops at line 4.
+	if got := qm.PendingOp().Kind; got != OpSnapshot {
+		t.Fatalf("q should be waiting at line 4, pending %v", got)
+	}
+	step(pm, pe) // p snapshot: owns 0,1, hole at 2 → claim 2
+	step(pm, pe) // p writes 2
+	step(pm, pe) // p snapshot: all mine → CS
+	if pm.Status() != StatusInCS {
+		t.Fatalf("p status %v, want in-cs", pm.Status())
+	}
+	// q keeps waiting while p is in the CS.
+	for i := 0; i < 10; i++ {
+		if got := qm.PendingOp().Kind; got != OpSnapshot {
+			t.Fatalf("q escaped the wait loop with op %v while p is in CS", got)
+		}
+		step(qm, qe)
+		if qm.Status() == StatusInCS {
+			t.Fatal("mutual exclusion violated in scripted run")
+		}
+	}
+	// p unlocks; q then claims the whole memory and enters.
+	mustUnlock(t, pm, pe, 100)
+	if _, ok := stepUntil(t, qm, qe, StatusInCS, 100); !ok {
+		t.Fatal("q did not enter after p unlocked")
+	}
+}
+
+func TestAlg1WithdrawBelowAverage(t *testing.T) {
+	// Craft q's view directly: memory full with p owning 2 and q owning 1
+	// (n=2, m=3). q must withdraw (shrink) and erase exactly its own
+	// register.
+	ids := newIDs(t, 2)
+	p, q := ids[0], ids[1]
+	qm, _ := NewAlg1(q, 2, 3, Alg1Config{})
+	mem := fakeMem{p, p, q}
+	qe := newFakeExec(mem, nil)
+	if err := qm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	step(qm, qe) // snapshot: full, q owns 1 < 3/2 → withdrawal shrink
+	if qm.Line() != 9 {
+		t.Fatalf("q at line %d after below-average full view, want 9 (shrink)", qm.Line())
+	}
+	step(qm, qe) // shrink read register 2 → still q
+	step(qm, qe) // shrink write ⊥
+	if !mem[2].IsNone() {
+		t.Fatal("withdrawal did not erase q's register")
+	}
+	if !mem[0].Equal(p) || !mem[1].Equal(p) {
+		t.Fatal("withdrawal touched p's registers")
+	}
+	// After shrink, q is back at line 4 and (owning nothing, memory
+	// non-empty) keeps snapshotting.
+	if qm.PendingOp().Kind != OpSnapshot || qm.Line() != 4 {
+		t.Fatalf("q not back at line 4 after withdrawal (line %d)", qm.Line())
+	}
+}
+
+func TestAlg1StaysAboveAverage(t *testing.T) {
+	// p owns 2 of 3 with cnt=2: 2·2 = 4 ≥ 3, so p must NOT withdraw; with
+	// a full, not-all-mine view it loops back to line 4.
+	ids := newIDs(t, 2)
+	p, q := ids[0], ids[1]
+	pmach, _ := NewAlg1(p, 2, 3, Alg1Config{})
+	mem := fakeMem{p, p, q}
+	pe := newFakeExec(mem, nil)
+	if err := pmach.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	step(pmach, pe)
+	if pmach.Line() != 4 || pmach.PendingOp().Kind != OpSnapshot {
+		t.Fatalf("p should loop to line 4, at line %d", pmach.Line())
+	}
+	if memCount(mem, p) != 2 {
+		t.Fatal("p's registers changed although it must not withdraw")
+	}
+}
+
+func TestAlg1ExactAverageWithholds(t *testing.T) {
+	// The withdrawal condition is *strictly* below average. Construct
+	// owned == m/cnt exactly: m=4 (unchecked; 4 ∉ M(2)), two processes
+	// owning 2 each. Neither withdraws — the Theorem 5 wedge in miniature.
+	ids := newIDs(t, 2)
+	p, q := ids[0], ids[1]
+	pmach, _ := NewAlg1Unchecked(p, 4, Alg1Config{})
+	qmach, _ := NewAlg1Unchecked(q, 4, Alg1Config{})
+	mem := fakeMem{p, q, p, q}
+	pe := newFakeExec(mem, nil)
+	qe := newFakeExec(mem, nil)
+	if err := pmach.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qmach.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		step(pmach, pe)
+		step(qmach, qe)
+	}
+	if memCount(mem, p) != 2 || memCount(mem, q) != 2 {
+		t.Fatalf("memory changed under exact-average wedge: %v", mem)
+	}
+	if pmach.Status() == StatusInCS || qmach.Status() == StatusInCS {
+		t.Fatal("a process entered the CS from a 2-2 split")
+	}
+}
+
+func TestAlg1ChoicePolicies(t *testing.T) {
+	ids := newIDs(t, 1)
+	me := ids[0]
+	mem := fakeMem{id.None, me, id.None} // holes at 0 and 2; owns 1
+	cases := []struct {
+		cfg    Alg1Config
+		wantXs map[int]bool
+	}{
+		{Alg1Config{Choice: ChooseFirstBottom}, map[int]bool{0: true}},
+		{Alg1Config{Choice: ChooseLastBottom}, map[int]bool{2: true}},
+		{Alg1Config{Choice: ChooseRandomBottom, Rand: xrand.New(1)}, map[int]bool{0: true, 2: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.cfg.Choice.String(), func(t *testing.T) {
+			m, err := NewAlg1Unchecked(me, 3, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := newFakeExec(append(fakeMem{}, mem...), nil)
+			if err := m.StartLock(); err != nil {
+				t.Fatal(err)
+			}
+			step(m, e) // snapshot
+			op := m.PendingOp()
+			if op.Kind != OpWrite || !tc.wantXs[op.X] {
+				t.Errorf("claim op = %+v, want write into one of %v", op, tc.wantXs)
+			}
+		})
+	}
+}
+
+func TestAlg1RandomChoiceCoversAllHoles(t *testing.T) {
+	ids := newIDs(t, 1)
+	me := ids[0]
+	rng := xrand.New(3)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		m, _ := NewAlg1Unchecked(me, 5, Alg1Config{Choice: ChooseRandomBottom, Rand: rng})
+		e := newFakeExec(fakeMem{id.None, me, id.None, id.None, me}, nil)
+		if err := m.StartLock(); err != nil {
+			t.Fatal(err)
+		}
+		step(m, e)
+		seen[m.PendingOp().X] = true
+	}
+	for _, x := range []int{0, 2, 3} {
+		if !seen[x] {
+			t.Errorf("random choice never picked hole %d", x)
+		}
+	}
+	if seen[1] || seen[4] {
+		t.Error("random choice picked an owned register")
+	}
+}
+
+func TestAlg1TieBreakNever(t *testing.T) {
+	// Ablation: a below-average process with TieBreakNever must not shrink.
+	ids := newIDs(t, 2)
+	p, q := ids[0], ids[1]
+	qm, _ := NewAlg1Unchecked(q, 3, Alg1Config{Tie: TieBreakNever})
+	mem := fakeMem{p, p, q}
+	qe := newFakeExec(mem, nil)
+	if err := qm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		step(qm, qe)
+		if qm.PendingOp().Kind != OpSnapshot {
+			t.Fatalf("never-withdraw machine issued %v", qm.PendingOp().Kind)
+		}
+	}
+	if memCount(mem, q) != 1 {
+		t.Fatal("never-withdraw machine erased itself")
+	}
+}
+
+func TestAlg1LifecycleErrors(t *testing.T) {
+	ids := newIDs(t, 1)
+	m, _ := NewAlg1(ids[0], 2, 3, Alg1Config{})
+	if err := m.StartUnlock(); err == nil {
+		t.Error("StartUnlock from idle succeeded")
+	}
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartLock(); err == nil {
+		t.Error("StartLock while running succeeded")
+	}
+	if err := m.StartUnlock(); err == nil {
+		t.Error("StartUnlock while running succeeded")
+	}
+	e := newFakeExec(make(fakeMem, 3), nil)
+	if _, ok := stepUntil(t, m, e, StatusInCS, 100); !ok {
+		t.Fatal("lock did not complete")
+	}
+	if err := m.StartLock(); err == nil {
+		t.Error("StartLock while in CS succeeded")
+	}
+}
+
+func TestAlg1PendingOpPanicsWhenIdle(t *testing.T) {
+	ids := newIDs(t, 1)
+	m, _ := NewAlg1(ids[0], 2, 3, Alg1Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("PendingOp on idle machine did not panic")
+		}
+	}()
+	m.PendingOp()
+}
+
+func TestAlg1AdvancePanicsWhenIdle(t *testing.T) {
+	ids := newIDs(t, 1)
+	m, _ := NewAlg1(ids[0], 2, 3, Alg1Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Advance on idle machine did not panic")
+		}
+	}()
+	m.Advance(OpResult{})
+}
+
+func TestAlg1ReusableAcrossSessions(t *testing.T) {
+	ids := newIDs(t, 1)
+	m, _ := NewAlg1(ids[0], 2, 3, Alg1Config{})
+	e := newFakeExec(make(fakeMem, 3), nil)
+	for session := 0; session < 5; session++ {
+		mustLock(t, m, e, 100)
+		mustUnlock(t, m, e, 100)
+		if !memAll(e.mem, id.None) {
+			t.Fatalf("session %d left residue: %v", session, e.mem)
+		}
+	}
+}
+
+func TestAlg1WorksUnderPermutations(t *testing.T) {
+	// The same scripted two-process run as above, but each process views
+	// the memory through a different random permutation. Outcomes (who
+	// enters, memory content at quiescence) must be unaffected.
+	r := xrand.New(1234)
+	for trial := 0; trial < 25; trial++ {
+		ids := newIDs(t, 2)
+		mem := make(fakeMem, 5)
+		pe := newFakeExec(mem, perm.Random(5, r))
+		qe := newFakeExec(mem, perm.Random(5, r))
+		pm, _ := NewAlg1(ids[0], 2, 5, Alg1Config{})
+		qm, _ := NewAlg1(ids[1], 2, 5, Alg1Config{})
+		if err := pm.StartLock(); err != nil {
+			t.Fatal(err)
+		}
+		// p acquires alone.
+		if _, ok := stepUntil(t, pm, pe, StatusInCS, 1000); !ok {
+			t.Fatal("p failed to acquire")
+		}
+		// q competes while p is in the CS: q must never enter.
+		if err := qm.StartLock(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			step(qm, qe)
+			if qm.Status() == StatusInCS {
+				t.Fatalf("trial %d: mutual exclusion violated under permutations", trial)
+			}
+		}
+		mustUnlock(t, pm, pe, 100)
+		if _, ok := stepUntil(t, qm, qe, StatusInCS, 2000); !ok {
+			t.Fatalf("trial %d: q failed to acquire after unlock", trial)
+		}
+		mustUnlock(t, qm, qe, 100)
+		if !memAll(mem, id.None) {
+			t.Fatalf("trial %d: residue after both unlocked: %v", trial, mem)
+		}
+	}
+}
+
+func TestAlg1StateEncodingDistinguishesSteps(t *testing.T) {
+	ids := newIDs(t, 1)
+	m, _ := NewAlg1(ids[0], 2, 3, Alg1Config{})
+	e := newFakeExec(make(fakeMem, 3), nil)
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	prev := m.AppendState(nil)
+	// The same state encodes identically.
+	if !bytes.Equal(prev, m.AppendState(nil)) {
+		t.Fatal("AppendState not deterministic")
+	}
+	for i := 0; i < 6; i++ {
+		step(m, e)
+		cur := m.AppendState(nil)
+		if bytes.Equal(prev, cur) && m.PendingOp().Kind != OpSnapshot {
+			// Consecutive snapshot phases with an unchanged view can
+			// legitimately encode identically; any other transition must
+			// change the encoding.
+			t.Fatalf("step %d did not change the state encoding", i)
+		}
+		prev = cur
+	}
+}
+
+func TestAlg1SymmetryEquivariance(t *testing.T) {
+	// The operational meaning of "symmetric algorithm": relabel the
+	// identities by any bijection, replay the same schedule, and the
+	// machine must make exactly the same moves (op kinds and register
+	// indices). Run a nontrivial scripted two-process competition and
+	// compare traces.
+	run := func(ids []id.ID) []Op {
+		pm, _ := NewAlg1(ids[0], 2, 3, Alg1Config{})
+		qm, _ := NewAlg1(ids[1], 2, 3, Alg1Config{})
+		mem := make(fakeMem, 3)
+		pe := newFakeExec(mem, nil)
+		qe := newFakeExec(mem, nil)
+		var trace []Op
+		mustStart := func(m Machine) {
+			if err := m.StartLock(); err != nil {
+				panic(err)
+			}
+		}
+		mustStart(pm)
+		mustStart(qm)
+		// Fixed alternating schedule for 60 steps.
+		machines := []Machine{pm, qm}
+		execs := []*fakeExec{pe, qe}
+		for i := 0; i < 60; i++ {
+			k := i % 2
+			m, e := machines[k], execs[k]
+			switch m.Status() {
+			case StatusRunning:
+				op := m.PendingOp()
+				trace = append(trace, op)
+				m.Advance(e.exec(op))
+			case StatusInCS:
+				if err := m.StartUnlock(); err != nil {
+					panic(err)
+				}
+			case StatusIdle:
+				// done; skip
+			}
+		}
+		return trace
+	}
+
+	gA := id.NewGenerator()
+	idsA, _ := gA.NewN(2)
+	gB := id.NewShuffledGenerator(99)
+	idsB, _ := gB.NewN(2)
+
+	ta, tb := run(idsA), run(idsB)
+	if len(ta) != len(tb) {
+		t.Fatalf("traces differ in length: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i].Kind != tb[i].Kind || ta[i].X != tb[i].X {
+			t.Fatalf("step %d: trace A %+v, trace B %+v — behavior depends on identity values", i, ta[i], tb[i])
+		}
+		// Written values must correspond under the relabeling idsA[k] ↦ idsB[k].
+		mapVal := func(v id.ID) id.ID {
+			for k := range idsA {
+				if v.Equal(idsA[k]) {
+					return idsB[k]
+				}
+			}
+			return v
+		}
+		if !mapVal(ta[i].Val).Equal(tb[i].Val) {
+			t.Fatalf("step %d: written values do not correspond under relabeling", i)
+		}
+	}
+}

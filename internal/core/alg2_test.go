@@ -1,0 +1,476 @@
+package core
+
+import (
+	"testing"
+
+	"anonmutex/internal/id"
+	"anonmutex/internal/perm"
+	"anonmutex/internal/xrand"
+)
+
+func TestAlg2Preconditions(t *testing.T) {
+	ids := newIDs(t, 1)
+	cases := []struct {
+		name   string
+		n, m   int
+		wantOK bool
+	}{
+		{"n2 m1 degenerate", 2, 1, true},
+		{"n2 m3", 2, 3, true},
+		{"n2 m2", 2, 2, false},
+		{"n3 m7", 3, 7, true},
+		{"n3 m6", 3, 6, false},
+		{"n4 m25", 4, 25, true},
+		{"n5 m25", 5, 25, false},
+		{"n1", 1, 3, false},
+		{"m0", 3, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewAlg2(ids[0], tc.n, tc.m, Alg2Config{})
+			if (err == nil) != tc.wantOK {
+				t.Errorf("NewAlg2(n=%d, m=%d) error = %v, want ok=%v", tc.n, tc.m, err, tc.wantOK)
+			}
+		})
+	}
+	if _, err := NewAlg2(id.None, 2, 3, Alg2Config{}); err == nil {
+		t.Error("NewAlg2 accepted ⊥ identity")
+	}
+	if _, err := NewAlg2Unchecked(ids[0], 6, Alg2Config{}); err != nil {
+		t.Errorf("NewAlg2Unchecked rejected m=6: %v", err)
+	}
+}
+
+func TestAlg2SoloLockStepByStep(t *testing.T) {
+	// Solo on m=3: exactly 3 CAS (line 2) + 3 reads (line 3), then entry
+	// with owned = 3 > 3/2.
+	ids := newIDs(t, 1)
+	me := ids[0]
+	m, err := NewAlg2(me, 2, 3, Alg2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newFakeExec(make(fakeMem, 3), nil)
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 3; x++ {
+		op := m.PendingOp()
+		if op.Kind != OpCAS || op.X != x || !op.Old.IsNone() || !op.New.Equal(me) {
+			t.Fatalf("line 2 op %d = %+v, want cas(%d, ⊥, me)", x, op, x)
+		}
+		step(m, e)
+	}
+	for x := 0; x < 3; x++ {
+		op := m.PendingOp()
+		if op.Kind != OpRead || op.X != x {
+			t.Fatalf("line 3 op %d = %+v, want read(%d)", x, op, x)
+		}
+		step(m, e)
+	}
+	if m.Status() != StatusInCS {
+		t.Fatalf("status = %v, want in-cs", m.Status())
+	}
+	if got := m.OwnedAtEntry(); got != 3 {
+		t.Errorf("OwnedAtEntry = %d, want 3", got)
+	}
+	if got := m.LockSteps(); got != 6 {
+		t.Errorf("LockSteps = %d, want 6 (2m)", got)
+	}
+}
+
+func TestAlg2MajorityEntryNotAll(t *testing.T) {
+	// Unlike Algorithm 1, Algorithm 2 enters with a strict majority, not
+	// full ownership: m=5 with 3 own registers and 2 foreign ones suffices
+	// when owned ≥ most_present... 3 vs 2 → enter with owned=3.
+	ids := newIDs(t, 2)
+	me, other := ids[0], ids[1]
+	m, _ := NewAlg2(me, 2, 5, Alg2Config{})
+	mem := fakeMem{other, other, id.None, id.None, id.None}
+	e := newFakeExec(mem, nil)
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	// CAS sweep claims the three ⊥ registers; read sweep: owned=3, most=3.
+	if _, ok := stepUntil(t, m, e, StatusInCS, 20); !ok {
+		t.Fatalf("did not enter with a majority (status %v, line %d)", m.Status(), m.Line())
+	}
+	if got := m.OwnedAtEntry(); got != 3 {
+		t.Errorf("OwnedAtEntry = %d, want 3 (majority of 5, not all)", got)
+	}
+	if !mem[0].Equal(other) || !mem[1].Equal(other) {
+		t.Error("CAS sweep overwrote foreign registers")
+	}
+}
+
+func TestAlg2ResignsWhenBehind(t *testing.T) {
+	// q holds 1 register, p holds 2 of m=3: after its collect, q sees
+	// owned=1 < most=2 → erases itself (line 7) and parks in the wait loop
+	// (lines 8-10) until the memory is all ⊥.
+	ids := newIDs(t, 2)
+	p, q := ids[0], ids[1]
+	qm, _ := NewAlg2(q, 2, 3, Alg2Config{})
+	mem := fakeMem{p, p, q}
+	qe := newFakeExec(mem, nil)
+	if err := qm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	// Line 2 sweep: all CAS fail (no ⊥).
+	step(qm, qe)
+	step(qm, qe)
+	step(qm, qe)
+	// Line 3 collect.
+	step(qm, qe)
+	step(qm, qe)
+	step(qm, qe)
+	// Now the resign write: exactly one, at local index 2.
+	op := qm.PendingOp()
+	if op.Kind != OpWrite || op.X != 2 || !op.Val.IsNone() {
+		t.Fatalf("resign op = %+v, want write(2, ⊥)", op)
+	}
+	if qm.Line() != 7 {
+		t.Fatalf("line = %d, want 7", qm.Line())
+	}
+	step(qm, qe)
+	if !mem[2].IsNone() {
+		t.Fatal("resign did not erase q's register")
+	}
+	// Wait loop: q reads forever while p's registers remain.
+	for i := 0; i < 12; i++ {
+		if got := qm.PendingOp().Kind; got != OpRead {
+			t.Fatalf("wait loop issued %v", got)
+		}
+		if qm.Line() != 9 {
+			t.Fatalf("wait loop at line %d, want 9", qm.Line())
+		}
+		step(qm, qe)
+		if qm.Status() != StatusRunning {
+			t.Fatalf("q left the wait loop while p present (status %v)", qm.Status())
+		}
+	}
+	// p's registers empty out; q completes a pass, sees all ⊥, re-enters
+	// the competition and wins.
+	mem[0], mem[1] = id.None, id.None
+	if _, ok := stepUntil(t, qm, qe, StatusInCS, 50); !ok {
+		t.Fatalf("q did not acquire after memory emptied (line %d)", qm.Line())
+	}
+}
+
+func TestAlg2DegenerateSingleRegister(t *testing.T) {
+	// m=1 ∈ M(n): Algorithm 2 degenerates to a CAS lock. p wins; q parks;
+	// p unlocks; q wins.
+	ids := newIDs(t, 2)
+	pm, _ := NewAlg2(ids[0], 2, 1, Alg2Config{})
+	qm, _ := NewAlg2(ids[1], 2, 1, Alg2Config{})
+	mem := make(fakeMem, 1)
+	pe := newFakeExec(mem, nil)
+	qe := newFakeExec(mem, nil)
+	if err := pm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stepUntil(t, pm, pe, StatusInCS, 10); !ok {
+		t.Fatal("p did not acquire the single register")
+	}
+	for i := 0; i < 20; i++ {
+		step(qm, qe)
+		if qm.Status() == StatusInCS {
+			t.Fatal("mutual exclusion violated on m=1")
+		}
+	}
+	mustUnlock(t, pm, pe, 10)
+	if _, ok := stepUntil(t, qm, qe, StatusInCS, 20); !ok {
+		t.Fatal("q did not acquire after unlock")
+	}
+	mustUnlock(t, qm, qe, 10)
+	if !mem[0].IsNone() {
+		t.Fatal("register not released")
+	}
+}
+
+func TestAlg2UnlockReleasesOnlyOwn(t *testing.T) {
+	ids := newIDs(t, 2)
+	me, other := ids[0], ids[1]
+	m, _ := NewAlg2(me, 2, 5, Alg2Config{})
+	mem := fakeMem{other, other, id.None, id.None, id.None}
+	e := newFakeExec(mem, nil)
+	mustLock(t, m, e, 20)
+	// While in the CS, the other process somehow still holds 0 and 1;
+	// unlock's CAS(x, me, ⊥) sweep must not touch them.
+	mustUnlock(t, m, e, 20)
+	if !mem[0].Equal(other) || !mem[1].Equal(other) {
+		t.Error("unlock modified foreign registers")
+	}
+	for x := 2; x < 5; x++ {
+		if !mem[x].IsNone() {
+			t.Errorf("register %d = %v after unlock, want ⊥", x, mem[x])
+		}
+	}
+}
+
+func TestAlg2UnlockOpSequence(t *testing.T) {
+	ids := newIDs(t, 1)
+	me := ids[0]
+	m, _ := NewAlg2(me, 2, 3, Alg2Config{})
+	e := newFakeExec(make(fakeMem, 3), nil)
+	mustLock(t, m, e, 20)
+	if err := m.StartUnlock(); err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 3; x++ {
+		op := m.PendingOp()
+		if op.Kind != OpCAS || op.X != x || !op.Old.Equal(me) || !op.New.IsNone() {
+			t.Fatalf("unlock op %d = %+v, want cas(%d, me, ⊥)", x, op, x)
+		}
+		if m.Line() != 13 {
+			t.Fatalf("unlock at line %d, want 13", m.Line())
+		}
+		step(m, e)
+	}
+	if m.Status() != StatusIdle {
+		t.Fatalf("status after unlock = %v", m.Status())
+	}
+}
+
+func TestAlg2EqualSharesKeepCompeting(t *testing.T) {
+	// owned == most_present but not a majority: the process neither
+	// resigns nor enters; it loops to line 2. Construct 1-1 split on m=3
+	// with one hole: p owns 1, q owns 1. p re-CASes the hole.
+	ids := newIDs(t, 2)
+	p, q := ids[0], ids[1]
+	pm, _ := NewAlg2(p, 2, 3, Alg2Config{})
+	mem := fakeMem{p, q, id.None}
+	pe := newFakeExec(mem, nil)
+	if err := pm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	// p's CAS sweep: claims register 2 (the hole) → p owns 2 of 3.
+	step(pm, pe)
+	step(pm, pe)
+	step(pm, pe)
+	// Collect: owned=2, most=2 → majority → CS.
+	if _, ok := stepUntil(t, pm, pe, StatusInCS, 10); !ok {
+		t.Fatal("p did not enter with majority")
+	}
+	if got := pm.OwnedAtEntry(); got != 2 {
+		t.Errorf("OwnedAtEntry = %d, want 2", got)
+	}
+}
+
+func TestAlg2ExactHalfDoesNotEnter(t *testing.T) {
+	// Theorem 5 wedge in miniature: m=2 (∉ M(2)), both processes own one
+	// register each. owned = most = 1, owned·2 = 2 ≯ 2: neither resigns
+	// nor enters — they loop forever.
+	ids := newIDs(t, 2)
+	p, q := ids[0], ids[1]
+	pm, _ := NewAlg2Unchecked(p, 2, Alg2Config{})
+	qm, _ := NewAlg2Unchecked(q, 2, Alg2Config{})
+	mem := fakeMem{p, q}
+	pe := newFakeExec(mem, nil)
+	qe := newFakeExec(mem, nil)
+	if err := pm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		step(pm, pe)
+		step(qm, qe)
+		if pm.Status() == StatusInCS || qm.Status() == StatusInCS {
+			t.Fatal("a process entered from a 1-1 split on m=2")
+		}
+	}
+	if !mem[0].Equal(p) || !mem[1].Equal(q) {
+		t.Fatalf("memory changed in the wedge: %v", mem)
+	}
+}
+
+func TestAlg2SkipWaitAblation(t *testing.T) {
+	// With SkipWaitForEmpty, a resigned process goes straight back to the
+	// CAS sweep instead of the lines 8-10 read loop.
+	ids := newIDs(t, 2)
+	p, q := ids[0], ids[1]
+	qm, _ := NewAlg2Unchecked(q, 3, Alg2Config{SkipWaitForEmpty: true})
+	mem := fakeMem{p, p, q}
+	qe := newFakeExec(mem, nil)
+	if err := qm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ { // CAS sweep + collect
+		step(qm, qe)
+	}
+	step(qm, qe) // resign write
+	if got := qm.PendingOp(); got.Kind != OpCAS || qm.Line() != 2 {
+		t.Fatalf("after skip-wait resign, op=%+v line=%d, want CAS at line 2", got, qm.Line())
+	}
+}
+
+func TestAlg2LifecycleErrors(t *testing.T) {
+	ids := newIDs(t, 1)
+	m, _ := NewAlg2(ids[0], 2, 3, Alg2Config{})
+	if err := m.StartUnlock(); err == nil {
+		t.Error("StartUnlock from idle succeeded")
+	}
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartLock(); err == nil {
+		t.Error("StartLock while running succeeded")
+	}
+	e := newFakeExec(make(fakeMem, 3), nil)
+	if _, ok := stepUntil(t, m, e, StatusInCS, 20); !ok {
+		t.Fatal("lock did not complete")
+	}
+	if err := m.StartLock(); err == nil {
+		t.Error("StartLock in CS succeeded")
+	}
+}
+
+func TestAlg2ReusableAcrossSessions(t *testing.T) {
+	ids := newIDs(t, 1)
+	m, _ := NewAlg2(ids[0], 2, 3, Alg2Config{})
+	e := newFakeExec(make(fakeMem, 3), nil)
+	for session := 0; session < 5; session++ {
+		mustLock(t, m, e, 20)
+		mustUnlock(t, m, e, 20)
+		if !memAll(e.mem, id.None) {
+			t.Fatalf("session %d left residue: %v", session, e.mem)
+		}
+	}
+}
+
+func TestAlg2WorksUnderPermutations(t *testing.T) {
+	r := xrand.New(777)
+	for trial := 0; trial < 25; trial++ {
+		ids := newIDs(t, 2)
+		mem := make(fakeMem, 5)
+		pe := newFakeExec(mem, perm.Random(5, r))
+		qe := newFakeExec(mem, perm.Random(5, r))
+		pm, _ := NewAlg2(ids[0], 2, 5, Alg2Config{})
+		qm, _ := NewAlg2(ids[1], 2, 5, Alg2Config{})
+		if err := pm.StartLock(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := stepUntil(t, pm, pe, StatusInCS, 100); !ok {
+			t.Fatal("p failed to acquire")
+		}
+		if err := qm.StartLock(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			step(qm, qe)
+			if qm.Status() == StatusInCS {
+				t.Fatalf("trial %d: mutual exclusion violated", trial)
+			}
+		}
+		mustUnlock(t, pm, pe, 20)
+		if _, ok := stepUntil(t, qm, qe, StatusInCS, 500); !ok {
+			t.Fatalf("trial %d: q failed to acquire after unlock (line %d)", trial, qm.Line())
+		}
+		mustUnlock(t, qm, qe, 20)
+		if !memAll(mem, id.None) {
+			t.Fatalf("trial %d: residue: %v", trial, mem)
+		}
+	}
+}
+
+func TestAlg2SymmetryEquivariance(t *testing.T) {
+	run := func(ids []id.ID) []Op {
+		pm, _ := NewAlg2(ids[0], 2, 3, Alg2Config{})
+		qm, _ := NewAlg2(ids[1], 2, 3, Alg2Config{})
+		mem := make(fakeMem, 3)
+		pe := newFakeExec(mem, nil)
+		qe := newFakeExec(mem, nil)
+		var trace []Op
+		if err := pm.StartLock(); err != nil {
+			panic(err)
+		}
+		if err := qm.StartLock(); err != nil {
+			panic(err)
+		}
+		machines := []Machine{pm, qm}
+		execs := []*fakeExec{pe, qe}
+		for i := 0; i < 80; i++ {
+			k := i % 2
+			m, e := machines[k], execs[k]
+			switch m.Status() {
+			case StatusRunning:
+				op := m.PendingOp()
+				trace = append(trace, op)
+				m.Advance(e.exec(op))
+			case StatusInCS:
+				if err := m.StartUnlock(); err != nil {
+					panic(err)
+				}
+			}
+		}
+		return trace
+	}
+	idsA, _ := id.NewGenerator().NewN(2)
+	idsB, _ := id.NewShuffledGenerator(4242).NewN(2)
+	ta, tb := run(idsA), run(idsB)
+	if len(ta) != len(tb) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i].Kind != tb[i].Kind || ta[i].X != tb[i].X {
+			t.Fatalf("step %d: %+v vs %+v — behavior depends on identity values", i, ta[i], tb[i])
+		}
+	}
+}
+
+func TestHelpersOwnedMostDistinct(t *testing.T) {
+	ids := newIDs(t, 3)
+	a, b, c := ids[0], ids[1], ids[2]
+	n := id.None
+	cases := []struct {
+		view    []id.ID
+		me      id.ID
+		owned   int
+		most    int
+		cnt     int
+		bottom  bool
+		allMine bool
+	}{
+		{[]id.ID{n, n, n}, a, 0, 0, 0, true, false},
+		{[]id.ID{a, a, a}, a, 3, 3, 1, false, true},
+		{[]id.ID{a, b, a}, a, 2, 2, 2, false, false},
+		{[]id.ID{a, b, c}, b, 1, 1, 3, false, false},
+		{[]id.ID{a, b, n}, c, 0, 1, 2, false, false},
+		{[]id.ID{b, b, c, c, c}, b, 2, 3, 2, false, false},
+		{[]id.ID{}, a, 0, 0, 0, true, true},
+	}
+	for i, tc := range cases {
+		if got := countOwned(tc.view, tc.me); got != tc.owned {
+			t.Errorf("case %d: countOwned = %d, want %d", i, got, tc.owned)
+		}
+		if got := mostPresent(tc.view); got != tc.most {
+			t.Errorf("case %d: mostPresent = %d, want %d", i, got, tc.most)
+		}
+		if got := distinctOwners(tc.view); got != tc.cnt {
+			t.Errorf("case %d: distinctOwners = %d, want %d", i, got, tc.cnt)
+		}
+		if got := allBottom(tc.view); got != tc.bottom {
+			t.Errorf("case %d: allBottom = %v, want %v", i, got, tc.bottom)
+		}
+		if got := allMine(tc.view, tc.me); got != tc.allMine {
+			t.Errorf("case %d: allMine = %v, want %v", i, got, tc.allMine)
+		}
+	}
+}
+
+func TestOpKindStatusStrings(t *testing.T) {
+	for _, k := range []OpKind{OpRead, OpWrite, OpCAS, OpSnapshot, OpKind(99)} {
+		if k.String() == "" {
+			t.Errorf("empty string for %d", k)
+		}
+	}
+	for _, s := range []Status{StatusIdle, StatusRunning, StatusInCS, Status(99)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", s)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"anonmutex/internal/xrand"
+)
+
+// ChoicePolicy selects which ⊥ register Algorithm 1 writes into at line 6.
+// The paper allows "any not owned register"; the policy does not affect
+// correctness (the proofs never rely on the choice) but does affect
+// collision rates under contention — an ablation experiment (E8) measures
+// the difference.
+type ChoicePolicy uint8
+
+const (
+	// ChooseFirstBottom writes into the lowest ⊥ local index. Fully
+	// deterministic; required for state-space exploration.
+	ChooseFirstBottom ChoicePolicy = iota + 1
+	// ChooseLastBottom writes into the highest ⊥ local index.
+	ChooseLastBottom
+	// ChooseRandomBottom writes into a uniformly random ⊥ local index,
+	// drawn from the machine's PRNG. Reduces write collisions between
+	// concurrent claimants in real runs.
+	ChooseRandomBottom
+)
+
+// String returns the policy name.
+func (c ChoicePolicy) String() string {
+	switch c {
+	case ChooseFirstBottom:
+		return "first-bottom"
+	case ChooseLastBottom:
+		return "last-bottom"
+	case ChooseRandomBottom:
+		return "random-bottom"
+	default:
+		return fmt.Sprintf("ChoicePolicy(%d)", uint8(c))
+	}
+}
+
+// TieBreak selects Algorithm 1's withdrawal rule at line 9. Only
+// TieBreakAverage is the paper's algorithm; the others are ablations that
+// demonstrate why the rule (and the m ∈ M(n) condition it leans on)
+// matters.
+type TieBreak uint8
+
+const (
+	// TieBreakAverage is the paper's rule: withdraw when this process owns
+	// fewer than m/cnt registers (strictly below the average), evaluated
+	// exactly as owned*cnt < m.
+	TieBreakAverage TieBreak = iota + 1
+	// TieBreakNever is an ablation: never withdraw. Under contention the
+	// competition can wedge permanently (deadlock-freedom is lost).
+	TieBreakNever
+	// TieBreakRandom is an ablation: when the view is full and the process
+	// does not own everything, withdraw with probability 1/2. Randomized
+	// backoff breaks ties only probabilistically.
+	TieBreakRandom
+)
+
+// String returns the rule name.
+func (tb TieBreak) String() string {
+	switch tb {
+	case TieBreakAverage:
+		return "average"
+	case TieBreakNever:
+		return "never"
+	case TieBreakRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("TieBreak(%d)", uint8(tb))
+	}
+}
+
+// Alg1Config configures an Algorithm 1 machine. The zero value selects the
+// paper's algorithm (first-bottom choice, average tie-break).
+type Alg1Config struct {
+	// Choice picks the ⊥ register for line 6. Zero value:
+	// ChooseFirstBottom.
+	Choice ChoicePolicy
+	// Tie picks the withdrawal rule for line 9. Zero value:
+	// TieBreakAverage (the paper's rule).
+	Tie TieBreak
+	// Rand supplies randomness for the randomized policies. Required when
+	// Choice is ChooseRandomBottom or Tie is TieBreakRandom.
+	Rand *xrand.Rand
+}
+
+func (c *Alg1Config) normalize() error {
+	if c.Choice == 0 {
+		c.Choice = ChooseFirstBottom
+	}
+	if c.Tie == 0 {
+		c.Tie = TieBreakAverage
+	}
+	needsRand := c.Choice == ChooseRandomBottom || c.Tie == TieBreakRandom
+	if needsRand && c.Rand == nil {
+		return fmt.Errorf("core: randomized policy (%v/%v) requires a PRNG", c.Choice, c.Tie)
+	}
+	return nil
+}
+
+// Deterministic reports whether the configuration's behavior is a pure
+// function of observed memory values, as required by state-space
+// exploration.
+func (c Alg1Config) Deterministic() bool {
+	choice := c.Choice
+	if choice == 0 {
+		choice = ChooseFirstBottom
+	}
+	tie := c.Tie
+	if tie == 0 {
+		tie = TieBreakAverage
+	}
+	return choice != ChooseRandomBottom && tie != TieBreakRandom
+}
+
+// Alg2Config configures an Algorithm 2 machine. The zero value is the
+// paper's algorithm.
+type Alg2Config struct {
+	// SkipWaitForEmpty is an ablation: when a process resigns (line 7), it
+	// skips the lines 8–10 wait loop and immediately re-enters the
+	// competition. The paper's deadlock-freedom argument (Theorem 4)
+	// relies on resigned processes standing aside; this ablation measures
+	// what that buys.
+	SkipWaitForEmpty bool
+}

@@ -1,0 +1,126 @@
+package core
+
+// Test scaffolding: a deterministic single-threaded executor over a plain
+// shared value array, with per-process permutations. It lets tests script
+// exact interleavings of machine steps, playing the role of both the
+// memory and the scheduler.
+
+import (
+	"testing"
+
+	"anonmutex/internal/id"
+	"anonmutex/internal/perm"
+)
+
+// fakeMem is the external observer's array of algorithmic values.
+type fakeMem []id.ID
+
+// fakeExec executes one process's ops against a shared fakeMem through a
+// permutation.
+type fakeExec struct {
+	mem fakeMem
+	p   perm.Perm
+}
+
+func newFakeExec(mem fakeMem, p perm.Perm) *fakeExec {
+	if p == nil {
+		p = perm.Identity(len(mem))
+	}
+	return &fakeExec{mem: mem, p: p}
+}
+
+func (f *fakeExec) exec(op Op) OpResult {
+	switch op.Kind {
+	case OpRead:
+		return OpResult{Val: f.mem[f.p[op.X]]}
+	case OpWrite:
+		f.mem[f.p[op.X]] = op.Val
+		return OpResult{}
+	case OpCAS:
+		phys := f.p[op.X]
+		if f.mem[phys].Equal(op.Old) {
+			f.mem[phys] = op.New
+			return OpResult{Swapped: true}
+		}
+		return OpResult{Swapped: false}
+	case OpSnapshot:
+		snap := make([]id.ID, len(f.mem))
+		for x := range snap {
+			snap[x] = f.mem[f.p[x]]
+		}
+		return OpResult{Snap: snap}
+	default:
+		panic("fakeExec: unknown op kind")
+	}
+}
+
+// step executes the machine's pending op and feeds the result back.
+func step(m Machine, e *fakeExec) Status {
+	return m.Advance(e.exec(m.PendingOp()))
+}
+
+// stepUntil drives the machine until it reaches want or the budget is
+// exhausted; it reports the steps used and whether want was reached.
+func stepUntil(t *testing.T, m Machine, e *fakeExec, want Status, budget int) (int, bool) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		if m.Status() == want {
+			return i, true
+		}
+		step(m, e)
+	}
+	return budget, m.Status() == want
+}
+
+// mustLock drives a full lock() to the critical section.
+func mustLock(t *testing.T, m Machine, e *fakeExec, budget int) int {
+	t.Helper()
+	if err := m.StartLock(); err != nil {
+		t.Fatalf("StartLock: %v", err)
+	}
+	steps, ok := stepUntil(t, m, e, StatusInCS, budget)
+	if !ok {
+		t.Fatalf("lock() did not reach the CS within %d steps (status %v, line %d)", budget, m.Status(), m.Line())
+	}
+	return steps
+}
+
+// mustUnlock drives a full unlock() back to idle.
+func mustUnlock(t *testing.T, m Machine, e *fakeExec, budget int) {
+	t.Helper()
+	if err := m.StartUnlock(); err != nil {
+		t.Fatalf("StartUnlock: %v", err)
+	}
+	if _, ok := stepUntil(t, m, e, StatusIdle, budget); !ok {
+		t.Fatalf("unlock() did not finish within %d steps", budget)
+	}
+}
+
+func newIDs(t *testing.T, n int) []id.ID {
+	t.Helper()
+	g := id.NewGenerator()
+	ids, err := g.NewN(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func memAll(mem fakeMem, v id.ID) bool {
+	for _, x := range mem {
+		if !x.Equal(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func memCount(mem fakeMem, v id.ID) int {
+	c := 0
+	for _, x := range mem {
+		if x.Equal(v) {
+			c++
+		}
+	}
+	return c
+}

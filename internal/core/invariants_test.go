@@ -1,0 +1,230 @@
+package core
+
+// Randomized-schedule invariant tests: drive several machines under
+// thousands of seeded random interleavings and check the paper's
+// structural invariants after every single shared-memory step — a much
+// finer net than end-state assertions.
+//
+// Checked invariants:
+//
+//  1. Mutual exclusion: at most one machine is in the critical section.
+//  2. Claim 3 (Algorithm 1): a register owner is never in the remainder
+//     section — every non-⊥ register value is the identity of a process
+//     with an active lock()/unlock() or in the CS.
+//  3. Algorithm 1 in-CS saturation: while a process is in the CS (before
+//     its unlock starts), every register holds its identity.
+//  4. Algorithm 2 in-CS majority: while a process is in the CS, it owns a
+//     strict majority of the registers (others cannot erase it).
+//  5. Sessions eventually complete (deadlock-freedom under fair random
+//     schedules, bounded).
+
+import (
+	"testing"
+
+	"anonmutex/internal/id"
+	"anonmutex/internal/perm"
+	"anonmutex/internal/xrand"
+)
+
+// invariantHarness drives k machines over one shared memory with a
+// seeded random schedule, verifying invariants after every step.
+type invariantHarness struct {
+	t        *testing.T
+	mem      fakeMem
+	machines []Machine
+	execs    []*fakeExec
+	sessions []int
+	r        *xrand.Rand
+	isAlg1   bool
+	m        int
+}
+
+func newInvariantHarness(t *testing.T, seed uint64, alg1 bool, n, m, sessions int, adversary perm.Adversary) *invariantHarness {
+	t.Helper()
+	h := &invariantHarness{t: t, mem: make(fakeMem, m), r: xrand.New(seed), isAlg1: alg1, m: m}
+	g := id.NewGenerator()
+	for i := 0; i < n; i++ {
+		me := g.MustNew()
+		var mach Machine
+		var err error
+		if alg1 {
+			mach, err = NewAlg1Unchecked(me, m, Alg1Config{})
+		} else {
+			mach, err = NewAlg2Unchecked(me, m, Alg2Config{})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.machines = append(h.machines, mach)
+		h.execs = append(h.execs, newFakeExec(h.mem, adversary.Assign(i, m)))
+		h.sessions = append(h.sessions, sessions)
+	}
+	return h
+}
+
+// tick advances one random enabled process by one step and re-checks all
+// invariants. It reports whether any process is still enabled.
+func (h *invariantHarness) tick() bool {
+	enabled := enabled[:0]
+	for i, m := range h.machines {
+		if m.Status() != StatusIdle || h.sessions[i] > 0 {
+			enabled = append(enabled, i)
+		}
+	}
+	if len(enabled) == 0 {
+		return false
+	}
+	i := enabled[h.r.Intn(len(enabled))]
+	m := h.machines[i]
+	switch m.Status() {
+	case StatusIdle:
+		if err := m.StartLock(); err != nil {
+			h.t.Fatal(err)
+		}
+		step(m, h.execs[i])
+	case StatusInCS:
+		if err := m.StartUnlock(); err != nil {
+			h.t.Fatal(err)
+		}
+		// A single-register unlock can complete in this very step.
+		if step(m, h.execs[i]) == StatusIdle {
+			h.sessions[i]--
+		}
+	default:
+		if step(m, h.execs[i]) == StatusIdle {
+			h.sessions[i]--
+		}
+	}
+	h.checkInvariants()
+	return true
+}
+
+// enabled is a package-level scratch buffer (tests are sequential).
+var enabled []int
+
+func (h *invariantHarness) checkInvariants() {
+	t := h.t
+	// (1) mutual exclusion.
+	csHolder := -1
+	for i, m := range h.machines {
+		if m.Status() == StatusInCS {
+			if csHolder >= 0 {
+				t.Fatalf("machines %d and %d simultaneously in the CS", csHolder, i)
+			}
+			csHolder = i
+		}
+	}
+	// (2) register owners are active (Claim 3).
+	for x, v := range h.mem {
+		if v.IsNone() {
+			continue
+		}
+		owner := -1
+		for i, m := range h.machines {
+			if m.Me().Equal(v) {
+				owner = i
+				break
+			}
+		}
+		if owner < 0 {
+			t.Fatalf("register %d holds an unknown identity %v", x, v)
+		}
+		if h.machines[owner].Status() == StatusIdle {
+			t.Fatalf("register %d held by process %d which is in the remainder section", x, owner)
+		}
+	}
+	if csHolder < 0 {
+		return
+	}
+	holder := h.machines[csHolder]
+	owned := memCount(h.mem, holder.Me())
+	if h.isAlg1 {
+		// (3) Algorithm 1 saturation.
+		if owned != h.m {
+			t.Fatalf("alg1 CS holder owns %d of %d registers", owned, h.m)
+		}
+	} else {
+		// (4) Algorithm 2 strict majority.
+		if 2*owned <= h.m {
+			t.Fatalf("alg2 CS holder owns %d of %d registers — not a majority", owned, h.m)
+		}
+	}
+}
+
+func runInvariantBattery(t *testing.T, alg1 bool, n, m int, seeds int, adversary perm.Adversary) {
+	t.Helper()
+	budget := 400_000
+	for seed := 1; seed <= seeds; seed++ {
+		h := newInvariantHarness(t, uint64(seed), alg1, n, m, 2, adversary)
+		steps := 0
+		for h.tick() {
+			if steps++; steps > budget {
+				t.Fatalf("seed %d: schedule did not complete within %d steps", seed, budget)
+			}
+		}
+	}
+}
+
+func TestAlg1InvariantsRandomSchedules(t *testing.T) {
+	runInvariantBattery(t, true, 2, 3, 30, perm.IdentityAdversary{})
+	runInvariantBattery(t, true, 3, 5, 20, perm.RandomAdversary{Seed: 5})
+	if !testing.Short() {
+		runInvariantBattery(t, true, 4, 5, 10, perm.RandomAdversary{Seed: 6})
+	}
+}
+
+func TestAlg2InvariantsRandomSchedules(t *testing.T) {
+	runInvariantBattery(t, false, 2, 3, 30, perm.IdentityAdversary{})
+	runInvariantBattery(t, false, 3, 5, 20, perm.RandomAdversary{Seed: 7})
+	runInvariantBattery(t, false, 4, 1, 20, perm.IdentityAdversary{})
+	if !testing.Short() {
+		runInvariantBattery(t, false, 5, 7, 10, perm.RandomAdversary{Seed: 8})
+	}
+}
+
+func TestAlg1InvariantsRotationAdversary(t *testing.T) {
+	// Rotation permutations (the lower-bound adversary) with random — not
+	// lock-step — scheduling: symmetry breaks, progress happens, and all
+	// structural invariants hold throughout.
+	runInvariantBattery(t, true, 2, 3, 20, perm.RotationAdversary{Step: 1})
+	runInvariantBattery(t, false, 3, 5, 20, perm.RotationAdversary{Step: 1})
+}
+
+// TestAlg1NoWriteWithoutHole asserts a finer protocol property: a process
+// only ever writes its identity over a register it observed as ⊥ in its
+// last snapshot (line 5-6), i.e. claim writes never target registers it
+// knows to be owned.
+func TestAlg1NoWriteWithoutHole(t *testing.T) {
+	g := id.NewGenerator()
+	me := g.MustNew()
+	m, err := NewAlg1Unchecked(me, 5, Alg1Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newFakeExec(make(fakeMem, 5), nil)
+	r := xrand.New(3)
+	other := g.MustNew()
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	for steps := 0; steps < 10_000 && m.Status() == StatusRunning; steps++ {
+		op := m.PendingOp()
+		if op.Kind == OpWrite && !op.Val.IsNone() {
+			// The machine's view must show ⊥ at the target.
+			if v := m.View()[op.X]; !v.IsNone() {
+				t.Fatalf("claim write into register %d which the view shows as %v", op.X, v)
+			}
+		}
+		step(m, e)
+		// Interference: another process occasionally grabs or releases a
+		// random register.
+		if r.Intn(3) == 0 {
+			x := r.Intn(5)
+			if e.mem[x].IsNone() {
+				e.mem[x] = other
+			} else if e.mem[x].Equal(other) {
+				e.mem[x] = id.None
+			}
+		}
+	}
+}

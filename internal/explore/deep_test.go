@@ -1,0 +1,121 @@
+package explore
+
+// Deeper exhaustive explorations, gated by -short: larger memories and
+// more processes. These pin down exact reachable-state counts, which act
+// as regression anchors — an unintended protocol change almost certainly
+// shifts them.
+
+import (
+	"testing"
+
+	"anonmutex/internal/perm"
+)
+
+func TestAlg1DeepLegalM5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration")
+	}
+	res, err := Explore(Config{N: 2, M: 5, Factory: alg1Factory(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("alg1 n=2 m=5: me=%d traps=%d complete=%v", res.MEViolations, res.Traps, res.Complete)
+	}
+	t.Logf("alg1 n=2 m=5: %d states, %d transitions", res.States, res.Transitions)
+}
+
+func TestAlg2DeepLegalM5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration")
+	}
+	res, err := Explore(Config{N: 2, M: 5, Factory: alg2Factory(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("alg2 n=2 m=5: me=%d traps=%d complete=%v", res.MEViolations, res.Traps, res.Complete)
+	}
+	t.Logf("alg2 n=2 m=5: %d states, %d transitions", res.States, res.Transitions)
+}
+
+func TestAlg2DeepIllegalM4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration")
+	}
+	// m=4, n=2: gcd(2,4)=2, illegal. The trap must exist and safety must
+	// still hold.
+	res, err := Explore(Config{N: 2, M: 4, Factory: alg2Factory(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.MEViolations != 0 {
+		t.Fatalf("n=2 m=4: complete=%v me=%d", res.Complete, res.MEViolations)
+	}
+	if res.Traps == 0 {
+		t.Fatal("no trap on m=4 ∉ M(2)")
+	}
+	t.Logf("alg2 n=2 m=4: %d states, %d traps", res.States, res.Traps)
+}
+
+func TestAlg2DeepThreeProcessesM5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration")
+	}
+	res, err := Explore(Config{N: 3, M: 5, Factory: alg2Factory(5), MaxStates: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whether or not the bound is hit, no explored state may violate ME,
+	// and if complete, there must be no traps.
+	if res.MEViolations != 0 {
+		t.Fatalf("ME violated: %s", res.MEWitness)
+	}
+	if res.Complete && res.Traps != 0 {
+		t.Fatalf("traps on a legal configuration: %s", res.TrapWitness)
+	}
+	t.Logf("alg2 n=3 m=5: %d states (complete=%v)", res.States, res.Complete)
+}
+
+func TestStateCountsStable(t *testing.T) {
+	// Regression anchors: exact reachable-state counts for the canonical
+	// instances. If an intentional protocol change shifts these, update
+	// the constants alongside a careful review.
+	res1, err := Explore(Config{N: 2, M: 3, Factory: alg1Factory(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.States != 1055 || res1.Transitions != 1950 {
+		t.Errorf("alg1 n=2 m=3: %d states / %d transitions, expected 1055 / 1950", res1.States, res1.Transitions)
+	}
+	res2, err := Explore(Config{N: 2, M: 3, Factory: alg2Factory(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.States != 2086 || res2.Transitions != 3254 {
+		t.Errorf("alg2 n=2 m=3: %d states / %d transitions, expected 2086 / 3254", res2.States, res2.Transitions)
+	}
+}
+
+func TestVerdictsIndependentOfAdversaryDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration")
+	}
+	// The trap verdict on illegal sizes must also be adversary-independent.
+	for _, adv := range []perm.Adversary{
+		perm.IdentityAdversary{},
+		perm.RotationAdversary{Step: 2},
+		perm.RandomAdversary{Seed: 9},
+	} {
+		res, err := Explore(Config{N: 2, M: 4, Factory: alg1Factory(4), Adversary: adv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Traps == 0 {
+			t.Errorf("adversary %T hid the trap on m=4", adv)
+		}
+		if res.MEViolations != 0 {
+			t.Errorf("adversary %T broke safety", adv)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package explore is an explicit-state model checker for the mutual
+// exclusion protocols: it enumerates every reachable global state of a
+// small configuration under every possible interleaving, then checks the
+// paper's two properties exhaustively.
+//
+//   - Mutual exclusion (Theorems 1 and 3): no reachable state has two
+//     processes in the critical section.
+//   - Progress (the model-checkable core of deadlock-freedom, Theorems 2
+//     and 4): from every reachable state in which some process still wants
+//     the lock, *some* schedule leads to a critical-section entry. A
+//     reachable "trap" region with pending work but no reachable entry is
+//     exactly the wedge Theorem 5 proves must exist when m ∉ M(n) — and
+//     the checker finds it.
+//
+// States are canonical byte encodings of (memory values, every machine's
+// local state, remaining sessions). Snapshots are atomic steps, which the
+// paper's linearizability assumption justifies; machines must be
+// deterministic (no randomized policies). One shared-memory operation is
+// one transition; scheduling is the only nondeterminism, so the successor
+// fan-out of a state is at most n.
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"anonmutex/internal/core"
+	"anonmutex/internal/id"
+	"anonmutex/internal/perm"
+)
+
+// Config describes the configuration to explore.
+type Config struct {
+	// N is the number of processes; M the number of anonymous registers.
+	N, M int
+	// Factory builds each process's machine. Machines must behave
+	// deterministically (pure functions of observed values).
+	Factory func(i int, me id.ID) (core.Machine, error)
+	// Adversary assigns permutations (nil: identity). The adversary is
+	// static, so one exploration covers one permutation assignment;
+	// exploring several adversaries means several Explore calls.
+	Adversary perm.Adversary
+	// Sessions is how many lock/unlock cycles each process performs
+	// (default 1). Keep small: the state space grows quickly.
+	Sessions int
+	// MaxStates bounds the exploration (default 1_000_000). If the bound
+	// is hit, Result.Complete is false and property verdicts are only
+	// valid for the explored region.
+	MaxStates int
+}
+
+// Result reports an exploration.
+type Result struct {
+	// States is the number of distinct reachable states; Transitions the
+	// number of explored edges.
+	States      int
+	Transitions int
+	// Complete reports that the full reachable space was enumerated.
+	Complete bool
+	// MEViolations counts states with ≥ 2 processes in the CS.
+	// MEWitness describes one such state.
+	MEViolations int
+	MEWitness    string
+	// Traps counts reachable states with pending work from which no
+	// lock() or unlock() completion is reachable; TrapWitness describes
+	// one. This is exactly the negation of the paper's deadlock-freedom
+	// (§II-E): a nonzero count means an adversarial scheduler can steer
+	// the system into a region where, although processes keep taking
+	// steps, no invocation ever finishes.
+	Traps       int
+	TrapWitness string
+	// Entries counts transitions that enter the critical section.
+	Entries int
+	// Terminals counts states where all sessions are finished.
+	Terminals int
+}
+
+// OK reports whether both properties hold on the explored (complete)
+// space.
+func (r *Result) OK() bool {
+	return r.Complete && r.MEViolations == 0 && r.Traps == 0
+}
+
+// state is one reachable global state. Machines are immutable once stored
+// (we clone before stepping), so successor states share the machines they
+// did not step.
+type state struct {
+	mem      []id.ID
+	machines []core.Machine
+	sessions []int
+}
+
+func (s *state) encode(dst []byte) []byte {
+	for _, v := range s.mem {
+		h := id.Handle(v)
+		dst = append(dst, byte(h>>8), byte(h))
+	}
+	for i, m := range s.machines {
+		dst = m.AppendState(dst)
+		dst = append(dst, byte(s.sessions[i]))
+	}
+	return dst
+}
+
+// enabled reports whether process i can take a step.
+func (s *state) enabled(i int) bool {
+	return s.machines[i].Status() != core.StatusIdle || s.sessions[i] > 0
+}
+
+func (s *state) anyEnabled() bool {
+	for i := range s.machines {
+		if s.enabled(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// inCSCount counts processes inside the critical section.
+func (s *state) inCSCount() int {
+	c := 0
+	for _, m := range s.machines {
+		if m.Status() == core.StatusInCS {
+			c++
+		}
+	}
+	return c
+}
+
+// describe renders a state for witnesses.
+func (s *state) describe() string {
+	var b strings.Builder
+	b.WriteString("memory=[")
+	for x, v := range s.mem {
+		if x > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteString("]")
+	for i, m := range s.machines {
+		fmt.Fprintf(&b, " p%d{%v line %d owned %d sessions %d}",
+			i, m.Status(), m.Line(), countOwned(s.mem, m), s.sessions[i])
+	}
+	return b.String()
+}
+
+func countOwned(mem []id.ID, m core.Machine) int {
+	c := 0
+	for _, v := range mem {
+		if v.Equal(m.Me()) {
+			c++
+		}
+	}
+	return c
+}
+
+// Explore enumerates the reachable state space of cfg with BFS and checks
+// the properties.
+func Explore(cfg Config) (*Result, error) {
+	if cfg.N < 1 || cfg.M < 1 {
+		return nil, fmt.Errorf("explore: need N >= 1 and M >= 1, got N=%d M=%d", cfg.N, cfg.M)
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("explore: Factory is required")
+	}
+	if cfg.Adversary == nil {
+		cfg.Adversary = perm.IdentityAdversary{}
+	}
+	if cfg.Sessions == 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.Sessions < 0 {
+		return nil, fmt.Errorf("explore: Sessions must be positive")
+	}
+	if cfg.MaxStates == 0 {
+		cfg.MaxStates = 1_000_000
+	}
+
+	gen := id.NewGenerator()
+	perms := make([]perm.Perm, cfg.N)
+	root := &state{
+		mem:      make([]id.ID, cfg.M),
+		machines: make([]core.Machine, cfg.N),
+		sessions: make([]int, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		me, err := gen.New()
+		if err != nil {
+			return nil, fmt.Errorf("explore: issuing identity: %w", err)
+		}
+		m, err := cfg.Factory(i, me)
+		if err != nil {
+			return nil, fmt.Errorf("explore: building machine %d: %w", i, err)
+		}
+		root.machines[i] = m
+		root.sessions[i] = cfg.Sessions
+		perms[i] = cfg.Adversary.Assign(i, cfg.M)
+		if !perms[i].Valid() || len(perms[i]) != cfg.M {
+			return nil, fmt.Errorf("explore: adversary assigned an invalid permutation to process %d", i)
+		}
+	}
+
+	res := &Result{}
+	states := []*state{root}
+	index := map[string]int32{string(root.encode(nil)): 0}
+	// succs[s] lists (successor index, completes) pairs, where completes
+	// marks a transition that finishes a lock() (CS entry) or an unlock()
+	// (return to the remainder section).
+	type edge struct {
+		to        int32
+		completes bool
+	}
+	var succs [][]edge
+
+	for head := 0; head < len(states); head++ {
+		cur := states[head]
+		if !cur.anyEnabled() {
+			res.Terminals++
+			succs = append(succs, nil)
+			continue
+		}
+		var edges []edge
+		for i := 0; i < cfg.N; i++ {
+			if !cur.enabled(i) {
+				continue
+			}
+			next, entered, unlocked, err := stepState(cur, i, perms[i])
+			if err != nil {
+				return nil, err
+			}
+			key := string(next.encode(nil))
+			idx, seen := index[key]
+			if !seen {
+				if len(states) >= cfg.MaxStates {
+					res.States = len(states)
+					res.Transitions += len(edges)
+					res.Complete = false
+					return res, nil
+				}
+				idx = int32(len(states))
+				states = append(states, next)
+				index[key] = idx
+				if next.inCSCount() > 1 {
+					res.MEViolations++
+					if res.MEWitness == "" {
+						res.MEWitness = next.describe()
+					}
+				}
+			}
+			if entered {
+				res.Entries++
+			}
+			edges = append(edges, edge{to: idx, completes: entered || unlocked})
+			res.Transitions++
+		}
+		succs = append(succs, edges)
+	}
+	res.States = len(states)
+	res.Complete = true
+
+	// Progress analysis: which states can still reach the completion of
+	// some lock() or unlock() invocation?
+	canReach := make([]bool, len(states))
+	// Reverse adjacency.
+	radj := make([][]int32, len(states))
+	var queue []int32
+	for from, edges := range succs {
+		for _, e := range edges {
+			radj[e.to] = append(radj[e.to], int32(from))
+			if e.completes && !canReach[from] {
+				canReach[from] = true
+				queue = append(queue, int32(from))
+			}
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, p := range radj[s] {
+			if !canReach[p] {
+				canReach[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	for i, s := range states {
+		if !s.anyEnabled() {
+			continue // all work done: no progress obligation
+		}
+		if !canReach[i] {
+			res.Traps++
+			if res.TrapWitness == "" {
+				res.TrapWitness = s.describe()
+			}
+		}
+	}
+	return res, nil
+}
+
+// stepState produces the successor of cur when process i takes one step,
+// reporting whether the step completed a lock() (entered) or an unlock()
+// (unlocked).
+func stepState(cur *state, i int, p perm.Perm) (next *state, entered, unlocked bool, err error) {
+	next = &state{
+		mem:      append([]id.ID(nil), cur.mem...),
+		machines: append([]core.Machine(nil), cur.machines...),
+		sessions: append([]int(nil), cur.sessions...),
+	}
+	m := next.machines[i].Clone()
+	next.machines[i] = m
+
+	switch m.Status() {
+	case core.StatusIdle:
+		if err := m.StartLock(); err != nil {
+			return nil, false, false, fmt.Errorf("explore: process %d: %w", i, err)
+		}
+	case core.StatusInCS:
+		// CSTicks is 0 in exploration: the next scheduled step unlocks.
+		if err := m.StartUnlock(); err != nil {
+			return nil, false, false, fmt.Errorf("explore: process %d: %w", i, err)
+		}
+	}
+
+	op := m.PendingOp()
+	var res core.OpResult
+	switch op.Kind {
+	case core.OpRead:
+		res.Val = next.mem[p[op.X]]
+	case core.OpWrite:
+		next.mem[p[op.X]] = op.Val
+	case core.OpCAS:
+		phys := p[op.X]
+		if next.mem[phys].Equal(op.Old) {
+			next.mem[phys] = op.New
+			res.Swapped = true
+		}
+	case core.OpSnapshot:
+		snap := make([]id.ID, len(next.mem))
+		for x := range snap {
+			snap[x] = next.mem[p[x]]
+		}
+		res.Snap = snap
+	default:
+		return nil, false, false, fmt.Errorf("explore: unknown op kind %v", op.Kind)
+	}
+	st := m.Advance(res)
+	entered = st == core.StatusInCS
+	if st == core.StatusIdle {
+		next.sessions[i]--
+		unlocked = true
+	}
+	return next, entered, unlocked, nil
+}

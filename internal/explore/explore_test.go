@@ -1,0 +1,185 @@
+package explore
+
+import (
+	"testing"
+
+	"anonmutex/internal/core"
+	"anonmutex/internal/id"
+	"anonmutex/internal/perm"
+	"anonmutex/internal/strawman"
+)
+
+func alg1Factory(m int) func(int, id.ID) (core.Machine, error) {
+	return func(_ int, me id.ID) (core.Machine, error) {
+		return core.NewAlg1Unchecked(me, m, core.Alg1Config{})
+	}
+}
+
+func alg2Factory(m int) func(int, id.ID) (core.Machine, error) {
+	return func(_ int, me id.ID) (core.Machine, error) {
+		return core.NewAlg2Unchecked(me, m, core.Alg2Config{})
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := Explore(Config{N: 0, M: 3, Factory: alg1Factory(3)}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := Explore(Config{N: 2, M: 3}); err == nil {
+		t.Error("missing factory accepted")
+	}
+	if _, err := Explore(Config{N: 2, M: 3, Factory: alg1Factory(3), Sessions: -1}); err == nil {
+		t.Error("negative sessions accepted")
+	}
+}
+
+// TestAlg1ExhaustiveLegal is the Table II "sufficient" cell for the RW
+// model, verified exhaustively: n=2 processes, m=3 ∈ M(2) registers, every
+// interleaving. No reachable ME violation, no reachable trap.
+func TestAlg1ExhaustiveLegal(t *testing.T) {
+	res, err := Explore(Config{N: 2, M: 3, Factory: alg1Factory(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("exploration incomplete at %d states", res.States)
+	}
+	if res.MEViolations != 0 {
+		t.Fatalf("mutual exclusion violated: %s", res.MEWitness)
+	}
+	if res.Traps != 0 {
+		t.Fatalf("progress trap found on a legal size: %s", res.TrapWitness)
+	}
+	if res.Entries == 0 || res.Terminals == 0 {
+		t.Fatalf("degenerate exploration: entries=%d terminals=%d", res.Entries, res.Terminals)
+	}
+	t.Logf("alg1 n=2 m=3: %d states, %d transitions, %d entry edges", res.States, res.Transitions, res.Entries)
+}
+
+// TestAlg1ExhaustiveIllegal is the matching "necessary" cell: m=4 ∉ M(2).
+// The checker must find the trap region (the 2-2 split from which nobody
+// withdraws) — an exhaustive confirmation of the Theorem 5 wedge.
+func TestAlg1ExhaustiveIllegal(t *testing.T) {
+	res, err := Explore(Config{N: 2, M: 4, Factory: alg1Factory(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("exploration incomplete at %d states", res.States)
+	}
+	if res.MEViolations != 0 {
+		// Algorithm 1 remains safe even on illegal sizes (safety never
+		// depended on m ∈ M(n) for m > n).
+		t.Fatalf("unexpected ME violation: %s", res.MEWitness)
+	}
+	if res.Traps == 0 {
+		t.Fatal("no trap found although m=4 ∉ M(2) — Theorem 5 says one must exist")
+	}
+	t.Logf("alg1 n=2 m=4: %d states, %d traps; witness: %s", res.States, res.Traps, res.TrapWitness)
+}
+
+func TestAlg2ExhaustiveLegal(t *testing.T) {
+	for _, m := range []int{1, 3} {
+		res, err := Explore(Config{N: 2, M: m, Factory: alg2Factory(m)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete || !res.OK() {
+			t.Fatalf("m=%d: complete=%v me=%d traps=%d (%s%s)", m, res.Complete,
+				res.MEViolations, res.Traps, res.MEWitness, res.TrapWitness)
+		}
+		t.Logf("alg2 n=2 m=%d: %d states, %d transitions", m, res.States, res.Transitions)
+	}
+}
+
+func TestAlg2ExhaustiveIllegal(t *testing.T) {
+	res, err := Explore(Config{N: 2, M: 2, Factory: alg2Factory(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatalf("exploration incomplete at %d states", res.States)
+	}
+	if res.MEViolations != 0 {
+		t.Fatalf("unexpected ME violation: %s", res.MEWitness)
+	}
+	if res.Traps == 0 {
+		t.Fatal("no trap found although m=2 ∉ M(2)")
+	}
+	t.Logf("alg2 n=2 m=2: %d states, %d traps; witness: %s", res.States, res.Traps, res.TrapWitness)
+}
+
+func TestAlg2ThreeProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	res, err := Explore(Config{N: 3, M: 1, Factory: alg2Factory(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("n=3 m=1: me=%d traps=%d complete=%v", res.MEViolations, res.Traps, res.Complete)
+	}
+	t.Logf("alg2 n=3 m=1: %d states", res.States)
+}
+
+func TestExploreUnderAdversary(t *testing.T) {
+	// The permutation assignment must not affect the verdicts (anonymity
+	// invariance, experiment E10) — check a rotation and a random one.
+	for _, adv := range []perm.Adversary{
+		perm.RotationAdversary{Step: 1},
+		perm.RandomAdversary{Seed: 42},
+	} {
+		res, err := Explore(Config{N: 2, M: 3, Factory: alg1Factory(3), Adversary: adv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Fatalf("adversary %T broke the verdict: me=%d traps=%d", adv, res.MEViolations, res.Traps)
+		}
+	}
+}
+
+func TestExploreMultiSession(t *testing.T) {
+	res, err := Explore(Config{N: 2, M: 3, Factory: alg2Factory(3), Sessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("multi-session exploration failed: me=%d traps=%d complete=%v",
+			res.MEViolations, res.Traps, res.Complete)
+	}
+}
+
+func TestMaxStatesBound(t *testing.T) {
+	res, err := Explore(Config{N: 2, M: 3, Factory: alg1Factory(3), MaxStates: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("exploration claimed completeness under a 10-state bound")
+	}
+	if res.States > 10 {
+		t.Fatalf("explored %d states beyond the bound", res.States)
+	}
+}
+
+// TestGreedyStrawmanViolatesME uses a deliberately broken machine to prove
+// the checker can actually detect ME violations (the checker's own test
+// teeth). The strawman enters as soon as it ties for the most-present
+// value.
+func TestGreedyStrawmanViolatesME(t *testing.T) {
+	res, err := Explore(Config{
+		N: 2, M: 2,
+		Factory: func(_ int, me id.ID) (core.Machine, error) {
+			return strawman.New(me, 2), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MEViolations == 0 {
+		t.Fatal("checker failed to find the strawman's ME violation")
+	}
+	t.Logf("strawman witness: %s", res.MEWitness)
+}

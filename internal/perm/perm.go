@@ -1,0 +1,195 @@
+// Package perm models the memory-anonymity adversary.
+//
+// In the paper's model (§II-B), each process pi is assigned a permutation
+// fi over the register indices {1, …, m} before the execution starts; when
+// pi uses the local name R[x] it actually accesses R[fi(x)]. The adversary
+// is static — permutations never change during an execution — and unknown
+// to the processes.
+//
+// This package represents permutations 0-based (local index → physical
+// index) and provides the adversaries used across the repository:
+//
+//   - Identity: the non-anonymous special case (used to "de-anonymize"
+//     the algorithms for baseline comparisons);
+//   - Random: a seeded uniform adversary (the default for real locks);
+//   - Rotation: process i gets the rotation by i·step — exactly the
+//     Theorem 5 ring adversary when step = m/ℓ.
+package perm
+
+import (
+	"fmt"
+
+	"anonmutex/internal/xrand"
+)
+
+// Perm is a permutation of register indices: Perm[local] = physical, both
+// 0-based. A process holding Perm p and using local register name x
+// physically accesses register p[x].
+type Perm []int
+
+// Identity returns the identity permutation on m elements.
+func Identity(m int) Perm {
+	p := make(Perm, m)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Rotation returns the permutation mapping local index x to physical index
+// (x + k) mod m. Rotation(m, 0) is the identity.
+func Rotation(m, k int) Perm {
+	if m <= 0 {
+		return Perm{}
+	}
+	k %= m
+	if k < 0 {
+		k += m
+	}
+	p := make(Perm, m)
+	for x := range p {
+		p[x] = (x + k) % m
+	}
+	return p
+}
+
+// Random returns a uniformly random permutation on m elements drawn from r.
+func Random(m int, r *xrand.Rand) Perm {
+	return Perm(r.Perm(m))
+}
+
+// FromOneBased converts a paper-style 1-based permutation (such as Table
+// I's "2, 3, 1") into a 0-based Perm. It returns an error if the input is
+// not a permutation of 1..len(v).
+func FromOneBased(v []int) (Perm, error) {
+	p := make(Perm, len(v))
+	for i, x := range v {
+		p[i] = x - 1
+	}
+	if !p.Valid() {
+		return nil, fmt.Errorf("perm: %v is not a permutation of 1..%d", v, len(v))
+	}
+	return p, nil
+}
+
+// OneBased renders p in the paper's 1-based convention.
+func (p Perm) OneBased() []int {
+	out := make([]int, len(p))
+	for i, x := range p {
+		out[i] = x + 1
+	}
+	return out
+}
+
+// Valid reports whether p is a bijection on {0, …, len(p)-1}.
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, x := range p {
+		if x < 0 || x >= len(p) || seen[x] {
+			return false
+		}
+		seen[x] = true
+	}
+	return true
+}
+
+// Apply returns the physical index for local index x.
+func (p Perm) Apply(x int) int { return p[x] }
+
+// Inverse returns the inverse permutation: physical index → local index.
+func (p Perm) Inverse() Perm {
+	inv := make(Perm, len(p))
+	for local, phys := range p {
+		inv[phys] = local
+	}
+	return inv
+}
+
+// Compose returns the permutation r with r(x) = p(q(x)): first apply q,
+// then p. It panics if the lengths differ.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("perm: composing permutations of different sizes %d and %d", len(p), len(q)))
+	}
+	r := make(Perm, len(p))
+	for x := range r {
+		r[x] = p[q[x]]
+	}
+	return r
+}
+
+// Clone returns a copy of p.
+func (p Perm) Clone() Perm {
+	c := make(Perm, len(p))
+	copy(c, p)
+	return c
+}
+
+// Adversary assigns, before an execution starts, a permutation over m
+// registers to the process with creation index i (0 ≤ i < n). The index
+// identifies processes only from the adversary's external point of view;
+// processes themselves never see it.
+type Adversary interface {
+	// Assign returns the permutation for the i-th process over a memory of
+	// m registers. Implementations must return a valid permutation and be
+	// deterministic given their construction parameters.
+	Assign(i, m int) Perm
+}
+
+// IdentityAdversary assigns every process the identity permutation,
+// modeling a non-anonymous memory.
+type IdentityAdversary struct{}
+
+// Assign implements Adversary.
+func (IdentityAdversary) Assign(_, m int) Perm { return Identity(m) }
+
+// RotationAdversary assigns process i the rotation by i·Step. With
+// Step = m/ℓ for a divisor ℓ of m, this is exactly the Theorem 5 ring
+// placement: consecutive processes' initial registers are m/ℓ apart on the
+// ring.
+type RotationAdversary struct {
+	Step int
+}
+
+// Assign implements Adversary.
+func (a RotationAdversary) Assign(i, m int) Perm { return Rotation(m, i*a.Step) }
+
+// RandomAdversary assigns independent uniformly random permutations,
+// deterministically derived from Seed and the process index.
+type RandomAdversary struct {
+	Seed uint64
+}
+
+// Assign implements Adversary.
+func (a RandomAdversary) Assign(i, m int) Perm {
+	// Derive a per-process stream so assignments are order-independent.
+	r := xrand.New(xrand.Mix64(a.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15))
+	return Random(m, r)
+}
+
+// FixedAdversary assigns explicitly provided permutations; process i gets
+// Perms[i mod len(Perms)]. Useful for replaying specific scenarios such as
+// the paper's Table I.
+type FixedAdversary struct {
+	Perms []Perm
+}
+
+// Assign implements Adversary.
+func (a FixedAdversary) Assign(i, m int) Perm {
+	if len(a.Perms) == 0 {
+		return Identity(m)
+	}
+	p := a.Perms[i%len(a.Perms)]
+	if len(p) != m {
+		panic(fmt.Sprintf("perm: fixed adversary has permutation of size %d, memory has %d", len(p), m))
+	}
+	return p.Clone()
+}
+
+// Verify interface compliance.
+var (
+	_ Adversary = IdentityAdversary{}
+	_ Adversary = RotationAdversary{}
+	_ Adversary = RandomAdversary{}
+	_ Adversary = FixedAdversary{}
+)

@@ -1,0 +1,304 @@
+package perm
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"anonmutex/internal/xrand"
+)
+
+func TestIdentity(t *testing.T) {
+	for _, m := range []int{0, 1, 2, 5, 17} {
+		p := Identity(m)
+		if !p.Valid() {
+			t.Fatalf("Identity(%d) invalid", m)
+		}
+		for x := 0; x < m; x++ {
+			if p.Apply(x) != x {
+				t.Fatalf("Identity(%d)[%d] = %d", m, x, p.Apply(x))
+			}
+		}
+	}
+}
+
+func TestRotation(t *testing.T) {
+	p := Rotation(5, 2)
+	want := Perm{2, 3, 4, 0, 1}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("Rotation(5,2) = %v, want %v", p, want)
+	}
+	if !reflect.DeepEqual(Rotation(5, 0), Identity(5)) {
+		t.Error("Rotation(5,0) != Identity")
+	}
+	if !reflect.DeepEqual(Rotation(5, 7), Rotation(5, 2)) {
+		t.Error("Rotation not reduced mod m")
+	}
+	if !reflect.DeepEqual(Rotation(5, -3), Rotation(5, 2)) {
+		t.Error("negative rotation not normalized")
+	}
+	if len(Rotation(0, 3)) != 0 {
+		t.Error("Rotation(0, k) should be empty")
+	}
+}
+
+func TestRotationValidAndCyclic(t *testing.T) {
+	for m := 1; m <= 12; m++ {
+		for k := 0; k < m; k++ {
+			p := Rotation(m, k)
+			if !p.Valid() {
+				t.Fatalf("Rotation(%d,%d) invalid", m, k)
+			}
+			// Composing m rotations by k returns to identity iff m | m*k (always).
+			acc := Identity(m)
+			for i := 0; i < m; i++ {
+				acc = p.Compose(acc)
+			}
+			if !reflect.DeepEqual(acc, Identity(m)) {
+				t.Fatalf("Rotation(%d,%d)^%d != identity", m, k, m)
+			}
+		}
+	}
+}
+
+func TestRandomIsValid(t *testing.T) {
+	r := xrand.New(42)
+	for i := 0; i < 100; i++ {
+		p := Random(9, r)
+		if !p.Valid() {
+			t.Fatalf("Random produced invalid permutation %v", p)
+		}
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	bad := []Perm{
+		{0, 0},
+		{1, 2},
+		{0, 2},
+		{-1, 0},
+		{3, 1, 0},
+	}
+	for _, p := range bad {
+		if p.Valid() {
+			t.Errorf("Valid(%v) = true, want false", p)
+		}
+	}
+	if !(Perm{}).Valid() {
+		t.Error("empty permutation should be valid")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	r := xrand.New(7)
+	for i := 0; i < 50; i++ {
+		p := Random(8, r)
+		inv := p.Inverse()
+		if !reflect.DeepEqual(p.Compose(inv), Identity(8)) {
+			t.Fatalf("p∘p⁻¹ != id for %v", p)
+		}
+		if !reflect.DeepEqual(inv.Compose(p), Identity(8)) {
+			t.Fatalf("p⁻¹∘p != id for %v", p)
+		}
+	}
+}
+
+func TestComposeAssociative(t *testing.T) {
+	r := xrand.New(3)
+	for i := 0; i < 30; i++ {
+		p, q, s := Random(6, r), Random(6, r), Random(6, r)
+		left := p.Compose(q).Compose(s)
+		right := p.Compose(q.Compose(s))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("composition not associative: %v vs %v", left, right)
+		}
+	}
+}
+
+func TestComposePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Compose with mismatched sizes did not panic")
+		}
+	}()
+	Identity(3).Compose(Identity(4))
+}
+
+func TestFromOneBasedPaperTableI(t *testing.T) {
+	// Table I prints, under each process, the local name that process uses
+	// for each external (physical) register — i.e. the physical→local
+	// direction. The fi of §II-B (local→physical, our Apply direction) is
+	// the inverse of the printed row.
+	pPrinted, err := FromOneBased([]int{2, 3, 1}) // p's column in Table I
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPrinted, err := FromOneBased([]int{3, 1, 2}) // q's column in Table I
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, q := pPrinted.Inverse(), qPrinted.Inverse()
+	// "the register known as R[2] by p and the register known as R[3] by q
+	// are the very same register, which actually is R[1]" (all 1-based).
+	if got := p.Apply(2 - 1); got != 1-1 {
+		t.Errorf("p's R[2] is physical R[%d], want R[1]", got+1)
+	}
+	if got := q.Apply(3 - 1); got != 1-1 {
+		t.Errorf("q's R[3] is physical R[%d], want R[1]", got+1)
+	}
+	// Every physical register must be named by both processes (bijection),
+	// and the printed rows round-trip through OneBased.
+	if !reflect.DeepEqual(pPrinted.OneBased(), []int{2, 3, 1}) {
+		t.Errorf("OneBased round trip = %v", pPrinted.OneBased())
+	}
+	// Second text example: "the names B=R[2]... may (or may not) correspond"
+	// — check the full correspondence table row by row.
+	for phys := 0; phys < 3; phys++ {
+		pName := p.Inverse().Apply(phys)
+		qName := q.Inverse().Apply(phys)
+		wantP := []int{2, 3, 1}[phys] - 1
+		wantQ := []int{3, 1, 2}[phys] - 1
+		if pName != wantP || qName != wantQ {
+			t.Errorf("row %d: got p=R[%d] q=R[%d], want p=R[%d] q=R[%d]",
+				phys+1, pName+1, qName+1, wantP+1, wantQ+1)
+		}
+	}
+}
+
+func TestFromOneBasedRejects(t *testing.T) {
+	bad := [][]int{
+		{0, 1, 2}, // 0 is not 1-based
+		{1, 1, 2}, // duplicate
+		{1, 2, 4}, // out of range
+		{2},       // out of range for size 1
+	}
+	for _, v := range bad {
+		if _, err := FromOneBased(v); err == nil {
+			t.Errorf("FromOneBased(%v) succeeded, want error", v)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := Perm{1, 0, 2}
+	c := p.Clone()
+	c[0] = 2
+	if p[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestIdentityAdversary(t *testing.T) {
+	var a IdentityAdversary
+	for i := 0; i < 4; i++ {
+		if !reflect.DeepEqual(a.Assign(i, 5), Identity(5)) {
+			t.Fatalf("identity adversary assigned non-identity to process %d", i)
+		}
+	}
+}
+
+func TestRotationAdversaryRing(t *testing.T) {
+	// Theorem 5 placement: m = 6, ℓ = 3, step = 2. Process i's initial
+	// register (local index 0) must be physical register 2i, and
+	// consecutive processes' initial registers are exactly step apart.
+	a := RotationAdversary{Step: 2}
+	m, l := 6, 3
+	for i := 0; i < l; i++ {
+		p := a.Assign(i, m)
+		if !p.Valid() {
+			t.Fatalf("rotation adversary produced invalid perm for %d", i)
+		}
+		if got, want := p.Apply(0), (i*2)%m; got != want {
+			t.Errorf("process %d initial register = %d, want %d", i, got, want)
+		}
+		// Scan order is the clockwise walk from the initial register.
+		for k := 0; k < m; k++ {
+			if got, want := p.Apply(k), (i*2+k)%m; got != want {
+				t.Errorf("process %d order(%d) = %d, want %d", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRandomAdversaryDeterministicPerProcess(t *testing.T) {
+	a := RandomAdversary{Seed: 99}
+	b := RandomAdversary{Seed: 99}
+	for i := 0; i < 6; i++ {
+		if !reflect.DeepEqual(a.Assign(i, 7), b.Assign(i, 7)) {
+			t.Fatalf("same-seed adversaries disagree for process %d", i)
+		}
+		if !a.Assign(i, 7).Valid() {
+			t.Fatalf("invalid random assignment for process %d", i)
+		}
+	}
+	c := RandomAdversary{Seed: 100}
+	distinct := false
+	for i := 0; i < 6; i++ {
+		if !reflect.DeepEqual(a.Assign(i, 7), c.Assign(i, 7)) {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("different seeds produced identical assignments for all processes")
+	}
+}
+
+func TestRandomAdversaryOrderIndependent(t *testing.T) {
+	a := RandomAdversary{Seed: 5}
+	// Assigning process 3 first then process 0 must equal the reverse order.
+	p3 := a.Assign(3, 6)
+	p0 := a.Assign(0, 6)
+	if !reflect.DeepEqual(a.Assign(3, 6), p3) || !reflect.DeepEqual(a.Assign(0, 6), p0) {
+		t.Error("assignments are not order-independent")
+	}
+}
+
+func TestFixedAdversary(t *testing.T) {
+	p, _ := FromOneBased([]int{2, 3, 1})
+	q, _ := FromOneBased([]int{3, 1, 2})
+	a := FixedAdversary{Perms: []Perm{p, q}}
+	if !reflect.DeepEqual(a.Assign(0, 3), p) {
+		t.Error("process 0 did not get first fixed perm")
+	}
+	if !reflect.DeepEqual(a.Assign(1, 3), q) {
+		t.Error("process 1 did not get second fixed perm")
+	}
+	if !reflect.DeepEqual(a.Assign(2, 3), p) {
+		t.Error("fixed adversary does not wrap around")
+	}
+	// Returned permutations must be private copies.
+	got := a.Assign(0, 3)
+	got[0] = 0
+	if reflect.DeepEqual(a.Assign(0, 3), got) {
+		t.Error("FixedAdversary leaks internal storage")
+	}
+}
+
+func TestFixedAdversaryEmptyFallsBack(t *testing.T) {
+	a := FixedAdversary{}
+	if !reflect.DeepEqual(a.Assign(0, 4), Identity(4)) {
+		t.Error("empty fixed adversary should assign identity")
+	}
+}
+
+func TestQuickRandomPermsAreValid(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw)%20 + 1
+		p := Random(m, xrand.New(seed))
+		return p.Valid() && p.Inverse().Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInverseInvolution(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw)%15 + 1
+		p := Random(m, xrand.New(seed))
+		return reflect.DeepEqual(p.Inverse().Inverse(), p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package register implements the single shared-memory cell used by both
+// communication models of the paper.
+//
+// The paper's registers hold either ⊥ or a process identity. For the RW
+// model, the double-scan snapshot construction additionally requires every
+// write to be "unambiguously identified": process pi writing value v
+// actually stores the triple (v, idi, sni) where sni is a per-process
+// sequence number (§II-B, footnote 3 notes the triple can be encoded as a
+// single value — which is exactly what we do). For the RMW model the stamp
+// is unused but harmless.
+//
+// A cell is packed into one uint64 so that a register is a single hardware
+// word and every operation is one atomic instruction (plus a retry loop for
+// value-compared CAS):
+//
+//	bits 63..48: value handle   (the identity stored, 0 = ⊥)
+//	bits 47..32: writer handle  (who performed the write, 0 = initial)
+//	bits 31..0:  sequence       (writer's per-process write counter)
+//
+// The 32-bit sequence could in principle wrap, re-creating an ABA triple;
+// that would require a single process to perform exactly 2^32 writes to the
+// same register within one double-scan read pair (a sub-microsecond
+// window), which is physically unrealizable. The simulated memory
+// (internal/vmem) uses unpacked cells and has no such bound.
+package register
+
+import (
+	"sync/atomic"
+
+	"anonmutex/internal/id"
+)
+
+// Stamped is the unpacked content of a register: the algorithmic value
+// (an identity or ⊥) plus the write stamp that makes the double-scan
+// snapshot sound. The zero value is the initial register content: ⊥ with
+// the null stamp.
+type Stamped struct {
+	Val    id.ID  // the register's algorithmic value (id.None = ⊥)
+	Writer id.ID  // identity of the writing process (id.None initially)
+	Seq    uint32 // writer's sequence number for this write
+}
+
+// Packed is the single-word encoding of a Stamped cell.
+type Packed uint64
+
+// Pack encodes s into one word.
+func Pack(s Stamped) Packed {
+	return Packed(uint64(id.Handle(s.Val))<<48 |
+		uint64(id.Handle(s.Writer))<<32 |
+		uint64(s.Seq))
+}
+
+// Unpack decodes p.
+func Unpack(p Packed) Stamped {
+	return Stamped{
+		Val:    id.FromHandle(uint16(p >> 48)),
+		Writer: id.FromHandle(uint16(p >> 32)),
+		Seq:    uint32(p),
+	}
+}
+
+// ValueHandle extracts just the algorithmic value's handle without a full
+// unpack; used on hot read paths.
+func (p Packed) ValueHandle() uint16 { return uint16(p >> 48) }
+
+// Atomic is one atomic shared register. The zero value is a register
+// holding ⊥ with the null stamp — the paper's required common initial
+// value (§II-D). Atomic must not be copied after first use.
+type Atomic struct {
+	cell atomic.Uint64
+}
+
+// Load atomically reads the register.
+func (a *Atomic) Load() Stamped {
+	return Unpack(Packed(a.cell.Load()))
+}
+
+// LoadPacked atomically reads the register without unpacking.
+func (a *Atomic) LoadPacked() Packed {
+	return Packed(a.cell.Load())
+}
+
+// Store atomically writes the register.
+func (a *Atomic) Store(s Stamped) {
+	a.cell.Store(uint64(Pack(s)))
+}
+
+// CompareAndSwapValue implements the paper's R.compare&swap(x, old, new):
+// atomically, if the register's algorithmic value equals old, replace the
+// whole cell with (new, writer, seq) and report true; otherwise report
+// false. Only the algorithmic value participates in the comparison — the
+// stamp is metadata.
+//
+// The operation is lock-free: a retry is needed only when another process
+// modified the cell between our load and CAS, and such interference
+// linearizes the failure or eventual success correctly (the loaded cell is
+// the linearization witness for a false return).
+func (a *Atomic) CompareAndSwapValue(old, newVal, writer id.ID, seq uint32) bool {
+	want := id.Handle(old)
+	replacement := uint64(Pack(Stamped{Val: newVal, Writer: writer, Seq: seq}))
+	for {
+		cur := a.cell.Load()
+		if Packed(cur).ValueHandle() != want {
+			return false
+		}
+		if a.cell.CompareAndSwap(cur, replacement) {
+			return true
+		}
+	}
+}

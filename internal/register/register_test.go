@@ -1,0 +1,239 @@
+package register
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"anonmutex/internal/id"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(valH, wrH uint16, seq uint32) bool {
+		s := Stamped{Val: id.FromHandle(valH), Writer: id.FromHandle(wrH), Seq: seq}
+		return Unpack(Pack(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackInjective(t *testing.T) {
+	seen := make(map[Packed]Stamped)
+	g := id.NewGenerator()
+	ids := []id.ID{id.None}
+	for i := 0; i < 8; i++ {
+		ids = append(ids, g.MustNew())
+	}
+	for _, v := range ids {
+		for _, w := range ids {
+			for _, seq := range []uint32{0, 1, 2, 1 << 31, ^uint32(0)} {
+				s := Stamped{Val: v, Writer: w, Seq: seq}
+				p := Pack(s)
+				if prev, dup := seen[p]; dup && prev != s {
+					t.Fatalf("Pack collision: %+v and %+v both pack to %x", prev, s, p)
+				}
+				seen[p] = s
+			}
+		}
+	}
+}
+
+func TestValueHandleMatchesUnpack(t *testing.T) {
+	f := func(valH, wrH uint16, seq uint32) bool {
+		p := Pack(Stamped{Val: id.FromHandle(valH), Writer: id.FromHandle(wrH), Seq: seq})
+		return p.ValueHandle() == valH
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroValueIsBottom(t *testing.T) {
+	var r Atomic
+	s := r.Load()
+	if !s.Val.IsNone() || !s.Writer.IsNone() || s.Seq != 0 {
+		t.Fatalf("zero register = %+v, want all-zero ⊥ cell", s)
+	}
+}
+
+func TestStoreLoad(t *testing.T) {
+	var r Atomic
+	g := id.NewGenerator()
+	me := g.MustNew()
+	s := Stamped{Val: me, Writer: me, Seq: 7}
+	r.Store(s)
+	if got := r.Load(); got != s {
+		t.Fatalf("Load = %+v, want %+v", got, s)
+	}
+	// Overwrite with ⊥ keeps the stamp.
+	s2 := Stamped{Val: id.None, Writer: me, Seq: 8}
+	r.Store(s2)
+	if got := r.Load(); got != s2 {
+		t.Fatalf("Load = %+v, want %+v", got, s2)
+	}
+}
+
+func TestCASValueSemantics(t *testing.T) {
+	var r Atomic
+	g := id.NewGenerator()
+	p, q := g.MustNew(), g.MustNew()
+
+	// ⊥ → p succeeds.
+	if !r.CompareAndSwapValue(id.None, p, p, 1) {
+		t.Fatal("CAS ⊥→p failed on fresh register")
+	}
+	if got := r.Load().Val; !got.Equal(p) {
+		t.Fatalf("register value = %v, want %v", got, p)
+	}
+	// ⊥ → q fails now.
+	if r.CompareAndSwapValue(id.None, q, q, 1) {
+		t.Fatal("CAS ⊥→q succeeded on register holding p")
+	}
+	// q → anything fails.
+	if r.CompareAndSwapValue(q, id.None, q, 2) {
+		t.Fatal("CAS q→⊥ succeeded on register holding p")
+	}
+	// p → ⊥ succeeds (unlock path of Algorithm 2, line 13).
+	if !r.CompareAndSwapValue(p, id.None, p, 2) {
+		t.Fatal("CAS p→⊥ failed on register holding p")
+	}
+	if got := r.Load().Val; !got.IsNone() {
+		t.Fatalf("register value = %v, want ⊥", got)
+	}
+}
+
+func TestCASComparesValueNotStamp(t *testing.T) {
+	var r Atomic
+	g := id.NewGenerator()
+	p, q := g.MustNew(), g.MustNew()
+	// p writes ⊥ with a nonzero stamp; q's CAS on ⊥ must still succeed,
+	// because only the algorithmic value participates in the comparison.
+	r.Store(Stamped{Val: id.None, Writer: p, Seq: 99})
+	if !r.CompareAndSwapValue(id.None, q, q, 1) {
+		t.Fatal("CAS ⊥→q failed although algorithmic value is ⊥")
+	}
+}
+
+func TestCASAtomicityUnderContention(t *testing.T) {
+	// Exactly one of k concurrent CAS(⊥→idi) attempts on a fresh register
+	// may succeed — the heart of Algorithm 2's mutual exclusion.
+	const rounds = 300
+	const workers = 8
+	g := id.NewGenerator()
+	ids := make([]id.ID, workers)
+	for i := range ids {
+		ids[i] = g.MustNew()
+	}
+	for round := 0; round < rounds; round++ {
+		var r Atomic
+		var wins atomic32
+		var start, done sync.WaitGroup
+		start.Add(1)
+		for w := 0; w < workers; w++ {
+			done.Add(1)
+			go func(me id.ID) {
+				defer done.Done()
+				start.Wait()
+				if r.CompareAndSwapValue(id.None, me, me, 1) {
+					wins.inc()
+				}
+			}(ids[w])
+		}
+		start.Done()
+		done.Wait()
+		if wins.load() != 1 {
+			t.Fatalf("round %d: %d CAS winners, want exactly 1", round, wins.load())
+		}
+		winner := r.Load().Val
+		if winner.IsNone() {
+			t.Fatalf("round %d: register still ⊥ after a successful CAS", round)
+		}
+	}
+}
+
+func TestConcurrentStoreLoadNoTearing(t *testing.T) {
+	// Writers store self-consistent cells (Val == Writer); readers must
+	// never observe a torn cell where Val != Writer.
+	var r Atomic
+	g := id.NewGenerator()
+	const writers = 4
+	ids := make([]id.ID, writers)
+	for i := range ids {
+		ids[i] = g.MustNew()
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(me id.ID) {
+			defer wg.Done()
+			seq := uint32(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					seq++
+					r.Store(Stamped{Val: me, Writer: me, Seq: seq})
+				}
+			}
+		}(ids[w])
+	}
+	for i := 0; i < 200_000; i++ {
+		s := r.Load()
+		if s.Val.IsNone() {
+			continue // initial value
+		}
+		if !s.Val.Equal(s.Writer) {
+			t.Errorf("torn read: Val=%v Writer=%v", s.Val, s.Writer)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// atomic32 is a tiny test helper counter.
+type atomic32 struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (a *atomic32) inc() {
+	a.mu.Lock()
+	a.v++
+	a.mu.Unlock()
+}
+
+func (a *atomic32) load() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+func BenchmarkLoad(b *testing.B) {
+	var r Atomic
+	for i := 0; i < b.N; i++ {
+		_ = r.Load()
+	}
+}
+
+func BenchmarkStore(b *testing.B) {
+	var r Atomic
+	g := id.NewGenerator()
+	me := g.MustNew()
+	for i := 0; i < b.N; i++ {
+		r.Store(Stamped{Val: me, Writer: me, Seq: uint32(i)})
+	}
+}
+
+func BenchmarkCASUncontended(b *testing.B) {
+	var r Atomic
+	g := id.NewGenerator()
+	me := g.MustNew()
+	for i := 0; i < b.N; i++ {
+		r.CompareAndSwapValue(id.None, me, me, uint32(i))
+		r.CompareAndSwapValue(me, id.None, me, uint32(i))
+	}
+}

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"anonmutex/internal/core"
+	"anonmutex/internal/perm"
+)
+
+// BenchmarkSimulatedSteps measures raw scheduler throughput: simulated
+// shared-memory operations per second, the figure that bounds how large a
+// schedule space the harness can sweep.
+func BenchmarkSimulatedSteps(b *testing.B) {
+	cases := []struct {
+		name    string
+		factory MachineFactory
+		n, m    int
+		honest  bool
+	}{
+		{"alg1/n=3/m=5", Alg1Factory(3, 5, core.Alg1Config{}), 3, 5, false},
+		{"alg1/n=3/m=5/honest-snapshots", Alg1Factory(3, 5, core.Alg1Config{}), 3, 5, true},
+		{"alg2/n=3/m=5", Alg2Factory(3, 5, core.Alg2Config{}), 3, 5, false},
+		{"alg2/n=6/m=7", Alg2Factory(6, 7, core.Alg2Config{}), 6, 7, false},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			totalSteps := 0
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					N: c.n, M: c.m,
+					NewMachine:      c.factory,
+					Policy:          NewRandom(uint64(i + 1)),
+					Adversary:       perm.RandomAdversary{Seed: uint64(i)},
+					Sessions:        2,
+					HonestSnapshots: c.honest,
+					MaxSteps:        10_000_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed {
+					b.Fatalf("run %d incomplete", i)
+				}
+				totalSteps += res.Steps
+			}
+			b.ReportMetric(float64(totalSteps)/float64(b.N), "sim-steps/run")
+		})
+	}
+}
+
+// BenchmarkLockStepRound measures one lock-step wedge detection cycle.
+func BenchmarkLockStepRound(b *testing.B) {
+	for _, m := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					N: 2, M: m,
+					NewMachine:   Alg1UncheckedFactory(m, core.Alg1Config{}),
+					Adversary:    perm.RotationAdversary{Step: m / 2},
+					Policy:       NewLockStep(2),
+					DetectCycles: true,
+					MaxSteps:     1_000_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.CycleDetected {
+					b.Fatal("wedge not detected")
+				}
+			}
+		})
+	}
+}

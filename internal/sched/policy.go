@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"fmt"
+
+	"anonmutex/internal/xrand"
+)
+
+// Policy selects which enabled process takes the next step. The enabled
+// slice is non-empty and sorted ascending; implementations must return one
+// of its elements.
+//
+// Policies model the paper's asynchrony adversary: any enabled process may
+// be scheduled next, and the policy decides. A policy that eventually
+// schedules every forever-enabled process yields a fair execution (§II-E).
+type Policy interface {
+	Next(enabled []int) int
+}
+
+// StatefulPolicy is implemented by policies whose future choices depend on
+// internal state. The scheduler includes this state in global-state
+// fingerprints so that cycle detection remains sound.
+type StatefulPolicy interface {
+	Policy
+	AppendState(dst []byte) []byte
+}
+
+// RoundRobin cycles through processes in index order, skipping disabled
+// ones. It produces fair executions. The zero value is ready to use.
+type RoundRobin struct {
+	last int // index of the last scheduled process + 1
+}
+
+// Next implements Policy.
+func (p *RoundRobin) Next(enabled []int) int {
+	// Pick the smallest enabled index >= last, wrapping around.
+	for _, e := range enabled {
+		if e >= p.last {
+			p.last = e + 1
+			return e
+		}
+	}
+	p.last = enabled[0] + 1
+	return enabled[0]
+}
+
+// AppendState implements StatefulPolicy.
+func (p *RoundRobin) AppendState(dst []byte) []byte {
+	return append(dst, byte(p.last>>8), byte(p.last))
+}
+
+// LockStep schedules processes in the strict cyclic order p0, p1, …,
+// p(n-1), p0, … — the executions of the paper's Theorem 5 lower-bound
+// argument ("an execution in which the ℓ processes are running in lock
+// steps"). If the expected process is disabled it advances to the next
+// enabled one in cyclic order.
+type LockStep struct {
+	n    int
+	next int
+}
+
+// NewLockStep creates a lock-step policy over n processes.
+func NewLockStep(n int) *LockStep {
+	if n < 1 {
+		panic(fmt.Sprintf("sched: lock-step policy needs n >= 1, got %d", n))
+	}
+	return &LockStep{n: n}
+}
+
+// Next implements Policy.
+func (p *LockStep) Next(enabled []int) int {
+	isEnabled := func(i int) bool {
+		for _, e := range enabled {
+			if e == i {
+				return true
+			}
+		}
+		return false
+	}
+	for k := 0; k < p.n; k++ {
+		cand := (p.next + k) % p.n
+		if isEnabled(cand) {
+			p.next = (cand + 1) % p.n
+			return cand
+		}
+	}
+	// enabled is non-empty by contract, so this is unreachable.
+	panic("sched: lock-step policy found no enabled process")
+}
+
+// AppendState implements StatefulPolicy.
+func (p *LockStep) AppendState(dst []byte) []byte {
+	return append(dst, byte(p.next>>8), byte(p.next))
+}
+
+// Random schedules a uniformly random enabled process, deterministically
+// from a seed. Uniform scheduling is fair with probability 1.
+type Random struct {
+	r *xrand.Rand
+}
+
+// NewRandom creates a seeded random policy.
+func NewRandom(seed uint64) *Random {
+	return &Random{r: xrand.New(seed)}
+}
+
+// Next implements Policy.
+func (p *Random) Next(enabled []int) int {
+	return enabled[p.r.Intn(len(enabled))]
+}
+
+// Stall wraps a policy and hides one process for a window of scheduler
+// steps, modeling the paper's asynchrony ("each process proceeds at its
+// own speed"): the stalled process simply takes no steps for a while. The
+// window is finite, so fairness is preserved.
+type Stall struct {
+	// Inner makes the actual choice among the non-stalled processes.
+	Inner Policy
+	// Proc is the process to stall.
+	Proc int
+	// From and For delimit the stall window in scheduler steps.
+	From, For int
+
+	step int
+}
+
+// Next implements Policy.
+func (p *Stall) Next(enabled []int) int {
+	step := p.step
+	p.step++
+	if step >= p.From && step < p.From+p.For {
+		filtered := make([]int, 0, len(enabled))
+		for _, e := range enabled {
+			if e != p.Proc {
+				filtered = append(filtered, e)
+			}
+		}
+		if len(filtered) > 0 {
+			return p.Inner.Next(filtered)
+		}
+		// Only the stalled process is enabled; it must run or the system
+		// would deadlock artificially.
+	}
+	return p.Inner.Next(enabled)
+}
+
+// Verify interface compliance.
+var (
+	_ StatefulPolicy = (*RoundRobin)(nil)
+	_ StatefulPolicy = (*LockStep)(nil)
+	_ Policy         = (*Random)(nil)
+	_ Policy         = (*Stall)(nil)
+)

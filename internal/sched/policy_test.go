@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := &RoundRobin{}
+	enabled := []int{0, 1, 2}
+	var got []int
+	for i := 0; i < 7; i++ {
+		got = append(got, p.Next(enabled))
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsDisabled(t *testing.T) {
+	p := &RoundRobin{}
+	if got := p.Next([]int{0, 2}); got != 0 {
+		t.Fatalf("first = %d", got)
+	}
+	if got := p.Next([]int{0, 2}); got != 2 {
+		t.Fatalf("second = %d, want 2 (1 disabled)", got)
+	}
+	if got := p.Next([]int{0, 2}); got != 0 {
+		t.Fatalf("third = %d, want wraparound to 0", got)
+	}
+	// A process disappears mid-cycle.
+	if got := p.Next([]int{1}); got != 1 {
+		t.Fatalf("only-enabled = %d, want 1", got)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	p := &RoundRobin{}
+	enabled := []int{0, 1, 2, 3}
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		counts[p.Next(enabled)]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Errorf("process %d scheduled %d times, want 100", i, c)
+		}
+	}
+}
+
+func TestLockStepStrictOrder(t *testing.T) {
+	p := NewLockStep(3)
+	enabled := []int{0, 1, 2}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := p.Next(enabled); got != w {
+			t.Fatalf("step %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLockStepSkipsDisabled(t *testing.T) {
+	p := NewLockStep(3)
+	if got := p.Next([]int{1, 2}); got != 1 {
+		t.Fatalf("got %d, want 1 (0 disabled)", got)
+	}
+	if got := p.Next([]int{1, 2}); got != 2 {
+		t.Fatalf("got %d, want 2", got)
+	}
+	if got := p.Next([]int{1, 2}); got != 1 {
+		t.Fatalf("got %d, want 1 (wrap, 0 still disabled)", got)
+	}
+}
+
+func TestLockStepPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLockStep(0) did not panic")
+		}
+	}()
+	NewLockStep(0)
+}
+
+func TestRandomPolicyDeterministicAndCovering(t *testing.T) {
+	a, b := NewRandom(5), NewRandom(5)
+	enabled := []int{0, 1, 2, 3, 4}
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		x, y := a.Next(enabled), b.Next(enabled)
+		if x != y {
+			t.Fatal("same-seed random policies diverged")
+		}
+		seen[x] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("random policy covered %d of 5 processes", len(seen))
+	}
+}
+
+func TestStallHidesProcess(t *testing.T) {
+	p := &Stall{Inner: &RoundRobin{}, Proc: 1, From: 0, For: 10}
+	enabled := []int{0, 1, 2}
+	for i := 0; i < 10; i++ {
+		if got := p.Next(enabled); got == 1 {
+			t.Fatalf("stalled process scheduled at step %d", i)
+		}
+	}
+	// After the window, process 1 can run again.
+	seen1 := false
+	for i := 0; i < 10; i++ {
+		if p.Next(enabled) == 1 {
+			seen1 = true
+		}
+	}
+	if !seen1 {
+		t.Error("process 1 never scheduled after the stall window")
+	}
+}
+
+func TestStallYieldsWhenOnlyStalledEnabled(t *testing.T) {
+	p := &Stall{Inner: &RoundRobin{}, Proc: 0, From: 0, For: 1000}
+	if got := p.Next([]int{0}); got != 0 {
+		t.Fatalf("got %d; the only enabled process must run even while stalled", got)
+	}
+}
+
+func TestPolicyStateEncodings(t *testing.T) {
+	rr := &RoundRobin{}
+	s0 := rr.AppendState(nil)
+	rr.Next([]int{0, 1})
+	s1 := rr.AppendState(nil)
+	if string(s0) == string(s1) {
+		t.Error("round-robin state encoding did not change after Next")
+	}
+	ls := NewLockStep(2)
+	l0 := ls.AppendState(nil)
+	ls.Next([]int{0, 1})
+	l1 := ls.AppendState(nil)
+	if string(l0) == string(l1) {
+		t.Error("lock-step state encoding did not change after Next")
+	}
+}

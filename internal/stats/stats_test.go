@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.StdDev() != 0 {
+		t.Fatal("zero-value summary not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev()-2.1380899) > 1e-6 {
+		t.Fatalf("StdDev = %v", s.StdDev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String() = %q", s.String())
+	}
+}
+
+func TestSummaryNegativeValues(t *testing.T) {
+	var s Summary
+	s.Add(-5)
+	s.Add(5)
+	if s.Min() != -5 || s.Max() != 5 || s.Mean() != 0 {
+		t.Fatalf("min=%v max=%v mean=%v", s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		sum := 0.0
+		for _, r := range raw {
+			x := float64(r)
+			s.Add(x)
+			sum += x
+		}
+		naive := sum / float64(len(raw))
+		return math.Abs(s.Mean()-naive) < 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 1}, {50, 50}, {90, 90}, {99, 99}, {100, 100},
+	}
+	for _, tc := range cases {
+		if got := h.Percentile(tc.p); got != tc.want {
+			t.Errorf("P%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.N() != 100 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.N() != 0 {
+		t.Fatal("empty histogram returns nonzero")
+	}
+}
+
+func TestHistogramUnsortedInput(t *testing.T) {
+	var h Histogram
+	for _, x := range []float64{9, 1, 5, 3, 7} {
+		h.Add(x)
+	}
+	if got := h.Percentile(50); got != 5 {
+		t.Fatalf("median = %v, want 5", got)
+	}
+	h.Add(0) // interleave adds and queries
+	if got := h.Percentile(0); got != 0 {
+		t.Fatalf("min = %v, want 0", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Title: "demo", Header: []string{"name", "value"}}
+	tb.AddRow("alpha", 1)
+	tb.AddRow("β", 2.5)
+	tb.Notes = append(tb.Notes, "a note")
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "β", "2.50", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + rule + 2 rows + note.
+	if len(lines) != 6 {
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	tb.AddRow("long-cell", "x")
+	tb.AddRow("s", "y")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	// The second column must start at the same offset in both data rows.
+	r1, r2 := lines[2], lines[3]
+	if strings.Index(r1, "x") != strings.Index(r2, "y") {
+		t.Errorf("columns misaligned:\n%s", tb.String())
+	}
+}

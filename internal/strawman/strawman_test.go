@@ -1,0 +1,142 @@
+package strawman
+
+import (
+	"testing"
+
+	"anonmutex/internal/core"
+	"anonmutex/internal/id"
+)
+
+// exec is a minimal sequential executor over a plain value array.
+type exec struct {
+	mem []id.ID
+}
+
+func (e *exec) step(m core.Machine) core.Status {
+	op := m.PendingOp()
+	var res core.OpResult
+	switch op.Kind {
+	case core.OpRead:
+		res.Val = e.mem[op.X]
+	case core.OpWrite:
+		e.mem[op.X] = op.Val
+	case core.OpCAS:
+		if e.mem[op.X].Equal(op.Old) {
+			e.mem[op.X] = op.New
+			res.Swapped = true
+		}
+	}
+	return m.Advance(res)
+}
+
+func TestGreedySoloWorks(t *testing.T) {
+	g := id.NewGenerator()
+	m := New(g.MustNew(), 3)
+	e := &exec{mem: make([]id.ID, 3)}
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20 && m.Status() != core.StatusInCS; i++ {
+		e.step(m)
+	}
+	if m.Status() != core.StatusInCS {
+		t.Fatal("solo greedy did not enter")
+	}
+	if m.OwnedAtEntry() != 3 {
+		t.Errorf("solo OwnedAtEntry = %d", m.OwnedAtEntry())
+	}
+	if m.LockSteps() != 6 {
+		t.Errorf("solo LockSteps = %d, want 6", m.LockSteps())
+	}
+	if err := m.StartUnlock(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10 && m.Status() != core.StatusIdle; i++ {
+		e.step(m)
+	}
+	for x, v := range e.mem {
+		if !v.IsNone() {
+			t.Errorf("register %d not released: %v", x, v)
+		}
+	}
+}
+
+func TestGreedyEntersOnTie(t *testing.T) {
+	// The defining flaw: a 1-1 split on m=2 lets BOTH processes enter.
+	g := id.NewGenerator()
+	p, q := g.MustNew(), g.MustNew()
+	pm, qm := New(p, 2), New(q, 2)
+	e := &exec{mem: []id.ID{p, q}}
+	for _, m := range []*Greedy{pm, qm} {
+		if err := m.StartLock(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20 && m.Status() != core.StatusInCS; i++ {
+			e.step(m)
+		}
+		if m.Status() != core.StatusInCS {
+			t.Fatalf("greedy machine did not enter from the tie")
+		}
+	}
+	// Both are now in the CS: mutual exclusion violated by construction.
+}
+
+func TestGreedyResignsWhenBehind(t *testing.T) {
+	g := id.NewGenerator()
+	p, q := g.MustNew(), g.MustNew()
+	qm := New(q, 3)
+	e := &exec{mem: []id.ID{p, p, q}}
+	if err := qm.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	// CAS sweep (all fail) + collect: owned=1 < most=2 → back to CAS
+	// sweep (greedy has no erase/wait; it just retries).
+	for i := 0; i < 6; i++ {
+		e.step(qm)
+	}
+	if qm.Status() == core.StatusInCS {
+		t.Fatal("greedy entered while strictly behind")
+	}
+}
+
+func TestGreedyLifecycleErrors(t *testing.T) {
+	g := id.NewGenerator()
+	m := New(g.MustNew(), 2)
+	if err := m.StartUnlock(); err == nil {
+		t.Error("StartUnlock from idle accepted")
+	}
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StartLock(); err == nil {
+		t.Error("double StartLock accepted")
+	}
+}
+
+func TestGreedyCloneIndependent(t *testing.T) {
+	g := id.NewGenerator()
+	m := New(g.MustNew(), 2)
+	if err := m.StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	e := &exec{mem: make([]id.ID, 2)}
+	e.step(m)
+	c := m.Clone()
+	s0 := string(m.AppendState(nil))
+	if string(c.AppendState(nil)) != s0 {
+		t.Fatal("clone state differs")
+	}
+	e.step(m)
+	if string(m.AppendState(nil)) == string(c.AppendState(nil)) {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestGreedyNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with None identity did not panic")
+		}
+	}()
+	New(id.None, 2)
+}

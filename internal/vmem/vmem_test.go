@@ -1,0 +1,274 @@
+package vmem
+
+import (
+	"bytes"
+	"testing"
+
+	"anonmutex/internal/id"
+	"anonmutex/internal/perm"
+)
+
+func twoViews(t *testing.T, mem *Memory) (*View, *View) {
+	t.Helper()
+	g := id.NewGenerator()
+	a, err := mem.NewView(g.MustNew(), perm.Identity(mem.Size()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mem.NewView(g.MustNew(), perm.Identity(mem.Size()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0, true)
+}
+
+func TestViewValidation(t *testing.T) {
+	mem := New(3, true)
+	g := id.NewGenerator()
+	if _, err := mem.NewView(id.None, perm.Identity(3)); err == nil {
+		t.Error("⊥ identity accepted")
+	}
+	if _, err := mem.NewView(g.MustNew(), perm.Identity(2)); err == nil {
+		t.Error("size-mismatched permutation accepted")
+	}
+	if _, err := mem.NewView(g.MustNew(), perm.Perm{0, 0, 2}); err == nil {
+		t.Error("invalid permutation accepted")
+	}
+}
+
+func TestReadWriteCASThroughPerm(t *testing.T) {
+	mem := New(4, true)
+	g := id.NewGenerator()
+	me := g.MustNew()
+	v, err := mem.NewView(me, perm.Rotation(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Write(0, me) // physical 1
+	if got := mem.Observe(1).Val; !got.Equal(me) {
+		t.Fatalf("physical 1 = %v", got)
+	}
+	if got := v.Read(0); !got.Equal(me) {
+		t.Fatalf("local read = %v", got)
+	}
+	if v.CompareAndSwap(0, id.None, me) {
+		t.Error("CAS ⊥→me succeeded on owned register")
+	}
+	if !v.CompareAndSwap(0, me, id.None) {
+		t.Error("CAS me→⊥ failed")
+	}
+	if !mem.Observe(1).Val.IsNone() {
+		t.Error("CAS did not clear register")
+	}
+	if mem.Writes() != 2 {
+		t.Errorf("Writes = %d, want 2 (failed CAS does not count)", mem.Writes())
+	}
+}
+
+func TestStampingControl(t *testing.T) {
+	stamped := New(2, true)
+	plain := New(2, false)
+	g := id.NewGenerator()
+	me := g.MustNew()
+	vs, _ := stamped.NewView(me, perm.Identity(2))
+	vp, _ := plain.NewView(me, perm.Identity(2))
+	vs.Write(0, me)
+	vp.Write(0, me)
+	if s := stamped.Observe(0); !s.Writer.Equal(me) || s.Seq != 1 {
+		t.Errorf("stamped write = %+v", s)
+	}
+	if s := plain.Observe(0); !s.Writer.IsNone() || s.Seq != 0 {
+		t.Errorf("unstamped write carries metadata: %+v", s)
+	}
+}
+
+func TestAppendStateExcludesStamps(t *testing.T) {
+	a := New(3, true)
+	b := New(3, true)
+	g := id.NewGenerator()
+	me := g.MustNew()
+	va, _ := a.NewView(me, perm.Identity(3))
+	vb, _ := b.NewView(me, perm.Identity(3))
+	va.Write(0, me)
+	vb.Write(0, me)
+	vb.Write(0, me) // same value, different seq
+	if !bytes.Equal(a.AppendState(nil), b.AppendState(nil)) {
+		t.Error("state encoding depends on stamps")
+	}
+	vb.Write(1, me)
+	if bytes.Equal(a.AppendState(nil), b.AppendState(nil)) {
+		t.Error("state encoding ignores values")
+	}
+}
+
+func TestSnapshotAtomic(t *testing.T) {
+	mem := New(5, true)
+	g := id.NewGenerator()
+	me := g.MustNew()
+	v, _ := mem.NewView(me, perm.Rotation(5, 2))
+	v.Write(0, me)
+	v.Write(4, me)
+	snap := v.SnapshotAtomic(nil)
+	for x, val := range snap {
+		wantMine := x == 0 || x == 4
+		if wantMine != val.Equal(me) {
+			t.Errorf("snap[%d] = %v, wantMine %v", x, val, wantMine)
+		}
+	}
+}
+
+func TestStepperQuiescentTwoCollects(t *testing.T) {
+	mem := New(4, true)
+	va, _ := twoViews(t, mem)
+	va.Write(2, va.Me())
+	s := NewSnapshotStepper(va)
+	steps := 0
+	for !s.Step() {
+		steps++
+		if steps > 100 {
+			t.Fatal("stepper did not finish on quiescent memory")
+		}
+	}
+	if s.Collects() != 2 {
+		t.Errorf("collects = %d, want 2", s.Collects())
+	}
+	if steps+1 != 8 {
+		t.Errorf("total reads = %d, want 2m = 8", steps+1)
+	}
+	out := s.Result(nil)
+	if !out[2].Equal(va.Me()) {
+		t.Errorf("snapshot missed own write: %v", out)
+	}
+}
+
+func TestStepperDetectsInterference(t *testing.T) {
+	// A write between the two collects forces a third collect.
+	mem := New(3, true)
+	va, vb := twoViews(t, mem)
+	s := NewSnapshotStepper(va)
+	// First collect completes (3 reads).
+	s.Step()
+	s.Step()
+	if s.Step() {
+		t.Fatal("done after one collect")
+	}
+	// Interference.
+	vb.Write(0, vb.Me())
+	// Second collect differs → not done after 3 more steps.
+	s.Step()
+	s.Step()
+	if s.Step() {
+		t.Fatal("done although memory changed between collects")
+	}
+	// Quiescent now: third collect matches the second.
+	s.Step()
+	s.Step()
+	if !s.Step() {
+		t.Fatal("not done after two identical collects")
+	}
+	if got := s.Result(nil); !got[0].Equal(vb.Me()) {
+		t.Errorf("snapshot does not reflect final memory: %v", got)
+	}
+}
+
+func TestStepperSeesConsistentCut(t *testing.T) {
+	// The stepper must never return a snapshot that mixes old and new
+	// values of a happens-before pair (set A then B; clear B then A).
+	mem := New(2, true)
+	va, vb := twoViews(t, mem)
+	other := vb.Me()
+	// Interleave: reader reads A(old ⊥), writer sets A then B, reader
+	// reads B(new) → collects differ → retry → consistent result.
+	s := NewSnapshotStepper(va)
+	s.Step()           // read A = ⊥
+	vb.Write(0, other) // set A
+	vb.Write(1, other) // set B
+	s.Step()           // read B = other → first collect = [⊥, other] (torn!)
+	// Second collect: [other, other] ≠ first → continue.
+	s.Step()
+	s.Step()
+	// Third collect: [other, other] == second → done.
+	s.Step()
+	if !s.Step() {
+		t.Fatal("stepper not done")
+	}
+	out := s.Result(nil)
+	if !out[0].Equal(other) || !out[1].Equal(other) {
+		t.Fatalf("returned torn snapshot %v", out)
+	}
+}
+
+func TestStepperRequiresStamping(t *testing.T) {
+	mem := New(2, false)
+	g := id.NewGenerator()
+	v, _ := mem.NewView(g.MustNew(), perm.Identity(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("stepper on unstamped memory did not panic")
+		}
+	}()
+	NewSnapshotStepper(v)
+}
+
+func TestStepperPanicsAfterDone(t *testing.T) {
+	mem := New(1, true)
+	g := id.NewGenerator()
+	v, _ := mem.NewView(g.MustNew(), perm.Identity(1))
+	s := NewSnapshotStepper(v)
+	for !s.Step() {
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Step after done did not panic")
+		}
+	}()
+	s.Step()
+}
+
+func TestResultPanicsBeforeDone(t *testing.T) {
+	mem := New(2, true)
+	g := id.NewGenerator()
+	v, _ := mem.NewView(g.MustNew(), perm.Identity(2))
+	s := NewSnapshotStepper(v)
+	defer func() {
+		if recover() == nil {
+			t.Error("Result before done did not panic")
+		}
+	}()
+	s.Result(nil)
+}
+
+func TestStepperStampSensitive(t *testing.T) {
+	// Same value rewritten (⊥→me→⊥) between collects must still be
+	// detected via the stamp — the ABA case a value-only comparison would
+	// miss.
+	mem := New(2, true)
+	va, vb := twoViews(t, mem)
+	s := NewSnapshotStepper(va)
+	s.Step()
+	if s.Step() {
+		t.Fatal("done too early")
+	}
+	// ABA: register 0 goes ⊥ → other → ⊥.
+	vb.Write(0, vb.Me())
+	vb.Write(0, id.None)
+	// Second collect: values identical to first, stamps differ → not done.
+	s.Step()
+	if s.Step() {
+		t.Fatal("stepper missed an ABA interference (stamps ignored)")
+	}
+	// Now quiescent.
+	s.Step()
+	if !s.Step() {
+		t.Fatal("stepper did not finish after quiescence")
+	}
+}

@@ -1,0 +1,156 @@
+// Package workload generates deterministic lock-usage patterns for the
+// benchmark harness: how long each critical section runs, how long a
+// process stays in the remainder section, and how many sessions it
+// performs.
+//
+// Everything derives from a seed so that harness runs replay exactly. The
+// durations are expressed in abstract "work units"; the real-concurrency
+// benches spin for that many units, the simulated benches convert them to
+// scheduler ticks.
+package workload
+
+import (
+	"fmt"
+
+	"anonmutex/internal/xrand"
+)
+
+// Profile names a contention pattern.
+type Profile uint8
+
+// Built-in profiles.
+const (
+	// Uniform: every session has the same CS and remainder lengths —
+	// maximum steady contention.
+	Uniform Profile = iota + 1
+	// Bursty: long idle periods punctuated by clusters of short sessions.
+	Bursty
+	// Skewed: one process (index 0) hammers the lock while others touch
+	// it occasionally.
+	Skewed
+)
+
+// String returns the profile name.
+func (p Profile) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Bursty:
+		return "bursty"
+	case Skewed:
+		return "skewed"
+	default:
+		return fmt.Sprintf("Profile(%d)", uint8(p))
+	}
+}
+
+// Session is one lock acquisition's workload.
+type Session struct {
+	// CSWork is the critical-section length in work units.
+	CSWork int
+	// RemainderWork is the post-unlock think time in work units.
+	RemainderWork int
+}
+
+// Plan is a fully materialized workload: Plan[i] lists process i's
+// sessions in order.
+type Plan [][]Session
+
+// Config parameterizes generation.
+type Config struct {
+	// N is the number of processes; Sessions the sessions per process.
+	N, Sessions int
+	// Profile selects the contention pattern (default Uniform).
+	Profile Profile
+	// BaseCS and BaseRemainder set the scale (defaults 5 and 10).
+	BaseCS, BaseRemainder int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c *Config) normalize() error {
+	if c.N < 1 {
+		return fmt.Errorf("workload: need N >= 1, got %d", c.N)
+	}
+	if c.Sessions < 1 {
+		return fmt.Errorf("workload: need Sessions >= 1, got %d", c.Sessions)
+	}
+	if c.Profile == 0 {
+		c.Profile = Uniform
+	}
+	if c.BaseCS == 0 {
+		c.BaseCS = 5
+	}
+	if c.BaseRemainder == 0 {
+		c.BaseRemainder = 10
+	}
+	if c.BaseCS < 0 || c.BaseRemainder < 0 {
+		return fmt.Errorf("workload: negative base durations")
+	}
+	return nil
+}
+
+// Generate materializes a plan.
+func Generate(cfg Config) (Plan, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	r := xrand.New(cfg.Seed)
+	plan := make(Plan, cfg.N)
+	for i := range plan {
+		pr := r.Fork()
+		plan[i] = make([]Session, cfg.Sessions)
+		for s := range plan[i] {
+			plan[i][s] = genSession(cfg, pr, i, s)
+		}
+	}
+	return plan, nil
+}
+
+func genSession(cfg Config, r *xrand.Rand, proc, _ int) Session {
+	jitter := func(base int) int {
+		if base == 0 {
+			return 0
+		}
+		// ±50% uniform jitter, at least 1.
+		lo := base/2 + 1
+		return lo + r.Intn(base)
+	}
+	switch cfg.Profile {
+	case Uniform:
+		return Session{CSWork: cfg.BaseCS, RemainderWork: cfg.BaseRemainder}
+	case Bursty:
+		if r.Intn(4) == 0 { // a burst: negligible think time
+			return Session{CSWork: jitter(cfg.BaseCS), RemainderWork: 1}
+		}
+		return Session{CSWork: jitter(cfg.BaseCS), RemainderWork: 10 * cfg.BaseRemainder}
+	case Skewed:
+		if proc == 0 {
+			return Session{CSWork: jitter(cfg.BaseCS), RemainderWork: 1}
+		}
+		return Session{CSWork: jitter(cfg.BaseCS), RemainderWork: 5 * cfg.BaseRemainder}
+	default:
+		return Session{CSWork: cfg.BaseCS, RemainderWork: cfg.BaseRemainder}
+	}
+}
+
+// TotalSessions returns the number of sessions across all processes.
+func (p Plan) TotalSessions() int {
+	total := 0
+	for _, ps := range p {
+		total += len(ps)
+	}
+	return total
+}
+
+// Spin burns roughly units of CPU work; the benchmark harness uses it for
+// critical-section and remainder work in real-concurrency runs. It returns
+// a value to keep the loop from being optimized away.
+func Spin(units int) uint64 {
+	acc := uint64(1469598103934665603)
+	for i := 0; i < units*16; i++ {
+		acc ^= uint64(i)
+		acc *= 1099511628211
+	}
+	return acc
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{N: 0, Sessions: 1}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := Generate(Config{N: 1, Sessions: 0}); err == nil {
+		t.Error("Sessions=0 accepted")
+	}
+	if _, err := Generate(Config{N: 1, Sessions: 1, BaseCS: -1}); err == nil {
+		t.Error("negative BaseCS accepted")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	plan, err := Generate(Config{N: 3, Sessions: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("plan for %d processes", len(plan))
+	}
+	for i, ps := range plan {
+		if len(ps) != 4 {
+			t.Fatalf("process %d has %d sessions", i, len(ps))
+		}
+		for _, s := range ps {
+			if s.CSWork <= 0 || s.RemainderWork <= 0 {
+				t.Fatalf("non-positive workload %+v", s)
+			}
+		}
+	}
+	if plan.TotalSessions() != 12 {
+		t.Fatalf("TotalSessions = %d", plan.TotalSessions())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, profile := range []Profile{Uniform, Bursty, Skewed} {
+		cfg := Config{N: 4, Sessions: 6, Profile: profile, Seed: 42}
+		a, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("profile %v not deterministic", profile)
+		}
+	}
+}
+
+func TestUniformIsConstant(t *testing.T) {
+	plan, _ := Generate(Config{N: 2, Sessions: 5, Profile: Uniform, BaseCS: 7, BaseRemainder: 9, Seed: 3})
+	for _, ps := range plan {
+		for _, s := range ps {
+			if s.CSWork != 7 || s.RemainderWork != 9 {
+				t.Fatalf("uniform session %+v", s)
+			}
+		}
+	}
+}
+
+func TestSkewedFavorsProcessZero(t *testing.T) {
+	plan, _ := Generate(Config{N: 3, Sessions: 20, Profile: Skewed, Seed: 5})
+	think0, think1 := 0, 0
+	for _, s := range plan[0] {
+		think0 += s.RemainderWork
+	}
+	for _, s := range plan[1] {
+		think1 += s.RemainderWork
+	}
+	if think0 >= think1 {
+		t.Fatalf("skewed profile: process 0 thinks %d, process 1 thinks %d", think0, think1)
+	}
+}
+
+func TestBurstyVariance(t *testing.T) {
+	plan, _ := Generate(Config{N: 1, Sessions: 60, Profile: Bursty, Seed: 9})
+	short, long := 0, 0
+	for _, s := range plan[0] {
+		if s.RemainderWork <= 1 {
+			short++
+		} else {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Fatalf("bursty profile produced no mix (short=%d long=%d)", short, long)
+	}
+}
+
+func TestSpinReturnsAndScales(t *testing.T) {
+	if Spin(10) == 0 {
+		t.Error("Spin returned 0")
+	}
+	if Spin(0) == 0 {
+		t.Error("Spin(0) returned 0 (accumulator must be nonzero)")
+	}
+}
+
+func TestProfileStrings(t *testing.T) {
+	for _, p := range []Profile{Uniform, Bursty, Skewed, Profile(9)} {
+		if p.String() == "" {
+			t.Errorf("empty name for %d", p)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs out of 1000", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Rand
+	// Must not panic and must produce varying output.
+	first := r.Uint64()
+	second := r.Uint64()
+	if first == second {
+		t.Fatalf("zero-value generator produced constant output %d", first)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 7, 10, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	r := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	r.Uint64n(0)
+}
+
+func TestIntnCoversAllValues(t *testing.T) {
+	r := New(99)
+	const n = 8
+	seen := make(map[int]bool, n)
+	for i := 0; i < 10_000 && len(seen) < n; i++ {
+		seen[r.Intn(n)] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("Intn(%d) covered only %d values after 10000 draws", n, len(seen))
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	r := New(12345)
+	const n, draws = 10, 100_000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for v, c := range counts {
+		// Allow 10% deviation; binomial stddev here is ~300, so 1000 is >3σ.
+		if c < want-want/10 || c > want+want/10 {
+			t.Errorf("value %d drawn %d times, want about %d", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 5, 16, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermVaries(t *testing.T) {
+	r := New(13)
+	distinct := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		p := r.Perm(6)
+		key := ""
+		for _, v := range p {
+			key += string(rune('a' + v))
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 30 {
+		t.Fatalf("50 draws of Perm(6) produced only %d distinct permutations", len(distinct))
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(3)
+	child := parent.Fork()
+	// Parent and child must produce different streams.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("fork produced %d collisions with parent out of 100", same)
+	}
+}
+
+func TestForkDeterministic(t *testing.T) {
+	a := New(9).Fork()
+	b := New(9).Fork()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("forks of identical parents diverged")
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 must be injective; sample check over a structured input set.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 100_000; i++ {
+		h := Mix64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestQuickBoundedUint64(t *testing.T) {
+	r := New(77)
+	f := func(n uint64, _ uint8) bool {
+		if n == 0 {
+			n = 1
+		}
+		v := r.Uint64n(n)
+		return v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(997)
+	}
+}

@@ -1,0 +1,55 @@
+// Package mnum exposes the number theory behind the paper's space
+// characterization: the set
+//
+//	M(n) = { m : ∀ ℓ, 1 < ℓ ≤ n : gcd(ℓ, m) = 1 }
+//
+// of anonymous-memory sizes for which symmetric deadlock-free mutual
+// exclusion is solvable (m ∈ M(n) \ {1} for read/write registers,
+// m ∈ M(n) for read/modify/write registers).
+//
+// Useful facts surfaced by this package: for m > 1, membership is
+// equivalent to "the smallest prime factor of m exceeds n"; consequently
+// every member other than 1 is greater than n, the smallest such member is
+// the smallest prime above n, and M(n) is infinite.
+package mnum
+
+import "anonmutex/internal/mset"
+
+// GCD returns the greatest common divisor of a and b.
+func GCD(a, b int) int { return mset.GCD(a, b) }
+
+// InM reports whether m ∈ M(n).
+func InM(n, m int) bool { return mset.InM(n, m) }
+
+// Witness returns the smallest ℓ with 1 < ℓ ≤ n and gcd(ℓ, m) > 1 — a
+// certificate that m ∉ M(n) — with ok = true, or ok = false when m ∈ M(n).
+// A returned witness is always prime and divides m; it is exactly the ℓ
+// the Theorem 5 ring construction uses.
+func Witness(n, m int) (l int, ok bool) { return mset.Witness(n, m) }
+
+// MinRW returns the smallest legal memory size for the paper's RW-model
+// algorithm with n ≥ 2 processes: the smallest m ∈ M(n) with m ≥ n,
+// equal to the smallest prime above n. It panics if n < 2.
+func MinRW(n int) int { return mset.MinRW(n) }
+
+// MinRMW returns the smallest legal memory size for the RMW-model
+// algorithm: always 1 (the degenerate single-register memory is a member
+// of every M(n)). It panics if n < 2.
+func MinRMW(n int) int { return mset.MinRMW(n) }
+
+// MinRMWAbove returns the smallest non-degenerate (m > 1) legal RMW
+// memory size, equal to MinRW(n).
+func MinRMWAbove(n int) int { return mset.MinRMWAbove(n) }
+
+// Members returns all m in [lo, hi] with m ∈ M(n), ascending.
+func Members(n, lo, hi int) []int { return mset.Members(n, lo, hi) }
+
+// NonMembers returns all m in [lo, hi] with m ∉ M(n), ascending.
+func NonMembers(n, lo, hi int) []int { return mset.NonMembers(n, lo, hi) }
+
+// ValidateRW checks the RW-model precondition (n ≥ 2, m ∈ M(n), m ≥ n),
+// returning a descriptive error naming the failing clause.
+func ValidateRW(n, m int) error { return mset.ValidateRW(n, m) }
+
+// ValidateRMW checks the RMW-model precondition (n ≥ 2, m ∈ M(n)).
+func ValidateRMW(n, m int) error { return mset.ValidateRMW(n, m) }

@@ -1,0 +1,52 @@
+package mnum
+
+import "testing"
+
+// The heavy testing lives in internal/mset; these tests pin the public
+// API's behavior and its consistency with the internal package.
+
+func TestPublicSurface(t *testing.T) {
+	if GCD(12, 18) != 6 {
+		t.Error("GCD")
+	}
+	if !InM(2, 3) || InM(2, 4) {
+		t.Error("InM")
+	}
+	if l, ok := Witness(4, 6); !ok || l != 2 {
+		t.Errorf("Witness(4, 6) = (%d, %v)", l, ok)
+	}
+	if _, ok := Witness(2, 3); ok {
+		t.Error("Witness found for a member")
+	}
+	if MinRW(6) != 7 {
+		t.Error("MinRW")
+	}
+	if MinRMW(6) != 1 {
+		t.Error("MinRMW")
+	}
+	if MinRMWAbove(6) != 7 {
+		t.Error("MinRMWAbove")
+	}
+	if got := Members(2, 1, 9); len(got) != 5 { // 1,3,5,7,9
+		t.Errorf("Members(2,1,9) = %v", got)
+	}
+	if got := NonMembers(2, 1, 9); len(got) != 4 { // 2,4,6,8
+		t.Errorf("NonMembers(2,1,9) = %v", got)
+	}
+	if ValidateRW(2, 3) != nil || ValidateRW(2, 4) == nil {
+		t.Error("ValidateRW")
+	}
+	if ValidateRMW(2, 1) != nil || ValidateRMW(2, 2) == nil {
+		t.Error("ValidateRMW")
+	}
+}
+
+func TestWitnessDividesM(t *testing.T) {
+	for n := 2; n <= 8; n++ {
+		for m := 1; m <= 60; m++ {
+			if l, ok := Witness(n, m); ok && m%l != 0 {
+				t.Errorf("Witness(%d, %d) = %d does not divide m", n, m, l)
+			}
+		}
+	}
+}

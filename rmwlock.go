@@ -1,0 +1,138 @@
+package anonmutex
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"anonmutex/internal/amem"
+	"anonmutex/internal/core"
+	"anonmutex/internal/id"
+	"anonmutex/internal/mset"
+)
+
+// RMWLock is the paper's Algorithm 2: an n-process symmetric deadlock-free
+// mutual exclusion lock over m anonymous read/modify/write registers
+// (read, write, and compare&swap), for any m ∈ M(n) — including the
+// degenerate single-register memory. Entering the critical section
+// requires owning a strict majority of the registers, the RMW model's
+// cheaper entry cost.
+type RMWLock struct {
+	n, m int
+	cfg  config
+	mem  *amem.Memory
+	gen  *id.Generator
+
+	mu     sync.Mutex
+	issued int
+}
+
+// NewRMWLock creates an anonymous RMW-register lock for n ≥ 2 processes.
+// Without WithRegisters the memory size is MinRegistersRMW(n) (the
+// smallest non-degenerate member of M(n)); any explicit m ∈ M(n) is legal,
+// including m = 1.
+func NewRMWLock(n int, opts ...Option) (*RMWLock, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("anonmutex: RMWLock needs n >= 2 processes, got %d", n)
+	}
+	m := cfg.m
+	if m == 0 {
+		m = mset.MinRMWAbove(n)
+	}
+	if err := mset.ValidateRMW(n, m); err != nil {
+		return nil, fmt.Errorf("anonmutex: %w", err)
+	}
+	return &RMWLock{n: n, m: m, cfg: cfg, mem: amem.New(m), gen: id.NewGenerator()}, nil
+}
+
+// N returns the configured number of processes.
+func (l *RMWLock) N() int { return l.n }
+
+// M returns the anonymous memory size.
+func (l *RMWLock) M() int { return l.m }
+
+// NewProcess allocates the next of the n process handles.
+func (l *RMWLock) NewProcess() (*RMWProcess, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.issued >= l.n {
+		return nil, fmt.Errorf("anonmutex: RMWLock configured for %d processes", l.n)
+	}
+	i := l.issued
+	me, err := l.gen.New()
+	if err != nil {
+		return nil, fmt.Errorf("anonmutex: issuing identity: %w", err)
+	}
+	machine, err := core.NewAlg2(me, l.n, l.m, core.Alg2Config{})
+	if err != nil {
+		return nil, fmt.Errorf("anonmutex: %w", err)
+	}
+	view, err := l.mem.NewView(me, l.cfg.adversary().Assign(i, l.m))
+	if err != nil {
+		return nil, fmt.Errorf("anonmutex: %w", err)
+	}
+	l.issued++
+	return &RMWProcess{machine: machine, view: view}, nil
+}
+
+// RMWProcess is one process's handle on an RMWLock. Not safe for
+// concurrent use.
+type RMWProcess struct {
+	machine *core.Alg2Machine
+	view    *amem.View
+}
+
+// Lock acquires the critical section. It returns an error only on
+// life-cycle misuse.
+func (p *RMWProcess) Lock() error {
+	if err := p.machine.StartLock(); err != nil {
+		return fmt.Errorf("anonmutex: %w", err)
+	}
+	p.drive()
+	return nil
+}
+
+// Unlock releases the critical section. It returns an error only on
+// life-cycle misuse.
+func (p *RMWProcess) Unlock() error {
+	if err := p.machine.StartUnlock(); err != nil {
+		return fmt.Errorf("anonmutex: %w", err)
+	}
+	p.drive()
+	return nil
+}
+
+func (p *RMWProcess) drive() {
+	for i := 0; p.machine.Status() == core.StatusRunning; i++ {
+		op := p.machine.PendingOp()
+		var res core.OpResult
+		switch op.Kind {
+		case core.OpRead:
+			res.Val = p.view.Read(op.X)
+		case core.OpWrite:
+			p.view.Write(op.X, op.Val)
+		case core.OpCAS:
+			res.Swapped = p.view.CompareAndSwap(op.X, op.Old, op.New)
+		}
+		p.machine.Advance(res)
+		// The lines 8-10 wait loop and line 2 sweep are read/CAS spins;
+		// yield periodically.
+		if i&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// LockSteps reports the number of shared-memory operations performed by
+// the most recent Lock call.
+func (p *RMWProcess) LockSteps() int { return p.machine.LockSteps() }
+
+// OwnedAtEntry reports how many registers held this process's identity
+// when it last entered the critical section — always a strict majority of
+// M(), and typically far less than all of it: the paper's RMW-model entry
+// cost.
+func (p *RMWProcess) OwnedAtEntry() int { return p.machine.OwnedAtEntry() }

@@ -1,0 +1,157 @@
+package anonmutex
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"anonmutex/internal/amem"
+	"anonmutex/internal/core"
+	"anonmutex/internal/id"
+	"anonmutex/internal/mset"
+)
+
+// RWLock is the paper's Algorithm 1: an n-process symmetric deadlock-free
+// mutual exclusion lock over m anonymous read/write registers, for any
+// m ∈ M(n) with m ≥ n. Entering the critical section requires a snapshot
+// in which the process owns all m registers.
+//
+// Create per-goroutine handles with NewProcess. The lock itself is safe
+// for concurrent use; each handle belongs to one goroutine at a time.
+type RWLock struct {
+	n, m int
+	cfg  config
+	mem  *amem.Memory
+	gen  *id.Generator
+
+	mu     sync.Mutex
+	issued int
+}
+
+// NewRWLock creates an anonymous read/write-register lock for n ≥ 2
+// processes. Without WithRegisters the memory size is the optimal
+// MinRegistersRW(n); an explicit size must satisfy the paper's tight
+// characterization m ∈ M(n), m ≥ n.
+func NewRWLock(n int, opts ...Option) (*RWLock, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("anonmutex: RWLock needs n >= 2 processes, got %d", n)
+	}
+	m := cfg.m
+	if m == 0 {
+		m = mset.MinRW(n)
+	}
+	if err := mset.ValidateRW(n, m); err != nil {
+		return nil, fmt.Errorf("anonmutex: %w", err)
+	}
+	return &RWLock{n: n, m: m, cfg: cfg, mem: amem.New(m), gen: id.NewGenerator()}, nil
+}
+
+// N returns the configured number of processes.
+func (l *RWLock) N() int { return l.n }
+
+// M returns the anonymous memory size.
+func (l *RWLock) M() int { return l.m }
+
+// NewProcess allocates the next of the n process handles.
+func (l *RWLock) NewProcess() (*RWProcess, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.issued >= l.n {
+		return nil, fmt.Errorf("anonmutex: RWLock configured for %d processes", l.n)
+	}
+	i := l.issued
+	me, err := l.gen.New()
+	if err != nil {
+		return nil, fmt.Errorf("anonmutex: issuing identity: %w", err)
+	}
+	mcfg := core.Alg1Config{Choice: core.ChooseRandomBottom, Rand: l.cfg.rng(i)}
+	if l.cfg.firstBottom {
+		mcfg = core.Alg1Config{Choice: core.ChooseFirstBottom}
+	}
+	machine, err := core.NewAlg1(me, l.n, l.m, mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("anonmutex: %w", err)
+	}
+	view, err := l.mem.NewView(me, l.cfg.adversary().Assign(i, l.m))
+	if err != nil {
+		return nil, fmt.Errorf("anonmutex: %w", err)
+	}
+	l.issued++
+	return &RWProcess{machine: machine, view: view}, nil
+}
+
+// RWProcess is one process's handle on an RWLock. Not safe for concurrent
+// use: a handle belongs to one goroutine at a time.
+type RWProcess struct {
+	machine *core.Alg1Machine
+	view    *amem.View
+	snapBuf []id.ID
+}
+
+// Lock acquires the critical section. It returns an error only on
+// life-cycle misuse (locking a handle that already holds the lock).
+func (p *RWProcess) Lock() error {
+	if err := p.machine.StartLock(); err != nil {
+		return fmt.Errorf("anonmutex: %w", err)
+	}
+	p.drive()
+	return nil
+}
+
+// Unlock releases the critical section. It returns an error only on
+// life-cycle misuse (unlocking a handle that does not hold the lock).
+func (p *RWProcess) Unlock() error {
+	if err := p.machine.StartUnlock(); err != nil {
+		return fmt.Errorf("anonmutex: %w", err)
+	}
+	p.drive()
+	return nil
+}
+
+// drive executes the machine's pending shared-memory operations against
+// the real anonymous memory until the current invocation completes.
+func (p *RWProcess) drive() {
+	for i := 0; p.machine.Status() == core.StatusRunning; i++ {
+		op := p.machine.PendingOp()
+		var res core.OpResult
+		switch op.Kind {
+		case core.OpSnapshot:
+			p.snapBuf = p.view.Snapshot(p.snapBuf)
+			res.Snap = p.snapBuf
+			// The line 4 wait loop is snapshot-after-snapshot; stay
+			// scheduler-friendly while spinning.
+			runtime.Gosched()
+		case core.OpRead:
+			res.Val = p.view.Read(op.X)
+		case core.OpWrite:
+			p.view.Write(op.X, op.Val)
+		case core.OpCAS:
+			res.Swapped = p.view.CompareAndSwap(op.X, op.Old, op.New)
+		}
+		p.machine.Advance(res)
+		if i&15 == 15 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// LockSteps reports the number of shared-memory operations (snapshots
+// counting as one) performed by the most recent Lock call.
+func (p *RWProcess) LockSteps() int { return p.machine.LockSteps() }
+
+// OwnedAtEntry reports how many registers held this process's identity
+// when it last entered the critical section — always M() for Algorithm 1,
+// the paper's RW-model entry cost.
+func (p *RWProcess) OwnedAtEntry() int { return p.machine.OwnedAtEntry() }
+
+// SnapshotStats reports how many snapshot operations this process has
+// performed and the total number of double-scan collect passes they
+// needed (collects/calls − 1 is the retry rate caused by concurrent
+// writers).
+func (p *RWProcess) SnapshotStats() (calls, collects uint64) {
+	return p.view.SnapshotStats()
+}

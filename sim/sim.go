@@ -1,0 +1,408 @@
+// Package sim is the research-facing public API: deterministic simulated
+// executions, exhaustive model checking, and the Theorem 5 lower-bound
+// constructions, all replayable from seeds.
+//
+// Three entry points:
+//
+//   - Run executes a configured schedule (round-robin, seeded-random, or
+//     lock-step) of n processes over m simulated anonymous registers and
+//     reports safety violations, completion, livelock-cycle detection, and
+//     per-process statistics.
+//   - Check enumerates every reachable state of a small configuration and
+//     verifies mutual exclusion plus deadlock-freedom exhaustively.
+//   - LowerBound / LowerBoundGrid run the paper's Theorem 5 ring
+//     construction and report which horn of its dichotomy occurred.
+package sim
+
+import (
+	"fmt"
+
+	"anonmutex/internal/core"
+	"anonmutex/internal/explore"
+	"anonmutex/internal/id"
+	"anonmutex/internal/lowerbound"
+	"anonmutex/internal/perm"
+	"anonmutex/internal/sched"
+	"anonmutex/internal/strawman"
+)
+
+// Algorithm selects a protocol.
+type Algorithm uint8
+
+const (
+	// RW is the paper's Algorithm 1 (anonymous read/write registers).
+	RW Algorithm = iota + 1
+	// RMW is the paper's Algorithm 2 (anonymous read/modify/write
+	// registers).
+	RMW
+	// Greedy is a deliberately broken strawman protocol that enters on a
+	// tie; it exists to demonstrate mutual-exclusion violations to the
+	// checkers and the Theorem 5 simultaneous-entry horn.
+	Greedy
+)
+
+// String returns the algorithm name.
+func (a Algorithm) String() string {
+	switch a {
+	case RW:
+		return "rw"
+	case RMW:
+		return "rmw"
+	case Greedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Schedule selects the scheduling adversary for Run.
+type Schedule uint8
+
+const (
+	// RoundRobin cycles through processes in index order (fair).
+	RoundRobin Schedule = iota + 1
+	// RandomSchedule picks a uniformly random enabled process each step
+	// (fair with probability 1), seeded by Config.Seed.
+	RandomSchedule
+	// LockStepSchedule runs processes in strict cyclic order — the
+	// Theorem 5 adversary.
+	LockStepSchedule
+)
+
+// Permutations selects the anonymity adversary.
+type Permutations uint8
+
+const (
+	// RandomPerms assigns independent random permutations (seeded).
+	RandomPerms Permutations = iota + 1
+	// IdentityPerms assigns everyone the identity (non-anonymous memory).
+	IdentityPerms
+	// RotationPerms assigns process i the rotation by i·RotationStep.
+	RotationPerms
+)
+
+// Config describes a simulated execution.
+type Config struct {
+	// Algorithm and system size.
+	Algorithm Algorithm
+	N, M      int
+	// Unchecked skips the m ∈ M(n) validation, allowing the illegal sizes
+	// the lower-bound experiments need.
+	Unchecked bool
+	// Sessions per process (default 1) and critical-section ticks
+	// (default 0).
+	Sessions, CSTicks int
+	// Schedule (default RoundRobin) and its seed.
+	Schedule Schedule
+	Seed     uint64
+	// Perms (default IdentityPerms), with PermSeed for RandomPerms and
+	// RotationStep for RotationPerms.
+	Perms        Permutations
+	PermSeed     uint64
+	RotationStep int
+	// HonestSnapshots expands Algorithm 1 snapshots into individually
+	// scheduled double-scan reads.
+	HonestSnapshots bool
+	// DetectCycles stops with a livelock verdict when the global state
+	// repeats (requires a deterministic schedule and atomic snapshots).
+	DetectCycles bool
+	// MaxSteps bounds the run (default 1_000_000). TraceCap retains that
+	// many trace events (0: none).
+	MaxSteps, TraceCap int
+}
+
+// ProcStats mirrors one process's statistics.
+type ProcStats struct {
+	Sessions     int
+	Entries      int
+	MaxWaitSteps int
+	MeanWait     float64
+	Bypasses     int
+	OwnedAtEntry int
+	LockSteps    int
+}
+
+// Result reports a simulated execution.
+type Result struct {
+	Steps         int
+	Completed     bool
+	CycleDetected bool
+	CycleStart    int
+	Entries       int
+	// MEViolations counts mutual-exclusion violations (always 0 for the
+	// paper's algorithms, on every schedule).
+	MEViolations int
+	PerProc      []ProcStats
+	MemWrites    uint64
+	// TraceLines renders retained trace events, one per line.
+	TraceLines []string
+}
+
+// Run executes the configured simulation.
+func Run(cfg Config) (*Result, error) {
+	factory, err := factoryFor(cfg.Algorithm, cfg.N, cfg.M, cfg.Unchecked)
+	if err != nil {
+		return nil, err
+	}
+	adversary, err := adversaryFor(cfg.Perms, cfg.PermSeed, cfg.RotationStep)
+	if err != nil {
+		return nil, err
+	}
+	var policy sched.Policy
+	switch cfg.Schedule {
+	case RoundRobin, 0:
+		policy = &sched.RoundRobin{}
+	case RandomSchedule:
+		policy = sched.NewRandom(cfg.Seed)
+	case LockStepSchedule:
+		policy = sched.NewLockStep(cfg.N)
+	default:
+		return nil, fmt.Errorf("sim: unknown schedule %d", cfg.Schedule)
+	}
+	res, err := sched.Run(sched.Config{
+		N: cfg.N, M: cfg.M,
+		NewMachine:      factory,
+		Adversary:       adversary,
+		Policy:          policy,
+		Sessions:        cfg.Sessions,
+		CSTicks:         cfg.CSTicks,
+		MaxSteps:        cfg.MaxSteps,
+		HonestSnapshots: cfg.HonestSnapshots,
+		DetectCycles:    cfg.DetectCycles,
+		TraceCap:        cfg.TraceCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Steps:         res.Steps,
+		Completed:     res.Completed,
+		CycleDetected: res.CycleDetected,
+		CycleStart:    res.CycleStart,
+		Entries:       res.Entries,
+		MEViolations:  len(res.Violations),
+		MemWrites:     res.MemWrites,
+	}
+	for _, ps := range res.PerProc {
+		out.PerProc = append(out.PerProc, ProcStats{
+			Sessions:     ps.Sessions,
+			Entries:      ps.Entries,
+			MaxWaitSteps: ps.MaxWaitSteps,
+			MeanWait:     ps.MeanWait,
+			Bypasses:     ps.Bypasses,
+			OwnedAtEntry: ps.OwnedAtEntry,
+			LockSteps:    ps.LockSteps,
+		})
+	}
+	if res.Trace != nil {
+		for _, e := range res.Trace.Events {
+			out.TraceLines = append(out.TraceLines, e.String())
+		}
+	}
+	return out, nil
+}
+
+// CheckResult reports an exhaustive exploration.
+type CheckResult struct {
+	States       int
+	Transitions  int
+	Complete     bool
+	MEViolations int
+	MEWitness    string
+	Traps        int
+	TrapWitness  string
+	Entries      int
+}
+
+// OK reports that the explored space is complete and both properties
+// hold.
+func (r *CheckResult) OK() bool {
+	return r.Complete && r.MEViolations == 0 && r.Traps == 0
+}
+
+// Check exhaustively verifies mutual exclusion and deadlock-freedom for a
+// small configuration under every interleaving.
+func Check(cfg Config) (*CheckResult, error) {
+	factory, err := factoryFor(cfg.Algorithm, cfg.N, cfg.M, cfg.Unchecked)
+	if err != nil {
+		return nil, err
+	}
+	adversary, err := adversaryFor(cfg.Perms, cfg.PermSeed, cfg.RotationStep)
+	if err != nil {
+		return nil, err
+	}
+	res, err := explore.Explore(explore.Config{
+		N: cfg.N, M: cfg.M,
+		Factory:   factory,
+		Adversary: adversary,
+		Sessions:  cfg.Sessions,
+		MaxStates: cfg.MaxSteps, // reuse the bound knob
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CheckResult{
+		States:       res.States,
+		Transitions:  res.Transitions,
+		Complete:     res.Complete,
+		MEViolations: res.MEViolations,
+		MEWitness:    res.MEWitness,
+		Traps:        res.Traps,
+		TrapWitness:  res.TrapWitness,
+		Entries:      res.Entries,
+	}, nil
+}
+
+// LBOutcome mirrors the lower-bound dichotomy horn.
+type LBOutcome uint8
+
+const (
+	// Livelock: the state repeated with no entries (deadlock-freedom
+	// horn).
+	Livelock LBOutcome = iota + 1
+	// SimultaneousEntry: all ℓ processes entered together (mutual-
+	// exclusion horn; the paper's safe algorithms never take it).
+	SimultaneousEntry
+	// Entry: symmetry broke and some processes entered — the expected
+	// outcome when ℓ ∤ m.
+	Entry
+	// Undecided: the round bound was hit first.
+	Undecided
+)
+
+// String returns the outcome name.
+func (o LBOutcome) String() string {
+	switch o {
+	case Livelock:
+		return "livelock"
+	case SimultaneousEntry:
+		return "simultaneous-entry"
+	case Entry:
+		return "entry"
+	case Undecided:
+		return "undecided"
+	default:
+		return fmt.Sprintf("LBOutcome(%d)", uint8(o))
+	}
+}
+
+// LBVerdict reports one run of the Theorem 5 construction.
+type LBVerdict struct {
+	L, M         int
+	Step         int
+	Applicable   bool // ℓ | m: the construction's precondition
+	Outcome      LBOutcome
+	Rounds       int
+	Entrants     int
+	SymmetryHeld bool
+}
+
+// LowerBound runs the Theorem 5 ring construction: ℓ processes on m
+// registers with rotation permutations, in lock step, bounded by
+// maxRounds (0: default).
+func LowerBound(alg Algorithm, l, m, maxRounds int) (LBVerdict, error) {
+	la, err := lbAlg(alg)
+	if err != nil {
+		return LBVerdict{}, err
+	}
+	v, err := lowerbound.Run(la, l, m, maxRounds)
+	if err != nil {
+		return LBVerdict{}, err
+	}
+	return lbVerdict(v), nil
+}
+
+// LBGridEntry is one grid cell of LowerBoundGrid.
+type LBGridEntry struct {
+	M       int
+	InM     bool
+	Witness int
+	Verdict LBVerdict
+}
+
+// LowerBoundGrid runs the construction for every m in [mLo, mHi] against
+// up to n processes, choosing ℓ as the smallest prime witness when
+// m ∉ M(n) (so that ℓ | m) and ℓ = n otherwise.
+func LowerBoundGrid(alg Algorithm, n, mLo, mHi, maxRounds int) ([]LBGridEntry, error) {
+	la, err := lbAlg(alg)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := lowerbound.Grid(la, n, mLo, mHi, maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LBGridEntry, len(entries))
+	for i, e := range entries {
+		out[i] = LBGridEntry{M: e.M, InM: e.InM, Witness: e.Witness, Verdict: lbVerdict(e.Verdict)}
+	}
+	return out, nil
+}
+
+func lbAlg(alg Algorithm) (lowerbound.Algorithm, error) {
+	switch alg {
+	case RW:
+		return lowerbound.AlgRW, nil
+	case RMW:
+		return lowerbound.AlgRMW, nil
+	case Greedy:
+		return lowerbound.AlgGreedy, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown algorithm %v", alg)
+	}
+}
+
+func lbVerdict(v lowerbound.Verdict) LBVerdict {
+	out := LBVerdict{
+		L: v.L, M: v.M, Step: v.Step,
+		Applicable:   v.Applicable,
+		Rounds:       v.Rounds,
+		Entrants:     v.Entrants,
+		SymmetryHeld: v.SymmetryHeld,
+	}
+	switch v.Outcome {
+	case lowerbound.OutcomeLivelock:
+		out.Outcome = Livelock
+	case lowerbound.OutcomeSimultaneousEntry:
+		out.Outcome = SimultaneousEntry
+	case lowerbound.OutcomeEntry:
+		out.Outcome = Entry
+	default:
+		out.Outcome = Undecided
+	}
+	return out
+}
+
+func factoryFor(alg Algorithm, n, m int, unchecked bool) (sched.MachineFactory, error) {
+	switch alg {
+	case RW:
+		if unchecked {
+			return sched.Alg1UncheckedFactory(m, core.Alg1Config{}), nil
+		}
+		return sched.Alg1Factory(n, m, core.Alg1Config{}), nil
+	case RMW:
+		if unchecked {
+			return sched.Alg2UncheckedFactory(m, core.Alg2Config{}), nil
+		}
+		return sched.Alg2Factory(n, m, core.Alg2Config{}), nil
+	case Greedy:
+		return func(_ int, me id.ID) (core.Machine, error) {
+			return strawman.New(me, m), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown algorithm %v", alg)
+	}
+}
+
+func adversaryFor(p Permutations, seed uint64, step int) (perm.Adversary, error) {
+	switch p {
+	case IdentityPerms, 0:
+		return perm.IdentityAdversary{}, nil
+	case RandomPerms:
+		return perm.RandomAdversary{Seed: seed}, nil
+	case RotationPerms:
+		return perm.RotationAdversary{Step: step}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown permutation mode %d", p)
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import "testing"
+
+func TestRunRW(t *testing.T) {
+	res, err := Run(Config{Algorithm: RW, N: 2, M: 3, Sessions: 2, Schedule: RandomSchedule, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.MEViolations != 0 || res.Entries != 4 {
+		t.Fatalf("completed=%v me=%d entries=%d", res.Completed, res.MEViolations, res.Entries)
+	}
+	if len(res.PerProc) != 2 {
+		t.Fatalf("PerProc len %d", len(res.PerProc))
+	}
+	for i, ps := range res.PerProc {
+		if ps.OwnedAtEntry != 3 {
+			t.Errorf("proc %d owned %d at entry, want 3", i, ps.OwnedAtEntry)
+		}
+	}
+}
+
+func TestRunRMWWithTrace(t *testing.T) {
+	res, err := Run(Config{Algorithm: RMW, N: 2, M: 3, TraceCap: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || len(res.TraceLines) == 0 {
+		t.Fatalf("completed=%v trace=%d", res.Completed, len(res.TraceLines))
+	}
+}
+
+func TestRunValidatesSizes(t *testing.T) {
+	if _, err := Run(Config{Algorithm: RW, N: 2, M: 4}); err == nil {
+		t.Error("m=4 accepted without Unchecked")
+	}
+	res, err := Run(Config{
+		Algorithm: RW, N: 2, M: 4, Unchecked: true,
+		Perms: RotationPerms, RotationStep: 2,
+		Schedule: LockStepSchedule, DetectCycles: true, MaxSteps: 100_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CycleDetected {
+		t.Error("lock-step wedge not detected through the public API")
+	}
+}
+
+func TestRunUnknownEnums(t *testing.T) {
+	if _, err := Run(Config{Algorithm: Algorithm(9), N: 2, M: 3}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Run(Config{Algorithm: RW, N: 2, M: 3, Schedule: Schedule(9)}); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+	if _, err := Run(Config{Algorithm: RW, N: 2, M: 3, Perms: Permutations(9)}); err == nil {
+		t.Error("unknown permutations accepted")
+	}
+}
+
+func TestCheckLegalAndIllegal(t *testing.T) {
+	legal, err := Check(Config{Algorithm: RMW, N: 2, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !legal.OK() {
+		t.Fatalf("legal config failed: me=%d traps=%d", legal.MEViolations, legal.Traps)
+	}
+	illegal, err := Check(Config{Algorithm: RMW, N: 2, M: 2, Unchecked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if illegal.Traps == 0 {
+		t.Fatal("no trap found for m=2, n=2")
+	}
+	broken, err := Check(Config{Algorithm: Greedy, N: 2, M: 2, Unchecked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.MEViolations == 0 {
+		t.Fatal("greedy strawman passed mutual exclusion")
+	}
+}
+
+func TestLowerBoundDichotomy(t *testing.T) {
+	live, err := LowerBound(RMW, 2, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Outcome != Livelock || !live.SymmetryHeld || !live.Applicable {
+		t.Fatalf("RMW l=2 m=4: %+v", live)
+	}
+	sim, err := LowerBound(Greedy, 3, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Outcome != SimultaneousEntry || sim.Entrants != 3 {
+		t.Fatalf("greedy l=3 m=6: %+v", sim)
+	}
+	prog, err := LowerBound(RW, 2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Outcome != Entry {
+		t.Fatalf("RW l=2 m=5: %+v", prog)
+	}
+}
+
+func TestLowerBoundGridBoundary(t *testing.T) {
+	entries, err := LowerBoundGrid(RMW, 3, 1, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		wantLivelock := !e.InM
+		gotLivelock := e.Verdict.Outcome == Livelock
+		if wantLivelock != gotLivelock {
+			t.Errorf("m=%d: InM=%v but outcome=%v", e.M, e.InM, e.Verdict.Outcome)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, a := range []Algorithm{RW, RMW, Greedy, Algorithm(9)} {
+		if a.String() == "" {
+			t.Error("empty algorithm name")
+		}
+	}
+	for _, o := range []LBOutcome{Livelock, SimultaneousEntry, Entry, Undecided, LBOutcome(9)} {
+		if o.String() == "" {
+			t.Error("empty outcome name")
+		}
+	}
+}
