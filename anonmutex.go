@@ -40,9 +40,33 @@
 // free: an individual process can be bypassed arbitrarily often while the
 // system as a whole always makes progress.
 //
+// # Architecture
+//
+// The algorithms are implemented once, as explicit state machines
+// (internal/core) that request shared-memory operations and consume
+// results. A unified execution engine (internal/engine) runs those
+// machines on either of two substrates behind one Executor interface:
+// hardware-atomic anonymous memory (internal/amem — what these locks
+// use, via the engine's adaptive-backoff Driver) and simulated memory
+// (internal/vmem — what the deterministic scheduler, model checker, and
+// lower-bound constructions use). Because both substrates execute the
+// identical op stream, simulated evidence (exhaustive model checking,
+// adversarial schedules) transfers directly to the production locks; the
+// engine's equivalence tests pin this down trace-for-trace.
+//
+// Executions are described declaratively by scenarios
+// (internal/scenario): one JSON-encodable spec — algorithm, sizes,
+// anonymity adversary, schedule, workload profile, seeds — runs on
+// either substrate, from the sim package (RunScenario), the anonsim
+// command (-scenario, -substrate), or the experiment suite (anonbench,
+// which sweeps the whole registry and can run experiments on a worker
+// pool with -parallel and emit JSON with -json). DESIGN.md has the layer
+// diagram and the experiment catalog.
+//
 // The companion packages anonmutex/mnum (the M(n) number theory) and
-// anonmutex/sim (deterministic simulation, model checking, and the
-// Theorem 5 lower-bound constructions) expose the research tooling.
+// anonmutex/sim (deterministic simulation, model checking, scenarios,
+// and the Theorem 5 lower-bound constructions) expose the research
+// tooling.
 package anonmutex
 
 import (

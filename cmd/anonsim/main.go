@@ -1,12 +1,17 @@
-// Command anonsim runs one deterministic simulated execution of an
-// anonymous-memory mutual exclusion algorithm and reports its outcome,
-// optionally dumping the event trace.
+// Command anonsim runs one execution of an anonymous-memory mutual
+// exclusion algorithm — described by flags, a named scenario, or a
+// scenario JSON file — on either substrate, and reports its outcome.
 //
 // Usage:
 //
 //	anonsim -alg rw -n 3 -m 5 -sched random -seed 7 -sessions 2
 //	anonsim -alg rmw -n 2 -m 4 -force -sched lockstep -perms rotation -rotation-step 2 -detect-cycles
 //	anonsim -alg rw -n 2 -m 3 -trace 200
+//	anonsim -list-scenarios
+//	anonsim -scenario contended-rw
+//	anonsim -scenario contended-rw -substrate real
+//	anonsim -scenario lockstep-livelock -dump-scenario > wedge.json
+//	anonsim -scenario-file wedge.json
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"anonmutex/internal/scenario"
 	"anonmutex/sim"
 )
 
@@ -28,7 +34,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("anonsim", flag.ContinueOnError)
 	algName := fs.String("alg", "rw", "algorithm: rw, rmw, or greedy")
 	n := fs.Int("n", 2, "number of processes")
-	m := fs.Int("m", 3, "number of anonymous registers")
+	m := fs.Int("m", 3, "number of anonymous registers (0: smallest legal size)")
 	force := fs.Bool("force", false, "allow m outside M(n)")
 	sessions := fs.Int("sessions", 1, "lock/unlock cycles per process")
 	csTicks := fs.Int("cs-ticks", 0, "scheduler ticks spent inside the CS")
@@ -41,65 +47,97 @@ func run(args []string) error {
 	detect := fs.Bool("detect-cycles", false, "stop with a livelock verdict on a repeated state")
 	maxSteps := fs.Int("max-steps", 1_000_000, "step bound")
 	traceCap := fs.Int("trace", 0, "print up to this many trace events")
+	scenarioName := fs.String("scenario", "", "run a registered scenario instead of building one from flags")
+	scenarioFile := fs.String("scenario-file", "", "run a scenario spec from a JSON file")
+	substrate := fs.String("substrate", "sim", "execution substrate: sim (deterministic scheduler) or real (goroutines over hardware-atomic memory)")
+	listScenarios := fs.Bool("list-scenarios", false, "list registered scenarios and exit")
+	dump := fs.Bool("dump-scenario", false, "print the scenario's JSON spec instead of running it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var alg sim.Algorithm
-	switch *algName {
-	case "rw":
-		alg = sim.RW
-	case "rmw":
-		alg = sim.RMW
-	case "greedy":
-		alg = sim.Greedy
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algName)
-	}
-	var schedule sim.Schedule
-	switch *schedName {
-	case "rr":
-		schedule = sim.RoundRobin
-	case "random":
-		schedule = sim.RandomSchedule
-	case "lockstep":
-		schedule = sim.LockStepSchedule
-	default:
-		return fmt.Errorf("unknown schedule %q", *schedName)
-	}
-	var perms sim.Permutations
-	switch *permsName {
-	case "identity":
-		perms = sim.IdentityPerms
-	case "random":
-		perms = sim.RandomPerms
-	case "rotation":
-		perms = sim.RotationPerms
-	default:
-		return fmt.Errorf("unknown permutations %q", *permsName)
+	if *listScenarios {
+		for _, name := range sim.Scenarios() {
+			spec, err := scenario.Lookup(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-20s %s\n", name, spec.Doc)
+		}
+		return nil
 	}
 
-	res, err := sim.Run(sim.Config{
-		Algorithm: alg,
-		N:         *n, M: *m,
-		Unchecked:       *force || alg == sim.Greedy,
-		Sessions:        *sessions,
-		CSTicks:         *csTicks,
-		Schedule:        schedule,
-		Seed:            *seed,
-		Perms:           perms,
-		PermSeed:        *permSeed,
-		RotationStep:    *rotationStep,
-		HonestSnapshots: *honest,
-		DetectCycles:    *detect,
-		MaxSteps:        *maxSteps,
-		TraceCap:        *traceCap,
-	})
+	var spec scenario.Spec
+	switch {
+	case *scenarioName != "" && *scenarioFile != "":
+		return fmt.Errorf("-scenario and -scenario-file are mutually exclusive")
+	case *scenarioName != "":
+		s, err := scenario.Lookup(*scenarioName)
+		if err != nil {
+			return err
+		}
+		spec = s
+	case *scenarioFile != "":
+		data, err := os.ReadFile(*scenarioFile)
+		if err != nil {
+			return err
+		}
+		s, err := scenario.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+		spec = s
+	default:
+		spec = scenario.Spec{
+			Algorithm:       *algName,
+			N:               *n,
+			M:               *m,
+			Unchecked:       *force || *algName == scenario.AlgGreedy,
+			Sessions:        *sessions,
+			CSTicks:         *csTicks,
+			Schedule:        *schedName,
+			Seed:            *seed,
+			Perms:           *permsName,
+			PermSeed:        *permSeed,
+			RotationStep:    *rotationStep,
+			HonestSnapshots: *honest,
+			DetectCycles:    *detect,
+			MaxSteps:        *maxSteps,
+			TraceCap:        *traceCap,
+		}
+		s, err := spec.Normalize()
+		if err != nil {
+			return err
+		}
+		spec = s
+	}
+
+	if *dump {
+		data, err := spec.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+
+	switch *substrate {
+	case "sim":
+		return runSim(spec)
+	case "real":
+		return runReal(spec)
+	default:
+		return fmt.Errorf("unknown substrate %q (want sim or real)", *substrate)
+	}
+}
+
+func runSim(spec scenario.Spec) error {
+	res, err := sim.RunSpec(spec)
 	if err != nil {
 		return err
 	}
-
-	fmt.Printf("algorithm %v, n=%d, m=%d, schedule %s, permutations %s\n", alg, *n, *m, *schedName, *permsName)
+	fmt.Printf("algorithm %s, n=%d, m=%d, schedule %s, permutations %s, substrate sim\n",
+		spec.Algorithm, spec.N, spec.M, spec.Schedule, spec.Perms)
 	fmt.Printf("steps: %d   entries: %d   completed: %v\n", res.Steps, res.Entries, res.Completed)
 	if res.CycleDetected {
 		fmt.Printf("LIVELOCK: global state repeated (cycle entered at step %d) — no invocation will ever complete\n", res.CycleStart)
@@ -118,6 +156,25 @@ func run(args []string) error {
 		for _, line := range res.TraceLines {
 			fmt.Println(" ", line)
 		}
+	}
+	if res.MEViolations > 0 {
+		os.Exit(2)
+	}
+	return nil
+}
+
+func runReal(spec scenario.Spec) error {
+	res, err := scenario.RunReal(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("algorithm %s, n=%d, m=%d, workload %s, substrate real\n",
+		spec.Algorithm, spec.N, spec.M, spec.Workload)
+	fmt.Printf("entries: %d   ME violations: %d\n", res.Entries, res.MEViolations)
+	fmt.Println()
+	fmt.Printf("%-5s %-9s %-12s %-10s\n", "proc", "sessions", "owned@entry", "lock-steps")
+	for i, ps := range res.PerProc {
+		fmt.Printf("p%-4d %-9d %-12d %-10d\n", i, ps.Sessions, ps.OwnedAtEntry, ps.LockSteps)
 	}
 	if res.MEViolations > 0 {
 		os.Exit(2)

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunVariants(t *testing.T) {
 	cases := [][]string{
@@ -12,11 +16,43 @@ func TestRunVariants(t *testing.T) {
 		{"-alg", "rw", "-n", "2", "-m", "4", "-force", "-sched", "lockstep",
 			"-perms", "rotation", "-rotation-step", "2", "-detect-cycles"},
 		{"-alg", "rw", "-n", "2", "-m", "3", "-perms", "random", "-perm-seed", "3"},
+		{"-alg", "rw", "-n", "3", "-m", "0"}, // m derived from n
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
+	}
+}
+
+func TestRunScenarios(t *testing.T) {
+	cases := [][]string{
+		{"-list-scenarios"},
+		{"-scenario", "smoke-rw"},
+		{"-scenario", "lockstep-livelock"},
+		{"-scenario", "smoke-rmw", "-substrate", "real"},
+		{"-scenario", "contended-rw", "-dump-scenario"},
+		{"-alg", "rmw", "-n", "2", "-m", "3", "-substrate", "real"},
+		{"-alg", "rw", "-n", "2", "-m", "3", "-dump-scenario"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	spec := `{"algorithm": "rmw", "n": 2, "m": 3, "sessions": 2}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario-file", path}); err != nil {
+		t.Errorf("run(-scenario-file): %v", err)
+	}
+	if err := run([]string{"-scenario-file", path, "-substrate", "real"}); err != nil {
+		t.Errorf("run(-scenario-file -substrate real): %v", err)
 	}
 }
 
@@ -27,6 +63,12 @@ func TestRunErrors(t *testing.T) {
 		{"-perms", "bogus"},
 		{"-alg", "rw", "-n", "2", "-m", "4"}, // illegal size without -force
 		{"-nosuchflag"},
+		{"-scenario", "no-such-scenario"},
+		{"-scenario-file", "/no/such/file.json"},
+		{"-scenario", "smoke-rw", "-scenario-file", "x.json"}, // mutually exclusive
+		{"-scenario", "smoke-rw", "-substrate", "bogus"},
+		{"-scenario", "lockstep-livelock", "-substrate", "real"}, // unchecked size
+		{"-alg", "greedy", "-n", "2", "-m", "3", "-substrate", "real"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

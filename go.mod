@@ -1,0 +1,3 @@
+module anonmutex
+
+go 1.24

@@ -51,6 +51,9 @@ type Alg1Machine struct {
 	// cursor is the local register index currently being shrunk
 	// (a1ShrinkRead / a1ShrinkWrite).
 	cursor int
+	// holes is a reusable scratch buffer for chooseBottom's random policy,
+	// so steady-state driving allocates nothing per operation.
+	holes []int
 	// unlockShrink distinguishes the shrink of unlock() (line 12, leads to
 	// Idle) from the withdrawal shrink of lock() line 9 (leads back to the
 	// snapshot loop).
@@ -282,7 +285,10 @@ func (a *Alg1Machine) chooseBottom() (int, bool) {
 			}
 		}
 	case ChooseRandomBottom:
-		holes := make([]int, 0, a.m)
+		if a.holes == nil {
+			a.holes = make([]int, 0, a.m)
+		}
+		holes := a.holes[:0]
 		for x := 0; x < a.m; x++ {
 			if a.view[x].IsNone() {
 				holes = append(holes, x)
@@ -342,6 +348,7 @@ func (a *Alg1Machine) Clone() Machine {
 	c := *a
 	c.view = make([]id.ID, len(a.view))
 	copy(c.view, a.view)
+	c.holes = nil // scratch; lazily reallocated, never shared
 	return &c
 }
 

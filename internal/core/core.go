@@ -8,16 +8,17 @@
 // Every protocol step that touches shared memory is reified as an Op that
 // the machine *requests* and an OpResult that is *fed back* via Advance.
 // One implementation of each algorithm therefore runs unchanged on two
-// different substrates:
+// different substrates, both reached through the unified op executor
+// (internal/engine):
 //
-//   - the real driver (package anonmutex at the repository root) executes
-//     ops against hardware-atomic anonymous memory (internal/amem), giving
-//     a production lock;
-//   - the virtual scheduler (internal/sched) executes ops one at a time
-//     against simulated memory (internal/vmem), giving deterministic
-//     replayable executions, adversarial schedules (including the
-//     Theorem 5 lock-step executions), and exhaustive state-space
-//     exploration (internal/explore).
+//   - the real locks (package anonmutex at the repository root) use the
+//     engine's blocking Driver against hardware-atomic anonymous memory
+//     (internal/amem), giving a production lock;
+//   - the virtual scheduler (internal/sched) dispatches ops one at a time
+//     through the same engine against simulated memory (internal/vmem),
+//     giving deterministic replayable executions, adversarial schedules
+//     (including the Theorem 5 lock-step executions), and exhaustive
+//     state-space exploration (internal/explore).
 //
 // The machines are line-faithful: program phases correspond to the
 // numbered lines of Figures 1 and 2, and Line() reports the current line

@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"anonmutex/internal/core"
+	"anonmutex/internal/id"
+)
+
+// Backoff tunes the Driver's adaptive wait strategy. The zero value means
+// DefaultBackoff. The policy has three phases, escalating while the
+// machine burns operations without making progress (progress = a write,
+// or a successful CAS — the moves that change the shared memory):
+//
+//  1. pure spin for the first SpinOps ops — the common uncontended case
+//     completes here without ever entering the scheduler;
+//  2. runtime.Gosched after each op for the next YieldOps ops — polite to
+//     sibling goroutines while the lock is briefly contended;
+//  3. sleeping, starting at SleepMin and doubling per op up to SleepMax —
+//     a long wait (another process holds the lock, or many competitors)
+//     should not burn a core.
+//
+// Any progress resets the policy to phase 1.
+type Backoff struct {
+	// SpinOps is the number of non-progressing ops executed back-to-back
+	// before the driver starts yielding (default 64).
+	SpinOps int
+	// YieldOps is the number of non-progressing ops accompanied by a
+	// Gosched before the driver starts sleeping (default 64).
+	YieldOps int
+	// SleepMin and SleepMax bound the exponential sleep phase (defaults
+	// 1µs and 256µs).
+	SleepMin, SleepMax time.Duration
+
+	// yield and sleep are test seams; nil means runtime.Gosched and
+	// time.Sleep.
+	yield func()
+	sleep func(time.Duration)
+}
+
+// DefaultBackoff returns the production backoff policy.
+func DefaultBackoff() Backoff {
+	return Backoff{
+		SpinOps:  64,
+		YieldOps: 64,
+		SleepMin: time.Microsecond,
+		SleepMax: 256 * time.Microsecond,
+	}
+}
+
+func (b *Backoff) normalize() {
+	d := DefaultBackoff()
+	if b.SpinOps <= 0 {
+		b.SpinOps = d.SpinOps
+	}
+	if b.YieldOps <= 0 {
+		b.YieldOps = d.YieldOps
+	}
+	if b.SleepMin <= 0 {
+		b.SleepMin = d.SleepMin
+	}
+	if b.SleepMax < b.SleepMin {
+		b.SleepMax = b.SleepMin
+	}
+	if b.yield == nil {
+		b.yield = runtime.Gosched
+	}
+	if b.sleep == nil {
+		b.sleep = time.Sleep
+	}
+}
+
+// Driver runs one machine's invocations against one Executor: the single
+// shared drive loop behind both real locks (and any other blocking use of
+// the machines). A Driver belongs to one process; it is not safe for
+// concurrent use.
+type Driver struct {
+	machine core.Machine
+	exec    Executor
+	backoff Backoff
+	snapBuf []id.ID
+
+	// streak counts consecutive ops without progress within the current
+	// invocation. It resets on every progress op and at the start of each
+	// Drive call: a contended Lock must not leave the driver in the sleep
+	// phase, or the following Unlock would sleep while holding the
+	// critical section.
+	streak int
+
+	// Statistics.
+	ops    uint64 // total ops executed
+	yields uint64 // Gosched calls
+	sleeps uint64 // sleep calls
+}
+
+// NewDriver builds a driver for machine over exec with the default
+// backoff. The snapshot buffer is preallocated so steady-state driving
+// performs zero allocations per operation.
+func NewDriver(machine core.Machine, exec Executor) *Driver {
+	return NewDriverBackoff(machine, exec, DefaultBackoff())
+}
+
+// NewDriverBackoff builds a driver with an explicit backoff policy.
+func NewDriverBackoff(machine core.Machine, exec Executor, b Backoff) *Driver {
+	b.normalize()
+	return &Driver{
+		machine: machine,
+		exec:    exec,
+		backoff: b,
+		snapBuf: make([]id.ID, exec.Size()),
+	}
+}
+
+// Machine returns the driven machine.
+func (d *Driver) Machine() core.Machine { return d.machine }
+
+// Drive executes the machine's pending shared-memory operations until the
+// current invocation completes (Status leaves Running). It returns an
+// error only if the machine requests an operation the substrate does not
+// know — impossible for the repository's machines.
+func (d *Driver) Drive() error {
+	d.streak = 0
+	for d.machine.Status() == core.StatusRunning {
+		op := d.machine.PendingOp()
+		res, buf, err := Exec(d.exec, op, d.snapBuf)
+		if err != nil {
+			return err
+		}
+		d.snapBuf = buf
+		d.machine.Advance(res)
+		d.ops++
+
+		if op.Kind == core.OpWrite || (op.Kind == core.OpCAS && res.Swapped) {
+			// The shared memory changed: the protocol is moving. Restart
+			// the escalation from the spin phase.
+			d.streak = 0
+			continue
+		}
+		d.streak++
+		if d.machine.Status() != core.StatusRunning {
+			// The invocation just completed; don't wait on its last op.
+			break
+		}
+		switch {
+		case d.streak <= d.backoff.SpinOps:
+			// Phase 1: spin.
+		case d.streak <= d.backoff.SpinOps+d.backoff.YieldOps:
+			d.yields++
+			d.backoff.yield()
+		default:
+			over := d.streak - d.backoff.SpinOps - d.backoff.YieldOps - 1
+			dur := d.backoff.SleepMin << min(over, 62)
+			if dur > d.backoff.SleepMax || dur <= 0 {
+				dur = d.backoff.SleepMax
+			}
+			d.sleeps++
+			d.backoff.sleep(dur)
+		}
+	}
+	return nil
+}
+
+// Stats reports the driver's lifetime counters: shared-memory ops
+// executed, scheduler yields, and sleeps taken while waiting.
+func (d *Driver) Stats() (ops, yields, sleeps uint64) {
+	return d.ops, d.yields, d.sleeps
+}
+
+// DriveAll is a convenience for sequential (single-goroutine) execution:
+// it starts and completes one full invocation — lock when the machine is
+// idle, unlock when it is in the critical section — and reports the
+// resulting status. Scenario replays and equivalence tests use it to
+// interleave whole invocations deterministically.
+func (d *Driver) DriveAll() (core.Status, error) {
+	switch d.machine.Status() {
+	case core.StatusIdle:
+		if err := d.machine.StartLock(); err != nil {
+			return 0, err
+		}
+	case core.StatusInCS:
+		if err := d.machine.StartUnlock(); err != nil {
+			return 0, err
+		}
+	case core.StatusRunning:
+		return 0, fmt.Errorf("engine: DriveAll on a machine mid-invocation")
+	}
+	if err := d.Drive(); err != nil {
+		return 0, err
+	}
+	return d.machine.Status(), nil
+}

@@ -2,7 +2,8 @@
 // per paper artifact (table, figure, theorem) plus the added quantitative
 // experiments, each returning a printable table.
 //
-// The experiment identifiers follow DESIGN.md:
+// The experiment identifiers are documented in DESIGN.md at the
+// repository root:
 //
 //	T1  Table I    — the anonymous-addressing example
 //	F1  Figure 1   — Algorithm 1 behavior (RW model) + Theorems 1–2
@@ -14,13 +15,20 @@
 //	E8             — design-choice ablations
 //	E9             — fairness (deadlock-freedom is not starvation-freedom)
 //	E10            — anonymity invariance
+//	S1             — the scenario-registry sweep, on both substrates
 //
-// Everything is deterministic: fixed seeds, simulated schedules.
+// Everything except S1's real-substrate timings is deterministic: fixed
+// seeds, simulated schedules. Experiments are independent — RunConcurrent
+// executes them on a worker pool and reports results in presentation
+// order.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"anonmutex/internal/core"
 	"anonmutex/internal/explore"
@@ -28,10 +36,16 @@ import (
 	"anonmutex/internal/lowerbound"
 	"anonmutex/internal/mset"
 	"anonmutex/internal/perm"
+	"anonmutex/internal/scenario"
 	"anonmutex/internal/sched"
 	"anonmutex/internal/stats"
 	"anonmutex/internal/strawman"
+	"anonmutex/sim"
 )
+
+// runScenarioSim bridges to the public sim API, which owns the
+// spec→Config translation for the simulated substrate.
+func runScenarioSim(spec scenario.Spec) (*sim.Result, error) { return sim.RunSpec(spec) }
 
 // Experiment is a runnable reproduction artifact.
 type Experiment struct {
@@ -53,6 +67,7 @@ func All() []Experiment {
 		{"E8", "Ablations: claim policy, tie-break rule, wait-for-empty", Ablations},
 		{"E9", "Fairness: bypasses and waiting spread", Fairness},
 		{"E10", "Anonymity invariance: permutation adversaries", PermInvariance},
+		{"S1", "Scenario registry: every named scenario, both substrates", ScenarioSuite},
 	}
 }
 
@@ -526,6 +541,105 @@ func PermInvariance() (*stats.Table, error) {
 	}
 	t.Notes = append(t.Notes, "safety and progress hold under every permutation assignment; only step counts vary")
 	return t, nil
+}
+
+// ScenarioSuite (experiment S1) sweeps the scenario registry: every named
+// scenario runs on the simulated substrate, and every scenario the real
+// locks can express (legal size, paper algorithms, no cycle detection)
+// additionally runs on the hardware-atomic substrate. One row per
+// scenario/substrate pair demonstrates that a single declarative
+// description drives both execution engines.
+func ScenarioSuite() (*stats.Table, error) {
+	t := &stats.Table{
+		Title:  "S1 — scenario registry on both substrates",
+		Header: []string{"scenario", "substrate", "alg", "n", "m", "outcome", "entries", "ME-violations", "steps"},
+	}
+	for _, name := range scenario.Names() {
+		spec, err := scenario.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		simRes, err := runScenarioSim(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s (sim): %w", name, err)
+		}
+		outcome := "completed"
+		switch {
+		case simRes.MEViolations > 0:
+			outcome = "ME VIOLATION"
+		case simRes.CycleDetected:
+			outcome = "LIVELOCK (cycle)"
+		case !simRes.Completed:
+			outcome = "step bound"
+		}
+		t.AddRow(name, "sim", spec.Algorithm, spec.N, spec.M, outcome,
+			simRes.Entries, simRes.MEViolations, simRes.Steps)
+
+		if !realRunnable(spec) {
+			continue
+		}
+		realRes, err := scenario.RunReal(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s (real): %w", name, err)
+		}
+		outcome = "completed"
+		if realRes.MEViolations > 0 {
+			outcome = "ME VIOLATION"
+		}
+		t.AddRow(name, "real", spec.Algorithm, spec.N, spec.M, outcome,
+			realRes.Entries, realRes.MEViolations, "-")
+	}
+	t.Notes = append(t.Notes,
+		"sim rows are fully deterministic; real rows are checked on aggregate guarantees (entries, mutual exclusion)",
+		"scenarios that need the simulated substrate (illegal sizes, cycle detection, the strawman) run there only")
+	return t, nil
+}
+
+// realRunnable reports whether the real substrate can express the spec
+// (mirrors scenario.RunReal's preconditions).
+func realRunnable(s scenario.Spec) bool {
+	return s.Algorithm != scenario.AlgGreedy && !s.Unchecked && !s.DetectCycles && s.N >= 2
+}
+
+// Outcome is one experiment's result from a RunConcurrent sweep.
+type Outcome struct {
+	Experiment
+	Table   *stats.Table
+	Err     error
+	Elapsed time.Duration
+}
+
+// RunConcurrent executes the experiments on a worker pool of up to
+// `parallel` goroutines (0 or negative: GOMAXPROCS) and returns their
+// outcomes in presentation order — the output is deterministic regardless
+// of completion order. Every experiment is self-contained (own memories,
+// machines, PRNGs), so concurrent execution cannot change any result.
+func RunConcurrent(list []Experiment, parallel int) []Outcome {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(list) {
+		parallel = len(list)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	out := make([]Outcome, len(list))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, e := range list {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			tbl, err := e.Run()
+			out[i] = Outcome{Experiment: e, Table: tbl, Err: err, Elapsed: time.Since(start)}
+		}(i, e)
+	}
+	wg.Wait()
+	return out
 }
 
 // Strawman contrast used by documentation examples: the greedy protocol

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"anonmutex/internal/scenario"
 )
 
 func TestAllHaveDistinctIDs(t *testing.T) {
@@ -16,8 +18,75 @@ func TestAllHaveDistinctIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 10 {
-		t.Fatalf("expected 10 experiments, have %d", len(seen))
+	if len(seen) != 11 {
+		t.Fatalf("expected 11 experiments, have %d", len(seen))
+	}
+}
+
+func TestScenarioSuite(t *testing.T) {
+	tbl, err := ScenarioSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRows, realRows := 0, 0
+	for _, row := range tbl.Rows {
+		switch row[1] {
+		case "sim":
+			simRows++
+		case "real":
+			realRows++
+		default:
+			t.Errorf("unknown substrate in row %v", row)
+		}
+		if row[7] != "0" {
+			t.Errorf("ME violations in row %v", row)
+		}
+		if row[5] == "step bound" {
+			t.Errorf("scenario hit the step bound: %v", row)
+		}
+	}
+	if simRows == 0 || realRows == 0 {
+		t.Fatalf("expected rows on both substrates, got sim=%d real=%d", simRows, realRows)
+	}
+	// Every registered scenario contributes a sim row.
+	if simRows != len(scenario.Names()) {
+		t.Errorf("%d sim rows for %d scenarios", simRows, len(scenario.Names()))
+	}
+}
+
+func TestRunConcurrentMatchesSerial(t *testing.T) {
+	// The three cheapest deterministic experiments, twice: once serially,
+	// once on a pool. Tables must match cell for cell, in presentation
+	// order.
+	var list []Experiment
+	for _, idStr := range []string{"T1", "E7", "E10"} {
+		e, err := ByID(idStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		list = append(list, e)
+	}
+	serial := RunConcurrent(list, 1)
+	pooled := RunConcurrent(list, 3)
+	if len(serial) != len(list) || len(pooled) != len(list) {
+		t.Fatalf("outcome counts: serial %d, pooled %d", len(serial), len(pooled))
+	}
+	for i := range list {
+		if serial[i].Err != nil || pooled[i].Err != nil {
+			t.Fatalf("errors: serial %v, pooled %v", serial[i].Err, pooled[i].Err)
+		}
+		if serial[i].ID != list[i].ID || pooled[i].ID != list[i].ID {
+			t.Fatalf("presentation order broken: %s/%s at slot %s", serial[i].ID, pooled[i].ID, list[i].ID)
+		}
+		if serial[i].Table.String() != pooled[i].Table.String() {
+			t.Errorf("%s: concurrent run changed the table", list[i].ID)
+		}
+	}
+	// parallel <= 0 means GOMAXPROCS; must still work.
+	for _, o := range RunConcurrent(list[:1], 0) {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
 	}
 }
 

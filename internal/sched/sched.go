@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"anonmutex/internal/core"
+	"anonmutex/internal/engine"
 	"anonmutex/internal/id"
 	"anonmutex/internal/perm"
 	"anonmutex/internal/trace"
@@ -153,6 +154,7 @@ type ProcStats struct {
 type proc struct {
 	machine  core.Machine
 	view     *vmem.View
+	exec     engine.Executor // the view, behind the unified op executor
 	stepper  *vmem.SnapshotStepper
 	sessions int // remaining sessions
 	csLeft   int
@@ -203,6 +205,7 @@ func New(cfg Config) (*Runner, error) {
 		ps[i] = &proc{
 			machine:  machine,
 			view:     view,
+			exec:     engine.Simulated(view),
 			sessions: cfg.Sessions,
 			snapBuf:  make([]id.ID, cfg.M),
 		}
@@ -307,30 +310,21 @@ func (r *Runner) execOp(i, step int) error {
 
 	op := m.PendingOp()
 	r.tr.Add(trace.Event{Step: step, Proc: i, Kind: trace.EvOp, Op: op, Line: m.Line()})
-	var res core.OpResult
-	switch op.Kind {
-	case core.OpRead:
-		res.Val = p.view.Read(op.X)
-	case core.OpWrite:
-		p.view.Write(op.X, op.Val)
-	case core.OpCAS:
-		res.Swapped = p.view.CompareAndSwap(op.X, op.Old, op.New)
-	case core.OpSnapshot:
-		if r.cfg.HonestSnapshots {
-			p.stepper = vmem.NewSnapshotStepper(p.view)
-			// This step performed the stepper's first read.
-			if p.stepper.Step() {
-				p.snapBuf = p.stepper.Result(p.snapBuf)
-				p.stepper = nil
-				r.afterAdvance(i, step, m.Advance(core.OpResult{Snap: p.snapBuf}))
-			}
-			return nil
+	if op.Kind == core.OpSnapshot && r.cfg.HonestSnapshots {
+		p.stepper = vmem.NewSnapshotStepper(p.view)
+		// This step performed the stepper's first read.
+		if p.stepper.Step() {
+			p.snapBuf = p.stepper.Result(p.snapBuf)
+			p.stepper = nil
+			r.afterAdvance(i, step, m.Advance(core.OpResult{Snap: p.snapBuf}))
 		}
-		p.snapBuf = p.view.SnapshotAtomic(p.snapBuf)
-		res.Snap = p.snapBuf
-	default:
-		return fmt.Errorf("sched: process %d requested unknown op %v", i, op.Kind)
+		return nil
 	}
+	res, buf, err := engine.Exec(p.exec, op, p.snapBuf)
+	if err != nil {
+		return fmt.Errorf("sched: process %d: %w", i, err)
+	}
+	p.snapBuf = buf
 	r.afterAdvance(i, step, m.Advance(res))
 	return nil
 }

@@ -1,9 +1,12 @@
 // Package stats provides the small statistics toolkit used by the
-// benchmark harness: streaming summaries (count/mean/stddev/min/max) and
-// fixed-bucket histograms with percentile estimation.
+// benchmark harness: streaming summaries (count/mean/stddev/min/max),
+// fixed-bucket histograms with percentile estimation, and the Table type
+// the experiments print — renderable as aligned text or as canonical JSON
+// for machine-readable result trajectories.
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -186,6 +189,63 @@ func (t *Table) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// MarshalJSON encodes the table canonically: title, header, rows, and
+// notes, with empty collections encoded as [] (never null) so consumers
+// can index unconditionally.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	enc := struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}{
+		Title:  t.Title,
+		Header: t.Header,
+		Rows:   t.Rows,
+		Notes:  t.Notes,
+	}
+	if enc.Header == nil {
+		enc.Header = []string{}
+	}
+	if enc.Rows == nil {
+		enc.Rows = [][]string{}
+	}
+	for i, r := range enc.Rows {
+		if r == nil {
+			// Patch a copy: marshaling must not mutate the table.
+			rows := make([][]string, len(enc.Rows))
+			copy(rows, enc.Rows)
+			enc.Rows = rows
+			for j := i; j < len(enc.Rows); j++ {
+				if enc.Rows[j] == nil {
+					enc.Rows[j] = []string{}
+				}
+			}
+			break
+		}
+	}
+	if enc.Notes == nil {
+		enc.Notes = []string{}
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes a table produced by MarshalJSON, so stored
+// BENCH_*.json trajectories can be reloaded and diffed.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var dec struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return err
+	}
+	t.Title, t.Header, t.Rows, t.Notes = dec.Title, dec.Header, dec.Rows, dec.Notes
+	return nil
 }
 
 // displayWidth approximates the printed width of s (rune count; the

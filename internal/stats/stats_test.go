@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -131,5 +132,57 @@ func TestTableAlignment(t *testing.T) {
 	r1, r2 := lines[2], lines[3]
 	if strings.Index(r1, "x") != strings.Index(r2, "y") {
 		t.Errorf("columns misaligned:\n%s", tb.String())
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := Table{
+		Title:  "t",
+		Header: []string{"a", "b"},
+		Notes:  []string{"note"},
+	}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", "y")
+	data, err := json.Marshal(&tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != tb.Title || len(back.Rows) != 2 || back.Rows[0][1] != "2.50" ||
+		len(back.Notes) != 1 || len(back.Header) != 2 {
+		t.Errorf("round trip changed the table: %+v", back)
+	}
+}
+
+func TestTableJSONNeverNull(t *testing.T) {
+	data, err := json.Marshal(&Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if strings.Contains(s, "null") {
+		t.Errorf("empty table encodes null collections: %s", s)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"title", "header", "rows", "notes"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("key %q missing from %s", key, s)
+		}
+	}
+}
+
+func TestTableJSONDoesNotMutate(t *testing.T) {
+	tb := Table{Rows: [][]string{nil, {"x"}}}
+	if _, err := json.Marshal(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0] != nil {
+		t.Error("MarshalJSON replaced a nil row in the receiver")
 	}
 }

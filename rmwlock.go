@@ -2,11 +2,11 @@ package anonmutex
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"anonmutex/internal/amem"
 	"anonmutex/internal/core"
+	"anonmutex/internal/engine"
 	"anonmutex/internal/id"
 	"anonmutex/internal/mset"
 )
@@ -76,14 +76,17 @@ func (l *RMWLock) NewProcess() (*RMWProcess, error) {
 		return nil, fmt.Errorf("anonmutex: %w", err)
 	}
 	l.issued++
-	return &RMWProcess{machine: machine, view: view}, nil
+	return &RMWProcess{
+		machine: machine,
+		driver:  engine.NewDriver(machine, engine.Hardware(view)),
+	}, nil
 }
 
 // RMWProcess is one process's handle on an RMWLock. Not safe for
 // concurrent use.
 type RMWProcess struct {
 	machine *core.Alg2Machine
-	view    *amem.View
+	driver  *engine.Driver
 }
 
 // Lock acquires the critical section. It returns an error only on
@@ -92,7 +95,9 @@ func (p *RMWProcess) Lock() error {
 	if err := p.machine.StartLock(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
-	p.drive()
+	if err := p.driver.Drive(); err != nil {
+		return fmt.Errorf("anonmutex: %w", err)
+	}
 	return nil
 }
 
@@ -102,29 +107,10 @@ func (p *RMWProcess) Unlock() error {
 	if err := p.machine.StartUnlock(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
-	p.drive()
-	return nil
-}
-
-func (p *RMWProcess) drive() {
-	for i := 0; p.machine.Status() == core.StatusRunning; i++ {
-		op := p.machine.PendingOp()
-		var res core.OpResult
-		switch op.Kind {
-		case core.OpRead:
-			res.Val = p.view.Read(op.X)
-		case core.OpWrite:
-			p.view.Write(op.X, op.Val)
-		case core.OpCAS:
-			res.Swapped = p.view.CompareAndSwap(op.X, op.Old, op.New)
-		}
-		p.machine.Advance(res)
-		// The lines 8-10 wait loop and line 2 sweep are read/CAS spins;
-		// yield periodically.
-		if i&15 == 15 {
-			runtime.Gosched()
-		}
+	if err := p.driver.Drive(); err != nil {
+		return fmt.Errorf("anonmutex: %w", err)
 	}
+	return nil
 }
 
 // LockSteps reports the number of shared-memory operations performed by

@@ -2,11 +2,11 @@ package anonmutex
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"anonmutex/internal/amem"
 	"anonmutex/internal/core"
+	"anonmutex/internal/engine"
 	"anonmutex/internal/id"
 	"anonmutex/internal/mset"
 )
@@ -81,7 +81,11 @@ func (l *RWLock) NewProcess() (*RWProcess, error) {
 		return nil, fmt.Errorf("anonmutex: %w", err)
 	}
 	l.issued++
-	return &RWProcess{machine: machine, view: view}, nil
+	return &RWProcess{
+		machine: machine,
+		view:    view,
+		driver:  engine.NewDriver(machine, engine.Hardware(view)),
+	}, nil
 }
 
 // RWProcess is one process's handle on an RWLock. Not safe for concurrent
@@ -89,7 +93,7 @@ func (l *RWLock) NewProcess() (*RWProcess, error) {
 type RWProcess struct {
 	machine *core.Alg1Machine
 	view    *amem.View
-	snapBuf []id.ID
+	driver  *engine.Driver
 }
 
 // Lock acquires the critical section. It returns an error only on
@@ -98,7 +102,9 @@ func (p *RWProcess) Lock() error {
 	if err := p.machine.StartLock(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
-	p.drive()
+	if err := p.driver.Drive(); err != nil {
+		return fmt.Errorf("anonmutex: %w", err)
+	}
 	return nil
 }
 
@@ -108,35 +114,10 @@ func (p *RWProcess) Unlock() error {
 	if err := p.machine.StartUnlock(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
-	p.drive()
-	return nil
-}
-
-// drive executes the machine's pending shared-memory operations against
-// the real anonymous memory until the current invocation completes.
-func (p *RWProcess) drive() {
-	for i := 0; p.machine.Status() == core.StatusRunning; i++ {
-		op := p.machine.PendingOp()
-		var res core.OpResult
-		switch op.Kind {
-		case core.OpSnapshot:
-			p.snapBuf = p.view.Snapshot(p.snapBuf)
-			res.Snap = p.snapBuf
-			// The line 4 wait loop is snapshot-after-snapshot; stay
-			// scheduler-friendly while spinning.
-			runtime.Gosched()
-		case core.OpRead:
-			res.Val = p.view.Read(op.X)
-		case core.OpWrite:
-			p.view.Write(op.X, op.Val)
-		case core.OpCAS:
-			res.Swapped = p.view.CompareAndSwap(op.X, op.Old, op.New)
-		}
-		p.machine.Advance(res)
-		if i&15 == 15 {
-			runtime.Gosched()
-		}
+	if err := p.driver.Drive(); err != nil {
+		return fmt.Errorf("anonmutex: %w", err)
 	}
+	return nil
 }
 
 // LockSteps reports the number of shared-memory operations (snapshots

@@ -1,0 +1,112 @@
+package sim_test
+
+import (
+	"testing"
+
+	"anonmutex/internal/scenario"
+	"anonmutex/sim"
+)
+
+func TestScenariosListed(t *testing.T) {
+	names := sim.Scenarios()
+	if len(names) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []string{"smoke-rw", "smoke-rmw", "lockstep-livelock", "contended-rw"} {
+		if !seen[want] {
+			t.Errorf("built-in scenario %q missing from %v", want, names)
+		}
+	}
+}
+
+func TestRunScenarioEveryBuiltIn(t *testing.T) {
+	for _, name := range sim.Scenarios() {
+		res, err := sim.RunScenario(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.MEViolations != 0 {
+			t.Errorf("%s: %d mutual-exclusion violations", name, res.MEViolations)
+		}
+		if name == "lockstep-livelock" {
+			if !res.CycleDetected || res.Entries != 0 {
+				t.Errorf("%s: expected a livelock verdict, got %+v", name, res)
+			}
+			continue
+		}
+		if !res.Completed {
+			t.Errorf("%s: did not complete (%d steps)", name, res.Steps)
+		}
+	}
+}
+
+func TestRunScenarioDeterministic(t *testing.T) {
+	a, err := sim.RunScenario("contended-rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.RunScenario("contended-rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Entries != b.Entries {
+		t.Errorf("same scenario diverged: (%d,%d) vs (%d,%d)", a.Steps, a.Entries, b.Steps, b.Entries)
+	}
+}
+
+func TestRunScenarioJSON(t *testing.T) {
+	data, err := sim.ScenarioJSON("smoke-rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunScenarioJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Entries != 4 {
+		t.Errorf("smoke-rw via JSON: completed=%v entries=%d, want true/4", res.Completed, res.Entries)
+	}
+
+	if _, err := sim.RunScenarioJSON([]byte(`{"algorithm":"rw"}`)); err == nil {
+		t.Error("spec without n accepted")
+	}
+	if _, err := sim.RunScenarioJSON([]byte(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := sim.RunScenario("no-such"); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+	if _, err := sim.ScenarioJSON("no-such"); err == nil {
+		t.Error("unknown scenario name accepted by ScenarioJSON")
+	}
+}
+
+func TestRunSpecMatchesRunConfig(t *testing.T) {
+	// The same execution described declaratively and imperatively must
+	// agree step for step.
+	spec := scenario.Spec{
+		Algorithm: scenario.AlgRW, N: 3, M: 5, Sessions: 2,
+		Schedule: scenario.SchedRandom, Seed: 31,
+		Perms: scenario.PermsRandom, PermSeed: 7,
+	}
+	a, err := sim.RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(sim.Config{
+		Algorithm: sim.RW, N: 3, M: 5, Sessions: 2,
+		Schedule: sim.RandomSchedule, Seed: 31,
+		Perms: sim.RandomPerms, PermSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Entries != b.Entries || a.Completed != b.Completed {
+		t.Errorf("declarative (%d,%d,%v) vs imperative (%d,%d,%v)",
+			a.Steps, a.Entries, a.Completed, b.Steps, b.Entries, b.Completed)
+	}
+}

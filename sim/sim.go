@@ -22,6 +22,7 @@ import (
 	"anonmutex/internal/id"
 	"anonmutex/internal/lowerbound"
 	"anonmutex/internal/perm"
+	"anonmutex/internal/scenario"
 	"anonmutex/internal/sched"
 	"anonmutex/internal/strawman"
 )
@@ -392,6 +393,103 @@ func factoryFor(alg Algorithm, n, m int, unchecked bool) (sched.MachineFactory, 
 	default:
 		return nil, fmt.Errorf("sim: unknown algorithm %v", alg)
 	}
+}
+
+// Scenarios returns the names of every registered scenario, sorted. The
+// built-in library covers the configurations the repository's experiments
+// refer to by name; internal/scenario documents the JSON schema.
+func Scenarios() []string { return scenario.Names() }
+
+// ScenarioJSON returns the canonical JSON encoding of a registered
+// scenario — a starting point for writing scenario files.
+func ScenarioJSON(name string) ([]byte, error) {
+	spec, err := scenario.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.JSON()
+}
+
+// RunScenario runs a registered scenario on the simulated substrate.
+func RunScenario(name string) (*Result, error) {
+	spec, err := scenario.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return RunSpec(spec)
+}
+
+// RunScenarioJSON parses a scenario spec from JSON (the schema of
+// internal/scenario.Spec) and runs it on the simulated substrate.
+func RunScenarioJSON(data []byte) (*Result, error) {
+	spec, err := scenario.ParseJSON(data)
+	if err != nil {
+		return nil, err
+	}
+	return RunSpec(spec)
+}
+
+// RunSpec runs a declarative scenario on the simulated substrate. It is
+// the bridge between the scenario vocabulary and this package's Config;
+// external callers normally use RunScenario or RunScenarioJSON.
+func RunSpec(spec scenario.Spec) (*Result, error) {
+	cfg, err := configFromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Run(cfg)
+}
+
+// configFromSpec translates a normalized scenario into a Config.
+func configFromSpec(spec scenario.Spec) (Config, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return Config{}, err
+	}
+	cfg := Config{
+		N: spec.N, M: spec.M,
+		Unchecked:       spec.Unchecked || spec.Algorithm == scenario.AlgGreedy,
+		Sessions:        spec.Sessions,
+		CSTicks:         spec.CSTicks,
+		Seed:            spec.Seed,
+		PermSeed:        spec.PermSeed,
+		RotationStep:    spec.RotationStep,
+		HonestSnapshots: spec.HonestSnapshots,
+		DetectCycles:    spec.DetectCycles,
+		MaxSteps:        spec.MaxSteps,
+		TraceCap:        spec.TraceCap,
+	}
+	switch spec.Algorithm {
+	case scenario.AlgRW:
+		cfg.Algorithm = RW
+	case scenario.AlgRMW:
+		cfg.Algorithm = RMW
+	case scenario.AlgGreedy:
+		cfg.Algorithm = Greedy
+	default:
+		return Config{}, fmt.Errorf("sim: unknown scenario algorithm %q", spec.Algorithm)
+	}
+	switch spec.Schedule {
+	case scenario.SchedRoundRobin:
+		cfg.Schedule = RoundRobin
+	case scenario.SchedRandom:
+		cfg.Schedule = RandomSchedule
+	case scenario.SchedLockStep:
+		cfg.Schedule = LockStepSchedule
+	default:
+		return Config{}, fmt.Errorf("sim: unknown scenario schedule %q", spec.Schedule)
+	}
+	switch spec.Perms {
+	case scenario.PermsIdentity:
+		cfg.Perms = IdentityPerms
+	case scenario.PermsRandom:
+		cfg.Perms = RandomPerms
+	case scenario.PermsRotation:
+		cfg.Perms = RotationPerms
+	default:
+		return Config{}, fmt.Errorf("sim: unknown scenario perms %q", spec.Perms)
+	}
+	return cfg, nil
 }
 
 func adversaryFor(p Permutations, seed uint64, step int) (perm.Adversary, error) {
