@@ -35,10 +35,11 @@
 //	// critical section
 //	p.Unlock()
 //
-// Each process handle must be used by one goroutine at a time. The locks
-// are deadlock-free but — like the paper's algorithms — not starvation-
-// free: an individual process can be bypassed arbitrarily often while the
-// system as a whole always makes progress.
+// Each process handle must be used by one goroutine at a time; Close
+// returns a handle's slot to the lock so NewProcess can re-lease it to
+// another goroutine. The locks are deadlock-free but — like the paper's
+// algorithms — not starvation-free: an individual process can be bypassed
+// arbitrarily often while the system as a whole always makes progress.
 //
 // # Architecture
 //
@@ -62,6 +63,13 @@
 // which sweeps the whole registry and can run experiments on a worker
 // pool with -parallel and emit JSON with -json). DESIGN.md has the layer
 // diagram and the experiment catalog.
+//
+// Above the locks sits a service layer: internal/lockmgr shards a
+// namespace of named locks (each lazily backed by its own
+// anonymous-register arena, with a lease pool multiplexing unbounded
+// clients onto the fixed n handles via Close/re-lease), lockd serves it
+// over TCP (cmd/anonlockd), and cmd/anonload generates client load
+// against either. DESIGN.md documents the whole stack.
 //
 // The companion packages anonmutex/mnum (the M(n) number theory) and
 // anonmutex/sim (deterministic simulation, model checking, scenarios,

@@ -1,0 +1,184 @@
+// Command anonload drives a named-lock backend under load and reports
+// latency and throughput, with a mutual-exclusion owner check inside
+// every critical section. It can hammer an in-process lock manager
+// (-mode inproc, the default) or a running anonlockd service over TCP
+// (-mode net -addr host:port).
+//
+// Usage:
+//
+//	anonload -clients 64 -keys 32 -cycles 2000
+//	anonload -mode net -addr 127.0.0.1:7117 -dist skewed -duration 10s
+//	anonload -json > BENCH_load.json
+//
+// The JSON output is an array of {id, title, seconds, table} records —
+// the same shape anonbench emits — so runs slot into BENCH_*.json
+// trajectories. The command exits nonzero if any mutual-exclusion
+// violation is observed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"anonmutex/internal/loadgen"
+	"anonmutex/internal/lockmgr"
+	"anonmutex/internal/stats"
+	"anonmutex/lockd"
+	"anonmutex/lockd/client"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anonload:", err)
+		os.Exit(1)
+	}
+}
+
+// record matches anonbench's machine-readable result element.
+type record struct {
+	ID      string       `json:"id"`
+	Title   string       `json:"title"`
+	Seconds float64      `json:"seconds"`
+	Table   *stats.Table `json:"table"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("anonload", flag.ContinueOnError)
+	mode := fs.String("mode", "inproc", "backend: inproc (own lock manager) or net (a lockd service)")
+	addr := fs.String("addr", "127.0.0.1:7117", "lockd address (net mode)")
+	clients := fs.Int("clients", 64, "concurrent clients")
+	keys := fs.Int("keys", 32, "distinct lock names")
+	cycles := fs.Int("cycles", 2000, "total acquire/release cycles (0: run for -duration)")
+	duration := fs.Duration("duration", 0, "wall-clock bound (0: run until -cycles)")
+	dist := fs.String("dist", "uniform", "key distribution: uniform, bursty, or skewed")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	cs := fs.Int("cs", 1, "critical-section spin units")
+	think := fs.Int("think", 1, "between-cycle spin units")
+	alg := fs.String("alg", "rmw", "per-name lock algorithm (inproc mode): rw or rmw")
+	handles := fs.Int("handles", 8, "process handles per named lock (inproc mode)")
+	shards := fs.Int("shards", 16, "lock-manager shards (inproc mode)")
+	maxLocks := fs.Int("max-locks", 1024, "resident locks per shard (inproc mode)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *duration > 0 && !flagSet(fs, "cycles") {
+		*cycles = 0 // -duration alone means "run for that long"
+	}
+
+	cfg := loadgen.Config{
+		Clients:   *clients,
+		Keys:      *keys,
+		Cycles:    *cycles,
+		Duration:  *duration,
+		Dist:      *dist,
+		Seed:      *seed,
+		CSWork:    *cs,
+		ThinkWork: *think,
+	}
+
+	var (
+		backendTable *stats.Table
+		violations   uint64
+	)
+	switch *mode {
+	case "inproc":
+		mgr, err := lockmgr.New(lockmgr.Config{
+			Shards:           *shards,
+			Algorithm:        *alg,
+			HandlesPerLock:   *handles,
+			MaxLocksPerShard: *maxLocks,
+			Seed:             *seed,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.NewLocker = func(int) (loadgen.Locker, error) {
+			return loadgen.NewManagerLocker(mgr), nil
+		}
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			return err
+		}
+		violations = uint64(res.Violations) + mgr.Violations()
+		res.Backend = "inproc"
+		backendTable = mgr.StatsTable()
+		if err := mgr.Close(); err != nil {
+			return err
+		}
+		return report(*jsonOut, res, backendTable, violations)
+	case "net":
+		cfg.NewLocker = func(int) (loadgen.Locker, error) {
+			return client.Dial(*addr)
+		}
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			return err
+		}
+		res.Backend = "net " + *addr
+		// The server's own cross-check is the authoritative violation
+		// count; fold it in via a final stats query.
+		c, err := client.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		st, err := c.Stats()
+		c.Close()
+		if err != nil {
+			return err
+		}
+		violations = uint64(res.Violations) + st.Violations
+		return report(*jsonOut, res, serverTable(st), violations)
+	default:
+		return fmt.Errorf("unknown mode %q (want inproc or net)", *mode)
+	}
+}
+
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// serverTable renders a lockd stats snapshot as a table.
+func serverTable(st lockd.Stats) *stats.Table {
+	t := &stats.Table{
+		Title: "lockd server counters",
+		Header: []string{"acquires", "releases", "waits", "try-fail", "creates",
+			"evictions", "resident", "sessions", "violations"},
+	}
+	t.AddRow(st.Acquires, st.Releases, st.Waits, st.TryFailures, st.LockCreates,
+		st.Evictions, st.ResidentLocks, st.Sessions, st.Violations)
+	return t
+}
+
+// report prints the run (and backend counters) and fails on violations.
+func report(jsonOut bool, res *loadgen.Result, backend *stats.Table, violations uint64) error {
+	if jsonOut {
+		records := []record{{ID: "LOAD", Title: "anonload run", Seconds: res.Seconds, Table: res.Table()}}
+		if backend != nil {
+			records = append(records, record{ID: "LOAD-BACKEND", Title: backend.Title, Table: backend})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(res.Table().String())
+		if backend != nil {
+			fmt.Println()
+			fmt.Print(backend.String())
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d mutual-exclusion violations observed", violations)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunInproc(t *testing.T) {
+	cases := [][]string{
+		{"-clients", "4", "-keys", "4", "-cycles", "80"},
+		{"-clients", "4", "-keys", "4", "-cycles", "80", "-dist", "skewed", "-alg", "rw", "-handles", "2"},
+		{"-clients", "2", "-keys", "2", "-cycles", "40", "-dist", "bursty", "-json"},
+		{"-clients", "2", "-keys", "2", "-duration", "50ms"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "quantum"},
+		{"-dist", "pareto", "-cycles", "10"},
+		{"-alg", "greedy", "-cycles", "10"},
+		{"-clients", "-1", "-cycles", "10"},
+		{"-mode", "net", "-addr", "127.0.0.1:1", "-clients", "1", "-cycles", "1"}, // nothing listening
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

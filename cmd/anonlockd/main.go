@@ -1,0 +1,102 @@
+// Command anonlockd serves the lockd network lock service: named locks
+// backed by anonymous-register mutexes, sharded and lease-pooled by
+// internal/lockmgr, over the newline-JSON TCP protocol in package lockd.
+//
+// Usage:
+//
+//	anonlockd                               # serve on :7117
+//	anonlockd -addr 127.0.0.1:9000          # explicit bind address
+//	anonlockd -alg rw -handles 4 -shards 8  # lock-manager tuning
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes,
+// sessions get a drain window, and every session grant is released.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"anonmutex/internal/lockmgr"
+	"anonmutex/lockd"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "anonlockd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until stop fires (tests) or a termination signal arrives
+// (stop == nil).
+func run(args []string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("anonlockd", flag.ContinueOnError)
+	addr := fs.String("addr", ":7117", "listen address")
+	alg := fs.String("alg", "rmw", "per-name lock algorithm: rw or rmw")
+	handles := fs.Int("handles", 8, "process handles per named lock (max concurrent competitors)")
+	registers := fs.Int("registers", 0, "anonymous registers per lock (0: smallest legal size)")
+	shards := fs.Int("shards", 16, "lock-manager shards")
+	maxLocks := fs.Int("max-locks", 1024, "resident locks per shard before LRU eviction")
+	seed := fs.Uint64("seed", 1, "anonymity-adversary seed")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mgr, err := lockmgr.New(lockmgr.Config{
+		Shards:           *shards,
+		Algorithm:        *alg,
+		HandlesPerLock:   *handles,
+		Registers:        *registers,
+		MaxLocksPerShard: *maxLocks,
+		Seed:             *seed,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("anonlockd: serving on %s (alg=%s handles=%d shards=%d)\n",
+		ln.Addr(), *alg, *handles, *shards)
+
+	srv := lockd.NewServer(mgr)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		select {
+		case err := <-serveErr:
+			return err
+		case s := <-sig:
+			fmt.Printf("anonlockd: %v, draining\n", s)
+		}
+	} else {
+		select {
+		case err := <-serveErr:
+			return err
+		case <-stop:
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	fmt.Print(mgr.StatsTable().String())
+	return mgr.Close()
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"anonmutex/lockd/client"
+)
+
+// TestServeAndShutdown boots the daemon on an ephemeral loopback port
+// and stops it immediately through the test hook.
+func TestServeAndShutdown(t *testing.T) {
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-handles", "2"}, stop)
+	}()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestSessionAgainstDaemon runs a session against the daemon on a
+// pre-reserved loopback port.
+func TestSessionAgainstDaemon(t *testing.T) {
+	addr := pickAddr(t)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", addr, "-handles", "2"}, stop) }()
+	c := dialRetry(t, addr)
+	defer c.Close()
+	if err := c.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Acquires != 1 || st.Violations != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	c.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-alg", "greedy"}, nil); err == nil {
+		t.Error("run with unknown algorithm succeeded")
+	}
+	if err := run([]string{"-addr", "256.256.256.256:1"}, nil); err == nil {
+		t.Error("run with unusable address succeeded")
+	}
+}
+
+// pickAddr finds a free loopback port by binding and releasing it.
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func dialRetry(t *testing.T, addr string) *client.Conn {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := client.Dial(addr)
+		if err == nil {
+			return c
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dialing %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

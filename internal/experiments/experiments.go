@@ -16,11 +16,12 @@
 //	E9             — fairness (deadlock-freedom is not starvation-freedom)
 //	E10            — anonymity invariance
 //	S1             — the scenario-registry sweep, on both substrates
+//	S2             — the named-lock service sweep (lockmgr + lockd)
 //
-// Everything except S1's real-substrate timings is deterministic: fixed
-// seeds, simulated schedules. Experiments are independent — RunConcurrent
-// executes them on a worker pool and reports results in presentation
-// order.
+// Everything except S1's real-substrate timings and S2's service
+// measurements is deterministic: fixed seeds, simulated schedules.
+// Experiments are independent — RunConcurrent executes them on a worker
+// pool and reports results in presentation order.
 package experiments
 
 import (
@@ -68,6 +69,7 @@ func All() []Experiment {
 		{"E9", "Fairness: bypasses and waiting spread", Fairness},
 		{"E10", "Anonymity invariance: permutation adversaries", PermInvariance},
 		{"S1", "Scenario registry: every named scenario, both substrates", ScenarioSuite},
+		{"S2", "Service sweep: sharded named-lock manager and lockd under load", ServiceSweep},
 	}
 }
 

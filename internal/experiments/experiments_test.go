@@ -18,8 +18,8 @@ func TestAllHaveDistinctIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 11 {
-		t.Fatalf("expected 11 experiments, have %d", len(seen))
+	if len(seen) != 12 {
+		t.Fatalf("expected 12 experiments, have %d", len(seen))
 	}
 }
 

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestServiceSweepStructure checks S2's exact columns: every row must
+// complete all cycles with zero violations, and the sweep must cover
+// both backends.
+func TestServiceSweepStructure(t *testing.T) {
+	tbl, err := ServiceSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (5 inproc + 1 lockd)", len(tbl.Rows))
+	}
+	backends := map[string]int{}
+	for _, row := range tbl.Rows {
+		backends[row[0]]++
+		if cycles := row[5]; cycles != "240" {
+			t.Errorf("%s/%s/%s completed %s cycles, want 240", row[0], row[1], row[2], cycles)
+		}
+		if violations := row[6]; violations != "0" {
+			t.Errorf("%s/%s/%s observed %s violations", row[0], row[1], row[2], violations)
+		}
+	}
+	if backends["inproc"] != 5 || backends["lockd"] != 1 {
+		t.Errorf("backend coverage = %v", backends)
+	}
+}

@@ -1,0 +1,343 @@
+// Package loadgen drives named-lock backends under configurable load: a
+// population of client goroutines acquires and releases keys drawn from
+// one of the scenario workload distributions (uniform, bursty, skewed),
+// measures per-acquire latency and end-to-end throughput, and verifies
+// mutual exclusion with a per-key owner token checked inside every
+// critical section.
+//
+// The backend is anything that can acquire and release named locks — the
+// in-process lockmgr.Manager (via ManagerLocker) or a lockd server over
+// TCP (via the lockd/client package); cmd/anonload exposes both, and the
+// S2 experiment sweeps the in-process backend.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonmutex/internal/lockmgr"
+	"anonmutex/internal/scenario"
+	"anonmutex/internal/stats"
+	"anonmutex/internal/workload"
+	"anonmutex/internal/xrand"
+)
+
+// Locker is one client's session on a named-lock backend. A Locker
+// belongs to one client goroutine.
+type Locker interface {
+	Acquire(name string) error
+	Release(name string) error
+	Close() error
+}
+
+// HoldsChecker is the optional owner-check surface: a Locker that can
+// report, from the backend's own bookkeeping, whether this session holds
+// a name. When available, the generator issues the check inside every
+// critical section and counts failures as violations.
+type HoldsChecker interface {
+	Holds(name string) (bool, error)
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// Clients is the number of concurrent client goroutines (default 8).
+	Clients int
+	// Keys is the size of the lock-name space (default 16).
+	Keys int
+	// Cycles is the total acquire/release cycles across all clients; 0
+	// means run until Duration elapses (at least one must be set).
+	Cycles int
+	// Duration bounds the run's wall clock; 0 means run until Cycles.
+	Duration time.Duration
+	// Dist is the key distribution: scenario.WorkloadUniform (every key
+	// equally hot), WorkloadSkewed (80% of traffic on one hot key), or
+	// WorkloadBursty (clusters of rapid cycles between long pauses).
+	// Default uniform.
+	Dist string
+	// Seed drives key choice and think-time jitter.
+	Seed uint64
+	// CSWork and ThinkWork are spin units (workload.Spin) inside the
+	// critical section and between cycles.
+	CSWork, ThinkWork int
+	// NewLocker opens client i's session.
+	NewLocker func(client int) (Locker, error)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Clients < 1 {
+		return c, fmt.Errorf("loadgen: need Clients >= 1, got %d", c.Clients)
+	}
+	if c.Keys == 0 {
+		c.Keys = 16
+	}
+	if c.Keys < 1 {
+		return c, fmt.Errorf("loadgen: need Keys >= 1, got %d", c.Keys)
+	}
+	if c.Cycles < 0 || c.Duration < 0 {
+		return c, fmt.Errorf("loadgen: negative bounds")
+	}
+	if c.Cycles == 0 && c.Duration == 0 {
+		return c, fmt.Errorf("loadgen: need Cycles or Duration")
+	}
+	if c.Dist == "" {
+		c.Dist = scenario.WorkloadUniform
+	}
+	switch c.Dist {
+	case scenario.WorkloadUniform, scenario.WorkloadBursty, scenario.WorkloadSkewed:
+	default:
+		return c, fmt.Errorf("loadgen: unknown distribution %q (want %s, %s, or %s)",
+			c.Dist, scenario.WorkloadUniform, scenario.WorkloadBursty, scenario.WorkloadSkewed)
+	}
+	if c.NewLocker == nil {
+		return c, fmt.Errorf("loadgen: NewLocker is required")
+	}
+	return c, nil
+}
+
+// Result is one run's outcome. Latencies are microseconds.
+type Result struct {
+	Backend    string  `json:"backend"`
+	Clients    int     `json:"clients"`
+	Keys       int     `json:"keys"`
+	Dist       string  `json:"dist"`
+	Cycles     int64   `json:"cycles"`
+	Seconds    float64 `json:"seconds"`
+	Throughput float64 `json:"cycles_per_second"`
+	// Violations counts owner-check failures observed inside critical
+	// sections (client token mismatches and failed backend holds checks).
+	// It must be 0.
+	Violations int64   `json:"violations"`
+	LatencyP50 float64 `json:"acquire_p50_us"`
+	LatencyP90 float64 `json:"acquire_p90_us"`
+	LatencyP99 float64 `json:"acquire_p99_us"`
+	LatencyMax float64 `json:"acquire_max_us"`
+}
+
+// Table renders the result in the harness's table format, suitable for
+// BENCH_*.json via the stats.Table JSON codec.
+func (r *Result) Table() *stats.Table {
+	t := &stats.Table{
+		Title: fmt.Sprintf("anonload — backend=%s", r.Backend),
+		Header: []string{"clients", "keys", "dist", "cycles", "seconds", "cycles/s",
+			"violations", "acq p50 µs", "acq p90 µs", "acq p99 µs", "acq max µs"},
+	}
+	t.AddRow(r.Clients, r.Keys, r.Dist, r.Cycles, r.Seconds, r.Throughput,
+		r.Violations, r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
+	t.Notes = append(t.Notes,
+		"every critical section runs an owner check: a per-key token (CAS in, CAS out) plus the backend's holds op when offered")
+	return t
+}
+
+// Run executes the load.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, cfg.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	owners := make([]atomic.Int64, cfg.Keys)
+
+	var (
+		next       atomic.Int64 // global cycle allocator
+		violations atomic.Int64
+		stop       atomic.Bool
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		firstErr   error
+	)
+	// Per-client latency buffers keep the measured hot loop free of
+	// shared state; they merge into one histogram after the run.
+	latencies := make([][]float64, cfg.Clients)
+	fail := func(err error) {
+		stop.Store(true)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			lk, err := cfg.NewLocker(me)
+			if err != nil {
+				fail(fmt.Errorf("loadgen: client %d: %w", me, err))
+				return
+			}
+			defer lk.Close()
+			checker, _ := lk.(HoldsChecker)
+			r := xrand.New(xrand.Mix64(cfg.Seed ^ uint64(me)*0x9e3779b97f4a7c15))
+			token := int64(me + 1)
+			var burst int
+			for !stop.Load() {
+				if cfg.Cycles > 0 && next.Add(1) > int64(cfg.Cycles) {
+					return
+				}
+				if cfg.Duration > 0 && !time.Now().Before(deadline) {
+					return
+				}
+				k := pickKey(cfg.Dist, r, cfg.Keys)
+				acqStart := time.Now()
+				if err := lk.Acquire(keys[k]); err != nil {
+					fail(fmt.Errorf("loadgen: client %d acquiring %s: %w", me, keys[k], err))
+					return
+				}
+				lat := float64(time.Since(acqStart).Microseconds())
+				// Critical section: owner checks, then the payload work.
+				if !owners[k].CompareAndSwap(0, token) {
+					violations.Add(1)
+				}
+				if checker != nil {
+					held, err := checker.Holds(keys[k])
+					if err != nil {
+						// A transport/backend failure is a run error, not
+						// evidence the lock misbehaved.
+						fail(fmt.Errorf("loadgen: client %d holds check on %s: %w", me, keys[k], err))
+						return
+					}
+					if !held {
+						violations.Add(1)
+					}
+				}
+				workload.Spin(cfg.CSWork)
+				if !owners[k].CompareAndSwap(token, 0) {
+					violations.Add(1)
+				}
+				if err := lk.Release(keys[k]); err != nil {
+					fail(fmt.Errorf("loadgen: client %d releasing %s: %w", me, keys[k], err))
+					return
+				}
+				latencies[me] = append(latencies[me], lat)
+				think(cfg, r, &burst)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var merged stats.Histogram
+	for _, buf := range latencies {
+		for _, lat := range buf {
+			merged.Add(lat)
+		}
+	}
+	cycles := int64(merged.N())
+	res := &Result{
+		Clients:    cfg.Clients,
+		Keys:       cfg.Keys,
+		Dist:       cfg.Dist,
+		Cycles:     cycles,
+		Seconds:    elapsed,
+		Violations: violations.Load(),
+		LatencyP50: merged.Percentile(50),
+		LatencyP90: merged.Percentile(90),
+		LatencyP99: merged.Percentile(99),
+		LatencyMax: merged.Percentile(100),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(cycles) / elapsed
+	}
+	return res, nil
+}
+
+// pickKey draws a lock name index from the configured distribution.
+func pickKey(dist string, r *xrand.Rand, keys int) int {
+	switch dist {
+	case scenario.WorkloadSkewed:
+		// One hot key takes 80% of the traffic — the service-side analog
+		// of the skewed workload profile's hammering process.
+		if r.Intn(5) != 0 {
+			return 0
+		}
+		return r.Intn(keys)
+	default: // uniform and bursty spread keys evenly
+		return r.Intn(keys)
+	}
+}
+
+// think burns the between-cycle time. Bursty clients alternate clusters
+// of back-to-back cycles with long pauses, mirroring workload.Bursty.
+func think(cfg Config, r *xrand.Rand, burst *int) {
+	switch cfg.Dist {
+	case scenario.WorkloadBursty:
+		if *burst > 0 {
+			*burst--
+			workload.Spin(1)
+			return
+		}
+		*burst = 2 + r.Intn(6)
+		workload.Spin(10 * (cfg.ThinkWork + 1))
+	default:
+		workload.Spin(cfg.ThinkWork)
+	}
+}
+
+// ManagerLocker adapts one client's view of an in-process
+// lockmgr.Manager to the Locker interface, with session bookkeeping so
+// Holds serves as the backend owner check. One ManagerLocker per client
+// goroutine.
+type ManagerLocker struct {
+	mgr    *lockmgr.Manager
+	grants map[string]*lockmgr.Grant
+}
+
+// NewManagerLocker opens a session on mgr.
+func NewManagerLocker(mgr *lockmgr.Manager) *ManagerLocker {
+	return &ManagerLocker{mgr: mgr, grants: make(map[string]*lockmgr.Grant)}
+}
+
+// Acquire blocks until this session holds name.
+func (l *ManagerLocker) Acquire(name string) error {
+	if _, held := l.grants[name]; held {
+		return fmt.Errorf("loadgen: session already holds %q", name)
+	}
+	g, err := l.mgr.Acquire(name)
+	if err != nil {
+		return err
+	}
+	l.grants[name] = g
+	return nil
+}
+
+// Release gives a held name back.
+func (l *ManagerLocker) Release(name string) error {
+	g, held := l.grants[name]
+	if !held {
+		return fmt.Errorf("loadgen: session does not hold %q", name)
+	}
+	delete(l.grants, name)
+	return g.Release()
+}
+
+// Holds implements HoldsChecker from the session's bookkeeping.
+func (l *ManagerLocker) Holds(name string) (bool, error) {
+	_, held := l.grants[name]
+	return held, nil
+}
+
+// Close releases anything the session still holds.
+func (l *ManagerLocker) Close() error {
+	for name, g := range l.grants {
+		delete(l.grants, name)
+		if err := g.Release(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"anonmutex/internal/lockmgr"
+	"anonmutex/internal/scenario"
+)
+
+func managerConfig(t *testing.T, mcfg lockmgr.Config, cfg Config) (Config, *lockmgr.Manager) {
+	t.Helper()
+	mgr, err := lockmgr.New(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NewLocker = func(int) (Locker, error) { return NewManagerLocker(mgr), nil }
+	return cfg, mgr
+}
+
+func TestRunCycles(t *testing.T) {
+	for _, dist := range []string{
+		scenario.WorkloadUniform, scenario.WorkloadBursty, scenario.WorkloadSkewed,
+	} {
+		t.Run(dist, func(t *testing.T) {
+			cfg, mgr := managerConfig(t,
+				lockmgr.Config{Shards: 2, HandlesPerLock: 2},
+				Config{Clients: 4, Keys: 4, Cycles: 120, Dist: dist, Seed: 7})
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cycles != 120 {
+				t.Errorf("cycles = %d, want 120", res.Cycles)
+			}
+			if res.Violations != 0 {
+				t.Errorf("violations = %d", res.Violations)
+			}
+			if mgr.Violations() != 0 {
+				t.Errorf("manager violations = %d", mgr.Violations())
+			}
+			if res.Throughput <= 0 {
+				t.Errorf("throughput = %v", res.Throughput)
+			}
+			if res.LatencyP50 > res.LatencyP99 || res.LatencyP99 > res.LatencyMax {
+				t.Errorf("latency percentiles out of order: %+v", res)
+			}
+			if err := mgr.Close(); err != nil {
+				t.Errorf("manager close: %v", err)
+			}
+		})
+	}
+}
+
+func TestRunDuration(t *testing.T) {
+	cfg, _ := managerConfig(t,
+		lockmgr.Config{HandlesPerLock: 2},
+		Config{Clients: 2, Keys: 2, Duration: 50 * time.Millisecond})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Error("no cycles completed in a 50ms run")
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d", res.Violations)
+	}
+}
+
+func TestResultTable(t *testing.T) {
+	res := &Result{Backend: "inproc", Clients: 2, Keys: 2, Dist: "uniform", Cycles: 10}
+	tbl := res.Table()
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if !strings.Contains(tbl.String(), "owner check") {
+		t.Error("table missing the owner-check note")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	lockerless := func(c Config) Config { return c }
+	withLocker := func(c Config) Config {
+		c.NewLocker = func(int) (Locker, error) { return NewManagerLocker(nil), nil }
+		return c
+	}
+	cases := []Config{
+		lockerless(Config{Cycles: 1}), // missing NewLocker
+		withLocker(Config{}),          // neither Cycles nor Duration
+		withLocker(Config{Cycles: 1, Clients: -1}),
+		withLocker(Config{Cycles: 1, Keys: -1}),
+		withLocker(Config{Cycles: -1}),
+		withLocker(Config{Cycles: 1, Dist: "pareto"}),
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run(case %d) succeeded", i)
+		}
+	}
+}
+
+func TestManagerLockerSessionErrors(t *testing.T) {
+	mgr, err := lockmgr.New(lockmgr.Config{HandlesPerLock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk := NewManagerLocker(mgr)
+	if err := lk.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lk.Acquire("k"); err == nil {
+		t.Error("re-acquire in one session succeeded")
+	}
+	if held, _ := lk.Holds("k"); !held {
+		t.Error("Holds = false for a held name")
+	}
+	if err := lk.Release("nope"); err == nil {
+		t.Error("release of unheld name succeeded")
+	}
+	// Close releases the leftover grant, so the manager can shut down.
+	if err := lk.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

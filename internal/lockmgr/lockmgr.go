@@ -1,0 +1,447 @@
+// Package lockmgr implements a sharded named-lock manager over the root
+// package's anonymous-register mutexes: the bridge between the paper's
+// primitive — one deadlock-free mutex over m anonymous registers for a
+// fixed set of n processes — and a service that hands out locks by name
+// to an unbounded client population.
+//
+// Three mechanisms make the bridge:
+//
+//   - Sharding. Lock names hash (FNV-1a) to one of K independent shards,
+//     so unrelated names never contend on manager bookkeeping.
+//   - Lazy, bounded materialization. Each shard keeps an LRU-bounded
+//     table of named locks; a lock's anonymous-register arena exists only
+//     while the name is hot, and cold arenas are evicted (their handles
+//     closed) once the table fills.
+//   - Lease pooling. Every named lock is a fixed-n anonmutex lock; a
+//     lease pool multiplexes arbitrarily many clients onto those n
+//     process handles, built on the root package's Close/re-lease
+//     lifecycle. Clients that find all n handles leased queue for the
+//     next release.
+//
+// Acquire/TryAcquire return a Grant whose Release returns both the
+// critical section and the leased handle. The manager cross-checks
+// mutual exclusion on every grant (a per-lock holder counter that must
+// step 0→1→0) and feeds per-shard contention and throughput counters
+// into a stats.Table for the experiment harness and the lockd service.
+package lockmgr
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonmutex"
+	"anonmutex/internal/scenario"
+	"anonmutex/internal/stats"
+)
+
+// Config parameterizes a Manager. The zero value of every field means
+// "default".
+type Config struct {
+	// Shards is the number of independent shards K (default 16).
+	Shards int
+	// Algorithm selects the per-name lock: scenario.AlgRW or
+	// scenario.AlgRMW (default rmw — the cheaper majority entry cost).
+	Algorithm string
+	// HandlesPerLock is each named lock's fixed process count n ≥ 2
+	// (default 8): the maximum number of clients simultaneously competing
+	// for one name; further clients queue in the lease pool.
+	HandlesPerLock int
+	// Registers is the per-lock anonymous memory size m (default 0: the
+	// smallest legal size for the algorithm and n).
+	Registers int
+	// MaxLocksPerShard bounds each shard's resident lock table (default
+	// 1024). Beyond it, the least-recently-used idle lock is evicted.
+	MaxLocksPerShard int
+	// Seed drives each lock's anonymity adversary; per-name seeds are
+	// derived from it so distinct names get distinct permutations.
+	Seed uint64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Shards == 0 {
+		c.Shards = 16
+	}
+	if c.Shards < 1 {
+		return c, fmt.Errorf("lockmgr: need Shards >= 1, got %d", c.Shards)
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = scenario.AlgRMW
+	}
+	if c.Algorithm != scenario.AlgRW && c.Algorithm != scenario.AlgRMW {
+		return c, fmt.Errorf("lockmgr: unknown algorithm %q (want %s or %s)",
+			c.Algorithm, scenario.AlgRW, scenario.AlgRMW)
+	}
+	if c.HandlesPerLock == 0 {
+		c.HandlesPerLock = 8
+	}
+	if c.HandlesPerLock < 2 {
+		return c, fmt.Errorf("lockmgr: need HandlesPerLock >= 2, got %d", c.HandlesPerLock)
+	}
+	if c.Registers < 0 {
+		return c, fmt.Errorf("lockmgr: need Registers >= 0, got %d", c.Registers)
+	}
+	if c.MaxLocksPerShard == 0 {
+		c.MaxLocksPerShard = 1024
+	}
+	if c.MaxLocksPerShard < 1 {
+		return c, fmt.Errorf("lockmgr: need MaxLocksPerShard >= 1, got %d", c.MaxLocksPerShard)
+	}
+	return c, nil
+}
+
+// Manager is the sharded named-lock manager. Safe for concurrent use.
+type Manager struct {
+	cfg        Config
+	shards     []*shard
+	violations atomic.Uint64
+}
+
+// shard owns one partition of the name space.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
+	c       Counters
+	latency stats.Summary // acquire latency, microseconds
+}
+
+// entry is one resident named lock.
+type entry struct {
+	name string
+	pool *leasePool
+	elem *list.Element
+	refs int          // checked-out grants + queued acquirers; evictable only at 0
+	held atomic.Int32 // grants inside the critical section: must step 0→1→0
+}
+
+// Counters aggregates a shard's (or with Manager.Counters, the whole
+// manager's) bookkeeping.
+type Counters struct {
+	// Acquires and Releases count completed blocking operations;
+	// TryAcquires counts attempts, TryFailures the unavailable ones.
+	Acquires, Releases, TryAcquires, TryFailures uint64
+	// Waits counts acquirers that queued for a handle (all n leased).
+	Waits uint64
+	// LockCreates and Hits split name lookups into cold and warm;
+	// Evictions counts LRU teardowns.
+	LockCreates, Hits, Evictions uint64
+	// ResidentLocks is the current table population.
+	ResidentLocks int
+}
+
+func (a Counters) add(b Counters) Counters {
+	a.Acquires += b.Acquires
+	a.Releases += b.Releases
+	a.TryAcquires += b.TryAcquires
+	a.TryFailures += b.TryFailures
+	a.Waits += b.Waits
+	a.LockCreates += b.LockCreates
+	a.Hits += b.Hits
+	a.Evictions += b.Evictions
+	a.ResidentLocks += b.ResidentLocks
+	return a
+}
+
+// New creates a manager.
+func New(cfg Config) (*Manager, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range m.shards {
+		m.shards[i] = &shard{entries: make(map[string]*entry), lru: list.New()}
+	}
+	return m, nil
+}
+
+// hash is FNV-1a over the name.
+func hash(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+func (m *Manager) shard(name string) *shard {
+	return m.shards[hash(name)%uint64(len(m.shards))]
+}
+
+// newLock materializes the anonmutex lock behind one name.
+func (m *Manager) newLock(name string) (func() (procHandle, error), error) {
+	opts := []anonmutex.Option{anonmutex.WithSeed(m.cfg.Seed ^ hash(name))}
+	if m.cfg.Registers > 0 {
+		opts = append(opts, anonmutex.WithRegisters(m.cfg.Registers))
+	}
+	switch m.cfg.Algorithm {
+	case scenario.AlgRW:
+		l, err := anonmutex.NewRWLock(m.cfg.HandlesPerLock, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return func() (procHandle, error) { return l.NewProcess() }, nil
+	default:
+		l, err := anonmutex.NewRMWLock(m.cfg.HandlesPerLock, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return func() (procHandle, error) { return l.NewProcess() }, nil
+	}
+}
+
+// checkout pins the entry for name (creating it, and evicting a cold one,
+// as needed) and leases a handle from its pool.
+func (m *Manager) checkout(name string, block bool) (*entry, procHandle, error) {
+	sh := m.shard(name)
+	sh.mu.Lock()
+	e, ok := sh.entries[name]
+	if ok {
+		sh.c.Hits++
+		sh.lru.MoveToFront(e.elem)
+	} else {
+		if len(sh.entries) >= m.cfg.MaxLocksPerShard {
+			sh.evictColdest()
+		}
+		newHandle, err := m.newLock(name)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, nil, err
+		}
+		e = &entry{name: name, pool: newLeasePool(m.cfg.HandlesPerLock, newHandle)}
+		e.elem = sh.lru.PushFront(e)
+		sh.entries[name] = e
+		sh.c.LockCreates++
+	}
+	e.refs++
+	sh.mu.Unlock()
+
+	h, ok, waited, err := e.pool.lease(block)
+	if !ok || err != nil {
+		sh.mu.Lock()
+		e.refs--
+		sh.mu.Unlock()
+		return nil, nil, err
+	}
+	if waited {
+		sh.mu.Lock()
+		sh.c.Waits++
+		sh.mu.Unlock()
+	}
+	return e, h, nil
+}
+
+// evictColdest removes the least-recently-used idle entry, closing its
+// pooled handles. Called with the shard lock held; a shard whose every
+// entry is pinned simply overflows its bound until one goes idle.
+func (sh *shard) evictColdest() {
+	for el := sh.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.refs > 0 {
+			continue
+		}
+		// refs == 0 means every materialized handle is parked, so
+		// closeIdle cannot fail; a failure would be a manager bug and the
+		// entry is dropped either way (its arena is unreachable).
+		_ = e.pool.closeIdle()
+		sh.lru.Remove(el)
+		delete(sh.entries, e.name)
+		sh.c.Evictions++
+		return
+	}
+}
+
+// Acquire blocks until the caller holds the named lock, queueing for a
+// process handle when all n are leased and then competing through the
+// anonymous-register algorithm. The returned Grant's Release gives the
+// lock back.
+func (m *Manager) Acquire(name string) (*Grant, error) {
+	start := time.Now()
+	e, h, err := m.checkout(name, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Lock(); err != nil {
+		m.checkin(e, h, false)
+		return nil, err
+	}
+	if e.held.Add(1) != 1 {
+		m.violations.Add(1)
+	}
+	sh := m.shard(name)
+	sh.mu.Lock()
+	sh.c.Acquires++
+	sh.latency.Add(float64(time.Since(start).Microseconds()))
+	sh.mu.Unlock()
+	return &Grant{m: m, e: e, h: h}, nil
+}
+
+// TryAcquire acquires the named lock only if it looks immediately
+// available: it fails fast when another grant observably holds the lock
+// or all n handles are leased out. The check is best-effort — the
+// anonymous mutex has no native trylock, so a concurrent acquirer that
+// wins the race after the final holder check can make TryAcquire wait
+// out that acquirer's critical section. Callers that need a hard
+// non-blocking bound must keep their critical sections short.
+func (m *Manager) TryAcquire(name string) (*Grant, bool, error) {
+	sh := m.shard(name)
+	sh.mu.Lock()
+	sh.c.TryAcquires++
+	if e, ok := sh.entries[name]; ok && e.held.Load() > 0 {
+		sh.c.TryFailures++
+		sh.mu.Unlock()
+		return nil, false, nil
+	}
+	sh.mu.Unlock()
+	e, h, err := m.checkout(name, false)
+	if err != nil {
+		return nil, false, err
+	}
+	if h == nil { // pool exhausted
+		sh.mu.Lock()
+		sh.c.TryFailures++
+		sh.mu.Unlock()
+		return nil, false, nil
+	}
+	// Re-check now that the lease is in hand: a holder that appeared
+	// while we leased would otherwise make Lock below wait out its whole
+	// critical section.
+	if e.held.Load() > 0 {
+		m.checkin(e, h, false)
+		sh.mu.Lock()
+		sh.c.TryFailures++
+		sh.mu.Unlock()
+		return nil, false, nil
+	}
+	if err := h.Lock(); err != nil {
+		m.checkin(e, h, false)
+		return nil, false, err
+	}
+	if e.held.Add(1) != 1 {
+		m.violations.Add(1)
+	}
+	sh.mu.Lock()
+	sh.c.Acquires++
+	sh.mu.Unlock()
+	return &Grant{m: m, e: e, h: h}, true, nil
+}
+
+// checkin parks the handle and unpins the entry. countRelease marks a
+// completed client release (vs. an internal unwind).
+func (m *Manager) checkin(e *entry, h procHandle, countRelease bool) {
+	e.pool.release(h)
+	sh := m.shard(e.name)
+	sh.mu.Lock()
+	e.refs--
+	if countRelease {
+		sh.c.Releases++
+	}
+	sh.mu.Unlock()
+}
+
+// Grant is one client's hold on a named lock.
+type Grant struct {
+	m        *Manager
+	e        *entry
+	h        procHandle
+	released bool
+}
+
+// Name returns the held lock's name.
+func (g *Grant) Name() string { return g.e.name }
+
+// Release leaves the critical section and returns the leased handle to
+// the lock's pool. A Grant can be released once.
+func (g *Grant) Release() error {
+	if g.released {
+		return fmt.Errorf("lockmgr: Release of a released grant on %q", g.e.name)
+	}
+	g.released = true
+	// Step the holder counter down while still inside the critical
+	// section, so a successor's 0→1 check cannot race our decrement.
+	g.e.held.Add(-1)
+	if err := g.h.Unlock(); err != nil {
+		return err
+	}
+	g.m.checkin(g.e, g.h, true)
+	return nil
+}
+
+// Violations reports mutual-exclusion violations observed by the per-lock
+// holder cross-check — 0 unless the underlying algorithms are broken.
+func (m *Manager) Violations() uint64 { return m.violations.Load() }
+
+// Counters returns the manager-wide aggregate.
+func (m *Manager) Counters() Counters {
+	var total Counters
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		c := sh.c
+		c.ResidentLocks = len(sh.entries)
+		sh.mu.Unlock()
+		total = total.add(c)
+	}
+	return total
+}
+
+// StatsTable renders per-shard contention and throughput counters in the
+// experiment harness's table format (one row per shard plus a total row).
+func (m *Manager) StatsTable() *stats.Table {
+	t := &stats.Table{
+		Title: fmt.Sprintf("lockmgr — %d shards, alg=%s, n=%d/lock, LRU=%d/shard",
+			len(m.shards), m.cfg.Algorithm, m.cfg.HandlesPerLock, m.cfg.MaxLocksPerShard),
+		Header: []string{"shard", "locks", "acquires", "releases", "waits",
+			"try-fail", "creates", "hits", "evictions", "mean acq µs"},
+	}
+	var total Counters
+	var latN int64
+	var latSum float64
+	for i, sh := range m.shards {
+		sh.mu.Lock()
+		c := sh.c
+		c.ResidentLocks = len(sh.entries)
+		n, mean := sh.latency.N(), sh.latency.Mean()
+		sh.mu.Unlock()
+		total = total.add(c)
+		latN += n
+		latSum += float64(n) * mean
+		if c.Acquires == 0 && c.TryAcquires == 0 && c.ResidentLocks == 0 {
+			continue // keep quiet shards out of the table
+		}
+		t.AddRow(i, c.ResidentLocks, c.Acquires, c.Releases, c.Waits,
+			c.TryFailures, c.LockCreates, c.Hits, c.Evictions, mean)
+	}
+	meanAll := 0.0
+	if latN > 0 {
+		meanAll = latSum / float64(latN)
+	}
+	t.AddRow("total", total.ResidentLocks, total.Acquires, total.Releases, total.Waits,
+		total.TryFailures, total.LockCreates, total.Hits, total.Evictions, meanAll)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mutual-exclusion violations observed by the holder cross-check: %d", m.Violations()))
+	return t
+}
+
+// Close tears the manager down, closing every pooled handle. It fails if
+// any grant is still outstanding.
+func (m *Manager) Close() error {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for name, e := range sh.entries {
+			if e.refs > 0 {
+				sh.mu.Unlock()
+				return fmt.Errorf("lockmgr: Close with %d outstanding leases on %q", e.refs, name)
+			}
+			if err := e.pool.closeIdle(); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
+			sh.lru.Remove(e.elem)
+			delete(sh.entries, name)
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}

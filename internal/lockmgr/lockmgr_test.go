@@ -1,0 +1,353 @@
+package lockmgr
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anonmutex/internal/scenario"
+)
+
+func TestAcquireRelease(t *testing.T) {
+	for _, alg := range []string{scenario.AlgRW, scenario.AlgRMW} {
+		t.Run(alg, func(t *testing.T) {
+			m, err := New(Config{Algorithm: alg, HandlesPerLock: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := m.Acquire("orders/42")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Name() != "orders/42" {
+				t.Errorf("Name() = %q", g.Name())
+			}
+			if err := g.Release(); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Release(); err == nil {
+				t.Error("double Release succeeded")
+			}
+			c := m.Counters()
+			if c.Acquires != 1 || c.Releases != 1 || c.LockCreates != 1 {
+				t.Errorf("counters = %+v", c)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	cases := []Config{
+		{Shards: -1},
+		{Algorithm: "greedy"},
+		{Algorithm: "spin"},
+		{HandlesPerLock: 1},
+		{Registers: -3},
+		{MaxLocksPerShard: -1},
+		{Algorithm: scenario.AlgRW, Registers: 4, HandlesPerLock: 2}, // 4 ∉ M(2): surfaces on first acquire
+	}
+	for i, cfg := range cases[:len(cases)-1] {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) [case %d] succeeded", cfg, i)
+		}
+	}
+	m, err := New(cases[len(cases)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Acquire("k"); err == nil {
+		t.Error("Acquire with illegal register count succeeded")
+	}
+}
+
+// TestMutualExclusionAcrossClients hammers a few names from many more
+// clients than any lock has handles, checking exclusion two ways: a
+// per-name owner token on the client side and the manager's own holder
+// cross-check.
+func TestMutualExclusionAcrossClients(t *testing.T) {
+	m, err := New(Config{Shards: 4, HandlesPerLock: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "c"}
+	owners := make([]atomic.Int64, len(names))
+	const clients = 12
+	const cycles = 40
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for c := 1; c <= clients; c++ {
+		wg.Add(1)
+		go func(me int64) {
+			defer wg.Done()
+			for i := 0; i < cycles; i++ {
+				k := (int(me) + i) % len(names)
+				g, err := m.Acquire(names[k])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !owners[k].CompareAndSwap(0, me) {
+					violations.Add(1)
+				}
+				if !owners[k].CompareAndSwap(me, 0) {
+					violations.Add(1)
+				}
+				if err := g.Release(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d client-observed mutual-exclusion violations", v)
+	}
+	if v := m.Violations(); v != 0 {
+		t.Fatalf("%d manager-observed mutual-exclusion violations", v)
+	}
+	c := m.Counters()
+	if want := uint64(clients * cycles); c.Acquires != want || c.Releases != want {
+		t.Errorf("acquires/releases = %d/%d, want %d", c.Acquires, c.Releases, want)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaseWaited pins the pool's queueing path deterministically: with
+// every slot leased out, a blocking lease waits for a release.
+func TestLeaseWaited(t *testing.T) {
+	created := 0
+	p := newLeasePool(1, func() (procHandle, error) {
+		created++
+		return stubHandle{}, nil
+	})
+	h, ok, waited, err := p.lease(true)
+	if err != nil || !ok || waited {
+		t.Fatalf("first lease: ok=%v waited=%v err=%v", ok, waited, err)
+	}
+	if _, ok, _, err := p.lease(false); ok || err != nil {
+		t.Fatalf("non-blocking lease of exhausted pool: ok=%v err=%v", ok, err)
+	}
+	done := make(chan struct{})
+	ready := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(ready) // about to queue on the exhausted pool
+		h2, ok, waited, err := p.lease(true)
+		if err != nil || !ok || !waited {
+			t.Errorf("queued lease: ok=%v waited=%v err=%v", ok, waited, err)
+			return
+		}
+		p.release(h2)
+	}()
+	<-ready
+	time.Sleep(20 * time.Millisecond) // let the goroutine park on the pool
+	p.release(h)
+	<-done
+	if created != 1 {
+		t.Errorf("created %d handles, want 1 (the pool must recycle)", created)
+	}
+	if err := p.closeIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type stubHandle struct{}
+
+func (stubHandle) Lock() error   { return nil }
+func (stubHandle) Unlock() error { return nil }
+func (stubHandle) Close() error  { return nil }
+
+// TestHandleMultiplexing pins the lease-pool overflow path at the
+// manager level: with one client holding a 2-handle lock and two more
+// acquiring, the third acquirer must queue for a handle (Waits ≥ 1), and
+// all three must complete once the holder releases.
+func TestHandleMultiplexing(t *testing.T) {
+	m, err := New(Config{HandlesPerLock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Acquire("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := m.Acquire("hot")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := g.Release(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Let both acquirers reach the pool: one leases the second handle and
+	// spins in the algorithm, the other queues for a lease.
+	time.Sleep(100 * time.Millisecond)
+	if err := g.Release(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	c := m.Counters()
+	if c.Waits == 0 {
+		t.Error("third acquirer on a 2-handle lock never queued for a lease")
+	}
+	if c.Acquires != 3 || c.Releases != 3 {
+		t.Errorf("acquires/releases = %d/%d, want 3/3", c.Acquires, c.Releases)
+	}
+	if v := m.Violations(); v != 0 {
+		t.Fatalf("%d violations", v)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	m, err := New(Config{HandlesPerLock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok, err := m.TryAcquire("k")
+	if err != nil || !ok {
+		t.Fatalf("first TryAcquire: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := m.TryAcquire("k"); err != nil || ok {
+		t.Fatalf("TryAcquire of a held lock: ok=%v err=%v", ok, err)
+	}
+	if err := g.Release(); err != nil {
+		t.Fatal(err)
+	}
+	g2, ok, err := m.TryAcquire("k")
+	if err != nil || !ok {
+		t.Fatalf("TryAcquire after release: ok=%v err=%v", ok, err)
+	}
+	if err := g2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	if c.TryAcquires != 3 || c.TryFailures != 1 {
+		t.Errorf("try counters = %+v", c)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m, err := New(Config{Shards: 1, MaxLocksPerShard: 2, HandlesPerLock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		g, err := m.Acquire(fmt.Sprintf("key-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := m.Counters()
+	if c.ResidentLocks > 2 {
+		t.Errorf("resident locks = %d, want <= 2", c.ResidentLocks)
+	}
+	if c.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", c.Evictions)
+	}
+	// An evicted name is simply cold: re-acquiring materializes it again.
+	g, err := m.Acquire("key-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Counters().LockCreates; got != 6 {
+		t.Errorf("lock creates = %d, want 6 (5 cold names + 1 re-materialization)", got)
+	}
+}
+
+// TestEvictionSkipsPinnedEntries fills a 1-entry shard while the resident
+// lock is held: the held entry must survive and the table overflow.
+func TestEvictionSkipsPinnedEntries(t *testing.T) {
+	m, err := New(Config{Shards: 1, MaxLocksPerShard: 1, HandlesPerLock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Acquire("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.Acquire("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both grants must still be valid: release in either order.
+	if err := g.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if v := m.Violations(); v != 0 {
+		t.Fatalf("%d violations", v)
+	}
+}
+
+func TestCloseRejectsOutstandingGrants(t *testing.T) {
+	m, err := New(Config{HandlesPerLock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Acquire("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err == nil {
+		t.Error("Close with an outstanding grant succeeded")
+	}
+	if err := g.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsTable(t *testing.T) {
+	m, err := New(Config{Shards: 2, HandlesPerLock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"x", "y", "z"} {
+		g, err := m.Acquire(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl := m.StatsTable()
+	out := tbl.String()
+	if !strings.Contains(out, "total") {
+		t.Errorf("stats table missing total row:\n%s", out)
+	}
+	if !strings.Contains(out, "violations observed by the holder cross-check: 0") {
+		t.Errorf("stats table missing violation note:\n%s", out)
+	}
+	if len(tbl.Rows) < 2 {
+		t.Errorf("expected at least one shard row plus total, got %d rows", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,90 @@
+package lockmgr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// procHandle is the root-package process-handle surface the manager
+// needs: both *anonmutex.RWProcess and *anonmutex.RMWProcess satisfy it.
+type procHandle interface {
+	Lock() error
+	Unlock() error
+	Close() error
+}
+
+// leasePool multiplexes an unbounded client population onto one lock's
+// fixed n process handles. Handles are created lazily (a lock that only
+// ever sees one client materializes one handle) and parked in a channel
+// between leases; when all n are leased out, blocking callers queue on
+// the channel until a release. The pool never discards a handle while the
+// entry lives — the root package's Close/re-lease cycle is exercised at
+// eviction time, when closeIdle returns every slot to the lock.
+type leasePool struct {
+	newHandle func() (procHandle, error)
+	handles   chan procHandle // parked idle handles
+
+	mu      sync.Mutex
+	created int
+}
+
+func newLeasePool(capacity int, newHandle func() (procHandle, error)) *leasePool {
+	return &leasePool{
+		newHandle: newHandle,
+		handles:   make(chan procHandle, capacity),
+	}
+}
+
+// lease checks out a handle: a parked one if available, a freshly
+// materialized one while slots remain, and otherwise — if block is set —
+// the next handle released by another client. waited reports whether the
+// caller had to queue. With block unset, exhaustion returns ok=false.
+func (p *leasePool) lease(block bool) (h procHandle, ok, waited bool, err error) {
+	select {
+	case h := <-p.handles:
+		return h, true, false, nil
+	default:
+	}
+	p.mu.Lock()
+	if p.created < cap(p.handles) {
+		p.created++
+		p.mu.Unlock()
+		h, err := p.newHandle()
+		if err != nil {
+			p.mu.Lock()
+			p.created--
+			p.mu.Unlock()
+			return nil, false, false, err
+		}
+		return h, true, false, nil
+	}
+	p.mu.Unlock()
+	if !block {
+		return nil, false, false, nil
+	}
+	return <-p.handles, true, true, nil
+}
+
+// release parks a handle for the next lease.
+func (p *leasePool) release(h procHandle) { p.handles <- h }
+
+// closeIdle closes every materialized handle. Callable only when no
+// handle is leased out (the manager guarantees this via entry refcounts);
+// a missing handle means a caller violated that contract.
+func (p *leasePool) closeIdle() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < p.created; i++ {
+		select {
+		case h := <-p.handles:
+			if err := h.Close(); err != nil {
+				return fmt.Errorf("lockmgr: closing pooled handle: %w", err)
+			}
+		default:
+			return fmt.Errorf("lockmgr: pool torn down with %d of %d handles still leased",
+				p.created-i, p.created)
+		}
+	}
+	p.created = 0
+	return nil
+}

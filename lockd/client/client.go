@@ -1,0 +1,109 @@
+// Package client is the Go client for the lockd network lock service:
+// one Conn per session, synchronous request/response, typed methods over
+// the wire protocol defined in the lockd package.
+package client
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"anonmutex/lockd"
+)
+
+// Conn is one client session. Methods are safe for concurrent use but
+// execute one request at a time; locks held by the session are released
+// by the server when the connection closes.
+type Conn struct {
+	mu sync.Mutex
+	c  net.Conn
+	r  *bufio.Reader
+}
+
+// Dial connects to a lockd server.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing lockd at %s: %w", addr, err)
+	}
+	return &Conn{c: c, r: bufio.NewReader(c)}, nil
+}
+
+// do executes one request/response exchange.
+func (c *Conn) do(req lockd.Request) (lockd.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return lockd.Response{}, err
+	}
+	if _, err := c.c.Write(append(buf, '\n')); err != nil {
+		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, err)
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, err)
+	}
+	var resp lockd.Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return lockd.Response{}, fmt.Errorf("client: %s: bad response: %w", req.Op, err)
+	}
+	if !resp.OK {
+		return resp, fmt.Errorf("client: %s: %s", req.Op, resp.Err)
+	}
+	return resp, nil
+}
+
+// Acquire blocks until the session holds the named lock.
+func (c *Conn) Acquire(name string) error {
+	_, err := c.do(lockd.Request{Op: lockd.OpAcquire, Name: name})
+	return err
+}
+
+// TryAcquire reports whether the lock was available and is now held.
+func (c *Conn) TryAcquire(name string) (bool, error) {
+	resp, err := c.do(lockd.Request{Op: lockd.OpTryAcquire, Name: name})
+	if err != nil {
+		return false, err
+	}
+	return resp.Acquired, nil
+}
+
+// Release gives a held lock back.
+func (c *Conn) Release(name string) error {
+	_, err := c.do(lockd.Request{Op: lockd.OpRelease, Name: name})
+	return err
+}
+
+// Holds reports whether this session holds the named lock according to
+// the server — the owner check issued inside a critical section.
+func (c *Conn) Holds(name string) (bool, error) {
+	resp, err := c.do(lockd.Request{Op: lockd.OpHolds, Name: name})
+	if err != nil {
+		return false, err
+	}
+	return resp.Holds, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Conn) Stats() (lockd.Stats, error) {
+	resp, err := c.do(lockd.Request{Op: lockd.OpStats})
+	if err != nil {
+		return lockd.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return lockd.Stats{}, fmt.Errorf("client: stats: empty response")
+	}
+	return *resp.Stats, nil
+}
+
+// Ping probes liveness.
+func (c *Conn) Ping() error {
+	_, err := c.do(lockd.Request{Op: lockd.OpPing})
+	return err
+}
+
+// Close ends the session; the server releases any locks it still holds.
+func (c *Conn) Close() error { return c.c.Close() }

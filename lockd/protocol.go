@@ -1,0 +1,69 @@
+// Package lockd implements a small network lock service over the
+// internal/lockmgr sharded named-lock manager: newline-delimited JSON
+// requests over TCP, one session per connection, with every grant a
+// session holds released automatically when the connection ends.
+//
+// The protocol is deliberately minimal. Each request line is a Request;
+// each response line is a Response. Operations:
+//
+//	acquire  block until the session holds the named lock
+//	try      acquire only if immediately available (Acquired reports it)
+//	release  give a held lock back
+//	holds    report whether this session holds the named lock — the
+//	         owner check load generators issue inside the critical section
+//	stats    manager-wide counters, including the mutual-exclusion
+//	         violation cross-check
+//	ping     liveness probe
+//
+// Sessions are non-reentrant: acquiring a name the session already holds
+// is an error, as is releasing one it does not hold. See lockd/client for
+// the Go client.
+package lockd
+
+// Operation names of the wire protocol.
+const (
+	OpAcquire    = "acquire"
+	OpTryAcquire = "try"
+	OpRelease    = "release"
+	OpHolds      = "holds"
+	OpStats      = "stats"
+	OpPing       = "ping"
+)
+
+// Request is one client request line.
+type Request struct {
+	// Op is one of the Op* constants.
+	Op string `json:"op"`
+	// Name is the lock name (required for acquire, try, release, holds).
+	Name string `json:"name,omitempty"`
+}
+
+// Response is one server response line.
+type Response struct {
+	// OK reports whether the request succeeded; on failure Err explains.
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+	// Acquired answers try: whether the lock was available and is now
+	// held by the session.
+	Acquired bool `json:"acquired,omitempty"`
+	// Holds answers holds.
+	Holds bool `json:"holds,omitempty"`
+	// Stats answers stats.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Stats is the manager-wide counter snapshot served by the stats op.
+type Stats struct {
+	Acquires      uint64 `json:"acquires"`
+	Releases      uint64 `json:"releases"`
+	Waits         uint64 `json:"waits"`
+	TryAcquires   uint64 `json:"try_acquires"`
+	TryFailures   uint64 `json:"try_failures"`
+	LockCreates   uint64 `json:"lock_creates"`
+	Evictions     uint64 `json:"evictions"`
+	ResidentLocks int    `json:"resident_locks"`
+	// Violations is the manager's holder cross-check: it must stay 0.
+	Violations uint64 `json:"violations"`
+	// Sessions is the number of live connections.
+	Sessions int `json:"sessions"`
+}

@@ -1,0 +1,217 @@
+package lockd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"anonmutex/internal/lockmgr"
+)
+
+// Server serves the lock protocol over a listener, one session per
+// connection. Create with NewServer, start with Serve, stop with
+// Shutdown.
+type Server struct {
+	mgr *lockmgr.Manager
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer wraps a lock manager. The caller keeps ownership of the
+// manager (for stats or an in-process fast path); the server only
+// acquires and releases through it.
+func NewServer(mgr *lockmgr.Manager) *Server {
+	return &Server{mgr: mgr, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts connections until Shutdown closes the listener. It
+// returns nil on graceful shutdown — including a Shutdown that happened
+// before Serve was called — and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown stops the server: it closes the listener, waits for sessions
+// to finish until ctx expires, then force-closes the remaining
+// connections and waits for their cleanup (every session grant is
+// released either way). It always leaves the server fully drained.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return nil
+}
+
+// Sessions reports the number of live connections.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// serveConn runs one session: read a request line, execute, write a
+// response line. Whatever ends the connection — client close, protocol
+// error, or Shutdown — the deferred cleanup releases every grant the
+// session still holds.
+func (s *Server) serveConn(conn net.Conn) {
+	session := make(map[string]*lockmgr.Grant)
+	defer func() {
+		for _, g := range session {
+			g.Release()
+		}
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+
+	scanner := bufio.NewScanner(conn)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req Request
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			// The stream is unparseable; answer once and hang up.
+			enc.Encode(Response{Err: fmt.Sprintf("lockd: bad request: %v", err)})
+			return
+		}
+		resp := s.handle(session, req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle executes one request against the session.
+func (s *Server) handle(session map[string]*lockmgr.Grant, req Request) Response {
+	needName := func() *Response {
+		if req.Name == "" {
+			return &Response{Err: fmt.Sprintf("lockd: %s needs a name", req.Op)}
+		}
+		return nil
+	}
+	switch req.Op {
+	case OpAcquire:
+		if r := needName(); r != nil {
+			return *r
+		}
+		if _, held := session[req.Name]; held {
+			return Response{Err: fmt.Sprintf("lockd: session already holds %q", req.Name)}
+		}
+		g, err := s.mgr.Acquire(req.Name)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		session[req.Name] = g
+		return Response{OK: true, Acquired: true}
+	case OpTryAcquire:
+		if r := needName(); r != nil {
+			return *r
+		}
+		if _, held := session[req.Name]; held {
+			return Response{Err: fmt.Sprintf("lockd: session already holds %q", req.Name)}
+		}
+		g, ok, err := s.mgr.TryAcquire(req.Name)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		if !ok {
+			return Response{OK: true, Acquired: false}
+		}
+		session[req.Name] = g
+		return Response{OK: true, Acquired: true}
+	case OpRelease:
+		if r := needName(); r != nil {
+			return *r
+		}
+		g, held := session[req.Name]
+		if !held {
+			return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
+		}
+		delete(session, req.Name)
+		if err := g.Release(); err != nil {
+			return Response{Err: err.Error()}
+		}
+		return Response{OK: true}
+	case OpHolds:
+		if r := needName(); r != nil {
+			return *r
+		}
+		_, held := session[req.Name]
+		return Response{OK: true, Holds: held}
+	case OpStats:
+		c := s.mgr.Counters()
+		return Response{OK: true, Stats: &Stats{
+			Acquires:      c.Acquires,
+			Releases:      c.Releases,
+			Waits:         c.Waits,
+			TryAcquires:   c.TryAcquires,
+			TryFailures:   c.TryFailures,
+			LockCreates:   c.LockCreates,
+			Evictions:     c.Evictions,
+			ResidentLocks: c.ResidentLocks,
+			Violations:    s.mgr.Violations(),
+			Sessions:      s.Sessions(),
+		}}
+	case OpPing:
+		return Response{OK: true}
+	default:
+		return Response{Err: fmt.Sprintf("lockd: unknown op %q", req.Op)}
+	}
+}

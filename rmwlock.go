@@ -25,6 +25,7 @@ type RMWLock struct {
 
 	mu     sync.Mutex
 	issued int
+	free   []*RMWProcess // closed handles awaiting re-lease
 }
 
 // NewRMWLock creates an anonymous RMW-register lock for n ≥ 2 processes.
@@ -55,12 +56,20 @@ func (l *RMWLock) N() int { return l.n }
 // M returns the anonymous memory size.
 func (l *RMWLock) M() int { return l.m }
 
-// NewProcess allocates the next of the n process handles.
+// NewProcess allocates one of the lock's n process handles: a fresh slot
+// while any remain, otherwise a handle recycled by Close. When all n
+// slots are live it returns an error; Close a handle to free one.
 func (l *RMWLock) NewProcess() (*RMWProcess, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if k := len(l.free); k > 0 {
+		p := l.free[k-1]
+		l.free = l.free[:k-1]
+		p.closed = false
+		return p, nil
+	}
 	if l.issued >= l.n {
-		return nil, fmt.Errorf("anonmutex: RMWLock configured for %d processes", l.n)
+		return nil, fmt.Errorf("anonmutex: RMWLock configured for %d processes and none released", l.n)
 	}
 	i := l.issued
 	me, err := l.gen.New()
@@ -77,6 +86,7 @@ func (l *RMWLock) NewProcess() (*RMWProcess, error) {
 	}
 	l.issued++
 	return &RMWProcess{
+		lock:    l,
 		machine: machine,
 		driver:  engine.NewDriver(machine, engine.Hardware(view)),
 	}, nil
@@ -85,13 +95,18 @@ func (l *RMWLock) NewProcess() (*RMWProcess, error) {
 // RMWProcess is one process's handle on an RMWLock. Not safe for
 // concurrent use.
 type RMWProcess struct {
+	lock    *RMWLock
 	machine *core.Alg2Machine
 	driver  *engine.Driver
+	closed  bool
 }
 
 // Lock acquires the critical section. It returns an error only on
 // life-cycle misuse.
 func (p *RMWProcess) Lock() error {
+	if p.closed {
+		return fmt.Errorf("anonmutex: Lock on a closed handle")
+	}
 	if err := p.machine.StartLock(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
@@ -104,12 +119,36 @@ func (p *RMWProcess) Lock() error {
 // Unlock releases the critical section. It returns an error only on
 // life-cycle misuse.
 func (p *RMWProcess) Unlock() error {
+	if p.closed {
+		return fmt.Errorf("anonmutex: Unlock on a closed handle")
+	}
 	if err := p.machine.StartUnlock(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
 	if err := p.driver.Drive(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
+	return nil
+}
+
+// Close releases the handle's slot back to the lock so a future
+// NewProcess call can re-lease it. Only an idle handle (not holding the
+// lock) can be closed; an idle Algorithm 2 process owns no registers, and
+// the slot keeps its identity, permutation, and write-stamp sequence, so
+// re-leasing is equivalent to the handle changing goroutines. Using a
+// handle after Close is a bug; its methods fail until it is re-leased.
+func (p *RMWProcess) Close() error {
+	if p.closed {
+		return fmt.Errorf("anonmutex: Close on a closed handle")
+	}
+	if p.machine.Status() != core.StatusIdle {
+		return fmt.Errorf("anonmutex: Close on a handle that holds the lock")
+	}
+	l := p.lock
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p.closed = true
+	l.free = append(l.free, p)
 	return nil
 }
 

@@ -26,6 +26,7 @@ type RWLock struct {
 
 	mu     sync.Mutex
 	issued int
+	free   []*RWProcess // closed handles awaiting re-lease
 }
 
 // NewRWLock creates an anonymous read/write-register lock for n ≥ 2
@@ -56,12 +57,20 @@ func (l *RWLock) N() int { return l.n }
 // M returns the anonymous memory size.
 func (l *RWLock) M() int { return l.m }
 
-// NewProcess allocates the next of the n process handles.
+// NewProcess allocates one of the lock's n process handles: a fresh slot
+// while any remain, otherwise a handle recycled by Close. When all n
+// slots are live it returns an error; Close a handle to free one.
 func (l *RWLock) NewProcess() (*RWProcess, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if k := len(l.free); k > 0 {
+		p := l.free[k-1]
+		l.free = l.free[:k-1]
+		p.closed = false
+		return p, nil
+	}
 	if l.issued >= l.n {
-		return nil, fmt.Errorf("anonmutex: RWLock configured for %d processes", l.n)
+		return nil, fmt.Errorf("anonmutex: RWLock configured for %d processes and none released", l.n)
 	}
 	i := l.issued
 	me, err := l.gen.New()
@@ -82,6 +91,7 @@ func (l *RWLock) NewProcess() (*RWProcess, error) {
 	}
 	l.issued++
 	return &RWProcess{
+		lock:    l,
 		machine: machine,
 		view:    view,
 		driver:  engine.NewDriver(machine, engine.Hardware(view)),
@@ -91,14 +101,20 @@ func (l *RWLock) NewProcess() (*RWProcess, error) {
 // RWProcess is one process's handle on an RWLock. Not safe for concurrent
 // use: a handle belongs to one goroutine at a time.
 type RWProcess struct {
+	lock    *RWLock
 	machine *core.Alg1Machine
 	view    *amem.View
 	driver  *engine.Driver
+	closed  bool
 }
 
 // Lock acquires the critical section. It returns an error only on
-// life-cycle misuse (locking a handle that already holds the lock).
+// life-cycle misuse (locking a closed handle or one that already holds
+// the lock).
 func (p *RWProcess) Lock() error {
+	if p.closed {
+		return fmt.Errorf("anonmutex: Lock on a closed handle")
+	}
 	if err := p.machine.StartLock(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
@@ -109,14 +125,43 @@ func (p *RWProcess) Lock() error {
 }
 
 // Unlock releases the critical section. It returns an error only on
-// life-cycle misuse (unlocking a handle that does not hold the lock).
+// life-cycle misuse (unlocking a closed handle or one that does not hold
+// the lock).
 func (p *RWProcess) Unlock() error {
+	if p.closed {
+		return fmt.Errorf("anonmutex: Unlock on a closed handle")
+	}
 	if err := p.machine.StartUnlock(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
 	if err := p.driver.Drive(); err != nil {
 		return fmt.Errorf("anonmutex: %w", err)
 	}
+	return nil
+}
+
+// Close releases the handle's slot back to the lock so a future
+// NewProcess call can re-lease it — the lifecycle primitive lease pools
+// build on. Only an idle handle (not holding the lock) can be closed.
+//
+// The slot keeps its identity, permutation, and write-stamp sequence
+// across leases: an idle Algorithm 1 process owns no registers, and the
+// preserved sequence number keeps every future write stamp fresh, so a
+// recycled handle is indistinguishable from one that simply changed
+// goroutines. Using a handle after Close is a bug; the handle's methods
+// fail until NewProcess hands it out again.
+func (p *RWProcess) Close() error {
+	if p.closed {
+		return fmt.Errorf("anonmutex: Close on a closed handle")
+	}
+	if p.machine.Status() != core.StatusIdle {
+		return fmt.Errorf("anonmutex: Close on a handle that holds the lock")
+	}
+	l := p.lock
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p.closed = true
+	l.free = append(l.free, p)
 	return nil
 }
 
