@@ -41,6 +41,13 @@
 // algorithms — not starvation-free: an individual process can be bypassed
 // arbitrarily often while the system as a whole always makes progress.
 //
+// Acquisition is abortable: LockCtx(ctx) abandons the attempt when the
+// context ends, and TryLockFor(d) bounds it by a duration. An abandoned
+// attempt withdraws — a bounded wait-free sweep erases the process's
+// identity from every register, leaving the shared memory exactly as if
+// it had never competed (see DESIGN.md for the protocol and its safety
+// argument).
+//
 // # Architecture
 //
 // The algorithms are implemented once, as explicit state machines

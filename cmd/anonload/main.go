@@ -8,7 +8,13 @@
 //
 //	anonload -clients 64 -keys 32 -cycles 2000
 //	anonload -mode net -addr 127.0.0.1:7117 -dist skewed -duration 10s
+//	anonload -op-timeout 5ms -clients 64 -keys 4       # per-acquire SLA
 //	anonload -json > BENCH_load.json
+//
+// With -op-timeout every acquire carries a deadline: attempts that
+// cannot complete in time withdraw cleanly (the abortable-mutex
+// back-out) and are reported as an abort count and rate rather than an
+// error.
 //
 // The JSON output is an array of {id, title, seconds, table} records —
 // the same shape anonbench emits — so runs slot into BENCH_*.json
@@ -56,6 +62,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "workload seed")
 	cs := fs.Int("cs", 1, "critical-section spin units")
 	think := fs.Int("think", 1, "between-cycle spin units")
+	opTimeout := fs.Duration("op-timeout", 0, "per-acquire deadline; expired attempts abort cleanly and are counted (0: unbounded)")
 	alg := fs.String("alg", "rmw", "per-name lock algorithm (inproc mode): rw or rmw")
 	handles := fs.Int("handles", 8, "process handles per named lock (inproc mode)")
 	shards := fs.Int("shards", 16, "lock-manager shards (inproc mode)")
@@ -77,6 +84,7 @@ func run(args []string) error {
 		Seed:      *seed,
 		CSWork:    *cs,
 		ThinkWork: *think,
+		OpTimeout: *opTimeout,
 	}
 
 	var (
@@ -150,11 +158,11 @@ func flagSet(fs *flag.FlagSet, name string) bool {
 func serverTable(st lockd.Stats) *stats.Table {
 	t := &stats.Table{
 		Title: "lockd server counters",
-		Header: []string{"acquires", "releases", "waits", "try-fail", "creates",
-			"evictions", "resident", "sessions", "violations"},
+		Header: []string{"acquires", "releases", "waits", "aborts", "lease-timeouts",
+			"try-fail", "creates", "evictions", "resident", "sessions", "violations"},
 	}
-	t.AddRow(st.Acquires, st.Releases, st.Waits, st.TryFailures, st.LockCreates,
-		st.Evictions, st.ResidentLocks, st.Sessions, st.Violations)
+	t.AddRow(st.Acquires, st.Releases, st.Waits, st.Aborts, st.LeaseTimeouts,
+		st.TryFailures, st.LockCreates, st.Evictions, st.ResidentLocks, st.Sessions, st.Violations)
 	return t
 }
 

@@ -7,6 +7,7 @@
 //	anonlockd                               # serve on :7117
 //	anonlockd -addr 127.0.0.1:9000          # explicit bind address
 //	anonlockd -alg rw -handles 4 -shards 8  # lock-manager tuning
+//	anonlockd -max-wait 50ms                # abort any acquire past 50ms
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // sessions get a drain window, and every session grant is released.
@@ -44,6 +45,7 @@ func run(args []string, stop <-chan struct{}) error {
 	shards := fs.Int("shards", 16, "lock-manager shards")
 	maxLocks := fs.Int("max-locks", 1024, "resident locks per shard before LRU eviction")
 	seed := fs.Uint64("seed", 1, "anonymity-adversary seed")
+	maxWait := fs.Duration("max-wait", 0, "server-side cap on any acquire wait; longer waits abort cleanly (0: unlimited)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +70,7 @@ func run(args []string, stop <-chan struct{}) error {
 		ln.Addr(), *alg, *handles, *shards)
 
 	srv := lockd.NewServer(mgr)
+	srv.MaxWait = *maxWait
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

@@ -1,0 +1,190 @@
+package core
+
+// Withdraw (StartAbort) tests: aborting a lock() at every op boundary
+// must erase the aborter's identity from the shared memory, complete in a
+// bounded number of ops, and leave the memory in a state from which the
+// remaining processes still acquire the lock.
+
+import (
+	"testing"
+
+	"anonmutex/internal/id"
+)
+
+// abortMachines builds one machine of each abortable kind for tests that
+// sweep both algorithms.
+func abortMachines(t *testing.T, me id.ID, m int) map[string]func() Machine {
+	t.Helper()
+	return map[string]func() Machine{
+		"alg1": func() Machine {
+			a, err := NewAlg1Unchecked(me, m, Alg1Config{Choice: ChooseFirstBottom})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+		"alg2": func() Machine {
+			a, err := NewAlg2Unchecked(me, m, Alg2Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		},
+	}
+}
+
+// TestAbortErasesIdentityAtEveryBoundary aborts a solo lock() after every
+// possible number of executed ops and checks the withdraw leaves no
+// residue. With no competition the machine's trajectory is deterministic,
+// so "after k ops" enumerates every reachable op boundary.
+func TestAbortErasesIdentityAtEveryBoundary(t *testing.T) {
+	const m = 5
+	ids := newIDs(t, 1)
+	for name, mk := range abortMachines(t, ids[0], m) {
+		t.Run(name, func(t *testing.T) {
+			// First find how many ops a solo lock() needs, to bound the sweep.
+			probe := mk()
+			mem := make(fakeMem, m)
+			e := newFakeExec(mem, nil)
+			total := mustLock(t, probe, e, 10_000)
+			for k := 0; k <= total; k++ {
+				mem := make(fakeMem, m)
+				e := newFakeExec(mem, nil)
+				a := mk()
+				if err := a.StartLock(); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < k && a.Status() == StatusRunning; i++ {
+					step(a, e)
+				}
+				if a.Status() != StatusRunning {
+					// k == total: the machine entered the CS; abort no longer
+					// applies (and must refuse).
+					if err := a.StartAbort(); err == nil {
+						t.Fatalf("abort after %d ops: StartAbort accepted in status %v", k, a.Status())
+					}
+					continue
+				}
+				if err := a.StartAbort(); err != nil {
+					t.Fatalf("abort after %d ops: %v", k, err)
+				}
+				steps, ok := stepUntil(t, a, e, StatusIdle, 2*m+1)
+				if !ok {
+					t.Fatalf("abort after %d ops: withdraw not Idle within %d ops (status %v)",
+						k, 2*m+1, a.Status())
+				}
+				if steps > 2*m {
+					t.Fatalf("abort after %d ops: withdraw took %d ops, want <= %d", k, steps, 2*m)
+				}
+				if c := memCount(mem, ids[0]); c != 0 {
+					t.Fatalf("abort after %d ops: %d registers still hold the aborter (mem %v)", k, c, mem)
+				}
+			}
+		})
+	}
+}
+
+// TestAbortInvisibleToLaterAcquisition interleaves an aborter with a
+// competitor: the aborter runs k ops of lock(), withdraws completely, and
+// then the competitor must acquire with the aborter nowhere in sight —
+// and must still see a memory containing only its own identity or ⊥.
+func TestAbortInvisibleToLaterAcquisition(t *testing.T) {
+	const m = 5
+	ids := newIDs(t, 2)
+	for name, mk := range abortMachines(t, ids[0], m) {
+		t.Run(name, func(t *testing.T) {
+			for k := 0; k <= 3*m; k++ {
+				mem := make(fakeMem, m)
+				e := newFakeExec(mem, nil)
+				aborter := mk()
+				if err := aborter.StartLock(); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < k && aborter.Status() == StatusRunning; i++ {
+					step(aborter, e)
+				}
+				if aborter.Status() != StatusRunning {
+					continue
+				}
+				if err := aborter.StartAbort(); err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := stepUntil(t, aborter, e, StatusIdle, 2*m+1); !ok {
+					t.Fatalf("abort after %d ops: withdraw did not finish", k)
+				}
+
+				var comp Machine
+				if name == "alg1" {
+					c, err := NewAlg1Unchecked(ids[1], m, Alg1Config{Choice: ChooseFirstBottom})
+					if err != nil {
+						t.Fatal(err)
+					}
+					comp = c
+				} else {
+					c, err := NewAlg2Unchecked(ids[1], m, Alg2Config{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					comp = c
+				}
+				ce := newFakeExec(mem, nil)
+				mustLock(t, comp, ce, 10_000)
+				if c := memCount(mem, ids[0]); c != 0 {
+					t.Fatalf("abort after %d ops: aborter resurfaced during competitor's lock (mem %v)", k, mem)
+				}
+				mustUnlock(t, comp, ce, 10_000)
+				if !memAll(mem, id.None) {
+					t.Fatalf("abort after %d ops: memory not clean after competitor's cycle (mem %v)", k, mem)
+				}
+			}
+		})
+	}
+}
+
+// TestAbortLifecycleErrors pins the StartAbort preconditions: only a
+// Running lock() can withdraw.
+func TestAbortLifecycleErrors(t *testing.T) {
+	const m = 5
+	ids := newIDs(t, 1)
+	for name, mk := range abortMachines(t, ids[0], m) {
+		t.Run(name, func(t *testing.T) {
+			mem := make(fakeMem, m)
+			e := newFakeExec(mem, nil)
+			a := mk()
+			if err := a.StartAbort(); err == nil {
+				t.Fatal("StartAbort accepted on an idle machine")
+			}
+			mustLock(t, a, e, 10_000)
+			if err := a.StartAbort(); err == nil {
+				t.Fatal("StartAbort accepted in the critical section")
+			}
+			if err := a.StartUnlock(); err != nil {
+				t.Fatal(err)
+			}
+			if a.Status() == StatusRunning {
+				if err := a.StartAbort(); err == nil {
+					t.Fatal("StartAbort accepted during unlock()")
+				}
+				if _, ok := stepUntil(t, a, e, StatusIdle, 10_000); !ok {
+					t.Fatal("unlock() did not finish")
+				}
+			}
+			// A withdrawn machine must be able to lock again.
+			if err := a.StartLock(); err != nil {
+				t.Fatal(err)
+			}
+			step(a, e)
+			if err := a.StartAbort(); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := stepUntil(t, a, e, StatusIdle, 2*m+1); !ok {
+				t.Fatal("withdraw did not finish")
+			}
+			mustLock(t, a, e, 10_000)
+			mustUnlock(t, a, e, 10_000)
+			if !memAll(mem, id.None) {
+				t.Fatalf("memory not clean after abort→relock cycle (mem %v)", mem)
+			}
+		})
+	}
+}

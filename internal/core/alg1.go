@@ -20,6 +20,8 @@ const (
 	a1ShrinkRead                       // shrink() line 2: R.read(x)
 	a1ShrinkWrite                      // shrink() line 2: R.write(x, ⊥)
 	a1InCS                             // line 11 satisfied: critical section
+	a1AbortRead                        // withdraw: R.read(x) over every register
+	a1AbortWrite                       // withdraw: R.write(x, ⊥) where x held idᵢ
 )
 
 // Alg1Machine is the per-process state machine of the paper's Algorithm 1:
@@ -140,6 +142,24 @@ func (a *Alg1Machine) StartUnlock() error {
 	return nil
 }
 
+// StartAbort implements Machine: withdraw from an in-progress lock().
+//
+// The withdraw cannot trust viewᵢ — a claim written after the last
+// snapshot (line 6) is not reflected in it — so instead of shrinking the
+// view it sweeps all m registers with shrink's own discipline: read x,
+// and write ⊥ only if x still holds idᵢ. Registers never hold idᵢ unless
+// this process wrote it, and the withdrawing process writes nothing else,
+// so after the sweep no register holds idᵢ: the process is invisible to
+// every later snapshot, exactly as if it had never competed.
+func (a *Alg1Machine) StartAbort() error {
+	if a.status != StatusRunning || a.unlockShrink {
+		return fmt.Errorf("core: StartAbort in status %v (withdraw applies only inside lock())", a.status)
+	}
+	a.cursor = 0
+	a.phase = a1AbortRead
+	return nil
+}
+
 // startShrink positions the cursor at the first view entry owned by me and
 // enters the shrink read phase. It reports whether any entry is owned.
 func (a *Alg1Machine) startShrink() bool {
@@ -173,6 +193,19 @@ func (a *Alg1Machine) advanceShrinkCursor() {
 	a.phase = a1Snapshot
 }
 
+// advanceAbortCursor moves the withdraw sweep to the next register, or
+// completes the abort: the machine returns to Idle with no register
+// holding its identity.
+func (a *Alg1Machine) advanceAbortCursor() {
+	a.cursor++
+	if a.cursor < a.m {
+		a.phase = a1AbortRead
+		return
+	}
+	a.status = StatusIdle
+	a.phase = a1Idle
+}
+
 func (a *Alg1Machine) finishUnlock() {
 	a.unlockShrink = false
 	a.status = StatusIdle
@@ -189,6 +222,10 @@ func (a *Alg1Machine) PendingOp() Op {
 	case a1ShrinkRead:
 		return Op{Kind: OpRead, X: a.cursor}
 	case a1ShrinkWrite:
+		return Op{Kind: OpWrite, X: a.cursor, Val: id.None}
+	case a1AbortRead:
+		return Op{Kind: OpRead, X: a.cursor}
+	case a1AbortWrite:
 		return Op{Kind: OpWrite, X: a.cursor, Val: id.None}
 	default:
 		panic(fmt.Sprintf("core: PendingOp on algorithm 1 machine in phase %d status %v", a.phase, a.status))
@@ -220,6 +257,14 @@ func (a *Alg1Machine) Advance(res OpResult) Status {
 		}
 	case a1ShrinkWrite:
 		a.advanceShrinkCursor()
+	case a1AbortRead:
+		if res.Val.Equal(a.me) {
+			a.phase = a1AbortWrite
+		} else {
+			a.advanceAbortCursor()
+		}
+	case a1AbortWrite:
+		a.advanceAbortCursor()
 	default:
 		panic(fmt.Sprintf("core: Advance on algorithm 1 machine in phase %d", a.phase))
 	}
@@ -330,6 +375,8 @@ func (a *Alg1Machine) Line() int {
 			return 12
 		}
 		return 9
+	case a1AbortRead, a1AbortWrite:
+		return 9 // the withdraw reuses shrink's read-then-erase discipline
 	case a1InCS:
 		return 11
 	default:

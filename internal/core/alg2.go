@@ -19,6 +19,7 @@ const (
 	a2WaitRead                         // lines 8–10: read sweep until all ⊥
 	a2InCS                             // line 12 satisfied: critical section
 	a2UnlockCAS                        // line 13: R.compare&swap(x, idᵢ, ⊥) sweep
+	a2AbortCAS                         // withdraw: R.compare&swap(x, idᵢ, ⊥) sweep
 )
 
 // Alg2Machine is the per-process state machine of the paper's Algorithm 2:
@@ -119,6 +120,24 @@ func (a *Alg2Machine) StartUnlock() error {
 	return nil
 }
 
+// StartAbort implements Machine: withdraw from an in-progress lock().
+//
+// The withdraw is the line 13 erase sweep run early: compare&swap(idᵢ, ⊥)
+// over all m registers. CAS makes each erase atomic, registers hold idᵢ
+// only because this process swapped it in, and the withdrawing process
+// writes nothing further — so after the sweep no register holds idᵢ and
+// the process is invisible to every later competitor. Unlike the resign
+// branch (lines 7–10) the withdraw does not wait for an empty memory: the
+// process is leaving the competition, not re-entering it.
+func (a *Alg2Machine) StartAbort() error {
+	if a.status != StatusRunning || a.phase == a2UnlockCAS {
+		return fmt.Errorf("core: StartAbort in status %v (withdraw applies only inside lock())", a.status)
+	}
+	a.cursor = 0
+	a.phase = a2AbortCAS
+	return nil
+}
+
 // PendingOp implements Machine.
 func (a *Alg2Machine) PendingOp() Op {
 	switch a.phase {
@@ -128,7 +147,7 @@ func (a *Alg2Machine) PendingOp() Op {
 		return Op{Kind: OpRead, X: a.cursor}
 	case a2ResignWrite:
 		return Op{Kind: OpWrite, X: a.cursor, Val: id.None}
-	case a2UnlockCAS:
+	case a2UnlockCAS, a2AbortCAS:
 		return Op{Kind: OpCAS, X: a.cursor, Old: a.me, New: id.None}
 	default:
 		panic(fmt.Sprintf("core: PendingOp on algorithm 2 machine in phase %d status %v", a.phase, a.status))
@@ -175,8 +194,8 @@ func (a *Alg2Machine) Advance(res OpResult) Status {
 				a.cursor = 0 // restart the pass (line 8 repeat)
 			}
 		}
-	case a2UnlockCAS:
-		// Line 13 sweep.
+	case a2UnlockCAS, a2AbortCAS:
+		// Line 13 sweep (run early, from any lock() point, when aborting).
 		a.cursor++
 		if a.cursor == a.m {
 			a.status = StatusIdle
@@ -266,7 +285,7 @@ func (a *Alg2Machine) Line() int {
 		return 9
 	case a2InCS:
 		return 12
-	case a2UnlockCAS:
+	case a2UnlockCAS, a2AbortCAS:
 		return 13
 	default:
 		return -1

@@ -90,7 +90,9 @@ type Status uint8
 
 // Machine statuses. The cycle is:
 // Idle →(StartLock)→ Running →(Advance…)→ InCS →(StartUnlock)→ Running
-// →(Advance…)→ Idle.
+// →(Advance…)→ Idle. A Running lock() can instead be withdrawn:
+// Running →(StartAbort)→ Running →(Advance…)→ Idle, never passing
+// through InCS.
 const (
 	StatusIdle    Status = iota + 1 // in the remainder section
 	StatusRunning                   // executing lock() or unlock(); feed ops
@@ -124,6 +126,15 @@ type Machine interface {
 	// StartUnlock begins an unlock() invocation. It returns an error
 	// unless the machine is InCS.
 	StartUnlock() error
+	// StartAbort begins a withdraw: it turns an in-progress lock()
+	// invocation into a bounded back-out that erases every register
+	// holding this process's identity and returns the machine to Idle.
+	// The withdraw is itself an invocation — keep feeding ops through
+	// Advance until Status leaves Running. It returns an error unless the
+	// machine is Running inside lock(); a machine that already entered
+	// the critical section (InCS) cannot abort, and unlock() never needs
+	// to (it is bounded already).
+	StartAbort() error
 	// PendingOp returns the shared-memory operation the machine needs
 	// executed next. It panics unless Status is Running.
 	PendingOp() Op

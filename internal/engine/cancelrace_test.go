@@ -1,0 +1,155 @@
+package engine
+
+// Cancellation-race tests over the simulated substrate: a lock() attempt
+// withdrawn at every op boundary, while other processes are mid-entry,
+// must never corrupt mutual exclusion for the remaining processes. The
+// simulated memory makes the interleaving deterministic and exhaustive
+// over boundaries; the root package repeats the check with real
+// concurrency under -race.
+
+import (
+	"context"
+	"testing"
+
+	"anonmutex/internal/core"
+	"anonmutex/internal/id"
+)
+
+// cancelProc is one process in the deterministic round-robin scheduler.
+type cancelProc struct {
+	d       *Driver
+	exec    Executor
+	buf     []id.ID
+	done    int  // completed lock/unlock sessions
+	retired bool // no further steps
+}
+
+// step advances the process by one scheduler turn: start the next
+// invocation when between invocations, otherwise execute one op.
+func (p *cancelProc) step(t *testing.T, sessions int) {
+	t.Helper()
+	mach := p.d.Machine()
+	switch mach.Status() {
+	case core.StatusIdle:
+		if p.done >= sessions {
+			p.retired = true
+			return
+		}
+		if err := mach.StartLock(); err != nil {
+			t.Fatal(err)
+		}
+	case core.StatusInCS:
+		if err := mach.StartUnlock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, buf, err := Exec(p.exec, mach.PendingOp(), p.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.buf = buf
+	was := mach.Status()
+	if mach.Advance(res) == core.StatusIdle && was == core.StatusRunning {
+		// An invocation just completed; unlock completions close a session.
+		p.done++
+	}
+}
+
+// assertExclusion fails if more than one process is in the critical
+// section.
+func assertExclusion(t *testing.T, procs []*cancelProc, when string) {
+	t.Helper()
+	in := 0
+	for _, p := range procs {
+		if p.d.Machine().Status() == core.StatusInCS {
+			in++
+		}
+	}
+	if in > 1 {
+		t.Fatalf("%s: %d processes in the critical section", when, in)
+	}
+}
+
+// TestCancelAtEveryBoundaryPreservesExclusion interleaves n processes
+// round-robin over vmem, one shared-memory op per turn. After k global
+// steps process 0 is cancelled: if mid-lock() its withdraw runs through
+// DriveContext, if in the CS it unlocks, and it retires either way. The
+// survivors then keep stepping until each completes its sessions. Mutual
+// exclusion is asserted after every single op.
+func TestCancelAtEveryBoundaryPreservesExclusion(t *testing.T) {
+	const (
+		n        = 3
+		m        = 5
+		sessions = 2
+		maxSteps = 500_000
+	)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range []string{"alg1", "alg2"} {
+		t.Run(alg, func(t *testing.T) {
+			for k := 0; k <= 8*m; k++ {
+				drivers, recorders := substrate(t, "simulated", n, m, func(me id.ID) core.Machine {
+					return machineMaker(t, alg, me, m)
+				})
+				procs := make([]*cancelProc, n)
+				for i := range procs {
+					procs[i] = &cancelProc{d: drivers[i], exec: recorders[i].Inner, buf: make([]id.ID, m)}
+				}
+
+				// Phase 1: k interleaved steps with everyone competing. The
+				// victim never closes a session before its cancellation, so
+				// give it an unreachable session target for now.
+				for s := 0; s < k; s++ {
+					procs[s%n].step(t, sessions+k+1)
+					assertExclusion(t, procs, "pre-cancel")
+				}
+
+				// Phase 2: cancel process 0. A Running lock() withdraws; a
+				// Running unlock() or held CS completes; idle retires as-is.
+				victim := procs[0]
+				switch victim.d.Machine().Status() {
+				case core.StatusRunning:
+					if err := victim.d.DriveContext(cancelled); err != nil &&
+						victim.d.Machine().Status() != core.StatusIdle {
+						t.Fatalf("k=%d: cancel: %v (status %v)", k, err, victim.d.Machine().Status())
+					}
+				case core.StatusInCS:
+					if _, err := victim.d.DriveAll(); err != nil {
+						t.Fatalf("k=%d: cancel-time unlock: %v", k, err)
+					}
+				}
+				if got := victim.d.Machine().Status(); got != core.StatusIdle {
+					t.Fatalf("k=%d: victim status %v after cancellation, want idle", k, got)
+				}
+				victim.retired = true
+				assertExclusion(t, procs, "post-cancel")
+
+				// Phase 3: the survivors must all finish their sessions.
+				steps := 0
+				for {
+					live := false
+					for _, p := range procs[1:] {
+						if p.retired {
+							continue
+						}
+						live = true
+						p.step(t, sessions)
+						assertExclusion(t, procs, "post-cancel")
+						steps++
+						if steps > maxSteps {
+							t.Fatalf("k=%d: survivors not done after %d steps (deadlock after withdraw?)", k, maxSteps)
+						}
+					}
+					if !live {
+						break
+					}
+				}
+				for i, p := range procs[1:] {
+					if p.done < sessions {
+						t.Fatalf("k=%d: survivor %d completed %d/%d sessions", k, i+1, p.done, sessions)
+					}
+				}
+			}
+		})
+	}
+}

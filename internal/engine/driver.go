@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -93,6 +94,7 @@ type Driver struct {
 	ops    uint64 // total ops executed
 	yields uint64 // Gosched calls
 	sleeps uint64 // sleep calls
+	aborts uint64 // invocations withdrawn by DriveContext
 }
 
 // NewDriver builds a driver for machine over exec with the default
@@ -121,12 +123,28 @@ func (d *Driver) Machine() core.Machine { return d.machine }
 // error only if the machine requests an operation the substrate does not
 // know — impossible for the repository's machines.
 func (d *Driver) Drive() error {
+	_, err := d.drive(nil)
+	return err
+}
+
+// drive is the loop shared by Drive and DriveContext: execute ops with
+// the adaptive backoff until the invocation completes or done (when
+// non-nil) fires at an op boundary, reported as cancelled=true with the
+// machine still Running.
+func (d *Driver) drive(done <-chan struct{}) (cancelled bool, err error) {
 	d.streak = 0
 	for d.machine.Status() == core.StatusRunning {
+		if done != nil {
+			select {
+			case <-done:
+				return true, nil
+			default:
+			}
+		}
 		op := d.machine.PendingOp()
 		res, buf, err := Exec(d.exec, op, d.snapBuf)
 		if err != nil {
-			return err
+			return false, err
 		}
 		d.snapBuf = buf
 		d.machine.Advance(res)
@@ -159,7 +177,64 @@ func (d *Driver) Drive() error {
 			d.backoff.sleep(dur)
 		}
 	}
+	return false, nil
+}
+
+// DriveContext is Drive with cancellation: it executes the machine's
+// pending operations until the current invocation completes or ctx is
+// done. On cancellation mid-lock() it does not simply stop — an entry-
+// section process may own anonymous registers, and abandoning them would
+// wedge every other competitor — instead it withdraws: the machine's
+// StartAbort back-out runs to completion (a bounded erase sweep, at most
+// 2m operations, never blocking on other processes), leaving the shared
+// registers exactly as if this process had never competed, and ctx's
+// error is returned. A machine that completes its invocation (reaches
+// the critical section, or finishes unlock) before the cancellation is
+// observed completes normally and returns nil — the caller holds the
+// lock even if ctx expired in the same instant.
+//
+// The waiting policy matches Drive: spin, then yield, then escalating
+// sleeps, with the cancellation checked at every op boundary (sleeps are
+// bounded by SleepMax, so cancellation latency is at most one sleep).
+func (d *Driver) DriveContext(ctx context.Context) error {
+	done := ctx.Done()
+	if done == nil {
+		return d.Drive()
+	}
+	cancelled, err := d.drive(done)
+	if err != nil {
+		return err
+	}
+	if cancelled {
+		return d.withdraw(ctx.Err())
+	}
 	return nil
+}
+
+// withdraw handles a cancellation observed mid-invocation. For a lock()
+// it backs the machine out via StartAbort and returns cause; a machine
+// that cannot be withdrawn (an unlock(), whose erase sweep is already
+// bounded) is driven to normal completion and nil is returned. Either
+// way the remaining ops run without backoff or further cancellation
+// checks: every one advances the machine (both sweeps are wait-free), and
+// stopping halfway could leave the process's identity in a register
+// nobody will ever erase.
+func (d *Driver) withdraw(cause error) error {
+	aborting := d.machine.StartAbort() == nil
+	for d.machine.Status() == core.StatusRunning {
+		res, buf, err := Exec(d.exec, d.machine.PendingOp(), d.snapBuf)
+		if err != nil {
+			return err
+		}
+		d.snapBuf = buf
+		d.machine.Advance(res)
+		d.ops++
+	}
+	if !aborting {
+		return nil
+	}
+	d.aborts++
+	return cause
 }
 
 // Stats reports the driver's lifetime counters: shared-memory ops
@@ -167,6 +242,9 @@ func (d *Driver) Drive() error {
 func (d *Driver) Stats() (ops, yields, sleeps uint64) {
 	return d.ops, d.yields, d.sleeps
 }
+
+// Aborts reports how many invocations DriveContext has withdrawn.
+func (d *Driver) Aborts() uint64 { return d.aborts }
 
 // DriveAll is a convenience for sequential (single-goroutine) execution:
 // it starts and completes one full invocation — lock when the machine is

@@ -19,6 +19,10 @@
 // then runtime.Gosched, then exponentially escalating sleeps). Both paths
 // are allocation-free per operation: snapshot buffers are owned by the
 // Driver (or caller) and reused, and Exec returns results by value.
+// DriveContext adds deadline-bounded, abortable acquisition: a context
+// cancelled mid-lock() triggers the machine's StartAbort withdraw — a
+// bounded erase sweep that leaves the anonymous registers exactly as if
+// the process had never competed.
 //
 // Recorder wraps any Executor and logs the full operation/result stream,
 // enabling cross-substrate equivalence checks: under a deterministic

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -208,6 +209,7 @@ type spinMachine struct {
 	status core.Status
 	left   int
 	total  int
+	abort  bool
 }
 
 func (s *spinMachine) Me() id.ID           { return s.me }
@@ -218,11 +220,24 @@ func (s *spinMachine) StartLock() error {
 	return nil
 }
 func (s *spinMachine) StartUnlock() error { s.status = core.StatusIdle; return nil }
+func (s *spinMachine) StartAbort() error {
+	if s.status != core.StatusRunning {
+		return fmt.Errorf("spinMachine: StartAbort in status %v", s.status)
+	}
+	s.left = 1 // one final op completes the back-out
+	s.abort = true
+	return nil
+}
 func (s *spinMachine) PendingOp() core.Op { return core.Op{Kind: core.OpRead, X: 0} }
 func (s *spinMachine) Advance(core.OpResult) core.Status {
 	s.left--
 	if s.left <= 0 {
-		s.status = core.StatusInCS
+		if s.abort {
+			s.abort = false
+			s.status = core.StatusIdle
+		} else {
+			s.status = core.StatusInCS
+		}
 	}
 	return s.status
 }

@@ -1,0 +1,171 @@
+package engine
+
+// Withdraw tests: DriveContext cancelled mid-lock() must back the machine
+// out so that a later acquirer, on either substrate, never observes the
+// withdrawn process — pinned at the op-trace level with a Recorder.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"anonmutex/internal/core"
+	"anonmutex/internal/id"
+)
+
+// machineMaker builds a fresh protocol machine of each algorithm kind.
+func machineMaker(t *testing.T, kind string, me id.ID, m int) core.Machine {
+	t.Helper()
+	switch kind {
+	case "alg1":
+		a, err := core.NewAlg1Unchecked(me, m, core.Alg1Config{Choice: core.ChooseFirstBottom})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	case "alg2":
+		a, err := core.NewAlg2Unchecked(me, m, core.Alg2Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	default:
+		t.Fatalf("unknown algorithm kind %q", kind)
+		return nil
+	}
+}
+
+// traceMentions reports whether any observed value in the log — a read
+// result or a snapshot entry — equals who. Writes and CAS arguments are
+// the observer's own values and are excluded: invisibility means the
+// withdrawn identity is never *seen*.
+func traceMentions(log []OpRecord, who id.ID) bool {
+	for _, r := range log {
+		if r.Out.Equal(who) {
+			return true
+		}
+		for _, v := range r.Snap {
+			if v.Equal(who) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestWithdrawInvisibleOnBothSubstrates cancels a lock() after every op
+// boundary k, on both substrates and both algorithms, and asserts the
+// withdrawn process never appears in the op trace of a subsequent
+// lock/unlock cycle by another process.
+func TestWithdrawInvisibleOnBothSubstrates(t *testing.T) {
+	const m = 5
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, kind := range []string{"hardware", "simulated"} {
+		for _, alg := range []string{"alg1", "alg2"} {
+			t.Run(kind+"/"+alg, func(t *testing.T) {
+				for k := 0; k <= 4*m; k++ {
+					drivers, recorders := substrate(t, kind, 2, m, func(me id.ID) core.Machine {
+						return machineMaker(t, alg, me, m)
+					})
+					aborter, later := drivers[0], drivers[1]
+					who := aborter.Machine().Me()
+
+					// Run the aborter k ops into lock(), then cancel.
+					if err := aborter.Machine().StartLock(); err != nil {
+						t.Fatal(err)
+					}
+					buf := make([]id.ID, m)
+					for i := 0; i < k && aborter.Machine().Status() == core.StatusRunning; i++ {
+						res, b, err := Exec(recorders[0], aborter.Machine().PendingOp(), buf)
+						if err != nil {
+							t.Fatal(err)
+						}
+						buf = b
+						aborter.Machine().Advance(res)
+					}
+					if aborter.Machine().Status() != core.StatusRunning {
+						continue // solo lock() completed before k ops
+					}
+					err := aborter.DriveContext(cancelled)
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("k=%d: DriveContext = %v, want context.Canceled", k, err)
+					}
+					if got := aborter.Machine().Status(); got != core.StatusIdle {
+						t.Fatalf("k=%d: withdrawn machine status %v, want idle", k, got)
+					}
+					if aborter.Aborts() != 1 {
+						t.Fatalf("k=%d: aborts counter %d, want 1", k, aborter.Aborts())
+					}
+
+					// The later acquirer must complete a full cycle without
+					// ever observing the withdrawn identity.
+					if _, err := later.DriveAll(); err != nil {
+						t.Fatalf("k=%d: later lock(): %v", k, err)
+					}
+					if _, err := later.DriveAll(); err != nil {
+						t.Fatalf("k=%d: later unlock(): %v", k, err)
+					}
+					if traceMentions(recorders[1].Log, who) {
+						t.Fatalf("k=%d: withdrawn process %v visible in the later acquirer's trace:\n%v",
+							k, who, recorders[1].Log)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDriveContextBackground takes the uncancellable fast path and must
+// behave exactly like Drive.
+func TestDriveContextBackground(t *testing.T) {
+	const m = 5
+	drivers, _ := substrate(t, "simulated", 1, m, func(me id.ID) core.Machine {
+		return machineMaker(t, "alg2", me, m)
+	})
+	d := drivers[0]
+	if err := d.Machine().StartLock(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DriveContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d.Machine().Status() != core.StatusInCS {
+		t.Fatalf("status %v, want in-cs", d.Machine().Status())
+	}
+	if d.Aborts() != 0 {
+		t.Fatalf("aborts %d, want 0", d.Aborts())
+	}
+}
+
+// TestDriveContextCancelledUnlockCompletes pins the unlock discipline: a
+// cancelled context must not tear an unlock() apart — the erase sweep is
+// already bounded, so it runs to completion and returns nil.
+func TestDriveContextCancelledUnlockCompletes(t *testing.T) {
+	const m = 5
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range []string{"alg1", "alg2"} {
+		t.Run(alg, func(t *testing.T) {
+			drivers, _ := substrate(t, "hardware", 1, m, func(me id.ID) core.Machine {
+				return machineMaker(t, alg, me, m)
+			})
+			d := drivers[0]
+			if _, err := d.DriveAll(); err != nil { // lock
+				t.Fatal(err)
+			}
+			if err := d.Machine().StartUnlock(); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.DriveContext(cancelled); err != nil {
+				t.Fatalf("cancelled unlock = %v, want nil", err)
+			}
+			if d.Machine().Status() != core.StatusIdle {
+				t.Fatalf("status %v, want idle", d.Machine().Status())
+			}
+			if d.Aborts() != 0 {
+				t.Fatalf("aborts %d, want 0 (unlock cannot be withdrawn)", d.Aborts())
+			}
+		})
+	}
+}

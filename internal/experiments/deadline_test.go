@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestDeadlineSweepStructure checks S3's exact columns: attempts must
+// balance (cycles + aborts), violations must be 0 everywhere, and both
+// backends must appear.
+func TestDeadlineSweepStructure(t *testing.T) {
+	tbl, err := DeadlineSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (5 inproc + 1 lockd)", len(tbl.Rows))
+	}
+	backends := map[string]int{}
+	for _, row := range tbl.Rows {
+		backends[row[0]]++
+		attempts, err1 := strconv.Atoi(row[5])
+		cycles, err2 := strconv.Atoi(row[6])
+		aborts, err3 := strconv.Atoi(row[7])
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("unparseable counts in row %v", row)
+		}
+		if attempts != 360 {
+			t.Errorf("%s/%s/%s ran %d attempts, want 360", row[0], row[1], row[2], attempts)
+		}
+		if cycles+aborts != attempts {
+			t.Errorf("%s/%s/%s: cycles %d + aborts %d != attempts %d", row[0], row[1], row[2], cycles, aborts, attempts)
+		}
+		if violations := row[9]; violations != "0" {
+			t.Errorf("%s/%s/%s observed %s violations", row[0], row[1], row[2], violations)
+		}
+	}
+	if backends["inproc"] != 5 || backends["lockd"] != 1 {
+		t.Errorf("backend coverage = %v", backends)
+	}
+}

@@ -17,8 +17,9 @@
 //	E10            — anonymity invariance
 //	S1             — the scenario-registry sweep, on both substrates
 //	S2             — the named-lock service sweep (lockmgr + lockd)
+//	S3             — deadline-bounded acquisition (abort rate, tail latency)
 //
-// Everything except S1's real-substrate timings and S2's service
+// Everything except S1's real-substrate timings and the S2/S3 service
 // measurements is deterministic: fixed seeds, simulated schedules.
 // Experiments are independent — RunConcurrent executes them on a worker
 // pool and reports results in presentation order.
@@ -70,6 +71,7 @@ func All() []Experiment {
 		{"E10", "Anonymity invariance: permutation adversaries", PermInvariance},
 		{"S1", "Scenario registry: every named scenario, both substrates", ScenarioSuite},
 		{"S2", "Service sweep: sharded named-lock manager and lockd under load", ServiceSweep},
+		{"S3", "Deadline sweep: abortable acquisition, abort rate and tail latency", DeadlineSweep},
 	}
 }
 

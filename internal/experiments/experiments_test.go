@@ -18,8 +18,8 @@ func TestAllHaveDistinctIDs(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 12 {
-		t.Fatalf("expected 12 experiments, have %d", len(seen))
+	if len(seen) != 13 {
+		t.Fatalf("expected 13 experiments, have %d", len(seen))
 	}
 }
 

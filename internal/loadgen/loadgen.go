@@ -3,7 +3,10 @@
 // one of the scenario workload distributions (uniform, bursty, skewed),
 // measures per-acquire latency and end-to-end throughput, and verifies
 // mutual exclusion with a per-key owner token checked inside every
-// critical section.
+// critical section. With Config.OpTimeout set, every acquire carries a
+// deadline: attempts that expire withdraw cleanly and are reported as an
+// abort count and rate — the SLA-style workload the abortable lock stack
+// exists for.
 //
 // The backend is anything that can acquire and release named locks — the
 // in-process lockmgr.Manager (via ManagerLocker) or a lockd server over
@@ -12,6 +15,8 @@
 package loadgen
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -40,6 +45,15 @@ type HoldsChecker interface {
 	Holds(name string) (bool, error)
 }
 
+// DeadlineLocker is the optional deadline surface: a Locker whose
+// acquires can be bounded. AcquireFor reports whether the lock is now
+// held; giving up at the deadline is not an error — the waiter withdraws
+// cleanly and the generator counts an abort. Config.OpTimeout requires
+// the backend to offer this interface.
+type DeadlineLocker interface {
+	AcquireFor(name string, d time.Duration) (bool, error)
+}
+
 // Config parameterizes a run.
 type Config struct {
 	// Clients is the number of concurrent client goroutines (default 8).
@@ -61,6 +75,12 @@ type Config struct {
 	// CSWork and ThinkWork are spin units (workload.Spin) inside the
 	// critical section and between cycles.
 	CSWork, ThinkWork int
+	// OpTimeout, when nonzero, bounds every acquire: an attempt that
+	// cannot complete within it is abandoned (the waiter withdraws
+	// cleanly) and counted as an abort instead of a cycle. Requires a
+	// backend whose sessions implement DeadlineLocker. With Cycles set,
+	// the bound counts attempts — completed cycles plus aborts.
+	OpTimeout time.Duration
 	// NewLocker opens client i's session.
 	NewLocker func(client int) (Locker, error)
 }
@@ -83,6 +103,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Cycles == 0 && c.Duration == 0 {
 		return c, fmt.Errorf("loadgen: need Cycles or Duration")
+	}
+	if c.OpTimeout < 0 {
+		return c, fmt.Errorf("loadgen: negative OpTimeout")
 	}
 	if c.Dist == "" {
 		c.Dist = scenario.WorkloadUniform
@@ -111,11 +134,17 @@ type Result struct {
 	// Violations counts owner-check failures observed inside critical
 	// sections (client token mismatches and failed backend holds checks).
 	// It must be 0.
-	Violations int64   `json:"violations"`
-	LatencyP50 float64 `json:"acquire_p50_us"`
-	LatencyP90 float64 `json:"acquire_p90_us"`
-	LatencyP99 float64 `json:"acquire_p99_us"`
-	LatencyMax float64 `json:"acquire_max_us"`
+	Violations int64 `json:"violations"`
+	// Aborts counts acquires abandoned at the per-op deadline
+	// (Config.OpTimeout); AbortRate is aborts over attempts. Latency
+	// percentiles cover successful acquires only.
+	Aborts      int64   `json:"aborts"`
+	AbortRate   float64 `json:"abort_rate"`
+	OpTimeoutMS float64 `json:"op_timeout_ms,omitempty"`
+	LatencyP50  float64 `json:"acquire_p50_us"`
+	LatencyP90  float64 `json:"acquire_p90_us"`
+	LatencyP99  float64 `json:"acquire_p99_us"`
+	LatencyMax  float64 `json:"acquire_max_us"`
 }
 
 // Table renders the result in the harness's table format, suitable for
@@ -124,12 +153,16 @@ func (r *Result) Table() *stats.Table {
 	t := &stats.Table{
 		Title: fmt.Sprintf("anonload — backend=%s", r.Backend),
 		Header: []string{"clients", "keys", "dist", "cycles", "seconds", "cycles/s",
-			"violations", "acq p50 µs", "acq p90 µs", "acq p99 µs", "acq max µs"},
+			"violations", "aborts", "abort rate", "acq p50 µs", "acq p90 µs", "acq p99 µs", "acq max µs"},
 	}
 	t.AddRow(r.Clients, r.Keys, r.Dist, r.Cycles, r.Seconds, r.Throughput,
-		r.Violations, r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
+		r.Violations, r.Aborts, r.AbortRate, r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
 	t.Notes = append(t.Notes,
 		"every critical section runs an owner check: a per-key token (CAS in, CAS out) plus the backend's holds op when offered")
+	if r.OpTimeoutMS > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("per-op deadline %.3gms: aborted acquires withdraw cleanly and do not enter the latency percentiles", r.OpTimeoutMS))
+	}
 	return t
 }
 
@@ -148,6 +181,7 @@ func Run(cfg Config) (*Result, error) {
 	var (
 		next       atomic.Int64 // global cycle allocator
 		violations atomic.Int64
+		aborts     atomic.Int64
 		stop       atomic.Bool
 		wg         sync.WaitGroup
 		mu         sync.Mutex
@@ -180,6 +214,14 @@ func Run(cfg Config) (*Result, error) {
 			}
 			defer lk.Close()
 			checker, _ := lk.(HoldsChecker)
+			var bounded DeadlineLocker
+			if cfg.OpTimeout > 0 {
+				var ok bool
+				if bounded, ok = lk.(DeadlineLocker); !ok {
+					fail(fmt.Errorf("loadgen: client %d: OpTimeout set but the backend session (%T) offers no AcquireFor", me, lk))
+					return
+				}
+			}
 			r := xrand.New(xrand.Mix64(cfg.Seed ^ uint64(me)*0x9e3779b97f4a7c15))
 			token := int64(me + 1)
 			var burst int
@@ -192,7 +234,18 @@ func Run(cfg Config) (*Result, error) {
 				}
 				k := pickKey(cfg.Dist, r, cfg.Keys)
 				acqStart := time.Now()
-				if err := lk.Acquire(keys[k]); err != nil {
+				if bounded != nil {
+					ok, err := bounded.AcquireFor(keys[k], cfg.OpTimeout)
+					if err != nil {
+						fail(fmt.Errorf("loadgen: client %d acquiring %s: %w", me, keys[k], err))
+						return
+					}
+					if !ok {
+						aborts.Add(1)
+						think(cfg, r, &burst)
+						continue
+					}
+				} else if err := lk.Acquire(keys[k]); err != nil {
 					fail(fmt.Errorf("loadgen: client %d acquiring %s: %w", me, keys[k], err))
 					return
 				}
@@ -239,16 +292,21 @@ func Run(cfg Config) (*Result, error) {
 	}
 	cycles := int64(merged.N())
 	res := &Result{
-		Clients:    cfg.Clients,
-		Keys:       cfg.Keys,
-		Dist:       cfg.Dist,
-		Cycles:     cycles,
-		Seconds:    elapsed,
-		Violations: violations.Load(),
-		LatencyP50: merged.Percentile(50),
-		LatencyP90: merged.Percentile(90),
-		LatencyP99: merged.Percentile(99),
-		LatencyMax: merged.Percentile(100),
+		Clients:     cfg.Clients,
+		Keys:        cfg.Keys,
+		Dist:        cfg.Dist,
+		Cycles:      cycles,
+		Seconds:     elapsed,
+		Violations:  violations.Load(),
+		Aborts:      aborts.Load(),
+		OpTimeoutMS: float64(cfg.OpTimeout) / float64(time.Millisecond),
+		LatencyP50:  merged.Percentile(50),
+		LatencyP90:  merged.Percentile(90),
+		LatencyP99:  merged.Percentile(99),
+		LatencyMax:  merged.Percentile(100),
+	}
+	if attempts := cycles + res.Aborts; attempts > 0 {
+		res.AbortRate = float64(res.Aborts) / float64(attempts)
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(cycles) / elapsed
@@ -313,6 +371,26 @@ func (l *ManagerLocker) Acquire(name string) error {
 	}
 	l.grants[name] = g
 	return nil
+}
+
+// AcquireFor implements DeadlineLocker over the manager's AcquireCtx:
+// an attempt that cannot complete within d withdraws cleanly and reports
+// (false, nil).
+func (l *ManagerLocker) AcquireFor(name string, d time.Duration) (bool, error) {
+	if _, held := l.grants[name]; held {
+		return false, fmt.Errorf("loadgen: session already holds %q", name)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	g, err := l.mgr.AcquireCtx(ctx, name)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return false, nil
+		}
+		return false, err
+	}
+	l.grants[name] = g
+	return true, nil
 }
 
 // Release gives a held name back.

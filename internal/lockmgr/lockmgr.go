@@ -18,15 +18,21 @@
 //     lifecycle. Clients that find all n handles leased queue for the
 //     next release.
 //
-// Acquire/TryAcquire return a Grant whose Release returns both the
-// critical section and the leased handle. The manager cross-checks
-// mutual exclusion on every grant (a per-lock holder counter that must
-// step 0→1→0) and feeds per-shard contention and throughput counters
-// into a stats.Table for the experiment harness and the lockd service.
+// Acquire/AcquireCtx/TryAcquire return a Grant whose Release returns
+// both the critical section and the leased handle. AcquireCtx is the
+// deadline-bounded path: a waiter whose context ends leaves the lease
+// queue without leaking a handle, and a leased competitor withdraws from
+// the register competition through the root package's abortable back-out
+// — both outcomes are counted per shard (LeaseTimeouts, Aborts). The
+// manager cross-checks mutual exclusion on every grant (a per-lock
+// holder counter that must step 0→1→0) and feeds per-shard contention
+// and throughput counters into a stats.Table for the experiment harness
+// and the lockd service.
 package lockmgr
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -126,6 +132,12 @@ type Counters struct {
 	Acquires, Releases, TryAcquires, TryFailures uint64
 	// Waits counts acquirers that queued for a handle (all n leased).
 	Waits uint64
+	// LeaseTimeouts counts acquirers whose context ended while queued for
+	// a handle; Aborts counts acquirers that leased a handle but withdrew
+	// from the register competition when their context ended. Both leave
+	// the manager clean: no handle is leaked and no register keeps the
+	// withdrawn process's identity.
+	LeaseTimeouts, Aborts uint64
 	// LockCreates and Hits split name lookups into cold and warm;
 	// Evictions counts LRU teardowns.
 	LockCreates, Hits, Evictions uint64
@@ -139,6 +151,8 @@ func (a Counters) add(b Counters) Counters {
 	a.TryAcquires += b.TryAcquires
 	a.TryFailures += b.TryFailures
 	a.Waits += b.Waits
+	a.LeaseTimeouts += b.LeaseTimeouts
+	a.Aborts += b.Aborts
 	a.LockCreates += b.LockCreates
 	a.Hits += b.Hits
 	a.Evictions += b.Evictions
@@ -193,8 +207,10 @@ func (m *Manager) newLock(name string) (func() (procHandle, error), error) {
 }
 
 // checkout pins the entry for name (creating it, and evicting a cold one,
-// as needed) and leases a handle from its pool.
-func (m *Manager) checkout(name string, block bool) (*entry, procHandle, error) {
+// as needed) and leases a handle from its pool. A caller whose ctx ends
+// while queued unpins and leaves empty-handed with ctx's error, counted
+// as a lease timeout.
+func (m *Manager) checkout(ctx context.Context, name string, block bool) (*entry, procHandle, error) {
 	sh := m.shard(name)
 	sh.mu.Lock()
 	e, ok := sh.entries[name]
@@ -218,12 +234,21 @@ func (m *Manager) checkout(name string, block bool) (*entry, procHandle, error) 
 	e.refs++
 	sh.mu.Unlock()
 
-	h, ok, waited, err := e.pool.lease(block)
+	h, ok, waited, err := e.pool.lease(ctx, block)
 	if !ok || err != nil {
 		sh.mu.Lock()
 		e.refs--
+		if waited {
+			sh.c.Waits++
+			if err != nil {
+				sh.c.LeaseTimeouts++
+			}
+		}
 		sh.mu.Unlock()
-		return nil, nil, err
+		if err != nil {
+			return nil, nil, fmt.Errorf("lockmgr: acquiring %q: queued for a handle: %w", name, err)
+		}
+		return nil, nil, nil
 	}
 	if waited {
 		sh.mu.Lock()
@@ -258,14 +283,30 @@ func (sh *shard) evictColdest() {
 // anonymous-register algorithm. The returned Grant's Release gives the
 // lock back.
 func (m *Manager) Acquire(name string) (*Grant, error) {
+	return m.AcquireCtx(context.Background(), name)
+}
+
+// AcquireCtx is Acquire bounded by a context: a caller whose ctx is
+// cancelled or deadlined gives up cleanly at whichever stage it has
+// reached — a queued waiter leaves the lease queue (no handle leaked, no
+// successor reordered), and a leased competitor withdraws from the
+// anonymous-register competition via the abortable-mutex back-out before
+// its handle returns to the pool. Either way AcquireCtx returns ctx's
+// error (test with errors.Is) and the per-shard LeaseTimeouts or Aborts
+// counter steps.
+func (m *Manager) AcquireCtx(ctx context.Context, name string) (*Grant, error) {
 	start := time.Now()
-	e, h, err := m.checkout(name, true)
+	e, h, err := m.checkout(ctx, name, true)
 	if err != nil {
 		return nil, err
 	}
-	if err := h.Lock(); err != nil {
+	if err := h.LockCtx(ctx); err != nil {
 		m.checkin(e, h, false)
-		return nil, err
+		sh := m.shard(name)
+		sh.mu.Lock()
+		sh.c.Aborts++
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("lockmgr: acquiring %q: %w", name, err)
 	}
 	if e.held.Add(1) != 1 {
 		m.violations.Add(1)
@@ -295,7 +336,7 @@ func (m *Manager) TryAcquire(name string) (*Grant, bool, error) {
 		return nil, false, nil
 	}
 	sh.mu.Unlock()
-	e, h, err := m.checkout(name, false)
+	e, h, err := m.checkout(context.Background(), name, false)
 	if err != nil {
 		return nil, false, err
 	}
@@ -393,7 +434,7 @@ func (m *Manager) StatsTable() *stats.Table {
 		Title: fmt.Sprintf("lockmgr — %d shards, alg=%s, n=%d/lock, LRU=%d/shard",
 			len(m.shards), m.cfg.Algorithm, m.cfg.HandlesPerLock, m.cfg.MaxLocksPerShard),
 		Header: []string{"shard", "locks", "acquires", "releases", "waits",
-			"try-fail", "creates", "hits", "evictions", "mean acq µs"},
+			"aborts", "lease-timeouts", "try-fail", "creates", "hits", "evictions", "mean acq µs"},
 	}
 	var total Counters
 	var latN int64
@@ -411,14 +452,15 @@ func (m *Manager) StatsTable() *stats.Table {
 			continue // keep quiet shards out of the table
 		}
 		t.AddRow(i, c.ResidentLocks, c.Acquires, c.Releases, c.Waits,
-			c.TryFailures, c.LockCreates, c.Hits, c.Evictions, mean)
+			c.Aborts, c.LeaseTimeouts, c.TryFailures, c.LockCreates, c.Hits, c.Evictions, mean)
 	}
 	meanAll := 0.0
 	if latN > 0 {
 		meanAll = latSum / float64(latN)
 	}
 	t.AddRow("total", total.ResidentLocks, total.Acquires, total.Releases, total.Waits,
-		total.TryFailures, total.LockCreates, total.Hits, total.Evictions, meanAll)
+		total.Aborts, total.LeaseTimeouts, total.TryFailures, total.LockCreates,
+		total.Hits, total.Evictions, meanAll)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("mutual-exclusion violations observed by the holder cross-check: %d", m.Violations()))
 	return t

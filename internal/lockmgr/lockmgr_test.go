@@ -1,6 +1,7 @@
 package lockmgr
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -129,11 +130,11 @@ func TestLeaseWaited(t *testing.T) {
 		created++
 		return stubHandle{}, nil
 	})
-	h, ok, waited, err := p.lease(true)
+	h, ok, waited, err := p.lease(context.Background(), true)
 	if err != nil || !ok || waited {
 		t.Fatalf("first lease: ok=%v waited=%v err=%v", ok, waited, err)
 	}
-	if _, ok, _, err := p.lease(false); ok || err != nil {
+	if _, ok, _, err := p.lease(context.Background(), false); ok || err != nil {
 		t.Fatalf("non-blocking lease of exhausted pool: ok=%v err=%v", ok, err)
 	}
 	done := make(chan struct{})
@@ -141,7 +142,7 @@ func TestLeaseWaited(t *testing.T) {
 	go func() {
 		defer close(done)
 		close(ready) // about to queue on the exhausted pool
-		h2, ok, waited, err := p.lease(true)
+		h2, ok, waited, err := p.lease(context.Background(), true)
 		if err != nil || !ok || !waited {
 			t.Errorf("queued lease: ok=%v waited=%v err=%v", ok, waited, err)
 			return
@@ -162,9 +163,10 @@ func TestLeaseWaited(t *testing.T) {
 
 type stubHandle struct{}
 
-func (stubHandle) Lock() error   { return nil }
-func (stubHandle) Unlock() error { return nil }
-func (stubHandle) Close() error  { return nil }
+func (stubHandle) Lock() error                       { return nil }
+func (stubHandle) LockCtx(ctx context.Context) error { return ctx.Err() }
+func (stubHandle) Unlock() error                     { return nil }
+func (stubHandle) Close() error                      { return nil }
 
 // TestHandleMultiplexing pins the lease-pool overflow path at the
 // manager level: with one client holding a 2-handle lock and two more

@@ -1,6 +1,7 @@
 package lockmgr
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -9,6 +10,7 @@ import (
 // needs: both *anonmutex.RWProcess and *anonmutex.RMWProcess satisfy it.
 type procHandle interface {
 	Lock() error
+	LockCtx(ctx context.Context) error
 	Unlock() error
 	Close() error
 }
@@ -17,9 +19,12 @@ type procHandle interface {
 // fixed n process handles. Handles are created lazily (a lock that only
 // ever sees one client materializes one handle) and parked in a channel
 // between leases; when all n are leased out, blocking callers queue on
-// the channel until a release. The pool never discards a handle while the
-// entry lives — the root package's Close/re-lease cycle is exercised at
-// eviction time, when closeIdle returns every slot to the lock.
+// the channel until a release or until their context is done — a
+// timed-out waiter simply stops receiving, so it leaves the queue without
+// holding, leaking, or reordering any handle. The pool never discards a
+// handle while the entry lives — the root package's Close/re-lease cycle
+// is exercised at eviction time, when closeIdle returns every slot to the
+// lock.
 type leasePool struct {
 	newHandle func() (procHandle, error)
 	handles   chan procHandle // parked idle handles
@@ -39,7 +44,8 @@ func newLeasePool(capacity int, newHandle func() (procHandle, error)) *leasePool
 // materialized one while slots remain, and otherwise — if block is set —
 // the next handle released by another client. waited reports whether the
 // caller had to queue. With block unset, exhaustion returns ok=false.
-func (p *leasePool) lease(block bool) (h procHandle, ok, waited bool, err error) {
+// A queued caller whose ctx ends gives up with ctx's error.
+func (p *leasePool) lease(ctx context.Context, block bool) (h procHandle, ok, waited bool, err error) {
 	select {
 	case h := <-p.handles:
 		return h, true, false, nil
@@ -62,7 +68,12 @@ func (p *leasePool) lease(block bool) (h procHandle, ok, waited bool, err error)
 	if !block {
 		return nil, false, false, nil
 	}
-	return <-p.handles, true, true, nil
+	select {
+	case h := <-p.handles:
+		return h, true, true, nil
+	case <-ctx.Done():
+		return nil, false, true, ctx.Err()
+	}
 }
 
 // release parks a handle for the next lease.

@@ -31,6 +31,7 @@ const (
 	phCollect
 	phInCS
 	phUnlock
+	phAbort
 )
 
 // Greedy is the broken protocol machine. It implements core.Machine.
@@ -85,6 +86,18 @@ func (g *Greedy) StartUnlock() error {
 	return nil
 }
 
+// StartAbort implements core.Machine: withdraw from an in-progress
+// lock() by running the unlock erase sweep early — even the broken
+// protocol backs out cleanly, so abort tooling can run against it.
+func (g *Greedy) StartAbort() error {
+	if g.status != core.StatusRunning || g.phase == phUnlock {
+		return fmt.Errorf("strawman: StartAbort in status %v (withdraw applies only inside lock())", g.status)
+	}
+	g.cursor = 0
+	g.phase = phAbort
+	return nil
+}
+
 // PendingOp implements core.Machine.
 func (g *Greedy) PendingOp() core.Op {
 	switch g.phase {
@@ -92,7 +105,7 @@ func (g *Greedy) PendingOp() core.Op {
 		return core.Op{Kind: core.OpCAS, X: g.cursor, Old: id.None, New: g.me}
 	case phCollect:
 		return core.Op{Kind: core.OpRead, X: g.cursor}
-	case phUnlock:
+	case phUnlock, phAbort:
 		return core.Op{Kind: core.OpCAS, X: g.cursor, Old: g.me, New: id.None}
 	default:
 		panic(fmt.Sprintf("strawman: PendingOp in phase %d", g.phase))
@@ -120,7 +133,7 @@ func (g *Greedy) Advance(res core.OpResult) core.Status {
 		if g.cursor == g.m {
 			g.afterCollect()
 		}
-	case phUnlock:
+	case phUnlock, phAbort:
 		g.cursor++
 		if g.cursor == g.m {
 			g.status = core.StatusIdle

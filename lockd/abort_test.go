@@ -1,0 +1,313 @@
+package lockd_test
+
+// Abortable-acquisition tests: timeout_ms, the cancel op, and the
+// reaping of waiters abandoned by a dropped connection.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"anonmutex/internal/lockmgr"
+	"anonmutex/lockd"
+	"anonmutex/lockd/client"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// TestDisconnectWhileQueuedReapsWaiter is the regression test for the
+// abandoned-waiter leak: a client that drops its connection while its
+// acquire is blocked — competing for the registers, or queued for a
+// handle — must be reaped immediately, not compete on as a ghost that
+// can steal the lock from live clients.
+func TestDisconnectWhileQueuedReapsWaiter(t *testing.T) {
+	srv, mgr, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2, Shards: 1})
+
+	holder, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	if err := holder.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+
+	// B leases the second handle and competes for the held lock; C then
+	// queues for a handle behind it.
+	b, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bErr := make(chan error, 1)
+	cErr := make(chan error, 1)
+	go func() { bErr <- b.Acquire("k") }()
+	waitFor(t, 2*time.Second, "all sessions to connect", func() bool {
+		return srv.Sessions() == 3
+	})
+	time.Sleep(50 * time.Millisecond) // let B's acquire reach the register competition
+	go func() { cErr <- c.Acquire("k") }()
+	// No counter observes a still-queued waiter (Waits steps when the
+	// wait ends), so give C time to reach the lease queue behind B.
+	time.Sleep(50 * time.Millisecond)
+
+	// Both vanish while blocked. The server must reap them while the
+	// lock is still held — their sessions end and their blocked acquires
+	// are withdrawn, without waiting for the holder to release.
+	b.Close()
+	c.Close()
+	waitFor(t, 2*time.Second, "the dropped sessions to be reaped", func() bool {
+		return srv.Sessions() == 1
+	})
+	waitFor(t, 2*time.Second, "the abandoned acquires to be withdrawn", func() bool {
+		cnt := mgr.Counters()
+		return cnt.Aborts+cnt.LeaseTimeouts >= 2
+	})
+	if err := <-bErr; err == nil {
+		t.Error("B's acquire reported success on a dead session")
+	}
+	if err := <-cErr; err == nil {
+		t.Error("C's acquire reported success on a dead session")
+	}
+
+	// The stack must be fully healthy: release and promptly re-acquire.
+	if err := holder.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ok, err := d.AcquireFor("k", 2*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("acquire after reaping = (%v, %v), want (true, nil)", ok, err)
+	}
+	if err := d.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+	if v := mgr.Violations(); v != 0 {
+		t.Fatalf("%d violations", v)
+	}
+}
+
+// TestDisconnectWithPipelinedLinesReapsWaiter pins the harder variant of
+// the reaping regression: the dead client has extra request lines
+// pipelined behind its blocked acquire. The server's reader must never
+// park on the handoff of those lines — if it did, it would never see the
+// EOF and the ghost acquire would keep competing.
+func TestDisconnectWithPipelinedLinesReapsWaiter(t *testing.T) {
+	srv, mgr, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2, Shards: 1})
+
+	holder, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	if err := holder.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw connection pipelines an acquire that will block plus several
+	// more lines the processing loop won't reach, then drops.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := `{"op":"acquire","name":"k"}` + "\n" +
+		`{"op":"acquire","name":"k2"}` + "\n" +
+		`{"op":"ping"}` + "\n" +
+		`{"op":"ping"}` + "\n"
+	if _, err := raw.Write([]byte(lines)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, "the pipelined session to connect", func() bool {
+		return srv.Sessions() == 2
+	})
+	time.Sleep(50 * time.Millisecond) // let the acquire block behind the holder
+	raw.Close()
+
+	// The lock is still held the whole time, so only reaping — not a
+	// release — can end the dead session.
+	waitFor(t, 2*time.Second, "the dead pipelined session to be reaped", func() bool {
+		return srv.Sessions() == 1
+	})
+	waitFor(t, 2*time.Second, "the ghost acquire to be withdrawn", func() bool {
+		c := mgr.Counters()
+		return c.Aborts+c.LeaseTimeouts >= 1
+	})
+	if err := holder.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+	if v := mgr.Violations(); v != 0 {
+		t.Fatalf("%d violations", v)
+	}
+}
+
+// TestAcquireTimeoutMS: a deadline-bounded acquire of a held lock comes
+// back aborted, steps the server's abort counters, and leaves the lock
+// acquirable.
+func TestAcquireTimeoutMS(t *testing.T) {
+	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2, Shards: 1})
+	a, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ok, err := b.AcquireFor("k", 25*time.Millisecond)
+	if err != nil {
+		t.Fatalf("AcquireFor: %v", err)
+	}
+	if ok {
+		t.Fatal("AcquireFor acquired a held lock")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("bounded acquire took %v", elapsed)
+	}
+	st, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Aborts+st.LeaseTimeouts == 0 {
+		t.Fatalf("stats after timeout: %+v, want a nonzero abort tally", st)
+	}
+	if held, err := b.Holds("k"); err != nil || held {
+		t.Fatalf("Holds after aborted acquire: held=%v err=%v", held, err)
+	}
+	if err := a.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = b.AcquireFor("k", 2*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("AcquireFor after release = (%v, %v), want (true, nil)", ok, err)
+	}
+	if err := b.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelChasesBlockedAcquire: a Cancel issued on the same session
+// unblocks an in-flight unbounded Acquire with ErrAborted, in order.
+func TestCancelChasesBlockedAcquire(t *testing.T) {
+	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2, Shards: 1})
+	a, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- b.Acquire("k") }()
+	time.Sleep(20 * time.Millisecond) // let the acquire block server-side
+	if err := b.Cancel("k"); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, client.ErrAborted) {
+			t.Fatalf("cancelled Acquire = %v, want ErrAborted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Acquire did not return")
+	}
+
+	// A cancel with no acquire in flight applies to the next one: the
+	// remembered-cancellation rule that closes the pipelining race.
+	if err := b.Cancel("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire("k"); !errors.Is(err, client.ErrAborted) {
+		t.Fatalf("Acquire after remembered cancel = %v, want ErrAborted", err)
+	}
+	// The remembered cancel is consumed: the next acquire is normal.
+	if err := a.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire("k"); err != nil {
+		t.Fatalf("Acquire after consumed cancel: %v", err)
+	}
+	if err := b.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerMaxWaitCapsUnboundedAcquire: with MaxWait set, even an
+// unbounded acquire of a held lock aborts.
+func TestServerMaxWaitCapsUnboundedAcquire(t *testing.T) {
+	mgr, err := lockmgr.New(lockmgr.Config{HandlesPerLock: 2, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := lockd.NewServer(mgr)
+	srv.MaxWait = 25 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	a, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire("k"); !errors.Is(err, client.ErrAborted) {
+		t.Fatalf("capped unbounded Acquire = %v, want ErrAborted", err)
+	}
+	if err := a.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+}

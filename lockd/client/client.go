@@ -1,25 +1,51 @@
 // Package client is the Go client for the lockd network lock service:
-// one Conn per session, synchronous request/response, typed methods over
-// the wire protocol defined in the lockd package.
+// one Conn per session, typed methods over the wire protocol defined in
+// the lockd package.
+//
+// Requests are pipelined: any goroutine may issue a request while others
+// are waiting for responses, and a dedicated reader matches the server's
+// in-order responses to their callers. That is what makes Cancel useful —
+// it can chase an Acquire that is blocked on the same session — and what
+// lets one connection carry overlapping traffic. Locks held by the
+// session are released by the server when the connection closes.
 package client
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"anonmutex/lockd"
 )
 
-// Conn is one client session. Methods are safe for concurrent use but
-// execute one request at a time; locks held by the session are released
-// by the server when the connection closes.
+// ErrAborted is returned by Acquire when the attempt was abandoned —
+// cancelled by Cancel, expired server-side, or capped by the server's
+// maximum wait — after withdrawing cleanly. AcquireFor reports the same
+// outcome as (false, nil) instead.
+var ErrAborted = errors.New("client: acquire aborted")
+
+// result is one matched response.
+type result struct {
+	resp lockd.Response
+	err  error
+}
+
+// Conn is one client session. Methods are safe for concurrent use and
+// pipeline over the single connection.
 type Conn struct {
-	mu sync.Mutex
-	c  net.Conn
-	r  *bufio.Reader
+	c net.Conn
+
+	// sendMu serializes writes and queue pushes, so the response queue
+	// order always matches the request order on the wire.
+	sendMu sync.Mutex
+
+	mu     sync.Mutex
+	queue  []chan result // FIFO of callers awaiting responses
+	broken error         // set once the reader stops
 }
 
 // Dial connects to a lockd server.
@@ -28,37 +54,125 @@ func Dial(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing lockd at %s: %w", addr, err)
 	}
-	return &Conn{c: c, r: bufio.NewReader(c)}, nil
+	conn := &Conn{c: c}
+	go conn.readLoop()
+	return conn, nil
 }
 
-// do executes one request/response exchange.
-func (c *Conn) do(req lockd.Request) (lockd.Response, error) {
+// readLoop owns the inbound half: it reads response lines and hands each
+// to the oldest waiting caller. Any read or decode failure breaks the
+// session: every waiter (and every later request) gets the error.
+func (c *Conn) readLoop() {
+	r := bufio.NewReader(c.c)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			c.fail(fmt.Errorf("client: session broken: %w", err))
+			return
+		}
+		var resp lockd.Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			c.fail(fmt.Errorf("client: bad response: %w", err))
+			return
+		}
+		c.mu.Lock()
+		if len(c.queue) == 0 {
+			c.mu.Unlock()
+			c.fail(fmt.Errorf("client: response with no request in flight"))
+			return
+		}
+		ch := c.queue[0]
+		c.queue = c.queue[1:]
+		c.mu.Unlock()
+		ch <- result{resp: resp}
+	}
+}
+
+// fail breaks the session: all waiters are unblocked with err and later
+// requests fail fast.
+func (c *Conn) fail(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	waiters := c.queue
+	c.queue = nil
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- result{err: err}
+	}
+}
+
+// do executes one request/response exchange, waiting its turn in the
+// response order.
+func (c *Conn) do(req lockd.Request) (lockd.Response, error) {
 	buf, err := json.Marshal(req)
 	if err != nil {
 		return lockd.Response{}, err
 	}
-	if _, err := c.c.Write(append(buf, '\n')); err != nil {
-		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, err)
+	ch := make(chan result, 1)
+	c.sendMu.Lock()
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		c.sendMu.Unlock()
+		return lockd.Response{}, fmt.Errorf("%s: %w", req.Op, err)
 	}
-	line, err := c.r.ReadBytes('\n')
-	if err != nil {
-		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, err)
+	c.queue = append(c.queue, ch)
+	c.mu.Unlock()
+	_, werr := c.c.Write(append(buf, '\n'))
+	c.sendMu.Unlock()
+	if werr != nil {
+		// The reader will observe the broken connection and deliver the
+		// failure to every queued waiter, including this one.
+		c.c.Close()
 	}
-	var resp lockd.Response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return lockd.Response{}, fmt.Errorf("client: %s: bad response: %w", req.Op, err)
+	res := <-ch
+	if res.err != nil {
+		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, res.err)
 	}
-	if !resp.OK {
-		return resp, fmt.Errorf("client: %s: %s", req.Op, resp.Err)
+	if !res.resp.OK {
+		return res.resp, fmt.Errorf("client: %s: %s", req.Op, res.resp.Err)
 	}
-	return resp, nil
+	return res.resp, nil
 }
 
-// Acquire blocks until the session holds the named lock.
+// Acquire blocks until the session holds the named lock, or returns
+// ErrAborted if the attempt was cancelled or capped server-side.
 func (c *Conn) Acquire(name string) error {
-	_, err := c.do(lockd.Request{Op: lockd.OpAcquire, Name: name})
+	resp, err := c.do(lockd.Request{Op: lockd.OpAcquire, Name: name})
+	if err != nil {
+		return err
+	}
+	if resp.Aborted {
+		return fmt.Errorf("%w: %s", ErrAborted, name)
+	}
+	return nil
+}
+
+// AcquireFor tries to acquire the named lock within timeout, reporting
+// whether the session now holds it. Expiry (or a chasing Cancel) is not
+// an error: the server withdraws the waiter cleanly and AcquireFor
+// returns (false, nil).
+func (c *Conn) AcquireFor(name string, timeout time.Duration) (bool, error) {
+	req := lockd.Request{Op: lockd.OpAcquire, Name: name, TimeoutMS: int64(timeout / time.Millisecond)}
+	if timeout > 0 && req.TimeoutMS == 0 {
+		req.TimeoutMS = 1 // round sub-millisecond deadlines up, not to "forever"
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return false, err
+	}
+	return resp.Acquired, nil
+}
+
+// Cancel aborts the session's in-flight acquire — or, if none is in
+// flight yet, the session's next one (the cancellation is remembered
+// server-side, closing the race with a pipelined Acquire). With name ""
+// it matches any acquire.
+func (c *Conn) Cancel(name string) error {
+	_, err := c.do(lockd.Request{Op: lockd.OpCancel, Name: name})
 	return err
 }
 
@@ -105,5 +219,6 @@ func (c *Conn) Ping() error {
 	return err
 }
 
-// Close ends the session; the server releases any locks it still holds.
+// Close ends the session; the server releases any locks it still holds
+// and reaps any acquire still in flight.
 func (c *Conn) Close() error { return c.c.Close() }

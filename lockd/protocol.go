@@ -4,20 +4,35 @@
 // session holds released automatically when the connection ends.
 //
 // The protocol is deliberately minimal. Each request line is a Request;
-// each response line is a Response. Operations:
+// each response line is a Response, and responses are written in request
+// order. Operations:
 //
-//	acquire  block until the session holds the named lock
+//	acquire  block until the session holds the named lock; with
+//	         timeout_ms set, give up after that many milliseconds —
+//	         the waiter withdraws from the register competition and
+//	         the response carries acquired=false, aborted=true
+//	cancel   abort the session's in-flight acquire (optionally only if
+//	         it is for the given name); if no acquire is in flight the
+//	         cancellation is remembered and applied to the session's
+//	         next acquire, closing the pipelining race between an
+//	         acquire line and its chasing cancel line
 //	try      acquire only if immediately available (Acquired reports it)
 //	release  give a held lock back
 //	holds    report whether this session holds the named lock — the
-//	         owner check load generators issue inside the critical section
+//	         owner check load generators issue inside the critical
+//	         section
 //	stats    manager-wide counters, including the mutual-exclusion
-//	         violation cross-check
+//	         violation cross-check and the abort/timeout tallies
 //	ping     liveness probe
+//
+// A connection that drops mid-acquire is reaped: the server cancels the
+// in-flight acquisition, the waiter leaves the lease queue or withdraws
+// from the registers, and every grant the session held is released.
 //
 // Sessions are non-reentrant: acquiring a name the session already holds
 // is an error, as is releasing one it does not hold. See lockd/client for
-// the Go client.
+// the Go client (which pipelines requests, so Cancel can chase a blocked
+// Acquire on the same session).
 package lockd
 
 // Operation names of the wire protocol.
@@ -25,6 +40,7 @@ const (
 	OpAcquire    = "acquire"
 	OpTryAcquire = "try"
 	OpRelease    = "release"
+	OpCancel     = "cancel"
 	OpHolds      = "holds"
 	OpStats      = "stats"
 	OpPing       = "ping"
@@ -34,18 +50,28 @@ const (
 type Request struct {
 	// Op is one of the Op* constants.
 	Op string `json:"op"`
-	// Name is the lock name (required for acquire, try, release, holds).
+	// Name is the lock name (required for acquire, try, release, holds;
+	// optional for cancel, which then aborts any in-flight acquire).
 	Name string `json:"name,omitempty"`
+	// TimeoutMS bounds an acquire: after this many milliseconds the
+	// waiter gives up cleanly and the response reports aborted. 0 means
+	// wait forever (subject to the server's -max-wait cap, if any).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Response is one server response line.
 type Response struct {
 	// OK reports whether the request succeeded; on failure Err explains.
+	// An aborted acquire is a success (OK with Aborted set): the protocol
+	// worked exactly as asked.
 	OK  bool   `json:"ok"`
 	Err string `json:"err,omitempty"`
-	// Acquired answers try: whether the lock was available and is now
-	// held by the session.
+	// Acquired answers acquire and try: whether the lock is now held by
+	// the session.
 	Acquired bool `json:"acquired,omitempty"`
+	// Aborted answers acquire: the attempt was abandoned (timeout, cancel
+	// op, or server cap) after withdrawing cleanly; the lock is not held.
+	Aborted bool `json:"aborted,omitempty"`
 	// Holds answers holds.
 	Holds bool `json:"holds,omitempty"`
 	// Stats answers stats.
@@ -62,6 +88,11 @@ type Stats struct {
 	LockCreates   uint64 `json:"lock_creates"`
 	Evictions     uint64 `json:"evictions"`
 	ResidentLocks int    `json:"resident_locks"`
+	// Aborts counts acquirers that withdrew from the register competition
+	// (deadline, cancel, or connection drop); LeaseTimeouts counts those
+	// whose context ended while still queued for a process handle.
+	Aborts        uint64 `json:"aborts"`
+	LeaseTimeouts uint64 `json:"lease_timeouts"`
 	// Violations is the manager's holder cross-check: it must stay 0.
 	Violations uint64 `json:"violations"`
 	// Sessions is the number of live connections.

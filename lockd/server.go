@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"anonmutex/internal/lockmgr"
 )
@@ -16,6 +18,12 @@ import (
 // Shutdown.
 type Server struct {
 	mgr *lockmgr.Manager
+
+	// MaxWait, when nonzero, caps how long any acquire may wait — a
+	// server-side SLA floor under which every waiter eventually aborts
+	// even if the client asked for an unbounded acquire. Set before
+	// Serve.
+	MaxWait time.Duration
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -71,7 +79,8 @@ func (s *Server) Serve(ln net.Listener) error {
 // Shutdown stops the server: it closes the listener, waits for sessions
 // to finish until ctx expires, then force-closes the remaining
 // connections and waits for their cleanup (every session grant is
-// released either way). It always leaves the server fully drained.
+// released and every in-flight acquire is reaped either way). It always
+// leaves the server fully drained.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -105,14 +114,133 @@ func (s *Server) Sessions() int {
 	return len(s.conns)
 }
 
-// serveConn runs one session: read a request line, execute, write a
-// response line. Whatever ends the connection — client close, protocol
-// error, or Shutdown — the deferred cleanup releases every grant the
-// session still holds.
+// session is one connection's state. The request-processing loop owns
+// grants; mu guards only the fields the reader goroutine touches to
+// implement out-of-band cancellation.
+type session struct {
+	grants map[string]*lockmgr.Grant
+
+	mu             sync.Mutex
+	inflightName   string             // name of the acquire being processed
+	inflightCancel context.CancelFunc // cancels it; nil when none
+	cancelPending  bool               // a cancel arrived with no acquire in flight
+	pendingName    string             // the name that pending cancel targets ("" = any)
+}
+
+// beginAcquire installs ctx-cancellation for an acquire on name and
+// returns the context the acquisition must use. A remembered cancel
+// (one that raced ahead of the acquire line) is consumed here: the
+// returned context is already cancelled.
+func (sess *session) beginAcquire(parent context.Context, name string) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	sess.mu.Lock()
+	sess.inflightName = name
+	sess.inflightCancel = cancel
+	if sess.cancelPending && (sess.pendingName == "" || sess.pendingName == name) {
+		sess.cancelPending = false
+		sess.pendingName = ""
+		cancel()
+	}
+	sess.mu.Unlock()
+	return ctx, cancel
+}
+
+// endAcquire clears the in-flight registration.
+func (sess *session) endAcquire() {
+	sess.mu.Lock()
+	sess.inflightName = ""
+	sess.inflightCancel = nil
+	sess.mu.Unlock()
+}
+
+// cancelAcquire implements the cancel op's out-of-band side: abort the
+// in-flight acquire if its name matches, otherwise remember the
+// cancellation for the session's next acquire.
+func (sess *session) cancelAcquire(name string) {
+	sess.mu.Lock()
+	if sess.inflightCancel != nil && (name == "" || name == sess.inflightName) {
+		sess.inflightCancel()
+	} else {
+		sess.cancelPending = true
+		sess.pendingName = name
+	}
+	sess.mu.Unlock()
+}
+
+// inbound is one parsed request line, or the parse error that ended the
+// stream.
+type inbound struct {
+	req      Request
+	parseErr error
+}
+
+// lineQueue is the unbounded handoff between a session's reader and its
+// processing loop. It must be unbounded: the reader can never be allowed
+// to block on a full buffer, or a client that pipelines requests behind
+// a blocked acquire and then drops its connection would park the reader
+// mid-handoff — it would never return to Scan, never observe the EOF,
+// and the dead session's acquire would compete on as a ghost. Memory is
+// bounded by what the client actually sends.
+type lineQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []inbound
+	closed bool
+}
+
+func newLineQueue() *lineQueue {
+	q := &lineQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a line. Never blocks.
+func (q *lineQueue) push(in inbound) {
+	q.mu.Lock()
+	q.items = append(q.items, in)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// close marks the stream ended; pop drains the remainder then reports
+// done.
+func (q *lineQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop removes the oldest line, blocking while the queue is empty and the
+// stream still open. ok is false once the queue is drained and closed.
+func (q *lineQueue) pop() (in inbound, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return inbound{}, false
+	}
+	in = q.items[0]
+	q.items = q.items[1:]
+	return in, true
+}
+
+// serveConn runs one session. A dedicated reader goroutine feeds request
+// lines to the processing loop, so the connection stays responsive while
+// an acquire blocks: a cancel line aborts the in-flight acquire out of
+// band (and still gets its response in order), and a connection drop
+// cancels the whole session context, reaping any waiter the client
+// abandoned. Whatever ends the connection — client close, protocol
+// error, cancel-by-Shutdown — the deferred cleanup releases every grant
+// the session still holds.
 func (s *Server) serveConn(conn net.Conn) {
-	session := make(map[string]*lockmgr.Grant)
+	sess := &session{grants: make(map[string]*lockmgr.Grant)}
+	connCtx, connCancel := context.WithCancel(context.Background())
 	defer func() {
-		for _, g := range session {
+		connCancel()
+		for _, g := range sess.grants {
 			g.Release()
 		}
 		conn.Close()
@@ -122,24 +250,64 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 
-	scanner := bufio.NewScanner(conn)
+	lines := newLineQueue()
+	go func() {
+		defer lines.close()
+		// The reader owns the inbound half: when Scan fails — client
+		// disconnect, or conn.Close from Shutdown or a protocol error —
+		// the session context is cancelled so a blocked acquire withdraws
+		// instead of competing on behalf of a ghost. The queue's pushes
+		// never block, so the reader is always back in Scan and observes
+		// the disconnect promptly no matter how many lines are pipelined
+		// behind a blocked acquire.
+		defer connCancel()
+		scanner := bufio.NewScanner(conn)
+		for scanner.Scan() {
+			var in inbound
+			if err := json.Unmarshal(scanner.Bytes(), &in.req); err != nil {
+				lines.push(inbound{parseErr: err})
+				return
+			}
+			if in.req.Op == OpCancel {
+				sess.cancelAcquire(in.req.Name)
+			}
+			lines.push(in)
+		}
+	}()
+
 	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
-		var req Request
-		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			// The stream is unparseable; answer once and hang up.
-			enc.Encode(Response{Err: fmt.Sprintf("lockd: bad request: %v", err)})
+	for {
+		in, ok := lines.pop()
+		if !ok {
 			return
 		}
-		resp := s.handle(session, req)
+		if in.parseErr != nil {
+			// The stream is unparseable; answer once and hang up.
+			enc.Encode(Response{Err: fmt.Sprintf("lockd: bad request: %v", in.parseErr)})
+			return
+		}
+		resp := s.handle(connCtx, sess, in.req)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
+// acquireCtx derives the context governing one acquire from the session
+// context, the request's timeout, and the server cap.
+func (s *Server) acquireCtx(connCtx context.Context, req Request) (context.Context, context.CancelFunc) {
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if s.MaxWait > 0 && (timeout == 0 || timeout > s.MaxWait) {
+		timeout = s.MaxWait
+	}
+	if timeout > 0 {
+		return context.WithTimeout(connCtx, timeout)
+	}
+	return context.WithCancel(connCtx)
+}
+
 // handle executes one request against the session.
-func (s *Server) handle(session map[string]*lockmgr.Grant, req Request) Response {
+func (s *Server) handle(connCtx context.Context, sess *session, req Request) Response {
 	needName := func() *Response {
 		if req.Name == "" {
 			return &Response{Err: fmt.Sprintf("lockd: %s needs a name", req.Op)}
@@ -151,20 +319,36 @@ func (s *Server) handle(session map[string]*lockmgr.Grant, req Request) Response
 		if r := needName(); r != nil {
 			return *r
 		}
-		if _, held := session[req.Name]; held {
+		if req.TimeoutMS < 0 {
+			return Response{Err: fmt.Sprintf("lockd: negative timeout_ms %d", req.TimeoutMS)}
+		}
+		if _, held := sess.grants[req.Name]; held {
 			return Response{Err: fmt.Sprintf("lockd: session already holds %q", req.Name)}
 		}
-		g, err := s.mgr.Acquire(req.Name)
+		base, baseCancel := s.acquireCtx(connCtx, req)
+		defer baseCancel()
+		ctx, cancel := sess.beginAcquire(base, req.Name)
+		defer cancel()
+		g, err := s.mgr.AcquireCtx(ctx, req.Name)
+		sess.endAcquire()
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return Response{OK: true, Aborted: true}
+			}
 			return Response{Err: err.Error()}
 		}
-		session[req.Name] = g
+		sess.grants[req.Name] = g
 		return Response{OK: true, Acquired: true}
+	case OpCancel:
+		// The abort itself already happened out of band (or was
+		// remembered) when the reader saw this line; this is just the
+		// in-order acknowledgement.
+		return Response{OK: true}
 	case OpTryAcquire:
 		if r := needName(); r != nil {
 			return *r
 		}
-		if _, held := session[req.Name]; held {
+		if _, held := sess.grants[req.Name]; held {
 			return Response{Err: fmt.Sprintf("lockd: session already holds %q", req.Name)}
 		}
 		g, ok, err := s.mgr.TryAcquire(req.Name)
@@ -174,17 +358,17 @@ func (s *Server) handle(session map[string]*lockmgr.Grant, req Request) Response
 		if !ok {
 			return Response{OK: true, Acquired: false}
 		}
-		session[req.Name] = g
+		sess.grants[req.Name] = g
 		return Response{OK: true, Acquired: true}
 	case OpRelease:
 		if r := needName(); r != nil {
 			return *r
 		}
-		g, held := session[req.Name]
+		g, held := sess.grants[req.Name]
 		if !held {
 			return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
 		}
-		delete(session, req.Name)
+		delete(sess.grants, req.Name)
 		if err := g.Release(); err != nil {
 			return Response{Err: err.Error()}
 		}
@@ -193,7 +377,7 @@ func (s *Server) handle(session map[string]*lockmgr.Grant, req Request) Response
 		if r := needName(); r != nil {
 			return *r
 		}
-		_, held := session[req.Name]
+		_, held := sess.grants[req.Name]
 		return Response{OK: true, Holds: held}
 	case OpStats:
 		c := s.mgr.Counters()
@@ -206,6 +390,8 @@ func (s *Server) handle(session map[string]*lockmgr.Grant, req Request) Response
 			LockCreates:   c.LockCreates,
 			Evictions:     c.Evictions,
 			ResidentLocks: c.ResidentLocks,
+			Aborts:        c.Aborts,
+			LeaseTimeouts: c.LeaseTimeouts,
 			Violations:    s.mgr.Violations(),
 			Sessions:      s.Sessions(),
 		}}

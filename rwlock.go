@@ -1,8 +1,11 @@
 package anonmutex
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"anonmutex/internal/amem"
 	"anonmutex/internal/core"
@@ -123,6 +126,53 @@ func (p *RWProcess) Lock() error {
 	}
 	return nil
 }
+
+// LockCtx acquires the critical section, abandoning the attempt when ctx
+// is cancelled or its deadline passes. An abandoned attempt withdraws
+// cleanly: the process erases its identity from every anonymous register
+// it touched (the abortable-mutex back-out, a bounded wait-free sweep),
+// so the remaining competitors proceed as if this process had never
+// entered the entry section. Cancellation is reported as ctx's error
+// (test with errors.Is against context.Canceled or DeadlineExceeded); if
+// the lock is acquired before the cancellation is observed, LockCtx
+// returns nil and the caller holds the lock.
+func (p *RWProcess) LockCtx(ctx context.Context) error {
+	if p.closed {
+		return fmt.Errorf("anonmutex: LockCtx on a closed handle")
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("anonmutex: lock aborted: %w", err)
+	}
+	if err := p.machine.StartLock(); err != nil {
+		return fmt.Errorf("anonmutex: %w", err)
+	}
+	if err := p.driver.DriveContext(ctx); err != nil {
+		return fmt.Errorf("anonmutex: lock aborted: %w", err)
+	}
+	return nil
+}
+
+// TryLockFor acquires the critical section if it can do so within d,
+// reporting whether the lock is now held. Expiry is not an error: the
+// attempt withdraws cleanly (see LockCtx) and TryLockFor returns
+// (false, nil). Errors are reserved for life-cycle misuse.
+func (p *RWProcess) TryLockFor(d time.Duration) (bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	err := p.LockCtx(ctx)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Aborts reports how many lock attempts this handle has withdrawn
+// (LockCtx cancellations and TryLockFor expiries).
+func (p *RWProcess) Aborts() uint64 { return p.driver.Aborts() }
 
 // Unlock releases the critical section. It returns an error only on
 // life-cycle misuse (unlocking a closed handle or one that does not hold
