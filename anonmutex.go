@@ -130,6 +130,7 @@ type config struct {
 	mode         PermutationMode
 	rotationStep int
 	firstBottom  bool // RWLock: deterministic hole choice instead of random
+	noFastPath   bool // RMWLock: disable the solo fast path
 }
 
 // Option configures NewRWLock and NewRMWLock.
@@ -180,6 +181,25 @@ func WithPermutations(mode PermutationMode, step int) Option {
 func WithDeterministicClaims() Option {
 	return func(c *config) error {
 		c.firstBottom = true
+		return nil
+	}
+}
+
+// WithoutSoloFastPath disables the uncontended fast path. By default an
+// RMWLock process whose line 2 sweep wins every compare&swap enters the
+// critical section directly, skipping the read-back sweep — m operations
+// instead of 2m, exhaustively verified safe by the model checker
+// (internal/explore). Disable it for step-count comparisons against the
+// line-faithful simulator, which runs the paper's algorithm verbatim.
+//
+// RWLock ignores this option: the analogous read/write-model shortcut
+// (batch-claiming an all-⊥ snapshot) is provably unsafe — the model
+// checker exhibits a two-processes-in-CS execution — so the RW lock
+// always runs the paper's one-claim-per-snapshot protocol. See DESIGN.md
+// ("Performance") for both results.
+func WithoutSoloFastPath() Option {
+	return func(c *config) error {
+		c.noFastPath = true
 		return nil
 	}
 }

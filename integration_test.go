@@ -16,7 +16,9 @@ import (
 // TestSubstrateAgreementSolo: a solo, deterministic acquisition must cost
 // exactly the same number of shared-memory steps on the real lock
 // (hardware atomics) and in the simulator — 2m+1 for Algorithm 1, 2m for
-// Algorithm 2.
+// Algorithm 2 run without its solo fast path (the simulator runs the
+// paper's algorithm verbatim). The default RMW lock enables the fast
+// path and must enter in exactly m operations.
 func TestSubstrateAgreementSolo(t *testing.T) {
 	for _, n := range []int{2, 4, 6} {
 		m := anonmutex.MinRegistersRW(n)
@@ -49,7 +51,7 @@ func TestSubstrateAgreementSolo(t *testing.T) {
 			t.Errorf("n=%d: solo RW steps = %d, want 2m+1 = %d", n, realSteps, want)
 		}
 
-		rmw, err := anonmutex.NewRMWLock(n)
+		rmw, err := anonmutex.NewRMWLock(n, anonmutex.WithoutSoloFastPath())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,6 +66,27 @@ func TestSubstrateAgreementSolo(t *testing.T) {
 			t.Errorf("n=%d: solo RMW steps = %d, want 2m = %d", n, q.LockSteps(), want)
 		}
 		if err := q.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+
+		fast, err := anonmutex.NewRMWLock(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := fast.NewProcess()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Lock(); err != nil {
+			t.Fatal(err)
+		}
+		if want := fast.M(); f.LockSteps() != want {
+			t.Errorf("n=%d: solo fast-path RMW steps = %d, want m = %d", n, f.LockSteps(), want)
+		}
+		if got := f.OwnedAtEntry(); got != fast.M() {
+			t.Errorf("n=%d: solo fast-path OwnedAtEntry = %d, want m = %d", n, got, fast.M())
+		}
+		if err := f.Unlock(); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -25,12 +25,23 @@ import (
 	"anonmutex/internal/register"
 )
 
+// paddedRegister is one atomic register alone on its cache line. The
+// protocols hammer neighboring registers from different cores (the line 2
+// CAS sweep, the double-scan collects), and an unpadded []register.Atomic
+// packs 8 registers per 64-byte line — every CAS would invalidate its
+// neighbors' lines in every other core. m is tiny (the paper's optimal
+// sizes), so the 8x memory cost is a handful of cache lines per lock.
+type paddedRegister struct {
+	register.Atomic
+	_ [64 - 8]byte
+}
+
 // Memory is an anonymous shared memory of m atomic registers, all
 // initialized to ⊥ (the zero value of a register). It is the "external
 // omniscient observer" array; tests and monitors may inspect it with
 // Observe*, but protocol code must go through a View.
 type Memory struct {
-	regs []register.Atomic
+	regs []paddedRegister
 }
 
 // New creates a memory of m registers, every one holding ⊥. It panics if
@@ -40,7 +51,7 @@ func New(m int) *Memory {
 	if m < 1 {
 		panic(fmt.Sprintf("amem: memory size must be >= 1, got %d", m))
 	}
-	return &Memory{regs: make([]register.Atomic, m)}
+	return &Memory{regs: make([]paddedRegister, m)}
 }
 
 // Size returns m.

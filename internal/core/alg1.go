@@ -17,6 +17,7 @@ const (
 	a1Idle        alg1Phase = iota + 1 // remainder section
 	a1Snapshot                         // line 4: viewᵢ ← R.snapshot()
 	a1WriteClaim                       // line 6: R.write(x, idᵢ) into a ⊥ slot
+	a1SoloClaim                        // SoloClaimUnsafe ablation: claim every register of an all-⊥ view
 	a1ShrinkRead                       // shrink() line 2: R.read(x)
 	a1ShrinkWrite                      // shrink() line 2: R.write(x, ⊥)
 	a1InCS                             // line 11 satisfied: critical section
@@ -217,7 +218,7 @@ func (a *Alg1Machine) PendingOp() Op {
 	switch a.phase {
 	case a1Snapshot:
 		return Op{Kind: OpSnapshot}
-	case a1WriteClaim:
+	case a1WriteClaim, a1SoloClaim:
 		return Op{Kind: OpWrite, X: a.cursor, Val: a.me}
 	case a1ShrinkRead:
 		return Op{Kind: OpRead, X: a.cursor}
@@ -248,6 +249,13 @@ func (a *Alg1Machine) Advance(res OpResult) Status {
 		// viewᵢ from this iteration's snapshot, which contained a ⊥ (that
 		// is why we wrote), so it is false: loop back to line 4.
 		a.phase = a1Snapshot
+	case a1SoloClaim:
+		// Ablation claim sweep over an all-⊥ view: write every register,
+		// then snapshot. (Unsafe; see Alg1Config.SoloClaimUnsafe.)
+		a.cursor++
+		if a.cursor == a.m {
+			a.phase = a1Snapshot
+		}
 	case a1ShrinkRead:
 		// shrink() line 2: write ⊥ only if the register still holds idᵢ.
 		if res.Val.Equal(a.me) {
@@ -281,9 +289,20 @@ func (a *Alg1Machine) onSnapshot(snap []id.ID) {
 
 	// Line 4 (inner until): keep snapshotting unless pᵢ is present or the
 	// memory is empty.
-	if owned == 0 && !allBottom(a.view) {
-		a.phase = a1Snapshot
-		return
+	if owned == 0 {
+		if !allBottom(a.view) {
+			a.phase = a1Snapshot
+			return
+		}
+		if a.cfg.SoloClaimUnsafe {
+			// Ablation: claim every register of the all-⊥ view in one write
+			// sweep. Unsafe — see Alg1Config.SoloClaimUnsafe; the entry
+			// condition (an all-mine snapshot) is NOT enough to restore
+			// mutual exclusion once multiple stale writes are in flight.
+			a.cursor = 0
+			a.phase = a1SoloClaim
+			return
+		}
 	}
 
 	// Line 5: is there a hole to claim?
@@ -368,7 +387,7 @@ func (a *Alg1Machine) Line() int {
 		return 0
 	case a1Snapshot:
 		return 4
-	case a1WriteClaim:
+	case a1WriteClaim, a1SoloClaim:
 		return 6
 	case a1ShrinkRead, a1ShrinkWrite:
 		if a.unlockShrink {

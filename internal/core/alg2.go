@@ -52,6 +52,9 @@ type Alg2Machine struct {
 	// ownedᵢ after the optional resign branch.
 	owned int
 	most  int
+	// casWins counts successful compare&swaps in the current line 2
+	// sweep, for the SoloFastPath entry decision.
+	casWins int
 
 	lockSteps    int
 	ownedAtEntry int
@@ -103,10 +106,16 @@ func (a *Alg2Machine) StartLock() error {
 		return fmt.Errorf("core: StartLock in status %v", a.status)
 	}
 	a.status = StatusRunning
-	a.phase = a2CAS
-	a.cursor = 0
+	a.startCASSweep()
 	a.lockSteps = 0
 	return nil
+}
+
+// startCASSweep (re-)enters the line 2 compare&swap sweep.
+func (a *Alg2Machine) startCASSweep() {
+	a.phase = a2CAS
+	a.cursor = 0
+	a.casWins = 0
 }
 
 // StartUnlock implements Machine: begin unlock() (line 13).
@@ -164,9 +173,27 @@ func (a *Alg2Machine) Advance(res OpResult) Status {
 	}
 	switch a.phase {
 	case a2CAS:
-		// Line 2: the sweep ignores individual CAS outcomes.
+		// Line 2: the sweep ignores individual CAS outcomes — except under
+		// SoloFastPath, which counts them to detect the uncontended case.
+		if res.Swapped {
+			a.casWins++
+		}
 		a.cursor++
 		if a.cursor == a.m {
+			if a.cfg.SoloFastPath && a.casWins == a.m {
+				// Every CAS won: all m registers hold idᵢ, and nothing can
+				// dislodge a foreign identity, so pᵢ owns a strict majority
+				// without reading anything back. Enter directly.
+				for x := range a.view {
+					a.view[x] = a.me
+				}
+				a.owned = a.m
+				a.most = a.m
+				a.ownedAtEntry = a.m
+				a.status = StatusInCS
+				a.phase = a2InCS
+				return a.status
+			}
 			a.cursor = 0
 			a.phase = a2Collect
 		}
@@ -188,8 +215,7 @@ func (a *Alg2Machine) Advance(res OpResult) Status {
 			if allBottom(a.view) {
 				// Line 12: ownedᵢ (from line 5) was below most_presentᵢ,
 				// hence at most m/2: loop back to line 2.
-				a.cursor = 0
-				a.phase = a2CAS
+				a.startCASSweep()
 			} else {
 				a.cursor = 0 // restart the pass (line 8 repeat)
 			}
@@ -231,8 +257,7 @@ func (a *Alg2Machine) afterCollect() {
 		return
 	}
 	// Keep competing: back to line 2.
-	a.cursor = 0
-	a.phase = a2CAS
+	a.startCASSweep()
 }
 
 // startResign positions the cursor at the first owned view entry for the
@@ -260,13 +285,13 @@ func (a *Alg2Machine) advanceResignCursor() {
 }
 
 func (a *Alg2Machine) enterWaitOrRetry() {
-	a.cursor = 0
 	if a.cfg.SkipWaitForEmpty {
 		// Ablation: straight back to line 2 (ownedᵢ < most ⟹ ownedᵢ ≤ m/2,
 		// so the line 12 until-condition is false).
-		a.phase = a2CAS
+		a.startCASSweep()
 		return
 	}
+	a.cursor = 0
 	a.phase = a2WaitRead
 }
 
@@ -315,5 +340,12 @@ func (a *Alg2Machine) AppendState(dst []byte) []byte {
 	dst = appendInt(dst, a.cursor)
 	dst = appendInt(dst, a.owned)
 	dst = appendInt(dst, a.most)
+	// casWins feeds the SoloFastPath entry decision mid-sweep, so it is
+	// protocol state exactly when that path is enabled; leaving it out
+	// otherwise keeps the paper algorithm's canonical state space (and the
+	// TestStateCountsStable anchors) unchanged.
+	if a.cfg.SoloFastPath {
+		dst = appendInt(dst, a.casWins)
+	}
 	return appendView(dst, a.view)
 }

@@ -85,6 +85,19 @@ type Alg1Config struct {
 	// Rand supplies randomness for the randomized policies. Required when
 	// Choice is ChooseRandomBottom or Tie is TieBreakRandom.
 	Rand *xrand.Rand
+	// SoloClaimUnsafe is an ablation, NOT a fast path: a process whose
+	// snapshot shows an entirely-⊥ memory claims all m registers in one
+	// write sweep instead of one register per snapshot iteration. It
+	// looks like the RW-model analog of Algorithm 2's solo fast path —
+	// and the model checker proves it is wrong: plain writes issued from
+	// a stale all-⊥ snapshot can overwrite a rival that already entered
+	// on a legitimate all-mine snapshot, and the sweeper's own final
+	// snapshot then shows all-mine too (TestAlg1SoloClaimUnsafe exhibits
+	// the two-in-CS state exhaustively). Algorithm 1's mutual exclusion
+	// genuinely relies on the one-claim-per-snapshot discipline; only the
+	// CAS-armed RMW model can detect a lost race without re-reading.
+	// Production locks never set this.
+	SoloClaimUnsafe bool
 }
 
 func (c *Alg1Config) normalize() error {
@@ -125,4 +138,15 @@ type Alg2Config struct {
 	// relies on resigned processes standing aside; this ablation measures
 	// what that buys.
 	SkipWaitForEmpty bool
+	// SoloFastPath enables the uncontended fast path: a process whose
+	// line 2 sweep wins every one of its m compare&swaps enters the
+	// critical section immediately, skipping the line 3 collect sweep —
+	// m operations instead of 2m. This is safe without reading anything
+	// back: a register can come to hold idᵢ only through pᵢ's own CAS,
+	// and no other process ever overwrites a register holding a foreign
+	// identity (line 2 CASes expect ⊥, lines 7/13 erase only the caller's
+	// own identity), so m successful CASes mean pᵢ owns all m registers —
+	// a strict majority — until it erases itself
+	// (TestAlg2SoloFastPathExhaustive checks exhaustively).
+	SoloFastPath bool
 }

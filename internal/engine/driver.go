@@ -130,54 +130,71 @@ func (d *Driver) Drive() error {
 // drive is the loop shared by Drive and DriveContext: execute ops with
 // the adaptive backoff until the invocation completes or done (when
 // non-nil) fires at an op boundary, reported as cancelled=true with the
-// machine still Running.
+// machine still Running. The nil-done case — every plain Lock/Unlock,
+// including the whole uncontended fast path — runs a dedicated tight
+// loop with no cancellation poll on the op boundary.
 func (d *Driver) drive(done <-chan struct{}) (cancelled bool, err error) {
 	d.streak = 0
+	if done == nil {
+		for d.machine.Status() == core.StatusRunning {
+			if err := d.execOne(); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
 	for d.machine.Status() == core.StatusRunning {
-		if done != nil {
-			select {
-			case <-done:
-				return true, nil
-			default:
-			}
-		}
-		op := d.machine.PendingOp()
-		res, buf, err := Exec(d.exec, op, d.snapBuf)
-		if err != nil {
-			return false, err
-		}
-		d.snapBuf = buf
-		d.machine.Advance(res)
-		d.ops++
-
-		if op.Kind == core.OpWrite || (op.Kind == core.OpCAS && res.Swapped) {
-			// The shared memory changed: the protocol is moving. Restart
-			// the escalation from the spin phase.
-			d.streak = 0
-			continue
-		}
-		d.streak++
-		if d.machine.Status() != core.StatusRunning {
-			// The invocation just completed; don't wait on its last op.
-			break
-		}
-		switch {
-		case d.streak <= d.backoff.SpinOps:
-			// Phase 1: spin.
-		case d.streak <= d.backoff.SpinOps+d.backoff.YieldOps:
-			d.yields++
-			d.backoff.yield()
+		select {
+		case <-done:
+			return true, nil
 		default:
-			over := d.streak - d.backoff.SpinOps - d.backoff.YieldOps - 1
-			dur := d.backoff.SleepMin << min(over, 62)
-			if dur > d.backoff.SleepMax || dur <= 0 {
-				dur = d.backoff.SleepMax
-			}
-			d.sleeps++
-			d.backoff.sleep(dur)
+		}
+		if err := d.execOne(); err != nil {
+			return false, err
 		}
 	}
 	return false, nil
+}
+
+// execOne executes the machine's pending op, feeds the result back, and
+// applies the adaptive backoff when the op made no progress.
+func (d *Driver) execOne() error {
+	op := d.machine.PendingOp()
+	res, buf, err := Exec(d.exec, op, d.snapBuf)
+	if err != nil {
+		return err
+	}
+	d.snapBuf = buf
+	d.machine.Advance(res)
+	d.ops++
+
+	if op.Kind == core.OpWrite || (op.Kind == core.OpCAS && res.Swapped) {
+		// The shared memory changed: the protocol is moving. Restart
+		// the escalation from the spin phase.
+		d.streak = 0
+		return nil
+	}
+	d.streak++
+	if d.machine.Status() != core.StatusRunning {
+		// The invocation just completed; don't wait on its last op.
+		return nil
+	}
+	switch {
+	case d.streak <= d.backoff.SpinOps:
+		// Phase 1: spin.
+	case d.streak <= d.backoff.SpinOps+d.backoff.YieldOps:
+		d.yields++
+		d.backoff.yield()
+	default:
+		over := d.streak - d.backoff.SpinOps - d.backoff.YieldOps - 1
+		dur := d.backoff.SleepMin << min(over, 62)
+		if dur > d.backoff.SleepMax || dur <= 0 {
+			dur = d.backoff.SleepMax
+		}
+		d.sleeps++
+		d.backoff.sleep(dur)
+	}
+	return nil
 }
 
 // DriveContext is Drive with cancellation: it executes the machine's
@@ -209,6 +226,49 @@ func (d *Driver) DriveContext(ctx context.Context) error {
 		return d.withdraw(ctx.Err())
 	}
 	return nil
+}
+
+// TryDriveBounded is the engine's non-blocking acquisition attempt: it
+// executes at most maxOps operations of the machine's in-progress lock()
+// and reports whether the invocation completed. If the budget runs out
+// first, the attempt is withdrawn (the machine's StartAbort back-out
+// runs to completion, leaving the registers as if the process had never
+// competed) and acquired=false is returned. Unlike Drive, the whole call
+// is bounded — at most maxOps + the withdraw sweep's operations — and
+// never backs off or sleeps, which makes it the primitive behind
+// hard-bounded trylocks: pick maxOps large enough for an uncontended
+// acquisition (2m+1 covers both algorithms; m suffices for Algorithm 2's
+// solo fast path) and any contended attempt fails fast instead of
+// waiting out a competitor's critical section.
+func (d *Driver) TryDriveBounded(maxOps int) (acquired bool, err error) {
+	d.streak = 0
+	for i := 0; i < maxOps && d.machine.Status() == core.StatusRunning; i++ {
+		op := d.machine.PendingOp()
+		res, buf, err := Exec(d.exec, op, d.snapBuf)
+		if err != nil {
+			return false, err
+		}
+		d.snapBuf = buf
+		d.machine.Advance(res)
+		d.ops++
+	}
+	if d.machine.Status() != core.StatusRunning {
+		return true, nil
+	}
+	if err := d.machine.StartAbort(); err != nil {
+		return false, err
+	}
+	for d.machine.Status() == core.StatusRunning {
+		res, buf, err := Exec(d.exec, d.machine.PendingOp(), d.snapBuf)
+		if err != nil {
+			return false, err
+		}
+		d.snapBuf = buf
+		d.machine.Advance(res)
+		d.ops++
+	}
+	d.aborts++
+	return false, nil
 }
 
 // withdraw handles a cancellation observed mid-invocation. For a lock()

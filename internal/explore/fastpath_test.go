@@ -1,0 +1,99 @@
+package explore
+
+// Exhaustive verification of the uncontended fast path the production
+// RMW lock enables (core.Alg2Config.SoloFastPath) — every reachable
+// state of small legal configurations, under every interleaving, must
+// still satisfy mutual exclusion and progress — plus the negative result
+// that shapes the design: the RW-model analog (claim every register of an
+// all-⊥ snapshot in one write sweep) is NOT safe, and the checker
+// exhibits the two-in-CS witness. That is why only Algorithm 2 has a
+// machine-level fast path: CAS detects a lost race at claim time, while
+// Algorithm 1's plain writes, issued from a stale snapshot, can silently
+// overwrite a process that already entered.
+
+import (
+	"testing"
+
+	"anonmutex/internal/core"
+	"anonmutex/internal/id"
+	"anonmutex/internal/perm"
+)
+
+func checkOK(t *testing.T, name string, cfg Config) {
+	t.Helper()
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if !res.Complete {
+		t.Fatalf("%s: exploration incomplete at %d states", name, res.States)
+	}
+	if res.MEViolations != 0 {
+		t.Fatalf("%s: mutual exclusion violated: %s", name, res.MEWitness)
+	}
+	if res.Traps != 0 {
+		t.Fatalf("%s: progress trap: %s", name, res.TrapWitness)
+	}
+	if res.Entries == 0 || res.Terminals == 0 {
+		t.Fatalf("%s: degenerate exploration: entries=%d terminals=%d", name, res.Entries, res.Terminals)
+	}
+	t.Logf("%s: %d states, %d transitions, %d entry edges", name, res.States, res.Transitions, res.Entries)
+}
+
+func TestAlg2SoloFastPathExhaustive(t *testing.T) {
+	factory3 := func(_ int, me id.ID) (core.Machine, error) {
+		return core.NewAlg2(me, 2, 3, core.Alg2Config{SoloFastPath: true})
+	}
+	checkOK(t, "alg2 solo-fast-path n=2 m=3 identity",
+		Config{N: 2, M: 3, Factory: factory3, Sessions: 2})
+	checkOK(t, "alg2 solo-fast-path n=2 m=3 rotation",
+		Config{N: 2, M: 3, Factory: factory3, Sessions: 2, Adversary: perm.RotationAdversary{Step: 1}})
+
+	factory1 := func(_ int, me id.ID) (core.Machine, error) {
+		return core.NewAlg2(me, 2, 1, core.Alg2Config{SoloFastPath: true})
+	}
+	checkOK(t, "alg2 solo-fast-path n=2 m=1 (degenerate single register)",
+		Config{N: 2, M: 1, Factory: factory1, Sessions: 2})
+}
+
+// TestAlg2SoloFastPathMixedFleet explores a fleet where only one process
+// uses the fast path — the situation during a rolling upgrade, and a
+// stronger adversary than a homogeneous fleet.
+func TestAlg2SoloFastPathMixedFleet(t *testing.T) {
+	checkOK(t, "alg2 mixed solo-fast-path n=2 m=3", Config{
+		N: 2, M: 3, Sessions: 2,
+		Factory: func(i int, me id.ID) (core.Machine, error) {
+			return core.NewAlg2(me, 2, 3, core.Alg2Config{SoloFastPath: i == 0})
+		},
+	})
+}
+
+// TestAlg1SoloClaimUnsafe pins the negative result: batch-claiming an
+// all-⊥ view in the RW model breaks mutual exclusion, and the checker
+// finds the witness (one process enters on a legitimate all-mine
+// snapshot, the other's stale write sweep overwrites all of it and then
+// snapshots all-mine too). If this test ever stops finding the violation,
+// either the checker or the ablation changed meaning.
+func TestAlg1SoloClaimUnsafe(t *testing.T) {
+	for name, factory := range map[string]func(int, id.ID) (core.Machine, error){
+		"homogeneous": func(_ int, me id.ID) (core.Machine, error) {
+			return core.NewAlg1(me, 2, 3, core.Alg1Config{SoloClaimUnsafe: true})
+		},
+		"mixed": func(i int, me id.ID) (core.Machine, error) {
+			return core.NewAlg1(me, 2, 3, core.Alg1Config{SoloClaimUnsafe: i == 0})
+		},
+	} {
+		res, err := Explore(Config{N: 2, M: 3, Factory: factory, Sessions: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Complete {
+			t.Fatalf("%s: exploration incomplete at %d states", name, res.States)
+		}
+		if res.MEViolations == 0 {
+			t.Errorf("%s: expected the checker to exhibit the batch-claim mutual-exclusion violation, found none", name)
+		} else {
+			t.Logf("%s: violation witness (as expected): %s", name, res.MEWitness)
+		}
+	}
+}

@@ -348,72 +348,73 @@ func think(cfg Config, r *xrand.Rand, burst *int) {
 
 // ManagerLocker adapts one client's view of an in-process
 // lockmgr.Manager to the Locker interface, with session bookkeeping so
-// Holds serves as the backend owner check. One ManagerLocker per client
-// goroutine.
+// Holds serves as the backend owner check. It drives the manager's
+// allocation-free Lease API, so the measured hot loop stays off the
+// heap. One ManagerLocker per client goroutine.
 type ManagerLocker struct {
 	mgr    *lockmgr.Manager
-	grants map[string]*lockmgr.Grant
+	leases map[string]lockmgr.Lease
 }
 
 // NewManagerLocker opens a session on mgr.
 func NewManagerLocker(mgr *lockmgr.Manager) *ManagerLocker {
-	return &ManagerLocker{mgr: mgr, grants: make(map[string]*lockmgr.Grant)}
+	return &ManagerLocker{mgr: mgr, leases: make(map[string]lockmgr.Lease)}
 }
 
 // Acquire blocks until this session holds name.
 func (l *ManagerLocker) Acquire(name string) error {
-	if _, held := l.grants[name]; held {
+	if _, held := l.leases[name]; held {
 		return fmt.Errorf("loadgen: session already holds %q", name)
 	}
-	g, err := l.mgr.Acquire(name)
+	lease, err := l.mgr.AcquireLeaseCtx(context.Background(), name)
 	if err != nil {
 		return err
 	}
-	l.grants[name] = g
+	l.leases[name] = lease
 	return nil
 }
 
-// AcquireFor implements DeadlineLocker over the manager's AcquireCtx:
-// an attempt that cannot complete within d withdraws cleanly and reports
-// (false, nil).
+// AcquireFor implements DeadlineLocker over the manager's deadline-
+// bounded acquire: an attempt that cannot complete within d withdraws
+// cleanly and reports (false, nil).
 func (l *ManagerLocker) AcquireFor(name string, d time.Duration) (bool, error) {
-	if _, held := l.grants[name]; held {
+	if _, held := l.leases[name]; held {
 		return false, fmt.Errorf("loadgen: session already holds %q", name)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
-	g, err := l.mgr.AcquireCtx(ctx, name)
+	lease, err := l.mgr.AcquireLeaseCtx(ctx, name)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return false, nil
 		}
 		return false, err
 	}
-	l.grants[name] = g
+	l.leases[name] = lease
 	return true, nil
 }
 
 // Release gives a held name back.
 func (l *ManagerLocker) Release(name string) error {
-	g, held := l.grants[name]
+	lease, held := l.leases[name]
 	if !held {
 		return fmt.Errorf("loadgen: session does not hold %q", name)
 	}
-	delete(l.grants, name)
-	return g.Release()
+	delete(l.leases, name)
+	return l.mgr.Release(lease)
 }
 
 // Holds implements HoldsChecker from the session's bookkeeping.
 func (l *ManagerLocker) Holds(name string) (bool, error) {
-	_, held := l.grants[name]
+	_, held := l.leases[name]
 	return held, nil
 }
 
 // Close releases anything the session still holds.
 func (l *ManagerLocker) Close() error {
-	for name, g := range l.grants {
-		delete(l.grants, name)
-		if err := g.Release(); err != nil {
+	for name, lease := range l.leases {
+		delete(l.leases, name)
+		if err := l.mgr.Release(lease); err != nil {
 			return err
 		}
 	}

@@ -11,30 +11,38 @@
 //   - Lazy, bounded materialization. Each shard keeps an LRU-bounded
 //     table of named locks; a lock's anonymous-register arena exists only
 //     while the name is hot, and cold arenas are evicted (their handles
-//     closed) once the table fills.
+//     closed) once the table fills. Recency is tracked CLOCK-style: a hit
+//     only sets a touch bit, and promotion happens in batches at eviction
+//     time, so the hit path's critical section is a map lookup and two
+//     stores.
 //   - Lease pooling. Every named lock is a fixed-n anonmutex lock; a
 //     lease pool multiplexes arbitrarily many clients onto those n
-//     process handles, built on the root package's Close/re-lease
-//     lifecycle. Clients that find all n handles leased queue for the
-//     next release.
+//     process handles through a lock-free free list, built on the root
+//     package's Close/re-lease lifecycle. Clients that find all n handles
+//     leased queue for the next release.
 //
-// Acquire/AcquireCtx/TryAcquire return a Grant whose Release returns
-// both the critical section and the leased handle. AcquireCtx is the
-// deadline-bounded path: a waiter whose context ends leaves the lease
-// queue without leaking a handle, and a leased competitor withdraws from
-// the register competition through the root package's abortable back-out
-// — both outcomes are counted per shard (LeaseTimeouts, Aborts). The
-// manager cross-checks mutual exclusion on every grant (a per-lock
-// holder counter that must step 0→1→0) and feeds per-shard contention
-// and throughput counters into a stats.Table for the experiment harness
-// and the lockd service.
+// The hot path is built to stay off mutexes and off the heap: per-shard
+// counters are atomics (reading Counters/StatsTable never blocks an
+// acquire), entry pin counts are atomics, and the Lease-returning calls
+// (AcquireLeaseCtx, AcquireFast) complete a steady-state acquire/release
+// cycle with zero allocations. Acquire/AcquireCtx/TryAcquire wrap the
+// same paths in a heap-allocated Grant for callers that prefer a
+// self-contained handle.
+//
+// AcquireCtx is the deadline-bounded path: a waiter whose context ends
+// leaves the lease queue without leaking a handle, and a leased
+// competitor withdraws from the register competition through the root
+// package's abortable back-out — both outcomes are counted per shard
+// (LeaseTimeouts, Aborts). The manager cross-checks mutual exclusion on
+// every grant (a per-lock holder counter that must step 0→1→0) and feeds
+// per-shard contention and throughput counters into a stats.Table for
+// the experiment harness and the lockd service.
 package lockmgr
 
 import (
 	"container/list"
 	"context"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,22 +114,65 @@ type Manager struct {
 	violations atomic.Uint64
 }
 
-// shard owns one partition of the name space.
+// shardCounters is a shard's bookkeeping, updated with atomics so the
+// hot path never takes the shard mutex just to count, and Counters/
+// StatsTable never block an acquire to read.
+type shardCounters struct {
+	acquires, releases   atomic.Uint64
+	tryAcquires          atomic.Uint64
+	tryFailures          atomic.Uint64
+	waits                atomic.Uint64
+	leaseTimeouts        atomic.Uint64
+	aborts               atomic.Uint64
+	lockCreates, hits    atomic.Uint64
+	evictions            atomic.Uint64
+	resident             atomic.Int64
+	latCount, latSumNano atomic.Uint64 // acquire latency observations
+}
+
+func (c *shardCounters) snapshot() Counters {
+	return Counters{
+		Acquires:      c.acquires.Load(),
+		Releases:      c.releases.Load(),
+		TryAcquires:   c.tryAcquires.Load(),
+		TryFailures:   c.tryFailures.Load(),
+		Waits:         c.waits.Load(),
+		LeaseTimeouts: c.leaseTimeouts.Load(),
+		Aborts:        c.aborts.Load(),
+		LockCreates:   c.lockCreates.Load(),
+		Hits:          c.hits.Load(),
+		Evictions:     c.evictions.Load(),
+		ResidentLocks: int(c.resident.Load()),
+	}
+}
+
+// shard owns one partition of the name space. The mutex guards only the
+// name table and recency list; counters are atomic, and lease traffic
+// runs through each entry's lock-free pool.
 type shard struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	lru     *list.List // front = most recently used; values are *entry
-	c       Counters
-	latency stats.Summary // acquire latency, microseconds
+
+	c shardCounters
 }
 
 // entry is one resident named lock.
 type entry struct {
 	name string
+	sh   *shard
 	pool *leasePool
 	elem *list.Element
-	refs int          // checked-out grants + queued acquirers; evictable only at 0
-	held atomic.Int32 // grants inside the critical section: must step 0→1→0
+	// refs counts checked-out grants + queued acquirers; evictable only
+	// at 0. Pins (0→up) happen under the shard mutex; unpins are a plain
+	// atomic decrement on the release path.
+	refs atomic.Int64
+	// touched is the CLOCK recency bit: set on every hit (under the shard
+	// mutex the hit already holds for the map lookup), consumed by
+	// evictColdest, which batch-promotes touched entries instead of
+	// reordering the list on every hit.
+	touched bool
+	held    atomic.Int32 // grants inside the critical section: must step 0→1→0
 }
 
 // Counters aggregates a shard's (or with Manager.Counters, the whole
@@ -173,11 +224,15 @@ func New(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// hash is FNV-1a over the name.
+// hash is FNV-1a over the name, inlined so the hot path neither
+// constructs a hasher nor copies the name to a byte slice.
 func hash(name string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	return h.Sum64()
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 func (m *Manager) shard(name string) *shard {
@@ -215,8 +270,10 @@ func (m *Manager) checkout(ctx context.Context, name string, block bool) (*entry
 	sh.mu.Lock()
 	e, ok := sh.entries[name]
 	if ok {
-		sh.c.Hits++
-		sh.lru.MoveToFront(e.elem)
+		e.touched = true
+		e.refs.Add(1)
+		sh.mu.Unlock()
+		sh.c.hits.Add(1)
 	} else {
 		if len(sh.entries) >= m.cfg.MaxLocksPerShard {
 			sh.evictColdest()
@@ -226,57 +283,80 @@ func (m *Manager) checkout(ctx context.Context, name string, block bool) (*entry
 			sh.mu.Unlock()
 			return nil, nil, err
 		}
-		e = &entry{name: name, pool: newLeasePool(m.cfg.HandlesPerLock, newHandle)}
+		e = &entry{name: name, sh: sh, pool: newLeasePool(m.cfg.HandlesPerLock, newHandle)}
+		e.refs.Store(1)
 		e.elem = sh.lru.PushFront(e)
 		sh.entries[name] = e
-		sh.c.LockCreates++
+		sh.mu.Unlock()
+		sh.c.lockCreates.Add(1)
+		sh.c.resident.Add(1)
 	}
-	e.refs++
-	sh.mu.Unlock()
 
 	h, ok, waited, err := e.pool.lease(ctx, block)
+	if waited {
+		sh.c.waits.Add(1)
+	}
 	if !ok || err != nil {
-		sh.mu.Lock()
-		e.refs--
-		if waited {
-			sh.c.Waits++
-			if err != nil {
-				sh.c.LeaseTimeouts++
-			}
-		}
-		sh.mu.Unlock()
+		e.refs.Add(-1)
 		if err != nil {
+			sh.c.leaseTimeouts.Add(1)
 			return nil, nil, fmt.Errorf("lockmgr: acquiring %q: queued for a handle: %w", name, err)
 		}
 		return nil, nil, nil
-	}
-	if waited {
-		sh.mu.Lock()
-		sh.c.Waits++
-		sh.mu.Unlock()
 	}
 	return e, h, nil
 }
 
 // evictColdest removes the least-recently-used idle entry, closing its
-// pooled handles. Called with the shard lock held; a shard whose every
-// entry is pinned simply overflows its bound until one goes idle.
+// pooled handles. Called with the shard lock held. The scan is the CLOCK
+// second-chance pass: walking from the cold end, every pinned or touched
+// entry is promoted to the front (its touch bit cleared — this is where
+// the hit path's deferred MoveToFront work happens, in one batch), and
+// the first cold unpinned entry is evicted. A shard whose every entry is
+// pinned or perpetually touched simply overflows its bound until one
+// goes idle.
 func (sh *shard) evictColdest() {
-	for el := sh.lru.Back(); el != nil; el = el.Prev() {
+	// Two passes over the list suffice: the first pass clears every touch
+	// bit it meets, so the second finds a victim unless everything is
+	// pinned.
+	for i, el := 0, sh.lru.Back(); el != nil && i < 2*sh.lru.Len()+1; i++ {
 		e := el.Value.(*entry)
-		if e.refs > 0 {
+		prev := el.Prev()
+		if e.refs.Load() > 0 || e.touched {
+			e.touched = false
+			sh.lru.MoveToFront(el)
+			el = prev
 			continue
 		}
-		// refs == 0 means every materialized handle is parked, so
-		// closeIdle cannot fail; a failure would be a manager bug and the
-		// entry is dropped either way (its arena is unreachable).
+		// refs == 0 under the shard mutex means every materialized handle
+		// is parked (pins only rise under this mutex), so closeIdle cannot
+		// fail; a failure would be a manager bug and the entry is dropped
+		// either way (its arena is unreachable).
 		_ = e.pool.closeIdle()
 		sh.lru.Remove(el)
 		delete(sh.entries, e.name)
-		sh.c.Evictions++
+		sh.c.evictions.Add(1)
+		sh.c.resident.Add(-1)
 		return
 	}
 }
+
+// Lease is a held named lock, as returned by the allocation-free acquire
+// paths (AcquireLeaseCtx, AcquireFast). A Lease is a value — nothing is
+// heap-allocated per acquire — and must be given back through
+// Manager.Release exactly once; the zero Lease is invalid. Callers that
+// want a self-contained, misuse-checking handle use Acquire/AcquireCtx,
+// which wrap the Lease in a Grant.
+type Lease struct {
+	e *entry
+	h procHandle
+}
+
+// Valid reports whether the lease holds a lock.
+func (l Lease) Valid() bool { return l.e != nil }
+
+// Name returns the held lock's name.
+func (l Lease) Name() string { return l.e.name }
 
 // Acquire blocks until the caller holds the named lock, queueing for a
 // process handle when all n are leased and then competing through the
@@ -295,134 +375,177 @@ func (m *Manager) Acquire(name string) (*Grant, error) {
 // error (test with errors.Is) and the per-shard LeaseTimeouts or Aborts
 // counter steps.
 func (m *Manager) AcquireCtx(ctx context.Context, name string) (*Grant, error) {
-	start := time.Now()
-	e, h, err := m.checkout(ctx, name, true)
+	l, err := m.AcquireLeaseCtx(ctx, name)
 	if err != nil {
 		return nil, err
 	}
-	if err := h.LockCtx(ctx); err != nil {
-		m.checkin(e, h, false)
-		sh := m.shard(name)
-		sh.mu.Lock()
-		sh.c.Aborts++
-		sh.mu.Unlock()
-		return nil, fmt.Errorf("lockmgr: acquiring %q: %w", name, err)
-	}
-	if e.held.Add(1) != 1 {
-		m.violations.Add(1)
-	}
-	sh := m.shard(name)
-	sh.mu.Lock()
-	sh.c.Acquires++
-	sh.latency.Add(float64(time.Since(start).Microseconds()))
-	sh.mu.Unlock()
-	return &Grant{m: m, e: e, h: h}, nil
+	return &Grant{m: m, l: l}, nil
 }
 
-// TryAcquire acquires the named lock only if it looks immediately
-// available: it fails fast when another grant observably holds the lock
-// or all n handles are leased out. The check is best-effort — the
-// anonymous mutex has no native trylock, so a concurrent acquirer that
-// wins the race after the final holder check can make TryAcquire wait
-// out that acquirer's critical section. Callers that need a hard
-// non-blocking bound must keep their critical sections short.
-func (m *Manager) TryAcquire(name string) (*Grant, bool, error) {
-	sh := m.shard(name)
-	sh.mu.Lock()
-	sh.c.TryAcquires++
-	if e, ok := sh.entries[name]; ok && e.held.Load() > 0 {
-		sh.c.TryFailures++
-		sh.mu.Unlock()
-		return nil, false, nil
-	}
-	sh.mu.Unlock()
-	e, h, err := m.checkout(context.Background(), name, false)
+// AcquireLeaseCtx is AcquireCtx without the Grant allocation: the
+// steady-state acquire/release cycle through it performs zero heap
+// allocations. The returned Lease must be given back through Release.
+func (m *Manager) AcquireLeaseCtx(ctx context.Context, name string) (Lease, error) {
+	start := time.Now()
+	e, h, err := m.checkout(ctx, name, true)
 	if err != nil {
-		return nil, false, err
+		return Lease{}, err
 	}
-	if h == nil { // pool exhausted
-		sh.mu.Lock()
-		sh.c.TryFailures++
-		sh.mu.Unlock()
-		return nil, false, nil
-	}
-	// Re-check now that the lease is in hand: a holder that appeared
-	// while we leased would otherwise make Lock below wait out its whole
-	// critical section.
-	if e.held.Load() > 0 {
+	if err := h.LockCtx(ctx); err != nil {
 		m.checkin(e, h, false)
-		sh.mu.Lock()
-		sh.c.TryFailures++
-		sh.mu.Unlock()
-		return nil, false, nil
-	}
-	if err := h.Lock(); err != nil {
-		m.checkin(e, h, false)
-		return nil, false, err
+		e.sh.c.aborts.Add(1)
+		return Lease{}, fmt.Errorf("lockmgr: acquiring %q: %w", name, err)
 	}
 	if e.held.Add(1) != 1 {
 		m.violations.Add(1)
 	}
+	e.sh.c.acquires.Add(1)
+	e.sh.c.latCount.Add(1)
+	e.sh.c.latSumNano.Add(uint64(time.Since(start).Nanoseconds()))
+	return Lease{e: e, h: h}, nil
+}
+
+// AcquireFast is the uncontended fast path: it acquires the named lock
+// only if that succeeds without waiting — no queueing for a handle, no
+// holder to wait out — and reports ok=false otherwise, leaving the
+// caller to fall back to AcquireLeaseCtx with its contexts and
+// cancellation machinery. The register-level attempt is the process
+// handle's hard-bounded TryLock, so even a competitor that wins the
+// race after the holder check costs a bounded handful of shared-memory
+// operations, never a critical-section wait. It performs no heap
+// allocation once the name is resident.
+func (m *Manager) AcquireFast(name string) (Lease, bool, error) {
+	return m.tryAcquire(name, false)
+}
+
+// TryAcquire acquires the named lock only if it is immediately
+// available: it fails fast when another grant holds the lock, all n
+// handles are leased out, or the bounded register-level attempt
+// (TryLock: at most ~4m shared-memory operations, never a sleep) does
+// not enter. It never waits out another acquirer's critical section.
+func (m *Manager) TryAcquire(name string) (*Grant, bool, error) {
+	l, ok, err := m.tryAcquire(name, true)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	return &Grant{m: m, l: l}, true, nil
+}
+
+// TryAcquireLease is TryAcquire without the Grant allocation: the same
+// fail-fast semantics and try-op bookkeeping, returning a value Lease.
+func (m *Manager) TryAcquireLease(name string) (Lease, bool, error) {
+	return m.tryAcquire(name, true)
+}
+
+// tryAcquire is the shared non-blocking path. countTry selects the
+// TryAcquires/TryFailures bookkeeping (client-visible try ops) — the
+// AcquireFast probe stays out of those counters so stats keep meaning
+// "explicit try requests".
+func (m *Manager) tryAcquire(name string, countTry bool) (Lease, bool, error) {
+	sh := m.shard(name)
+	fail := func() (Lease, bool, error) {
+		if countTry {
+			sh.c.tryFailures.Add(1)
+		}
+		return Lease{}, false, nil
+	}
+	if countTry {
+		sh.c.tryAcquires.Add(1)
+	}
 	sh.mu.Lock()
-	sh.c.Acquires++
+	e, ok := sh.entries[name]
+	held := ok && e.held.Load() > 0
 	sh.mu.Unlock()
-	return &Grant{m: m, e: e, h: h}, true, nil
+	if held {
+		return fail()
+	}
+	e, h, err := m.checkout(context.Background(), name, false)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	if h == nil { // pool exhausted
+		return fail()
+	}
+	// Re-check now that the lease is in hand — cheaper than burning the
+	// bounded attempt below on a visibly held lock.
+	if e.held.Load() > 0 {
+		m.checkin(e, h, false)
+		return fail()
+	}
+	won, err := h.TryLock()
+	if err != nil {
+		m.checkin(e, h, false)
+		return Lease{}, false, err
+	}
+	if !won {
+		// A competitor won the register race: the bounded attempt
+		// withdrew cleanly instead of waiting out their critical section.
+		m.checkin(e, h, false)
+		return fail()
+	}
+	if e.held.Add(1) != 1 {
+		m.violations.Add(1)
+	}
+	sh.c.acquires.Add(1)
+	return Lease{e: e, h: h}, true, nil
+}
+
+// Release leaves the lease's critical section and returns the leased
+// handle to the lock's pool. A Lease may be released exactly once;
+// releasing a copy twice corrupts the holder cross-check (use Grant for
+// a misuse-checking handle).
+func (m *Manager) Release(l Lease) error {
+	// Step the holder counter down while still inside the critical
+	// section, so a successor's 0→1 check cannot race our decrement.
+	l.e.held.Add(-1)
+	if err := l.h.Unlock(); err != nil {
+		return err
+	}
+	m.checkin(l.e, l.h, true)
+	return nil
 }
 
 // checkin parks the handle and unpins the entry. countRelease marks a
 // completed client release (vs. an internal unwind).
 func (m *Manager) checkin(e *entry, h procHandle, countRelease bool) {
 	e.pool.release(h)
-	sh := m.shard(e.name)
-	sh.mu.Lock()
-	e.refs--
+	e.refs.Add(-1)
 	if countRelease {
-		sh.c.Releases++
+		e.sh.c.releases.Add(1)
 	}
-	sh.mu.Unlock()
 }
 
-// Grant is one client's hold on a named lock.
+// Grant is one client's hold on a named lock: a Lease plus
+// double-release protection.
 type Grant struct {
 	m        *Manager
-	e        *entry
-	h        procHandle
+	l        Lease
 	released bool
 }
 
 // Name returns the held lock's name.
-func (g *Grant) Name() string { return g.e.name }
+func (g *Grant) Name() string { return g.l.Name() }
 
 // Release leaves the critical section and returns the leased handle to
 // the lock's pool. A Grant can be released once.
 func (g *Grant) Release() error {
 	if g.released {
-		return fmt.Errorf("lockmgr: Release of a released grant on %q", g.e.name)
+		return fmt.Errorf("lockmgr: Release of a released grant on %q", g.l.Name())
 	}
 	g.released = true
-	// Step the holder counter down while still inside the critical
-	// section, so a successor's 0→1 check cannot race our decrement.
-	g.e.held.Add(-1)
-	if err := g.h.Unlock(); err != nil {
-		return err
-	}
-	g.m.checkin(g.e, g.h, true)
-	return nil
+	return g.m.Release(g.l)
 }
 
 // Violations reports mutual-exclusion violations observed by the per-lock
 // holder cross-check — 0 unless the underlying algorithms are broken.
 func (m *Manager) Violations() uint64 { return m.violations.Load() }
 
-// Counters returns the manager-wide aggregate.
+// Counters returns the manager-wide aggregate. It reads only atomics:
+// stats never serialize against acquire traffic.
 func (m *Manager) Counters() Counters {
 	var total Counters
 	for _, sh := range m.shards {
-		sh.mu.Lock()
-		c := sh.c
-		c.ResidentLocks = len(sh.entries)
-		sh.mu.Unlock()
-		total = total.add(c)
+		total = total.add(sh.c.snapshot())
 	}
 	return total
 }
@@ -437,26 +560,26 @@ func (m *Manager) StatsTable() *stats.Table {
 			"aborts", "lease-timeouts", "try-fail", "creates", "hits", "evictions", "mean acq µs"},
 	}
 	var total Counters
-	var latN int64
-	var latSum float64
+	var latN, latSum uint64
 	for i, sh := range m.shards {
-		sh.mu.Lock()
-		c := sh.c
-		c.ResidentLocks = len(sh.entries)
-		n, mean := sh.latency.N(), sh.latency.Mean()
-		sh.mu.Unlock()
+		c := sh.c.snapshot()
+		n, sum := sh.c.latCount.Load(), sh.c.latSumNano.Load()
 		total = total.add(c)
 		latN += n
-		latSum += float64(n) * mean
+		latSum += sum
 		if c.Acquires == 0 && c.TryAcquires == 0 && c.ResidentLocks == 0 {
 			continue // keep quiet shards out of the table
+		}
+		mean := 0.0
+		if n > 0 {
+			mean = float64(sum) / float64(n) / 1e3
 		}
 		t.AddRow(i, c.ResidentLocks, c.Acquires, c.Releases, c.Waits,
 			c.Aborts, c.LeaseTimeouts, c.TryFailures, c.LockCreates, c.Hits, c.Evictions, mean)
 	}
 	meanAll := 0.0
 	if latN > 0 {
-		meanAll = latSum / float64(latN)
+		meanAll = float64(latSum) / float64(latN) / 1e3
 	}
 	t.AddRow("total", total.ResidentLocks, total.Acquires, total.Releases, total.Waits,
 		total.Aborts, total.LeaseTimeouts, total.TryFailures, total.LockCreates,
@@ -472,9 +595,9 @@ func (m *Manager) Close() error {
 	for _, sh := range m.shards {
 		sh.mu.Lock()
 		for name, e := range sh.entries {
-			if e.refs > 0 {
+			if refs := e.refs.Load(); refs > 0 {
 				sh.mu.Unlock()
-				return fmt.Errorf("lockmgr: Close with %d outstanding leases on %q", e.refs, name)
+				return fmt.Errorf("lockmgr: Close with %d outstanding leases on %q", refs, name)
 			}
 			if err := e.pool.closeIdle(); err != nil {
 				sh.mu.Unlock()
@@ -482,6 +605,7 @@ func (m *Manager) Close() error {
 			}
 			sh.lru.Remove(e.elem)
 			delete(sh.entries, name)
+			sh.c.resident.Add(-1)
 		}
 		sh.mu.Unlock()
 	}

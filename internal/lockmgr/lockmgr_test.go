@@ -165,6 +165,7 @@ type stubHandle struct{}
 
 func (stubHandle) Lock() error                       { return nil }
 func (stubHandle) LockCtx(ctx context.Context) error { return ctx.Err() }
+func (stubHandle) TryLock() (bool, error)            { return true, nil }
 func (stubHandle) Unlock() error                     { return nil }
 func (stubHandle) Close() error                      { return nil }
 

@@ -3,7 +3,7 @@ package lockmgr
 import (
 	"context"
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // procHandle is the root-package process-handle surface the manager
@@ -11,33 +11,46 @@ import (
 type procHandle interface {
 	Lock() error
 	LockCtx(ctx context.Context) error
+	TryLock() (bool, error)
 	Unlock() error
 	Close() error
 }
 
 // leasePool multiplexes an unbounded client population onto one lock's
 // fixed n process handles. Handles are created lazily (a lock that only
-// ever sees one client materializes one handle) and parked in a channel
-// between leases; when all n are leased out, blocking callers queue on
-// the channel until a release or until their context is done — a
-// timed-out waiter simply stops receiving, so it leaves the queue without
-// holding, leaking, or reordering any handle. The pool never discards a
-// handle while the entry lives — the root package's Close/re-lease cycle
-// is exercised at eviction time, when closeIdle returns every slot to the
-// lock.
+// ever sees one client materializes one handle) and parked in a lock-free
+// free list between leases, so the uncontended lease/release cycle is a
+// few atomic operations with no mutex handoff and no allocation. Only
+// when all n handles are leased out do blocking callers touch a channel:
+// they register as waiters and park on a signal that every release posts
+// after returning its handle to the free list — a timed-out waiter simply
+// stops receiving, so it leaves the queue without holding, leaking, or
+// reordering any handle. The pool never discards a handle while the
+// entry lives — the root package's Close/re-lease cycle is exercised at
+// eviction time, when closeIdle returns every slot to the lock.
 type leasePool struct {
 	newHandle func() (procHandle, error)
-	handles   chan procHandle // parked idle handles
 
-	mu      sync.Mutex
-	created int
+	idle     freeList     // parked idle handles (lock-free MPMC ring)
+	created  atomic.Int64 // materialized handles; creation slots claimed by CAS
+	capacity int64
+
+	// waiters counts callers blocked for a handle; wake carries one
+	// signal per release that observed a waiter. A waiter that consumes a
+	// signal re-polls the free list, so a stolen handle only costs a
+	// spurious wakeup, never a lost one.
+	waiters atomic.Int64
+	wake    chan struct{}
 }
 
 func newLeasePool(capacity int, newHandle func() (procHandle, error)) *leasePool {
-	return &leasePool{
+	p := &leasePool{
 		newHandle: newHandle,
-		handles:   make(chan procHandle, capacity),
+		capacity:  int64(capacity),
+		wake:      make(chan struct{}, capacity),
 	}
+	p.idle.init(capacity)
+	return p
 }
 
 // lease checks out a handle: a parked one if available, a freshly
@@ -46,56 +59,154 @@ func newLeasePool(capacity int, newHandle func() (procHandle, error)) *leasePool
 // caller had to queue. With block unset, exhaustion returns ok=false.
 // A queued caller whose ctx ends gives up with ctx's error.
 func (p *leasePool) lease(ctx context.Context, block bool) (h procHandle, ok, waited bool, err error) {
-	select {
-	case h := <-p.handles:
+	if h, ok := p.idle.pop(); ok {
 		return h, true, false, nil
-	default:
 	}
-	p.mu.Lock()
-	if p.created < cap(p.handles) {
-		p.created++
-		p.mu.Unlock()
-		h, err := p.newHandle()
-		if err != nil {
-			p.mu.Lock()
-			p.created--
-			p.mu.Unlock()
-			return nil, false, false, err
+	for {
+		c := p.created.Load()
+		if c >= p.capacity {
+			break
 		}
-		return h, true, false, nil
+		if p.created.CompareAndSwap(c, c+1) {
+			h, err := p.newHandle()
+			if err != nil {
+				p.created.Add(-1)
+				return nil, false, false, err
+			}
+			return h, true, false, nil
+		}
 	}
-	p.mu.Unlock()
 	if !block {
 		return nil, false, false, nil
 	}
-	select {
-	case h := <-p.handles:
-		return h, true, true, nil
-	case <-ctx.Done():
-		return nil, false, true, ctx.Err()
+	// All n handles exist and are leased out: queue. The re-poll after
+	// registering closes the race with a release that loaded the waiter
+	// count just before we registered.
+	p.waiters.Add(1)
+	defer p.waiters.Add(-1)
+	for {
+		if h, ok := p.idle.pop(); ok {
+			return h, true, true, nil
+		}
+		select {
+		case <-p.wake:
+		case <-ctx.Done():
+			return nil, false, true, ctx.Err()
+		}
 	}
 }
 
-// release parks a handle for the next lease.
-func (p *leasePool) release(h procHandle) { p.handles <- h }
+// release parks a handle for the next lease and wakes a queued waiter if
+// any is registered. The signal is posted after the handle is visible on
+// the free list, so the woken waiter's re-poll finds it (or finds it
+// already taken by a fast-path lease, which is just as good: the handle
+// is in use, and its own release will signal again).
+func (p *leasePool) release(h procHandle) {
+	p.idle.push(h)
+	if p.waiters.Load() > 0 {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+			// The buffer already carries one pending signal per possible
+			// handle; further signals are redundant — every pending one
+			// forces a free-list re-poll that happens after this push.
+		}
+	}
+}
 
 // closeIdle closes every materialized handle. Callable only when no
 // handle is leased out (the manager guarantees this via entry refcounts);
 // a missing handle means a caller violated that contract.
 func (p *leasePool) closeIdle() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := 0; i < p.created; i++ {
-		select {
-		case h := <-p.handles:
-			if err := h.Close(); err != nil {
-				return fmt.Errorf("lockmgr: closing pooled handle: %w", err)
-			}
-		default:
+	created := int(p.created.Load())
+	for i := 0; i < created; i++ {
+		h, ok := p.idle.pop()
+		if !ok {
 			return fmt.Errorf("lockmgr: pool torn down with %d of %d handles still leased",
-				p.created-i, p.created)
+				created-i, created)
+		}
+		if err := h.Close(); err != nil {
+			return fmt.Errorf("lockmgr: closing pooled handle: %w", err)
 		}
 	}
-	p.created = 0
+	p.created.Store(0)
 	return nil
+}
+
+// freeList is a bounded lock-free MPMC ring (Vyukov's array queue) of
+// parked handles. Capacity is fixed at init; the pool never holds more
+// than its n handles, so push cannot overflow.
+type freeList struct {
+	slots []freeSlot
+	mask  uint64
+	enq   atomic.Uint64
+	deq   atomic.Uint64
+}
+
+// freeSlot pads each cell to its own cache line: neighboring slots are
+// hammered by different cores on the lease/release fast path.
+type freeSlot struct {
+	seq atomic.Uint64
+	h   procHandle
+	_   [64 - 8 - 16]byte
+}
+
+func (q *freeList) init(capacity int) {
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	q.slots = make([]freeSlot, size)
+	q.mask = uint64(size - 1)
+	for i := range q.slots {
+		q.slots[i].seq.Store(uint64(i))
+	}
+}
+
+// push parks a handle. It never blocks and never fails: the ring is as
+// large as the number of handles that exist.
+func (q *freeList) push(h procHandle) {
+	pos := q.enq.Load()
+	for {
+		s := &q.slots[pos&q.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				s.h = h
+				s.seq.Store(pos + 1)
+				return
+			}
+			pos = q.enq.Load()
+		case d < 0:
+			panic("lockmgr: free list overflow (more releases than handles)")
+		default:
+			pos = q.enq.Load()
+		}
+	}
+}
+
+// pop takes the oldest parked handle, reporting ok=false when the list is
+// empty (a push mid-publication counts as empty; the pool's wake-signal
+// protocol covers that window).
+func (q *freeList) pop() (procHandle, bool) {
+	pos := q.deq.Load()
+	for {
+		s := &q.slots[pos&q.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos+1); {
+		case d == 0:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				h := s.h
+				s.h = nil
+				s.seq.Store(pos + q.mask + 1)
+				return h, true
+			}
+			pos = q.deq.Load()
+		case d < 0:
+			return nil, false
+		default:
+			pos = q.deq.Load()
+		}
+	}
 }

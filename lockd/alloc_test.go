@@ -1,0 +1,117 @@
+package lockd
+
+// The allocation budget the performance overhaul commits to: the
+// server's steady-state request loop — decode one request line, execute
+// it, encode the response — performs ZERO heap allocations for the hot
+// ops (uncontended acquire, release, holds, ping, failed try) once the
+// session and the lock entry are warm. BENCH_baseline.json tracks the
+// numbers; this test enforces the budget so a regression fails CI
+// instead of quietly eroding latency.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"anonmutex/internal/lockmgr"
+)
+
+// steadySession builds a warm server+session pair the way serveConn
+// does, plus the reader-side interning table.
+func steadySession(t *testing.T) (*Server, *session, *nameTable) {
+	t.Helper()
+	mgr, err := lockmgr.New(lockmgr.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	s := NewServer(mgr)
+	sess := &session{grants: make(map[string]lockmgr.Lease)}
+	return s, sess, newNameTable()
+}
+
+// loop runs the exact per-request pipeline of the processing loop.
+func loop(t *testing.T, s *Server, sess *session, names *nameTable, req *Request, respBuf []byte, line []byte) []byte {
+	t.Helper()
+	if err := decodeRequest(line, req, names); err != nil {
+		t.Fatalf("decode %s: %v", line, err)
+	}
+	resp := s.handle(context.Background(), sess, *req)
+	if resp.Err != "" {
+		t.Fatalf("handle %s: %s", line, resp.Err)
+	}
+	return AppendResponse(respBuf[:0], &resp)
+}
+
+func TestServerSteadyStateRequestLoopZeroAllocs(t *testing.T) {
+	s, sess, names := steadySession(t)
+	acquire := []byte(`{"op":"acquire","name":"hot-key"}`)
+	release := []byte(`{"op":"release","name":"hot-key"}`)
+	holds := []byte(`{"op":"holds","name":"hot-key"}`)
+	ping := []byte(`{"op":"ping"}`)
+	var req Request
+	respBuf := make([]byte, 0, 256)
+
+	// Warm up: materialize the lock entry, the handles, the interned
+	// name, and the session map buckets.
+	for i := 0; i < 3; i++ {
+		respBuf = loop(t, s, sess, names, &req, respBuf, acquire)
+		respBuf = loop(t, s, sess, names, &req, respBuf, holds)
+		respBuf = loop(t, s, sess, names, &req, respBuf, release)
+		respBuf = loop(t, s, sess, names, &req, respBuf, ping)
+	}
+
+	cases := []struct {
+		name  string
+		lines [][]byte
+	}{
+		{"acquire-release", [][]byte{acquire, release}},
+		{"acquire-holds-release", [][]byte{acquire, holds, release}},
+		{"ping", [][]byte{ping}},
+	}
+	for _, c := range cases {
+		allocs := testing.AllocsPerRun(200, func() {
+			for _, line := range c.lines {
+				respBuf = loop(t, s, sess, names, &req, respBuf, line)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs per steady-state request loop, budget is 0", c.name, allocs)
+		}
+	}
+}
+
+// TestServerFailedTryZeroAllocs covers the contended fail-fast probe: a
+// try on a held lock must also stay off the heap.
+func TestServerFailedTryZeroAllocs(t *testing.T) {
+	s, sess, names := steadySession(t)
+	other := &session{grants: make(map[string]lockmgr.Lease)}
+	var req Request
+	respBuf := make([]byte, 0, 256)
+
+	// Another session holds the lock.
+	if err := decodeRequest([]byte(`{"op":"acquire","name":"hot-key"}`), &req, names); err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.handle(context.Background(), other, req); !resp.Acquired {
+		t.Fatalf("setup acquire failed: %+v", resp)
+	}
+
+	try := []byte(`{"op":"try","name":"hot-key"}`)
+	for i := 0; i < 3; i++ {
+		respBuf = loop(t, s, sess, names, &req, respBuf, try)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		respBuf = loop(t, s, sess, names, &req, respBuf, try)
+	})
+	if allocs != 0 {
+		t.Errorf("failed try: %.1f allocs per request, budget is 0", allocs)
+	}
+	if err := decodeRequest([]byte(`{"op":"release","name":"hot-key"}`), &req, names); err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.handle(context.Background(), other, req); !resp.OK {
+		t.Fatalf("teardown release failed: %+v", resp)
+	}
+	_ = fmt.Sprint()
+}

@@ -1,0 +1,194 @@
+// Hot-path benchmarks for the lockd service: full client→server→client
+// round trips on an in-memory transport (net.Pipe — isolates the lockd
+// stack from kernel TCP costs) and on real loopback TCP. These are the
+// numbers tracked in BENCH_baseline.json; run with
+//
+//	go test -bench 'RoundTrip' -benchmem ./lockd
+package lockd_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"anonmutex/internal/lockmgr"
+	"anonmutex/lockd"
+	"anonmutex/lockd/client"
+)
+
+// pipeListener adapts a stream of pre-connected net.Pipe ends to the
+// net.Listener surface Server.Serve wants.
+func benchCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 5*time.Second)
+}
+
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	select {
+	case <-l.done:
+	default:
+		close(l.done)
+	}
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// benchPipeClient starts a server over an in-memory transport and returns
+// a connected client session.
+func benchPipeClient(b *testing.B) *client.Conn {
+	b.Helper()
+	mgr, err := lockmgr.New(lockmgr.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := lockd.NewServer(mgr)
+	ln := newPipeListener()
+	go srv.Serve(ln)
+	cs, ss := net.Pipe()
+	ln.conns <- ss
+	conn := client.NewConn(cs)
+	b.Cleanup(func() {
+		conn.Close()
+		ctx, cancel := benchCtx()
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return conn
+}
+
+// benchTCPClient starts a server on loopback TCP and returns a connected
+// client session.
+func benchTCPClient(b *testing.B) *client.Conn {
+	b.Helper()
+	mgr, err := lockmgr.New(lockmgr.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := lockd.NewServer(mgr)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	conn, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		conn.Close()
+		ctx, cancel := benchCtx()
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return conn
+}
+
+func benchRoundTrips(b *testing.B, conn *client.Conn) {
+	b.Run("ping", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := conn.Ping(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("acquire-release", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := conn.Acquire("bench-key"); err != nil {
+				b.Fatal(err)
+			}
+			if err := conn.Release("bench-key"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("acquirefor-release", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ok, err := conn.AcquireFor("bench-key", time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.Fatal("uncontended AcquireFor failed")
+			}
+			if err := conn.Release("bench-key"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("holds", func(b *testing.B) {
+		if err := conn.Acquire("bench-key"); err != nil {
+			b.Fatal(err)
+		}
+		defer conn.Release("bench-key")
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			held, err := conn.Holds("bench-key")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !held {
+				b.Fatal("holds = false for a held lock")
+			}
+		}
+	})
+}
+
+// BenchmarkRoundTrip_Pipe is the uncontended single-client lockd round
+// trip over an in-memory transport: the latency of the lockd stack itself
+// (codec, session loop, lock manager) with no kernel networking.
+func BenchmarkRoundTrip_Pipe(b *testing.B) {
+	benchRoundTrips(b, benchPipeClient(b))
+}
+
+// BenchmarkRoundTrip_TCP is the same round trip over real loopback TCP.
+func BenchmarkRoundTrip_TCP(b *testing.B) {
+	benchRoundTrips(b, benchTCPClient(b))
+}
+
+// BenchmarkRoundTrip_PipeParallel drives one pipelined session from many
+// goroutines, exercising response batching and flush coalescing.
+func BenchmarkRoundTrip_PipeParallel(b *testing.B) {
+	for _, clients := range []int{4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", clients), func(b *testing.B) {
+			conn := benchPipeClient(b)
+			b.ReportAllocs()
+			b.SetParallelism(clients)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := conn.Ping(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -8,11 +8,16 @@
 // it can chase an Acquire that is blocked on the same session — and what
 // lets one connection carry overlapping traffic. Locks held by the
 // session are released by the server when the connection closes.
+//
+// The hot path mirrors the server's: requests are encoded by the
+// lockd wire codec into a per-connection buffer, responses are decoded
+// without reflection, and the per-request bookkeeping (the waiter slot a
+// response is matched to) is pooled — a steady-state AcquireFor/Release
+// cycle performs no heap allocations on the client.
 package client
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -34,17 +39,27 @@ type result struct {
 	err  error
 }
 
+// waiterPool recycles the response-matching channels so a request does
+// not allocate one. Each channel is buffered and receives exactly one
+// result per checkout, so a recycled channel is always empty.
+var waiterPool = sync.Pool{
+	New: func() any { return make(chan result, 1) },
+}
+
 // Conn is one client session. Methods are safe for concurrent use and
 // pipeline over the single connection.
 type Conn struct {
 	c net.Conn
 
 	// sendMu serializes writes and queue pushes, so the response queue
-	// order always matches the request order on the wire.
+	// order always matches the request order on the wire. It also guards
+	// wbuf, the reused encode buffer.
 	sendMu sync.Mutex
+	wbuf   []byte
 
 	mu     sync.Mutex
 	queue  []chan result // FIFO of callers awaiting responses
+	qhead  int           // first live entry; backing array is reused
 	broken error         // set once the reader stops
 }
 
@@ -54,37 +69,59 @@ func Dial(addr string) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing lockd at %s: %w", addr, err)
 	}
+	return NewConn(c), nil
+}
+
+// NewConn wraps an already-established connection — a TCP or unix socket
+// the caller dialed itself, or one end of a net.Pipe for in-process use —
+// as a client session. The Conn takes ownership of c.
+func NewConn(c net.Conn) *Conn {
 	conn := &Conn{c: c}
 	go conn.readLoop()
-	return conn, nil
+	return conn
 }
 
 // readLoop owns the inbound half: it reads response lines and hands each
 // to the oldest waiting caller. Any read or decode failure breaks the
 // session: every waiter (and every later request) gets the error.
 func (c *Conn) readLoop() {
-	r := bufio.NewReader(c.c)
+	br := bufio.NewReader(c.c)
+	var scratch []byte
 	for {
-		line, err := r.ReadBytes('\n')
+		line, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			// A long response (an error echoing a long name): accumulate.
+			scratch = append(scratch[:0], line...)
+			for err == bufio.ErrBufferFull {
+				line, err = br.ReadSlice('\n')
+				scratch = append(scratch, line...)
+			}
+			line = scratch
+		}
 		if err != nil {
 			c.fail(fmt.Errorf("client: session broken: %w", err))
 			return
 		}
-		var resp lockd.Response
-		if err := json.Unmarshal(line, &resp); err != nil {
-			c.fail(fmt.Errorf("client: bad response: %w", err))
+		var res result
+		if derr := lockd.DecodeResponse(line[:len(line)-1], &res.resp); derr != nil {
+			c.fail(fmt.Errorf("client: bad response: %w", derr))
 			return
 		}
 		c.mu.Lock()
-		if len(c.queue) == 0 {
+		if c.qhead == len(c.queue) {
 			c.mu.Unlock()
 			c.fail(fmt.Errorf("client: response with no request in flight"))
 			return
 		}
-		ch := c.queue[0]
-		c.queue = c.queue[1:]
+		ch := c.queue[c.qhead]
+		c.queue[c.qhead] = nil
+		c.qhead++
+		if c.qhead == len(c.queue) {
+			c.queue = c.queue[:0]
+			c.qhead = 0
+		}
 		c.mu.Unlock()
-		ch <- result{resp: resp}
+		ch <- res
 	}
 }
 
@@ -95,8 +132,9 @@ func (c *Conn) fail(err error) {
 	if c.broken == nil {
 		c.broken = err
 	}
-	waiters := c.queue
+	waiters := c.queue[c.qhead:]
 	c.queue = nil
+	c.qhead = 0
 	c.mu.Unlock()
 	for _, ch := range waiters {
 		ch <- result{err: err}
@@ -106,22 +144,21 @@ func (c *Conn) fail(err error) {
 // do executes one request/response exchange, waiting its turn in the
 // response order.
 func (c *Conn) do(req lockd.Request) (lockd.Response, error) {
-	buf, err := json.Marshal(req)
-	if err != nil {
-		return lockd.Response{}, err
-	}
-	ch := make(chan result, 1)
+	ch := waiterPool.Get().(chan result)
 	c.sendMu.Lock()
 	c.mu.Lock()
 	if c.broken != nil {
 		err := c.broken
 		c.mu.Unlock()
 		c.sendMu.Unlock()
+		waiterPool.Put(ch)
 		return lockd.Response{}, fmt.Errorf("%s: %w", req.Op, err)
 	}
 	c.queue = append(c.queue, ch)
 	c.mu.Unlock()
-	_, werr := c.c.Write(append(buf, '\n'))
+	c.wbuf = lockd.AppendRequest(c.wbuf[:0], &req)
+	c.wbuf = append(c.wbuf, '\n')
+	_, werr := c.c.Write(c.wbuf)
 	c.sendMu.Unlock()
 	if werr != nil {
 		// The reader will observe the broken connection and deliver the
@@ -129,6 +166,7 @@ func (c *Conn) do(req lockd.Request) (lockd.Response, error) {
 		c.c.Close()
 	}
 	res := <-ch
+	waiterPool.Put(ch)
 	if res.err != nil {
 		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, res.err)
 	}

@@ -1,0 +1,685 @@
+package lockd
+
+// The wire codec: a hand-rolled, allocation-free encoder and decoder for
+// the protocol's small fixed shapes. The wire format is exactly the JSON
+// that encoding/json produces for Request/Response (same field order,
+// same omitempty behavior, same escaping), so old clients and servers
+// interoperate unchanged — the codec only removes the reflection, the
+// intermediate buffers, and the per-call allocations from the hot path.
+// TestCodecAgreesWithEncodingJSON pins the equivalence property-style.
+//
+// The decoder is a tolerant field scanner: fields may arrive in any
+// order, unknown fields are skipped, and interstitial whitespace is
+// accepted, matching encoding/json's behavior for foreign clients.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// AppendRequest appends req's wire encoding — one JSON object, no
+// trailing newline — to dst and returns the extended slice. It allocates
+// only if dst needs to grow.
+func AppendRequest(dst []byte, req *Request) []byte {
+	dst = append(dst, `{"op":`...)
+	dst = appendString(dst, req.Op)
+	if req.Name != "" {
+		dst = append(dst, `,"name":`...)
+		dst = appendString(dst, req.Name)
+	}
+	if req.TimeoutMS != 0 {
+		dst = append(dst, `,"timeout_ms":`...)
+		dst = strconv.AppendInt(dst, req.TimeoutMS, 10)
+	}
+	return append(dst, '}')
+}
+
+// AppendResponse appends resp's wire encoding — one JSON object, no
+// trailing newline — to dst and returns the extended slice. It allocates
+// only if dst needs to grow.
+func AppendResponse(dst []byte, resp *Response) []byte {
+	dst = append(dst, `{"ok":`...)
+	dst = appendBool(dst, resp.OK)
+	if resp.Err != "" {
+		dst = append(dst, `,"err":`...)
+		dst = appendString(dst, resp.Err)
+	}
+	if resp.Acquired {
+		dst = append(dst, `,"acquired":true`...)
+	}
+	if resp.Aborted {
+		dst = append(dst, `,"aborted":true`...)
+	}
+	if resp.Holds {
+		dst = append(dst, `,"holds":true`...)
+	}
+	if resp.Stats != nil {
+		s := resp.Stats
+		dst = append(dst, `,"stats":{"acquires":`...)
+		dst = strconv.AppendUint(dst, s.Acquires, 10)
+		dst = append(dst, `,"releases":`...)
+		dst = strconv.AppendUint(dst, s.Releases, 10)
+		dst = append(dst, `,"waits":`...)
+		dst = strconv.AppendUint(dst, s.Waits, 10)
+		dst = append(dst, `,"try_acquires":`...)
+		dst = strconv.AppendUint(dst, s.TryAcquires, 10)
+		dst = append(dst, `,"try_failures":`...)
+		dst = strconv.AppendUint(dst, s.TryFailures, 10)
+		dst = append(dst, `,"lock_creates":`...)
+		dst = strconv.AppendUint(dst, s.LockCreates, 10)
+		dst = append(dst, `,"evictions":`...)
+		dst = strconv.AppendUint(dst, s.Evictions, 10)
+		dst = append(dst, `,"resident_locks":`...)
+		dst = strconv.AppendInt(dst, int64(s.ResidentLocks), 10)
+		dst = append(dst, `,"aborts":`...)
+		dst = strconv.AppendUint(dst, s.Aborts, 10)
+		dst = append(dst, `,"lease_timeouts":`...)
+		dst = strconv.AppendUint(dst, s.LeaseTimeouts, 10)
+		dst = append(dst, `,"violations":`...)
+		dst = strconv.AppendUint(dst, s.Violations, 10)
+		dst = append(dst, `,"sessions":`...)
+		dst = strconv.AppendInt(dst, int64(s.Sessions), 10)
+		dst = append(dst, '}')
+	}
+	return append(dst, '}')
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendString appends s as a JSON string. Plain printable ASCII — every
+// lock name and op in practice — takes the copy-only fast path; anything
+// needing escapes defers to encoding/json so the bytes stay identical to
+// what a reflection-based peer would produce (including HTML-escaping
+// and invalid-UTF-8 replacement).
+func appendString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			buf, err := json.Marshal(s)
+			if err != nil {
+				// Marshal of a string cannot fail; keep the encoder total.
+				panic(err)
+			}
+			return append(dst, buf...)
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"')
+}
+
+// DecodeRequest parses one request line (without the newline) into req,
+// overwriting every field. Unknown fields are skipped, field order is
+// free, and the op string is matched against the protocol's constants so
+// known ops cost no allocation.
+func DecodeRequest(data []byte, req *Request) error {
+	return decodeRequest(data, req, nil)
+}
+
+// maxInternedNameBytes bounds a session's interning table: when the
+// interned names' total length would pass it, the table is reset and
+// re-learns the connection's current working set. Hot names stay free;
+// a pathological stream of unique names costs one allocation per
+// request (exactly the pre-interning behavior) instead of unbounded
+// server memory.
+const maxInternedNameBytes = 1 << 20
+
+// nameTable interns lock names per session with a byte-bounded budget.
+type nameTable struct {
+	m     map[string]string
+	bytes int
+}
+
+func newNameTable() *nameTable {
+	return &nameTable{m: make(map[string]string)}
+}
+
+// intern returns the canonical string for raw, allocating only the
+// first time a name (since the last reset) is seen.
+func (t *nameTable) intern(raw []byte) string {
+	if s, ok := t.m[string(raw)]; ok { // compiler avoids the []byte→string alloc
+		return s
+	}
+	s := string(raw)
+	if t.bytes+len(s) > maxInternedNameBytes {
+		clear(t.m)
+		t.bytes = 0
+	}
+	t.m[s] = s
+	t.bytes += len(s)
+	return s
+}
+
+// decodeRequest is DecodeRequest with an optional interning table for
+// the name field: the server passes its per-session table so a
+// steady-state request loop on recurring names never allocates the name
+// string again.
+func decodeRequest(data []byte, req *Request, names *nameTable) error {
+	*req = Request{}
+	d := scanner{data: data}
+	err := d.object(func(key []byte) error {
+		switch string(key) { // compiler-optimized, no alloc
+		case "op":
+			raw, esc, err := d.stringValue()
+			if err != nil {
+				return err
+			}
+			req.Op = internOp(raw, esc)
+			return nil
+		case "name":
+			raw, esc, err := d.stringValue()
+			if err != nil {
+				return err
+			}
+			if esc {
+				unescaped, err := unescape(raw)
+				if err != nil {
+					return err
+				}
+				req.Name = string(unescaped)
+				return nil
+			}
+			if names != nil {
+				req.Name = names.intern(raw)
+				return nil
+			}
+			req.Name = string(raw)
+			return nil
+		case "timeout_ms":
+			v, err := d.intValue()
+			if err != nil {
+				return err
+			}
+			req.TimeoutMS = v
+			return nil
+		default:
+			return d.skipValue()
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("lockd: decoding request: %w", err)
+	}
+	if err := d.trailing(); err != nil {
+		return fmt.Errorf("lockd: decoding request: %w", err)
+	}
+	return nil
+}
+
+// internOp maps a raw op byte string to the matching Op* constant, so
+// decoding a known op allocates nothing.
+func internOp(raw []byte, escaped bool) string {
+	if escaped {
+		if un, err := unescape(raw); err == nil {
+			return string(un)
+		}
+		return string(raw)
+	}
+	switch string(raw) {
+	case OpAcquire:
+		return OpAcquire
+	case OpTryAcquire:
+		return OpTryAcquire
+	case OpRelease:
+		return OpRelease
+	case OpCancel:
+		return OpCancel
+	case OpHolds:
+		return OpHolds
+	case OpStats:
+		return OpStats
+	case OpPing:
+		return OpPing
+	default:
+		return string(raw)
+	}
+}
+
+// DecodeResponse parses one response line (without the newline) into
+// resp, overwriting every field. A stats payload allocates the Stats
+// struct; everything else is allocation-free for well-formed input.
+func DecodeResponse(data []byte, resp *Response) error {
+	*resp = Response{}
+	d := scanner{data: data}
+	err := d.object(func(key []byte) error {
+		switch string(key) {
+		case "ok":
+			v, err := d.boolValue()
+			resp.OK = v
+			return err
+		case "err":
+			raw, esc, err := d.stringValue()
+			if err != nil {
+				return err
+			}
+			if esc {
+				un, err := unescape(raw)
+				if err != nil {
+					return err
+				}
+				resp.Err = string(un)
+				return nil
+			}
+			resp.Err = string(raw)
+			return nil
+		case "acquired":
+			v, err := d.boolValue()
+			resp.Acquired = v
+			return err
+		case "aborted":
+			v, err := d.boolValue()
+			resp.Aborted = v
+			return err
+		case "holds":
+			v, err := d.boolValue()
+			resp.Holds = v
+			return err
+		case "stats":
+			d.ws()
+			if d.peek() == 'n' { // null: Stats stays nil, as encoding/json leaves it
+				return d.skipValue()
+			}
+			s := &Stats{}
+			if err := d.statsObject(s); err != nil {
+				return err
+			}
+			resp.Stats = s
+			return nil
+		default:
+			return d.skipValue()
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("lockd: decoding response: %w", err)
+	}
+	if err := d.trailing(); err != nil {
+		return fmt.Errorf("lockd: decoding response: %w", err)
+	}
+	return nil
+}
+
+func (d *scanner) statsObject(s *Stats) error {
+	return d.object(func(key []byte) error {
+		switch string(key) {
+		case "acquires":
+			return d.uintInto(&s.Acquires)
+		case "releases":
+			return d.uintInto(&s.Releases)
+		case "waits":
+			return d.uintInto(&s.Waits)
+		case "try_acquires":
+			return d.uintInto(&s.TryAcquires)
+		case "try_failures":
+			return d.uintInto(&s.TryFailures)
+		case "lock_creates":
+			return d.uintInto(&s.LockCreates)
+		case "evictions":
+			return d.uintInto(&s.Evictions)
+		case "resident_locks":
+			v, err := d.intValue()
+			s.ResidentLocks = int(v)
+			return err
+		case "aborts":
+			return d.uintInto(&s.Aborts)
+		case "lease_timeouts":
+			return d.uintInto(&s.LeaseTimeouts)
+		case "violations":
+			return d.uintInto(&s.Violations)
+		case "sessions":
+			v, err := d.intValue()
+			s.Sessions = int(v)
+			return err
+		default:
+			return d.skipValue()
+		}
+	})
+}
+
+// scanner is a minimal JSON field scanner over one line.
+type scanner struct {
+	data []byte
+	pos  int
+}
+
+func (d *scanner) ws() {
+	for d.pos < len(d.data) {
+		switch d.data[d.pos] {
+		case ' ', '\t', '\r', '\n':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+// trailing rejects anything but whitespace after the top-level value,
+// matching encoding/json ("invalid character after top-level value").
+func (d *scanner) trailing() error {
+	d.ws()
+	if d.pos != len(d.data) {
+		return fmt.Errorf("trailing data after the object at offset %d", d.pos)
+	}
+	return nil
+}
+
+func (d *scanner) peek() byte {
+	if d.pos < len(d.data) {
+		return d.data[d.pos]
+	}
+	return 0
+}
+
+func (d *scanner) expect(c byte) error {
+	d.ws()
+	if d.pos >= len(d.data) || d.data[d.pos] != c {
+		return fmt.Errorf("want %q at offset %d", c, d.pos)
+	}
+	d.pos++
+	return nil
+}
+
+// object parses {"key":value,...}, calling field for each key with the
+// scanner positioned at the value. field must consume the value. The
+// top-level callers reject trailing data after the closing brace via
+// trailing().
+func (d *scanner) object(field func(key []byte) error) error {
+	if err := d.expect('{'); err != nil {
+		return err
+	}
+	d.ws()
+	if d.peek() == '}' {
+		d.pos++
+		return nil
+	}
+	for {
+		d.ws()
+		key, escaped, err := d.stringValue()
+		if err != nil {
+			return fmt.Errorf("object key: %w", err)
+		}
+		if escaped {
+			if key, err = unescape(key); err != nil {
+				return err
+			}
+		}
+		if err := d.expect(':'); err != nil {
+			return err
+		}
+		d.ws()
+		if err := field(key); err != nil {
+			return err
+		}
+		d.ws()
+		switch d.peek() {
+		case ',':
+			d.pos++
+		case '}':
+			d.pos++
+			return nil
+		default:
+			return fmt.Errorf("want ',' or '}' at offset %d", d.pos)
+		}
+	}
+}
+
+// stringValue parses a JSON string, returning the raw bytes between the
+// quotes and whether they contain escapes (the caller unescapes only
+// when needed, keeping the common case allocation-free).
+func (d *scanner) stringValue() ([]byte, bool, error) {
+	d.ws()
+	if err := d.expect('"'); err != nil {
+		return nil, false, err
+	}
+	start := d.pos
+	escaped := false
+	for d.pos < len(d.data) {
+		switch c := d.data[d.pos]; c {
+		case '"':
+			raw := d.data[start:d.pos]
+			d.pos++
+			return raw, escaped, nil
+		case '\\':
+			escaped = true
+			d.pos += 2
+		default:
+			d.pos++
+		}
+	}
+	return nil, false, fmt.Errorf("unterminated string")
+}
+
+func (d *scanner) intValue() (int64, error) {
+	d.ws()
+	start := d.pos
+	if d.peek() == '-' {
+		d.pos++
+	}
+	for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+		d.pos++
+	}
+	if d.pos == start || (d.pos == start+1 && d.data[start] == '-') {
+		return 0, fmt.Errorf("want an integer at offset %d", start)
+	}
+	return parseInt(d.data[start:d.pos])
+}
+
+func (d *scanner) uintInto(out *uint64) error {
+	d.ws()
+	start := d.pos
+	for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+		d.pos++
+	}
+	if d.pos == start {
+		return fmt.Errorf("want an unsigned integer at offset %d", start)
+	}
+	var v uint64
+	for _, c := range d.data[start:d.pos] {
+		digit := uint64(c - '0')
+		if v > (math.MaxUint64-digit)/10 {
+			return fmt.Errorf("integer overflow")
+		}
+		v = v*10 + digit
+	}
+	*out = v
+	return nil
+}
+
+// parseInt avoids strconv.ParseInt's string conversion (and its
+// allocation) on the hot path.
+func parseInt(b []byte) (int64, error) {
+	neg := false
+	i := 0
+	if b[0] == '-' {
+		neg = true
+		i = 1
+	}
+	var v uint64
+	for ; i < len(b); i++ {
+		d := uint64(b[i] - '0')
+		if v > (1<<63-1)/10 {
+			return 0, fmt.Errorf("integer overflow")
+		}
+		v = v*10 + d
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, fmt.Errorf("integer overflow")
+		}
+		return -int64(v), nil
+	}
+	if v > 1<<63-1 {
+		return 0, fmt.Errorf("integer overflow")
+	}
+	return int64(v), nil
+}
+
+func (d *scanner) boolValue() (bool, error) {
+	d.ws()
+	switch {
+	case len(d.data)-d.pos >= 4 && string(d.data[d.pos:d.pos+4]) == "true":
+		d.pos += 4
+		return true, nil
+	case len(d.data)-d.pos >= 5 && string(d.data[d.pos:d.pos+5]) == "false":
+		d.pos += 5
+		return false, nil
+	default:
+		return false, fmt.Errorf("want a boolean at offset %d", d.pos)
+	}
+}
+
+// skipValue consumes any JSON value: string, number, boolean, null,
+// object, or array.
+func (d *scanner) skipValue() error {
+	d.ws()
+	switch c := d.peek(); {
+	case c == '"':
+		_, _, err := d.stringValue()
+		return err
+	case c == '{':
+		return d.object(func([]byte) error { return d.skipValue() })
+	case c == '[':
+		d.pos++
+		d.ws()
+		if d.peek() == ']' {
+			d.pos++
+			return nil
+		}
+		for {
+			if err := d.skipValue(); err != nil {
+				return err
+			}
+			d.ws()
+			switch d.peek() {
+			case ',':
+				d.pos++
+			case ']':
+				d.pos++
+				return nil
+			default:
+				return fmt.Errorf("want ',' or ']' at offset %d", d.pos)
+			}
+		}
+	case c == 't' || c == 'f':
+		_, err := d.boolValue()
+		return err
+	case c == 'n':
+		if len(d.data)-d.pos >= 4 && string(d.data[d.pos:d.pos+4]) == "null" {
+			d.pos += 4
+			return nil
+		}
+		return fmt.Errorf("bad literal at offset %d", d.pos)
+	case c == '-' || (c >= '0' && c <= '9'):
+		// Numbers may be floats in foreign payloads we skip.
+		d.pos++
+		for d.pos < len(d.data) {
+			switch b := d.data[d.pos]; {
+			case b >= '0' && b <= '9', b == '.', b == 'e', b == 'E', b == '+', b == '-':
+				d.pos++
+			default:
+				return nil
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("bad value at offset %d", d.pos)
+	}
+}
+
+// unescape resolves JSON string escapes (allocating; only taken when the
+// raw bytes contain a backslash).
+func unescape(raw []byte) ([]byte, error) {
+	out := make([]byte, 0, len(raw))
+	for i := 0; i < len(raw); {
+		c := raw[i]
+		if c != '\\' {
+			out = append(out, c)
+			i++
+			continue
+		}
+		if i+1 >= len(raw) {
+			return nil, fmt.Errorf("dangling escape")
+		}
+		switch e := raw[i+1]; e {
+		case '"', '\\', '/':
+			out = append(out, e)
+			i += 2
+		case 'b':
+			out = append(out, '\b')
+			i += 2
+		case 'f':
+			out = append(out, '\f')
+			i += 2
+		case 'n':
+			out = append(out, '\n')
+			i += 2
+		case 'r':
+			out = append(out, '\r')
+			i += 2
+		case 't':
+			out = append(out, '\t')
+			i += 2
+		case 'u':
+			r, n, err := decodeUnicodeEscape(raw[i:])
+			if err != nil {
+				return nil, err
+			}
+			out = utf8.AppendRune(out, r)
+			i += n
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", e)
+		}
+	}
+	return out, nil
+}
+
+// decodeUnicodeEscape decodes \uXXXX (and a following low surrogate when
+// the first unit is a high surrogate), returning the rune and the bytes
+// consumed.
+func decodeUnicodeEscape(b []byte) (rune, int, error) {
+	if len(b) < 6 {
+		return 0, 0, fmt.Errorf("truncated \\u escape")
+	}
+	u1, err := hex4(b[2:6])
+	if err != nil {
+		return 0, 0, err
+	}
+	r := rune(u1)
+	if utf16.IsSurrogate(r) {
+		if len(b) >= 12 && b[6] == '\\' && b[7] == 'u' {
+			u2, err := hex4(b[8:12])
+			if err != nil {
+				return 0, 0, err
+			}
+			if dec := utf16.DecodeRune(r, rune(u2)); dec != utf8.RuneError {
+				return dec, 12, nil
+			}
+		}
+		return utf8.RuneError, 6, nil
+	}
+	return r, 6, nil
+}
+
+func hex4(b []byte) (uint16, error) {
+	var v uint16
+	for _, c := range b[:4] {
+		v <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			v |= uint16(c - '0')
+		case c >= 'a' && c <= 'f':
+			v |= uint16(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			v |= uint16(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad hex digit %q in \\u escape", c)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,309 @@
+package lockd
+
+// Property-style codec tests: the hand-rolled encoder/decoder must agree
+// with encoding/json on every field combination of the protocol's shapes
+// — byte-identical encoding, and cross-decoding in both directions — so
+// a codec client talks to a reflection server (and vice versa) without
+// either noticing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"anonmutex/internal/xrand"
+)
+
+var codecNames = []string{
+	"",
+	"a",
+	"key-0001",
+	"orders/2024/07/26",
+	`with "quotes" and \backslashes\`,
+	"uni: héllo ✓ 世界",
+	"<html>&entities&</html>",
+	"ctrl:\n\t\r\x01",
+	"trailing space ",
+	string(make([]byte, 300)), // long name of NULs: worst-case escaping
+}
+
+var codecTimeouts = []int64{0, 1, -5, 123456789, math.MaxInt64, math.MinInt64}
+
+func checkRequestCodec(t *testing.T, req Request) {
+	t.Helper()
+	js, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("json.Marshal(%+v): %v", req, err)
+	}
+	enc := AppendRequest(nil, &req)
+	if string(enc) != string(js) {
+		t.Errorf("encoding mismatch for %+v:\n codec: %s\n  json: %s", req, enc, js)
+	}
+	// Cross-decode: our decoder on encoding/json's bytes...
+	var got Request
+	if err := DecodeRequest(js, &got); err != nil {
+		t.Fatalf("DecodeRequest(%s): %v", js, err)
+	}
+	if got != req {
+		t.Errorf("DecodeRequest(json.Marshal) = %+v, want %+v", got, req)
+	}
+	// ...and encoding/json's decoder on ours.
+	var jgot Request
+	if err := json.Unmarshal(enc, &jgot); err != nil {
+		t.Fatalf("json.Unmarshal(%s): %v", enc, err)
+	}
+	if jgot != req {
+		t.Errorf("json.Unmarshal(AppendRequest) = %+v, want %+v", jgot, req)
+	}
+}
+
+func TestRequestCodecAllFieldCombinations(t *testing.T) {
+	ops := []string{OpAcquire, OpTryAcquire, OpRelease, OpCancel, OpHolds, OpStats, OpPing, "unknown-op", ""}
+	for _, op := range ops {
+		for _, name := range codecNames {
+			for _, timeout := range codecTimeouts {
+				checkRequestCodec(t, Request{Op: op, Name: name, TimeoutMS: timeout})
+			}
+		}
+	}
+}
+
+func checkResponseCodec(t *testing.T, resp Response) {
+	t.Helper()
+	js, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatalf("json.Marshal(%+v): %v", resp, err)
+	}
+	enc := AppendResponse(nil, &resp)
+	if string(enc) != string(js) {
+		t.Errorf("encoding mismatch for %+v:\n codec: %s\n  json: %s", resp, enc, js)
+	}
+	var got Response
+	if err := DecodeResponse(js, &got); err != nil {
+		t.Fatalf("DecodeResponse(%s): %v", js, err)
+	}
+	if !reflect.DeepEqual(got, resp) {
+		t.Errorf("DecodeResponse(json.Marshal) = %+v, want %+v", got, resp)
+	}
+	var jgot Response
+	if err := json.Unmarshal(enc, &jgot); err != nil {
+		t.Fatalf("json.Unmarshal(%s): %v", enc, err)
+	}
+	if !reflect.DeepEqual(jgot, resp) {
+		t.Errorf("json.Unmarshal(AppendResponse) = %+v, want %+v", jgot, resp)
+	}
+}
+
+func TestResponseCodecAllFieldCombinations(t *testing.T) {
+	statsCases := []*Stats{
+		nil,
+		{},
+		{
+			Acquires: 1, Releases: 2, Waits: 3, TryAcquires: 4, TryFailures: 5,
+			LockCreates: 6, Evictions: 7, ResidentLocks: 8, Aborts: 9,
+			LeaseTimeouts: 10, Violations: 11, Sessions: 12,
+		},
+		{Acquires: math.MaxUint64, Violations: math.MaxUint64, ResidentLocks: math.MaxInt32, Sessions: -1},
+	}
+	errs := []string{"", "lockd: session does not hold \"x\"", "uni ✓ <err>"}
+	for _, ok := range []bool{false, true} {
+		for _, errStr := range errs {
+			for _, acquired := range []bool{false, true} {
+				for _, aborted := range []bool{false, true} {
+					for _, holds := range []bool{false, true} {
+						for _, stats := range statsCases {
+							checkResponseCodec(t, Response{
+								OK: ok, Err: errStr, Acquired: acquired,
+								Aborted: aborted, Holds: holds, Stats: stats,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRequestCodecRandomized hammers the string path with seeded random
+// names mixing ASCII, escapes, multi-byte runes, and control characters.
+func TestRequestCodecRandomized(t *testing.T) {
+	r := xrand.New(7)
+	alphabet := []rune("abz019_-./ \"\\<>&\t\nπ✓世\u2028\uffff")
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(24)
+		name := make([]rune, n)
+		for j := range name {
+			name[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		checkRequestCodec(t, Request{
+			Op:        OpAcquire,
+			Name:      string(name),
+			TimeoutMS: int64(r.Intn(1000)) - 500,
+		})
+	}
+}
+
+// TestDecodeForeignShapes: the decoder must accept what foreign clients
+// may legally send — reordered fields, whitespace, unknown fields, null
+// stats — exactly as encoding/json would.
+func TestDecodeForeignShapes(t *testing.T) {
+	cases := []struct {
+		line string
+		want Request
+	}{
+		{`{"name":"k","op":"acquire"}`, Request{Op: OpAcquire, Name: "k"}},
+		{` { "op" : "try" , "timeout_ms" : 42 , "name" : "x" } `, Request{Op: OpTryAcquire, Name: "x", TimeoutMS: 42}},
+		{`{"op":"ping","future_field":{"nested":[1,2.5,"s",null,true]},"name":"p"}`, Request{Op: OpPing, Name: "p"}},
+		{`{"op":"release","name":"\u0068\u00e9\ud83d\ude00"}`, Request{Op: OpRelease, Name: "hé😀"}},
+		{`{}`, Request{}},
+	}
+	for _, c := range cases {
+		var got Request
+		if err := DecodeRequest([]byte(c.line), &got); err != nil {
+			t.Errorf("DecodeRequest(%s): %v", c.line, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("DecodeRequest(%s) = %+v, want %+v", c.line, got, c.want)
+		}
+		var jgot Request
+		if err := json.Unmarshal([]byte(c.line), &jgot); err != nil {
+			t.Fatalf("control: json.Unmarshal(%s): %v", c.line, err)
+		}
+		if jgot != got {
+			t.Errorf("decoder disagrees with encoding/json on %s: %+v vs %+v", c.line, got, jgot)
+		}
+	}
+
+	var resp Response
+	if err := DecodeResponse([]byte(`{"stats":null,"ok":true,"extra":"x"}`), &resp); err != nil {
+		t.Fatalf("DecodeResponse with null stats: %v", err)
+	}
+	if !resp.OK || resp.Stats != nil {
+		t.Errorf("null-stats decode = %+v", resp)
+	}
+}
+
+// TestDecodeRejectsGarbage: malformed lines must error, not misparse.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		``, `x`, `{`, `{"op"}`, `{"op":}`, `{"op":"a"`, `{"op":"a",}`,
+		`{"timeout_ms":"5"}`, `{"ok":1}`, `{"op":"a" "name":"b"}`,
+		`{"name":"unterminated}`,
+		// Trailing data after the object must be rejected, exactly as
+		// encoding/json's "invalid character after top-level value" — a
+		// second object on the line would otherwise be silently dropped
+		// and desynchronize a pipelining client.
+		`{"op":"ping"} junk`,
+		`{"op":"acquire","name":"a"}{"op":"release","name":"a"}`,
+	} {
+		var req Request
+		if err := DecodeRequest([]byte(line), &req); err == nil {
+			// encoding/json must reject it too, or our decoder is stricter
+			// than the contract.
+			var jreq Request
+			if jerr := json.Unmarshal([]byte(line), &jreq); jerr != nil {
+				t.Errorf("DecodeRequest(%q) accepted what encoding/json rejects", line)
+			}
+		}
+	}
+}
+
+// TestInterningDecode: the server-side decoder must reuse one string per
+// recurring name, and the table must stay byte-bounded under a stream
+// of unique names.
+func TestInterningDecode(t *testing.T) {
+	names := newNameTable()
+	var a, b Request
+	if err := decodeRequest([]byte(`{"op":"acquire","name":"hot-key"}`), &a, names); err != nil {
+		t.Fatal(err)
+	}
+	if err := decodeRequest([]byte(`{"op":"release","name":"hot-key"}`), &b, names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names.m) != 1 {
+		t.Fatalf("interning table has %d entries, want 1", len(names.m))
+	}
+	if a.Name != "hot-key" || b.Name != "hot-key" {
+		t.Fatalf("interned names %q/%q", a.Name, b.Name)
+	}
+
+	// A pathological stream of unique long names must not grow the table
+	// past its byte budget (plus one entry of slack around each reset).
+	long := strings.Repeat("x", 1<<10)
+	var req Request
+	for i := 0; i < 4096; i++ {
+		line := AppendRequest(nil, &Request{Op: OpHolds, Name: fmt.Sprintf("%s-%d", long, i)})
+		if err := decodeRequest(line, &req, names); err != nil {
+			t.Fatal(err)
+		}
+		if names.bytes > maxInternedNameBytes+len(long)+16 {
+			t.Fatalf("interning table grew to %d bytes, budget %d", names.bytes, maxInternedNameBytes)
+		}
+	}
+}
+
+// BenchmarkCodec pits the hand codec against encoding/json on the
+// steady-state shapes.
+func BenchmarkCodec(b *testing.B) {
+	req := Request{Op: OpAcquire, Name: "key-0001", TimeoutMS: 250}
+	reqLine, _ := json.Marshal(req)
+	resp := Response{OK: true, Acquired: true}
+	respLine, _ := json.Marshal(resp)
+
+	b.Run("encode-request", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 256)
+		for i := 0; i < b.N; i++ {
+			buf = AppendRequest(buf[:0], &req)
+		}
+	})
+	b.Run("encode-request-json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := json.Marshal(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-request", func(b *testing.B) {
+		b.ReportAllocs()
+		names := newNameTable()
+		var r Request
+		for i := 0; i < b.N; i++ {
+			if err := decodeRequest(reqLine, &r, names); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-request-json", func(b *testing.B) {
+		b.ReportAllocs()
+		var r Request
+		for i := 0; i < b.N; i++ {
+			r = Request{}
+			if err := json.Unmarshal(reqLine, &r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-response", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]byte, 0, 256)
+		for i := 0; i < b.N; i++ {
+			buf = AppendResponse(buf[:0], &resp)
+		}
+	})
+	b.Run("decode-response", func(b *testing.B) {
+		b.ReportAllocs()
+		var r Response
+		for i := 0; i < b.N; i++ {
+			if err := DecodeResponse(respLine, &r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = fmt.Sprint()
+}

@@ -3,7 +3,6 @@ package lockd
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -13,9 +12,22 @@ import (
 	"anonmutex/internal/lockmgr"
 )
 
+// DefaultMaxLineBytes bounds one request line when Server.MaxLineBytes
+// is zero.
+const DefaultMaxLineBytes = 1 << 20
+
 // Server serves the lock protocol over a listener, one session per
 // connection. Create with NewServer, start with Serve, stop with
 // Shutdown.
+//
+// The per-request path is allocation-free at steady state: requests are
+// decoded and responses encoded by the hand-rolled wire codec
+// (AppendResponse/DecodeRequest), lock names are interned per session,
+// responses are batched through a per-connection buffered writer that
+// flushes only when no further pipelined request is already queued, and
+// an uncontended acquire takes the lock manager's context-free fast path
+// (lockmgr.AcquireFast) — the context and cancellation machinery is paid
+// only when the lock is actually contended.
 type Server struct {
 	mgr *lockmgr.Manager
 
@@ -24,6 +36,12 @@ type Server struct {
 	// even if the client asked for an unbounded acquire. Set before
 	// Serve.
 	MaxWait time.Duration
+
+	// MaxLineBytes bounds one request line (default DefaultMaxLineBytes).
+	// A longer line is a protocol error: the client gets one explanatory
+	// error response and the connection closes, instead of the silent
+	// stop a scanner-based reader would produce. Set before Serve.
+	MaxLineBytes int
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -118,19 +136,50 @@ func (s *Server) Sessions() int {
 // grants; mu guards only the fields the reader goroutine touches to
 // implement out-of-band cancellation.
 type session struct {
-	grants map[string]*lockmgr.Grant
+	grants map[string]lockmgr.Lease
 
 	mu             sync.Mutex
 	inflightName   string             // name of the acquire being processed
-	inflightCancel context.CancelFunc // cancels it; nil when none
+	inflightCancel context.CancelFunc // cancels a slow-path acquire; nil when none
+	fastInflight   bool               // a fast-path attempt is running for inflightName
+	fastCancelled  bool               // a cancel matched that fast attempt
 	cancelPending  bool               // a cancel arrived with no acquire in flight
 	pendingName    string             // the name that pending cancel targets ("" = any)
 }
 
-// beginAcquire installs ctx-cancellation for an acquire on name and
-// returns the context the acquisition must use. A remembered cancel
-// (one that raced ahead of the acquire line) is consumed here: the
-// returned context is already cancelled.
+// beginFastAcquire registers the context-free fast-path attempt on name,
+// or consumes a remembered cancel (one that raced ahead of the acquire
+// line), reported as aborted=true: the attempt must not run.
+func (sess *session) beginFastAcquire(name string) (aborted bool) {
+	sess.mu.Lock()
+	if sess.cancelPending && (sess.pendingName == "" || sess.pendingName == name) {
+		sess.cancelPending = false
+		sess.pendingName = ""
+		sess.mu.Unlock()
+		return true
+	}
+	sess.inflightName = name
+	sess.fastInflight = true
+	sess.fastCancelled = false
+	sess.mu.Unlock()
+	return false
+}
+
+// endFastAcquire clears the fast-path registration, reporting whether a
+// cancel arrived during the attempt.
+func (sess *session) endFastAcquire() (cancelled bool) {
+	sess.mu.Lock()
+	cancelled = sess.fastCancelled
+	sess.fastCancelled = false
+	sess.fastInflight = false
+	sess.inflightName = ""
+	sess.mu.Unlock()
+	return cancelled
+}
+
+// beginAcquire installs ctx-cancellation for a slow-path acquire on name
+// and returns the context the acquisition must use. A remembered cancel
+// is consumed here: the returned context is already cancelled.
 func (sess *session) beginAcquire(parent context.Context, name string) (context.Context, context.CancelFunc) {
 	ctx, cancel := context.WithCancel(parent)
 	sess.mu.Lock()
@@ -154,20 +203,23 @@ func (sess *session) endAcquire() {
 }
 
 // cancelAcquire implements the cancel op's out-of-band side: abort the
-// in-flight acquire if its name matches, otherwise remember the
-// cancellation for the session's next acquire.
+// in-flight acquire if its name matches — whichever path it is on —
+// otherwise remember the cancellation for the session's next acquire.
 func (sess *session) cancelAcquire(name string) {
 	sess.mu.Lock()
-	if sess.inflightCancel != nil && (name == "" || name == sess.inflightName) {
+	switch {
+	case sess.inflightCancel != nil && (name == "" || name == sess.inflightName):
 		sess.inflightCancel()
-	} else {
+	case sess.fastInflight && (name == "" || name == sess.inflightName):
+		sess.fastCancelled = true
+	default:
 		sess.cancelPending = true
 		sess.pendingName = name
 	}
 	sess.mu.Unlock()
 }
 
-// inbound is one parsed request line, or the parse error that ended the
+// inbound is one parsed request line, or the error that ended the
 // stream.
 type inbound struct {
 	req      Request
@@ -178,13 +230,16 @@ type inbound struct {
 // processing loop. It must be unbounded: the reader can never be allowed
 // to block on a full buffer, or a client that pipelines requests behind
 // a blocked acquire and then drops its connection would park the reader
-// mid-handoff — it would never return to Scan, never observe the EOF,
+// mid-handoff — it would never return to Read, never observe the EOF,
 // and the dead session's acquire would compete on as a ghost. Memory is
-// bounded by what the client actually sends.
+// bounded by what the client actually sends; the backing array is reused
+// (a head cursor instead of re-slicing), so a steady-state session
+// allocates nothing per line.
 type lineQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []inbound
+	head   int
 	closed bool
 }
 
@@ -202,6 +257,44 @@ func (q *lineQueue) push(in inbound) {
 	q.cond.Signal()
 }
 
+// pop removes the oldest line, blocking while the queue is empty and the
+// stream still open. ok is false once the queue is drained and closed.
+func (q *lineQueue) pop() (in inbound, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	return q.popLocked()
+}
+
+// tryPop is pop without the blocking: ok is false whenever no line is
+// ready right now (drained-and-closed included). The processing loop
+// uses it to detect "no more pipelined work" and flush the write buffer
+// before parking.
+func (q *lineQueue) tryPop() (in inbound, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return inbound{}, false
+	}
+	return q.popLocked()
+}
+
+func (q *lineQueue) popLocked() (in inbound, ok bool) {
+	if q.head == len(q.items) {
+		return inbound{}, false
+	}
+	in = q.items[q.head]
+	q.items[q.head] = inbound{}
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return in, true
+}
+
 // close marks the stream ended; pop drains the remainder then reports
 // done.
 func (q *lineQueue) close() {
@@ -211,37 +304,63 @@ func (q *lineQueue) close() {
 	q.cond.Broadcast()
 }
 
-// pop removes the oldest line, blocking while the queue is empty and the
-// stream still open. ok is false once the queue is drained and closed.
-func (q *lineQueue) pop() (in inbound, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
+// errLineTooLong ends a session whose client sent an oversized request
+// line; unlike a scanner's silent stop, the client hears why.
+var errLineTooLong = errors.New("request line exceeds the server's line limit")
+
+// readLine reads one newline-terminated line using the reader's own
+// buffer when the line fits (the common case: no copy, no allocation)
+// and accumulating into scratch otherwise, up to max bytes.
+func readLine(br *bufio.Reader, scratch []byte, max int) (line, newScratch []byte, err error) {
+	line, err = br.ReadSlice('\n')
+	if err == nil {
+		if len(line)-1 > max {
+			// The limit binds even below bufio's own buffer size.
+			return nil, scratch, errLineTooLong
+		}
+		return line[:len(line)-1], scratch, nil
 	}
-	if len(q.items) == 0 {
-		return inbound{}, false
+	if err != bufio.ErrBufferFull {
+		return nil, scratch, err
 	}
-	in = q.items[0]
-	q.items = q.items[1:]
-	return in, true
+	scratch = append(scratch[:0], line...)
+	for {
+		if len(scratch) > max {
+			return nil, scratch, errLineTooLong
+		}
+		line, err = br.ReadSlice('\n')
+		scratch = append(scratch, line...)
+		switch err {
+		case nil:
+			if len(scratch)-1 > max {
+				return nil, scratch, errLineTooLong
+			}
+			return scratch[:len(scratch)-1], scratch, nil
+		case bufio.ErrBufferFull:
+			// keep accumulating
+		default:
+			return nil, scratch, err
+		}
+	}
 }
 
-// serveConn runs one session. A dedicated reader goroutine feeds request
-// lines to the processing loop, so the connection stays responsive while
-// an acquire blocks: a cancel line aborts the in-flight acquire out of
-// band (and still gets its response in order), and a connection drop
-// cancels the whole session context, reaping any waiter the client
-// abandoned. Whatever ends the connection — client close, protocol
-// error, cancel-by-Shutdown — the deferred cleanup releases every grant
-// the session still holds.
+// serveConn runs one session. A dedicated reader goroutine decodes
+// request lines and feeds them to the processing loop, so the connection
+// stays responsive while an acquire blocks: a cancel line aborts the
+// in-flight acquire out of band (and still gets its response in order),
+// and a connection drop cancels the whole session context, reaping any
+// waiter the client abandoned. The processing loop batches responses:
+// it flushes the write buffer only when the line queue is empty, so a
+// pipelined burst costs one syscall, not one per response. Whatever ends
+// the connection — client close, protocol error, cancel-by-Shutdown —
+// the deferred cleanup releases every grant the session still holds.
 func (s *Server) serveConn(conn net.Conn) {
-	sess := &session{grants: make(map[string]*lockmgr.Grant)}
+	sess := &session{grants: make(map[string]lockmgr.Lease)}
 	connCtx, connCancel := context.WithCancel(context.Background())
 	defer func() {
 		connCancel()
-		for _, g := range sess.grants {
-			g.Release()
+		for _, l := range sess.grants {
+			s.mgr.Release(l)
 		}
 		conn.Close()
 		s.mu.Lock()
@@ -250,21 +369,37 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 
+	maxLine := s.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = DefaultMaxLineBytes
+	}
+
 	lines := newLineQueue()
 	go func() {
 		defer lines.close()
-		// The reader owns the inbound half: when Scan fails — client
+		// The reader owns the inbound half: when a read fails — client
 		// disconnect, or conn.Close from Shutdown or a protocol error —
 		// the session context is cancelled so a blocked acquire withdraws
 		// instead of competing on behalf of a ghost. The queue's pushes
-		// never block, so the reader is always back in Scan and observes
+		// never block, so the reader is always back in Read and observes
 		// the disconnect promptly no matter how many lines are pipelined
 		// behind a blocked acquire.
 		defer connCancel()
-		scanner := bufio.NewScanner(conn)
-		for scanner.Scan() {
+		br := bufio.NewReader(conn)
+		names := newNameTable() // per-session lock-name interning (byte-bounded)
+		var scratch []byte
+		for {
+			var line []byte
+			var err error
+			line, scratch, err = readLine(br, scratch, maxLine)
+			if err != nil {
+				if err == errLineTooLong {
+					lines.push(inbound{parseErr: err})
+				}
+				return // disconnect (or the too-long protocol error above)
+			}
 			var in inbound
-			if err := json.Unmarshal(scanner.Bytes(), &in.req); err != nil {
+			if err := decodeRequest(line, &in.req, names); err != nil {
 				lines.push(inbound{parseErr: err})
 				return
 			}
@@ -275,26 +410,41 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
-	enc := json.NewEncoder(conn)
+	bw := bufio.NewWriter(conn)
+	var respBuf []byte
 	for {
-		in, ok := lines.pop()
+		in, ok := lines.tryPop()
 		if !ok {
+			// No pipelined request is waiting: push the batched responses
+			// out before parking on the queue.
+			if bw.Flush() != nil {
+				return
+			}
+			if in, ok = lines.pop(); !ok {
+				return
+			}
+		}
+		var resp Response
+		if in.parseErr != nil {
+			// The stream is unusable; answer once and hang up.
+			resp = Response{Err: fmt.Sprintf("lockd: bad request: %v", in.parseErr)}
+		} else {
+			resp = s.handle(connCtx, sess, in.req)
+		}
+		respBuf = AppendResponse(respBuf[:0], &resp)
+		bw.Write(respBuf)
+		if err := bw.WriteByte('\n'); err != nil {
 			return
 		}
 		if in.parseErr != nil {
-			// The stream is unparseable; answer once and hang up.
-			enc.Encode(Response{Err: fmt.Sprintf("lockd: bad request: %v", in.parseErr)})
-			return
-		}
-		resp := s.handle(connCtx, sess, in.req)
-		if err := enc.Encode(resp); err != nil {
+			bw.Flush()
 			return
 		}
 	}
 }
 
-// acquireCtx derives the context governing one acquire from the session
-// context, the request's timeout, and the server cap.
+// acquireCtx derives the context governing one slow-path acquire from
+// the session context, the request's timeout, and the server cap.
 func (s *Server) acquireCtx(connCtx context.Context, req Request) (context.Context, context.CancelFunc) {
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
 	if s.MaxWait > 0 && (timeout == 0 || timeout > s.MaxWait) {
@@ -308,28 +458,42 @@ func (s *Server) acquireCtx(connCtx context.Context, req Request) (context.Conte
 
 // handle executes one request against the session.
 func (s *Server) handle(connCtx context.Context, sess *session, req Request) Response {
-	needName := func() *Response {
-		if req.Name == "" {
-			return &Response{Err: fmt.Sprintf("lockd: %s needs a name", req.Op)}
-		}
-		return nil
-	}
 	switch req.Op {
 	case OpAcquire:
-		if r := needName(); r != nil {
-			return *r
+		if req.Name == "" {
+			return needName(req.Op)
 		}
 		if req.TimeoutMS < 0 {
 			return Response{Err: fmt.Sprintf("lockd: negative timeout_ms %d", req.TimeoutMS)}
 		}
 		if _, held := sess.grants[req.Name]; held {
-			return Response{Err: fmt.Sprintf("lockd: session already holds %q", req.Name)}
+			return alreadyHeld(req.Name)
+		}
+		// Fast path: no contexts, no timers, no allocation — consume a
+		// remembered cancel, then take the lock manager's uncontended
+		// probe. Only a lock that is actually busy pays the slow path.
+		if sess.beginFastAcquire(req.Name) {
+			return Response{OK: true, Aborted: true}
+		}
+		l, ok, err := s.mgr.AcquireFast(req.Name)
+		cancelled := sess.endFastAcquire()
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		if ok {
+			// A cancel that raced in during the attempt lost, exactly as a
+			// cancel observed after a slow-path acquisition completes.
+			sess.grants[req.Name] = l
+			return Response{OK: true, Acquired: true}
+		}
+		if cancelled {
+			return Response{OK: true, Aborted: true}
 		}
 		base, baseCancel := s.acquireCtx(connCtx, req)
 		defer baseCancel()
 		ctx, cancel := sess.beginAcquire(base, req.Name)
 		defer cancel()
-		g, err := s.mgr.AcquireCtx(ctx, req.Name)
+		lease, err := s.mgr.AcquireLeaseCtx(ctx, req.Name)
 		sess.endAcquire()
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -337,7 +501,7 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request) Res
 			}
 			return Response{Err: err.Error()}
 		}
-		sess.grants[req.Name] = g
+		sess.grants[req.Name] = lease
 		return Response{OK: true, Acquired: true}
 	case OpCancel:
 		// The abort itself already happened out of band (or was
@@ -345,37 +509,37 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request) Res
 		// in-order acknowledgement.
 		return Response{OK: true}
 	case OpTryAcquire:
-		if r := needName(); r != nil {
-			return *r
+		if req.Name == "" {
+			return needName(req.Op)
 		}
 		if _, held := sess.grants[req.Name]; held {
-			return Response{Err: fmt.Sprintf("lockd: session already holds %q", req.Name)}
+			return alreadyHeld(req.Name)
 		}
-		g, ok, err := s.mgr.TryAcquire(req.Name)
+		l, ok, err := s.mgr.TryAcquireLease(req.Name)
 		if err != nil {
 			return Response{Err: err.Error()}
 		}
 		if !ok {
 			return Response{OK: true, Acquired: false}
 		}
-		sess.grants[req.Name] = g
+		sess.grants[req.Name] = l
 		return Response{OK: true, Acquired: true}
 	case OpRelease:
-		if r := needName(); r != nil {
-			return *r
+		if req.Name == "" {
+			return needName(req.Op)
 		}
-		g, held := sess.grants[req.Name]
+		l, held := sess.grants[req.Name]
 		if !held {
 			return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
 		}
 		delete(sess.grants, req.Name)
-		if err := g.Release(); err != nil {
+		if err := s.mgr.Release(l); err != nil {
 			return Response{Err: err.Error()}
 		}
 		return Response{OK: true}
 	case OpHolds:
-		if r := needName(); r != nil {
-			return *r
+		if req.Name == "" {
+			return needName(req.Op)
 		}
 		_, held := sess.grants[req.Name]
 		return Response{OK: true, Holds: held}
@@ -400,4 +564,12 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request) Res
 	default:
 		return Response{Err: fmt.Sprintf("lockd: unknown op %q", req.Op)}
 	}
+}
+
+func needName(op string) Response {
+	return Response{Err: fmt.Sprintf("lockd: %s needs a name", op)}
+}
+
+func alreadyHeld(name string) Response {
+	return Response{Err: fmt.Sprintf("lockd: session already holds %q", name)}
 }

@@ -79,7 +79,7 @@ func (l *RMWLock) NewProcess() (*RMWProcess, error) {
 	if err != nil {
 		return nil, fmt.Errorf("anonmutex: issuing identity: %w", err)
 	}
-	machine, err := core.NewAlg2(me, l.n, l.m, core.Alg2Config{})
+	machine, err := core.NewAlg2(me, l.n, l.m, core.Alg2Config{SoloFastPath: !l.cfg.noFastPath})
 	if err != nil {
 		return nil, fmt.Errorf("anonmutex: %w", err)
 	}
@@ -142,6 +142,27 @@ func (p *RMWProcess) LockCtx(ctx context.Context) error {
 		return fmt.Errorf("anonmutex: lock aborted: %w", err)
 	}
 	return nil
+}
+
+// TryLock attempts the critical section without waiting: it runs at
+// most 2m+2 shared-memory operations — enough for any uncontended
+// acquisition (m with the solo fast path, 2m without) — and, if the
+// lock has not been entered by then, withdraws via the bounded erase
+// sweep and reports false. The whole call executes a hard-bounded
+// number of operations and never sleeps, unlike TryLockFor's
+// wall-clock bound. Errors are reserved for life-cycle misuse.
+func (p *RMWProcess) TryLock() (bool, error) {
+	if p.closed {
+		return false, fmt.Errorf("anonmutex: TryLock on a closed handle")
+	}
+	if err := p.machine.StartLock(); err != nil {
+		return false, fmt.Errorf("anonmutex: %w", err)
+	}
+	ok, err := p.driver.TryDriveBounded(2*p.lock.m + 2)
+	if err != nil {
+		return false, fmt.Errorf("anonmutex: %w", err)
+	}
+	return ok, nil
 }
 
 // TryLockFor acquires the critical section if it can do so within d,

@@ -152,6 +152,28 @@ func (p *RWProcess) LockCtx(ctx context.Context) error {
 	return nil
 }
 
+// TryLock attempts the critical section without waiting: it runs at
+// most 2m+2 shared-memory operations (snapshots counting as one) —
+// enough for any uncontended acquisition, which takes 2m+1 — and, if
+// the lock has not been entered by then, withdraws via the bounded
+// read-and-erase sweep and reports false. The whole call executes a
+// hard-bounded number of operations and never sleeps, unlike
+// TryLockFor's wall-clock bound. Errors are reserved for life-cycle
+// misuse.
+func (p *RWProcess) TryLock() (bool, error) {
+	if p.closed {
+		return false, fmt.Errorf("anonmutex: TryLock on a closed handle")
+	}
+	if err := p.machine.StartLock(); err != nil {
+		return false, fmt.Errorf("anonmutex: %w", err)
+	}
+	ok, err := p.driver.TryDriveBounded(2*p.lock.m + 2)
+	if err != nil {
+		return false, fmt.Errorf("anonmutex: %w", err)
+	}
+	return ok, nil
+}
+
 // TryLockFor acquires the critical section if it can do so within d,
 // reporting whether the lock is now held. Expiry is not an error: the
 // attempt withdraws cleanly (see LockCtx) and TryLockFor returns
