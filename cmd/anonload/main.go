@@ -4,17 +4,29 @@
 // (-mode inproc, the default) or a running anonlockd service over TCP
 // (-mode net -addr host:port).
 //
+// The traffic comes from the repository's unified workload model: pass
+// a full spec with -workload (inline JSON) or -workload-file (a JSON
+// file; see internal/workload.Spec for the schema) to choose the key
+// distribution (uniform, zipf, hotset, shifting-hotset), the arrival
+// process (closed loop, or open-loop poisson/bursty at an offered
+// rate), the op mix (blocking / try / deadline-bounded), and the
+// session profile. The older -dist/-cs/-think/-op-timeout flags remain
+// as deprecated aliases for the common cases.
+//
 // Usage:
 //
 //	anonload -clients 64 -keys 32 -cycles 2000
 //	anonload -mode net -addr 127.0.0.1:7117 -dist skewed -duration 10s
 //	anonload -op-timeout 5ms -clients 64 -keys 4       # per-acquire SLA
+//	anonload -workload-file zipf-openloop.json -duration 5s
+//	anonload -workload '{"keys":{"dist":"zipf"},"arrival":{"process":"poisson","rate_per_sec":50000},"ops":{"timed":1,"timeout_ms":5}}' -duration 2s
 //	anonload -json > BENCH_load.json
 //
-// With -op-timeout every acquire carries a deadline: attempts that
-// cannot complete in time withdraw cleanly (the abortable-mutex
+// With deadline-bounded ops every acquire carries a deadline: attempts
+// that cannot complete in time withdraw cleanly (the abortable-mutex
 // back-out) and are reported as an abort count and rate rather than an
-// error.
+// error. Open-loop runs additionally report offered versus achieved
+// throughput and shed arrivals.
 //
 // The JSON output is an array of {id, title, seconds, table} records —
 // the same shape anonbench emits — so runs slot into BENCH_*.json
@@ -31,6 +43,7 @@ import (
 	"anonmutex/internal/loadgen"
 	"anonmutex/internal/lockmgr"
 	"anonmutex/internal/stats"
+	"anonmutex/internal/workload"
 	"anonmutex/lockd"
 	"anonmutex/lockd/client"
 )
@@ -58,11 +71,13 @@ func run(args []string) error {
 	keys := fs.Int("keys", 32, "distinct lock names")
 	cycles := fs.Int("cycles", 2000, "total acquire/release cycles (0: run for -duration)")
 	duration := fs.Duration("duration", 0, "wall-clock bound (0: run until -cycles)")
-	dist := fs.String("dist", "uniform", "key distribution: uniform, bursty, or skewed")
-	seed := fs.Uint64("seed", 1, "workload seed")
-	cs := fs.Int("cs", 1, "critical-section spin units")
-	think := fs.Int("think", 1, "between-cycle spin units")
-	opTimeout := fs.Duration("op-timeout", 0, "per-acquire deadline; expired attempts abort cleanly and are counted (0: unbounded)")
+	workloadJSON := fs.String("workload", "", "inline workload-spec JSON (the unified traffic model; see internal/workload.Spec)")
+	workloadFile := fs.String("workload-file", "", "workload-spec JSON file (same schema as -workload)")
+	dist := fs.String("dist", "uniform", "deprecated alias: key/profile shorthand (uniform, bursty, or skewed); use -workload instead")
+	seed := fs.Uint64("seed", 1, "workload seed (overrides the spec's seed when set explicitly)")
+	cs := fs.Int("cs", 1, "deprecated alias: critical-section spin units (the spec's base_cs)")
+	think := fs.Int("think", 1, "deprecated alias: between-cycle spin units (the spec's base_remainder)")
+	opTimeout := fs.Duration("op-timeout", 0, "deprecated alias: per-acquire deadline; expired attempts abort cleanly and are counted (0: unbounded)")
 	alg := fs.String("alg", "rmw", "per-name lock algorithm (inproc mode): rw or rmw")
 	handles := fs.Int("handles", 8, "process handles per named lock (inproc mode)")
 	shards := fs.Int("shards", 16, "lock-manager shards (inproc mode)")
@@ -76,15 +91,43 @@ func run(args []string) error {
 	}
 
 	cfg := loadgen.Config{
-		Clients:   *clients,
-		Keys:      *keys,
-		Cycles:    *cycles,
-		Duration:  *duration,
-		Dist:      *dist,
-		Seed:      *seed,
-		CSWork:    *cs,
-		ThinkWork: *think,
-		OpTimeout: *opTimeout,
+		Clients:  *clients,
+		Keys:     *keys,
+		Cycles:   *cycles,
+		Duration: *duration,
+		Seed:     *seed,
+	}
+	switch {
+	case *workloadJSON != "" && *workloadFile != "":
+		return fmt.Errorf("-workload and -workload-file are mutually exclusive")
+	case *workloadJSON != "" || *workloadFile != "":
+		// The unified spec owns the traffic; the deprecated aliases
+		// cannot silently fight it.
+		for _, name := range []string{"dist", "cs", "think", "op-timeout"} {
+			if flagSet(fs, name) {
+				return fmt.Errorf("-%s cannot be combined with -workload/-workload-file (put it in the spec)", name)
+			}
+		}
+		data := []byte(*workloadJSON)
+		if *workloadFile != "" {
+			var err error
+			if data, err = os.ReadFile(*workloadFile); err != nil {
+				return err
+			}
+		}
+		spec, err := workload.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+		if flagSet(fs, "seed") {
+			spec.Seed = *seed
+		}
+		cfg.Workload = &spec
+	default:
+		cfg.Dist = *dist
+		cfg.CSWork = *cs
+		cfg.ThinkWork = *think
+		cfg.OpTimeout = *opTimeout
 	}
 
 	var (

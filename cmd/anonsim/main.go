@@ -7,11 +7,20 @@
 //	anonsim -alg rw -n 3 -m 5 -sched random -seed 7 -sessions 2
 //	anonsim -alg rmw -n 2 -m 4 -force -sched lockstep -perms rotation -rotation-step 2 -detect-cycles
 //	anonsim -alg rw -n 2 -m 3 -trace 200
+//	anonsim -alg rmw -n 4 -m 5 -sessions 3 -cs-ticks 2 -workload bursty
+//	anonsim -scenario contended-rw -workload-file traffic.json -substrate real
 //	anonsim -list-scenarios
 //	anonsim -scenario contended-rw
 //	anonsim -scenario contended-rw -substrate real
 //	anonsim -scenario lockstep-livelock -dump-scenario > wedge.json
 //	anonsim -scenario-file wedge.json
+//
+// The scenario's traffic comes from the unified workload model:
+// -workload names a session profile (uniform, bursty, skewed) and
+// -workload-file attaches a full traffic spec (internal/workload.Spec
+// JSON) to whatever scenario is being run — both substrates consume it
+// (per-session spin work on the real locks, per-session CS ticks on the
+// simulated scheduler when -cs-ticks is set).
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"os"
 
 	"anonmutex/internal/scenario"
+	"anonmutex/internal/workload"
 	"anonmutex/sim"
 )
 
@@ -44,6 +54,9 @@ func run(args []string) error {
 	permSeed := fs.Uint64("perm-seed", 1, "permutation seed (random permutations)")
 	rotationStep := fs.Int("rotation-step", 1, "rotation step (rotation permutations)")
 	honest := fs.Bool("honest-snapshots", false, "schedule each double-scan read separately")
+	workloadName := fs.String("workload", "", "session profile for the scenario's traffic model: uniform, bursty, or skewed")
+	workloadSeed := fs.Uint64("workload-seed", 0, "traffic-model seed")
+	workloadFile := fs.String("workload-file", "", "full traffic-model JSON file (internal/workload.Spec schema) attached to the scenario")
 	detect := fs.Bool("detect-cycles", false, "stop with a livelock verdict on a repeated state")
 	maxSteps := fs.Int("max-steps", 1_000_000, "step bound")
 	traceCap := fs.Int("trace", 0, "print up to this many trace events")
@@ -105,6 +118,37 @@ func run(args []string) error {
 			MaxSteps:        *maxSteps,
 			TraceCap:        *traceCap,
 		}
+		s, err := spec.Normalize()
+		if err != nil {
+			return err
+		}
+		spec = s
+	}
+
+	// Attach the traffic-model overrides to whatever scenario was
+	// selected, then re-normalize (idempotent for untouched specs).
+	if *workloadFile != "" {
+		data, err := os.ReadFile(*workloadFile)
+		if err != nil {
+			return err
+		}
+		tspec, err := workload.ParseJSON(data)
+		if err != nil {
+			return err
+		}
+		spec.Traffic = tspec
+		spec.Workload = "" // the file owns the profile now
+		spec.WorkloadSeed = 0
+	}
+	if *workloadName != "" {
+		spec.Workload = *workloadName
+		spec.Traffic.Profile = "" // the shorthand wins the profile
+	}
+	if *workloadSeed != 0 {
+		spec.WorkloadSeed = *workloadSeed
+		spec.Traffic.Seed = 0
+	}
+	{
 		s, err := spec.Normalize()
 		if err != nil {
 			return err

@@ -17,6 +17,9 @@ func TestRunVariants(t *testing.T) {
 			"-perms", "rotation", "-rotation-step", "2", "-detect-cycles"},
 		{"-alg", "rw", "-n", "2", "-m", "3", "-perms", "random", "-perm-seed", "3"},
 		{"-alg", "rw", "-n", "3", "-m", "0"}, // m derived from n
+		{"-alg", "rmw", "-n", "3", "-m", "1", "-sessions", "2", "-cs-ticks", "2",
+			"-workload", "bursty", "-workload-seed", "5"},
+		{"-alg", "rmw", "-n", "3", "-m", "1", "-workload", "skewed", "-substrate", "real"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -56,6 +59,23 @@ func TestRunScenarioFile(t *testing.T) {
 	}
 }
 
+func TestRunWorkloadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traffic.json")
+	traffic := `{"profile": "bursty", "base_cs": 3, "base_remainder": 4, "seed": 11}`
+	if err := os.WriteFile(path, []byte(traffic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-scenario", "smoke-rmw", "-workload-file", path, "-substrate", "real"},
+		{"-alg", "rmw", "-n", "2", "-m", "3", "-cs-ticks", "2", "-workload-file", path},
+		{"-scenario", "smoke-rw", "-workload-file", path, "-dump-scenario"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"-alg", "bogus"},
@@ -69,6 +89,8 @@ func TestRunErrors(t *testing.T) {
 		{"-scenario", "smoke-rw", "-substrate", "bogus"},
 		{"-scenario", "lockstep-livelock", "-substrate", "real"}, // unchecked size
 		{"-alg", "greedy", "-n", "2", "-m", "3", "-substrate", "real"},
+		{"-alg", "rw", "-n", "2", "-m", "3", "-workload", "pareto"}, // unknown profile fails loudly
+		{"-workload-file", "/no/such/traffic.json"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

@@ -8,45 +8,61 @@ import (
 
 	"anonmutex/internal/loadgen"
 	"anonmutex/internal/lockmgr"
-	"anonmutex/internal/scenario"
 	"anonmutex/internal/stats"
+	"anonmutex/internal/workload"
 	"anonmutex/lockd"
 	"anonmutex/lockd/client"
 )
 
 // DeadlineSweep (experiment S3) measures the abortable lock stack under
-// per-op deadlines: every workload distribution crossed with a tight and
-// a loose acquire budget on the in-process manager, plus one row through
-// the full network path. More clients than handles keep every named lock
-// saturated, so the tight budget produces real aborts — each one a waiter
-// withdrawing from the anonymous-register competition and erasing its
-// residue — while the violations column must still read 0 everywhere:
-// giving up never corrupts the survivors. Abort rates and latency are
-// wall-clock measurements and vary run to run; violations and attempt
-// accounting (cycles + aborts = attempts) are exact.
+// per-op deadlines: key distributions and session profiles from the
+// unified traffic model crossed with a tight and a loose acquire budget
+// on the in-process manager, plus one row through the full network
+// path. More clients than handles keep every named lock saturated, so
+// the tight budget produces real aborts — each one a waiter withdrawing
+// from the anonymous-register competition and erasing its residue —
+// while the violations column must still read 0 everywhere: giving up
+// never corrupts the survivors. Abort rates and latency are wall-clock
+// measurements and vary run to run; violations and attempt accounting
+// (cycles + aborts = attempts) are exact.
 func DeadlineSweep() (*stats.Table, error) {
 	t := &stats.Table{
 		Title: "S3 — deadline-bounded acquisition sweep (abort rate and tail latency)",
-		Header: []string{"backend", "dist", "deadline", "clients", "keys", "attempts",
+		Header: []string{"backend", "traffic", "deadline", "clients", "keys", "attempts",
 			"cycles", "aborts", "abort rate", "violations", "acq p99 µs", "acq max µs"},
 	}
 	const clients, keys, attempts = 12, 3, 360
-	const tight, loose = 50 * time.Microsecond, 250 * time.Millisecond
-	addRow := func(backend string, res *loadgen.Result, extraViolations uint64, deadline time.Duration) {
-		t.AddRow(backend, res.Dist, deadline, clients, keys, res.Cycles+res.Aborts,
+	const tightMS, looseMS = 0.05, 250.0
+	addRow := func(backend, traffic string, res *loadgen.Result, extraViolations uint64, deadline time.Duration) {
+		t.AddRow(backend, traffic, deadline, clients, keys, res.Cycles+res.Aborts,
 			res.Cycles, res.Aborts, res.AbortRate,
 			uint64(res.Violations)+extraViolations, res.LatencyP99, res.LatencyMax)
 	}
 
+	// Every acquire is deadline-bounded: a pure timed op mix with the
+	// per-op budget in the spec itself.
+	deadlineSpec := func(timeoutMS float64, mutate func(*workload.Spec)) workload.Spec {
+		spec := workload.Spec{BaseCS: 20_000, BaseRemainder: 1, Ops: workload.OpMix{Timed: 1, TimeoutMS: timeoutMS}}
+		if mutate != nil {
+			mutate(&spec)
+		}
+		return spec
+	}
+	hotset := func(s *workload.Spec) {
+		s.Keys = workload.KeySpec{Dist: workload.KeyHotset, HotKeys: 1, HotFrac: 0.8}
+	}
+	bursty := func(s *workload.Spec) { s.Profile = "bursty" }
+
 	sweep := []struct {
-		dist     string
-		deadline time.Duration
+		label     string
+		timeoutMS float64
+		mutate    func(*workload.Spec)
 	}{
-		{scenario.WorkloadUniform, tight},
-		{scenario.WorkloadUniform, loose},
-		{scenario.WorkloadSkewed, tight},
-		{scenario.WorkloadSkewed, loose},
-		{scenario.WorkloadBursty, tight},
+		{"uniform", tightMS, nil},
+		{"uniform", looseMS, nil},
+		{"hotset", tightMS, hotset},
+		{"hotset", looseMS, hotset},
+		{"bursty", tightMS, bursty},
 	}
 	for i, sw := range sweep {
 		mgr, err := lockmgr.New(lockmgr.Config{
@@ -55,18 +71,18 @@ func DeadlineSweep() (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		spec := deadlineSpec(sw.timeoutMS, sw.mutate)
 		res, err := loadgen.Run(loadgen.Config{
 			Clients: clients, Keys: keys, Cycles: attempts,
-			Dist: sw.dist, Seed: uint64(i + 1), CSWork: 20_000, ThinkWork: 1,
-			OpTimeout: sw.deadline,
+			Workload: &spec, Seed: uint64(i + 1),
 			NewLocker: func(int) (loadgen.Locker, error) {
 				return loadgen.NewManagerLocker(mgr), nil
 			},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("S3 %s/%v: %w", sw.dist, sw.deadline, err)
+			return nil, fmt.Errorf("S3 %s/%vms: %w", sw.label, sw.timeoutMS, err)
 		}
-		addRow("inproc", res, mgr.Violations(), sw.deadline)
+		addRow("inproc", sw.label, res, mgr.Violations(), spec.Ops.Timeout())
 		if err := mgr.Close(); err != nil {
 			return nil, err
 		}
@@ -86,10 +102,10 @@ func DeadlineSweep() (*stats.Table, error) {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
+	netSpec := workload.Spec{BaseCS: 40, BaseRemainder: 1, Ops: workload.OpMix{Timed: 1, TimeoutMS: 2}}
 	res, err := loadgen.Run(loadgen.Config{
 		Clients: clients, Keys: keys, Cycles: attempts,
-		Dist: scenario.WorkloadUniform, Seed: 42, CSWork: 40, ThinkWork: 1,
-		OpTimeout: 2 * time.Millisecond,
+		Workload: &netSpec, Seed: 42,
 		NewLocker: func(int) (loadgen.Locker, error) {
 			return client.Dial(ln.Addr().String())
 		},
@@ -105,7 +121,7 @@ func DeadlineSweep() (*stats.Table, error) {
 	if err := <-serveErr; err != nil {
 		return nil, err
 	}
-	addRow("lockd", res, mgr.Violations(), 2*time.Millisecond)
+	addRow("lockd", "uniform", res, mgr.Violations(), 2*time.Millisecond)
 	if err := mgr.Close(); err != nil {
 		return nil, err
 	}

@@ -18,8 +18,9 @@
 //	S1             — the scenario-registry sweep, on both substrates
 //	S2             — the named-lock service sweep (lockmgr + lockd)
 //	S3             — deadline-bounded acquisition (abort rate, tail latency)
+//	S4             — open-loop offered load (backend × distribution × rate)
 //
-// Everything except S1's real-substrate timings and the S2/S3 service
+// Everything except S1's real-substrate timings and the S2–S4 service
 // measurements is deterministic: fixed seeds, simulated schedules.
 // Experiments are independent — RunConcurrent executes them on a worker
 // pool and reports results in presentation order.
@@ -72,6 +73,7 @@ func All() []Experiment {
 		{"S1", "Scenario registry: every named scenario, both substrates", ScenarioSuite},
 		{"S2", "Service sweep: sharded named-lock manager and lockd under load", ServiceSweep},
 		{"S3", "Deadline sweep: abortable acquisition, abort rate and tail latency", DeadlineSweep},
+		{"S4", "Open-loop load: backend × key distribution × offered rate", OpenLoadSweep},
 	}
 }
 

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"anonmutex/internal/loadgen"
+	"anonmutex/internal/lockmgr"
+	"anonmutex/internal/stats"
+	"anonmutex/internal/workload"
+	"anonmutex/lockd"
+	"anonmutex/lockd/client"
+)
+
+// OpenLoadSweep (experiment S4) is the backend × key-distribution ×
+// offered-load grid over the unified traffic model's open-loop mode:
+// Poisson arrivals at a fixed offered rate — first comfortably below
+// service capacity, then far above it — against the in-process manager
+// and the full lockd network path, with every acquire deadline-bounded.
+// Below capacity, achieved throughput tracks offered load and aborts
+// stay rare; above it, the generator reports the gap (offered versus
+// achieved), the SLA aborts, and the shed arrivals while the
+// mutual-exclusion cross-checks must still read 0 — overload degrades
+// into withdrawn waiters, never into corrupted critical sections.
+// Offered/achieved rates are wall-clock measurements; the violations
+// column is exact.
+func OpenLoadSweep() (*stats.Table, error) {
+	uniform := workload.KeySpec{}
+	zipf := workload.KeySpec{Dist: workload.KeyZipf, ZipfS: 1.1}
+	hotset := workload.KeySpec{Dist: workload.KeyHotset, HotKeys: 2, HotFrac: 0.9}
+
+	cells := []openLoadCell{
+		{"inproc", "uniform", openLoadSpec(uniform, 4_000)},
+		{"inproc", "uniform", openLoadSpec(uniform, 400_000)},
+		{"inproc", "zipf", openLoadSpec(zipf, 4_000)},
+		{"inproc", "zipf", openLoadSpec(zipf, 400_000)},
+		{"inproc", "hotset", openLoadSpec(hotset, 4_000)},
+		{"inproc", "hotset", openLoadSpec(hotset, 400_000)},
+		{"lockd", "zipf", openLoadSpec(zipf, 2_000)},
+		{"lockd", "zipf", openLoadSpec(zipf, 200_000)},
+	}
+	return openLoadTable(cells)
+}
+
+// OpenLoadSweepWith runs the S4 grid for one caller-supplied traffic
+// model (anonbench's -workload-file) against both backends.
+func OpenLoadSweepWith(spec workload.Spec) (*stats.Table, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if !spec.Open() {
+		return nil, fmt.Errorf("experiments: S4 needs an open-loop spec (arrival.process poisson or bursty), got %q", spec.Arrival.Process)
+	}
+	label := spec.Keys.Dist
+	if label == "" {
+		label = "custom"
+	}
+	return openLoadTable([]openLoadCell{
+		{"inproc", label, spec},
+		{"lockd", label, spec},
+	})
+}
+
+// openLoadCell is one grid cell: a backend and a fully specified
+// open-loop traffic model.
+type openLoadCell struct {
+	backend, label string
+	spec           workload.Spec
+}
+
+// openLoadSpec builds the sweep's canonical open-loop spec: Poisson
+// arrivals at the offered rate, every acquire bounded by a 4ms SLA.
+func openLoadSpec(keys workload.KeySpec, rate float64) workload.Spec {
+	return workload.Spec{
+		BaseCS: 200,
+		Keys:   keys,
+		Arrival: workload.ArrivalSpec{
+			Process: workload.ArrivalPoisson, RatePerSec: rate, MaxBacklog: 64,
+		},
+		Ops: workload.OpMix{Timed: 1, TimeoutMS: 4},
+	}
+}
+
+func openLoadTable(cells []openLoadCell) (*stats.Table, error) {
+	t := &stats.Table{
+		Title: "S4 — open-loop offered load: backend × key distribution × rate",
+		Header: []string{"backend", "keys", "arrival", "offered/s", "achieved/s",
+			"cycles", "aborts", "abort rate", "shed", "violations", "acq p99 µs"},
+	}
+	const clients, keys = 12, 8
+	const cellTime = 200 * time.Millisecond
+	for i, cell := range cells {
+		res, extraViolations, err := runOpenLoadCell(cell, i, clients, keys, cellTime)
+		if err != nil {
+			return nil, fmt.Errorf("S4 %s/%s@%g: %w", cell.backend, cell.label, cell.spec.Arrival.RatePerSec, err)
+		}
+		arrival := fmt.Sprintf("%s@%g/s", res.Arrival, cell.spec.Arrival.RatePerSec)
+		t.AddRow(cell.backend, cell.label, arrival, res.OfferedPerSec, res.Throughput,
+			res.Cycles, res.Aborts, res.AbortRate, res.Shed,
+			uint64(res.Violations)+extraViolations, res.LatencyP99)
+	}
+	t.Notes = append(t.Notes,
+		"open loop: a pacer offers arrivals at the configured rate regardless of service capacity; in-flight work is bounded by the fleet and the backlog",
+		"above capacity the offered/achieved gap, SLA aborts, and shed arrivals absorb the overload; the mutual-exclusion cross-checks must stay 0",
+		"rates are wall-clock and machine-dependent; the violations column is exact")
+	return t, nil
+}
+
+// runOpenLoadCell executes one cell and folds in the backend's own
+// violation counter.
+func runOpenLoadCell(cell openLoadCell, seed, clients, keys int, d time.Duration) (*loadgen.Result, uint64, error) {
+	spec := cell.spec
+	cfg := loadgen.Config{
+		Clients: clients, Keys: keys, Duration: d,
+		Workload: &spec, Seed: uint64(700 + seed),
+	}
+	switch cell.backend {
+	case "inproc":
+		mgr, err := lockmgr.New(lockmgr.Config{Shards: 4, HandlesPerLock: 3, Seed: uint64(800 + seed)})
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg.NewLocker = func(int) (loadgen.Locker, error) {
+			return loadgen.NewManagerLocker(mgr), nil
+		}
+		res, err := loadgen.Run(cfg)
+		if err != nil {
+			mgr.Close()
+			return nil, 0, err
+		}
+		violations := mgr.Violations()
+		if err := mgr.Close(); err != nil {
+			return nil, 0, err
+		}
+		return res, violations, nil
+	case "lockd":
+		mgr, err := lockmgr.New(lockmgr.Config{Shards: 4, HandlesPerLock: 3, Seed: uint64(900 + seed)})
+		if err != nil {
+			return nil, 0, err
+		}
+		srv := lockd.NewServer(mgr)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			mgr.Close()
+			return nil, 0, err
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(ln) }()
+		cfg.NewLocker = func(int) (loadgen.Locker, error) {
+			return client.Dial(ln.Addr().String())
+		}
+		res, runErr := loadgen.Run(cfg)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return nil, 0, err
+		}
+		if err := <-serveErr; err != nil {
+			return nil, 0, err
+		}
+		if runErr != nil {
+			mgr.Close()
+			return nil, 0, runErr
+		}
+		violations := mgr.Violations()
+		if err := mgr.Close(); err != nil {
+			return nil, 0, err
+		}
+		return res, violations, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown backend %q", cell.backend)
+	}
+}

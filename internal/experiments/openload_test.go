@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"anonmutex/internal/workload"
+)
+
+// TestOpenLoadSweepStructure checks S4's grid: both backends appear,
+// every cell reads 0 violations, and the overloaded cells actually shed
+// load (aborts or shed arrivals) instead of keeping up.
+func TestOpenLoadSweepStructure(t *testing.T) {
+	tbl, err := OpenLoadSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (6 inproc + 2 lockd)", len(tbl.Rows))
+	}
+	backends := map[string]int{}
+	for _, row := range tbl.Rows {
+		backends[row[0]]++
+		if violations := row[9]; violations != "0" {
+			t.Errorf("%s/%s/%s observed %s violations", row[0], row[1], row[2], violations)
+		}
+	}
+	if backends["inproc"] != 6 || backends["lockd"] != 2 {
+		t.Errorf("backend coverage = %v", backends)
+	}
+	// The overloaded cells (every second row) must show a safety valve:
+	// aborts or shed arrivals, with offered above achieved.
+	for i := 1; i < len(tbl.Rows); i += 2 {
+		row := tbl.Rows[i]
+		aborts, _ := strconv.Atoi(row[6])
+		shed, _ := strconv.Atoi(row[8])
+		if aborts+shed == 0 {
+			t.Errorf("overloaded cell %s/%s/%s shows no aborts or shed arrivals", row[0], row[1], row[2])
+		}
+		offered, err1 := strconv.ParseFloat(row[3], 64)
+		achieved, err2 := strconv.ParseFloat(row[4], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable rates in row %v", row)
+		}
+		if offered <= achieved {
+			t.Errorf("overloaded cell %s/%s/%s: offered %.0f/s <= achieved %.0f/s", row[0], row[1], row[2], offered, achieved)
+		}
+	}
+}
+
+// TestOpenLoadSweepWith runs the one-spec form anonbench's
+// -workload-file uses: the caller's spec against both backends.
+func TestOpenLoadSweepWith(t *testing.T) {
+	spec, err := workload.Spec{
+		Keys:    workload.KeySpec{Dist: workload.KeyZipf, ZipfS: 1.2},
+		Arrival: workload.ArrivalSpec{Process: workload.ArrivalPoisson, RatePerSec: 5_000},
+		Ops:     workload.OpMix{Timed: 1, TimeoutMS: 10},
+	}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := OpenLoadSweepWith(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (inproc + lockd)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if violations := row[9]; violations != "0" {
+			t.Errorf("%s: %s violations", row[0], violations)
+		}
+	}
+	// A closed-loop spec is not an open-load experiment.
+	if _, err := OpenLoadSweepWith(workload.Spec{}); err == nil {
+		t.Error("closed-loop spec accepted by the open-load sweep")
+	}
+}

@@ -10,13 +10,16 @@ import (
 	"anonmutex/internal/lockmgr"
 	"anonmutex/internal/scenario"
 	"anonmutex/internal/stats"
+	"anonmutex/internal/workload"
 	"anonmutex/lockd"
 	"anonmutex/lockd/client"
 )
 
 // ServiceSweep (experiment S2) exercises the service stack built over the
 // paper's locks: the sharded named-lock manager under both algorithms and
-// every workload distribution, plus one row through the full network path
+// a spread of unified-traffic-model patterns (uniform, a one-key hotset,
+// zipf-popular keys against the manager's CLOCK eviction, and the bursty
+// session profile), plus one row through the full network path
 // (loadgen → lockd client → TCP → lockd server → manager). Each run
 // carries the in-critical-section owner check; the violations column must
 // read 0 everywhere. Throughput and latency are wall-clock measurements
@@ -25,26 +28,28 @@ import (
 func ServiceSweep() (*stats.Table, error) {
 	t := &stats.Table{
 		Title: "S2 — named-lock service sweep (lockmgr in-process + lockd over loopback)",
-		Header: []string{"backend", "alg", "dist", "clients", "keys", "cycles",
+		Header: []string{"backend", "alg", "traffic", "clients", "keys", "cycles",
 			"violations", "cycles/s", "acq p99 µs", "waits", "lock creates"},
 	}
 	const clients, keys, cycles = 8, 6, 240
-	load := func(dist string, seed uint64, newLocker func(int) (loadgen.Locker, error)) (*loadgen.Result, error) {
+	load := func(spec workload.Spec, seed uint64, newLocker func(int) (loadgen.Locker, error)) (*loadgen.Result, error) {
+		spec.BaseCS, spec.BaseRemainder = 1, 1
 		return loadgen.Run(loadgen.Config{
 			Clients: clients, Keys: keys, Cycles: cycles,
-			Dist: dist, Seed: seed, CSWork: 1, ThinkWork: 1,
+			Workload: &spec, Seed: seed,
 			NewLocker: newLocker,
 		})
 	}
 
 	sweep := []struct {
-		alg, dist string
+		alg, label string
+		spec       workload.Spec
 	}{
-		{scenario.AlgRW, scenario.WorkloadUniform},
-		{scenario.AlgRW, scenario.WorkloadSkewed},
-		{scenario.AlgRMW, scenario.WorkloadUniform},
-		{scenario.AlgRMW, scenario.WorkloadSkewed},
-		{scenario.AlgRMW, scenario.WorkloadBursty},
+		{scenario.AlgRW, "uniform", workload.Spec{}},
+		{scenario.AlgRW, "hotset", workload.Spec{Keys: workload.KeySpec{Dist: workload.KeyHotset, HotKeys: 1, HotFrac: 0.8}}},
+		{scenario.AlgRMW, "uniform", workload.Spec{}},
+		{scenario.AlgRMW, "zipf", workload.Spec{Keys: workload.KeySpec{Dist: workload.KeyZipf, ZipfS: 1.1}}},
+		{scenario.AlgRMW, "bursty", workload.Spec{Profile: "bursty"}},
 	}
 	for i, sw := range sweep {
 		mgr, err := lockmgr.New(lockmgr.Config{
@@ -53,15 +58,15 @@ func ServiceSweep() (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := load(sw.dist, uint64(i+1), func(int) (loadgen.Locker, error) {
+		res, err := load(sw.spec, uint64(i+1), func(int) (loadgen.Locker, error) {
 			return loadgen.NewManagerLocker(mgr), nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("S2 %s/%s: %w", sw.alg, sw.dist, err)
+			return nil, fmt.Errorf("S2 %s/%s: %w", sw.alg, sw.label, err)
 		}
 		c := mgr.Counters()
 		violations := uint64(res.Violations) + mgr.Violations()
-		t.AddRow("inproc", sw.alg, sw.dist, clients, keys, res.Cycles,
+		t.AddRow("inproc", sw.alg, sw.label, clients, keys, res.Cycles,
 			violations, res.Throughput, res.LatencyP99, c.Waits, c.LockCreates)
 		if err := mgr.Close(); err != nil {
 			return nil, err
@@ -81,7 +86,7 @@ func ServiceSweep() (*stats.Table, error) {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	res, err := load(scenario.WorkloadUniform, 42, func(int) (loadgen.Locker, error) {
+	res, err := load(workload.Spec{}, 42, func(int) (loadgen.Locker, error) {
 		return client.Dial(ln.Addr().String())
 	})
 	if err != nil {
@@ -97,7 +102,7 @@ func ServiceSweep() (*stats.Table, error) {
 	}
 	c := mgr.Counters()
 	violations := uint64(res.Violations) + mgr.Violations()
-	t.AddRow("lockd", scenario.AlgRMW, scenario.WorkloadUniform, clients, keys, res.Cycles,
+	t.AddRow("lockd", scenario.AlgRMW, "uniform", clients, keys, res.Cycles,
 		violations, res.Throughput, res.LatencyP99, c.Waits, c.LockCreates)
 	if err := mgr.Close(); err != nil {
 		return nil, err

@@ -1,17 +1,26 @@
 // Package loadgen drives named-lock backends under configurable load: a
 // population of client goroutines acquires and releases keys drawn from
-// one of the scenario workload distributions (uniform, bursty, skewed),
-// measures per-acquire latency and end-to-end throughput, and verifies
-// mutual exclusion with a per-key owner token checked inside every
-// critical section. With Config.OpTimeout set, every acquire carries a
-// deadline: attempts that expire withdraw cleanly and are reported as an
-// abort count and rate — the SLA-style workload the abortable lock stack
-// exists for.
+// the repository's unified traffic model (internal/workload), measures
+// per-acquire latency and end-to-end throughput, and verifies mutual
+// exclusion with a per-key owner token checked inside every critical
+// section.
+//
+// One workload.Spec describes the whole run: the key-popularity
+// distribution (uniform, zipf, hotset, shifting-hotset), the arrival
+// process, the op mix (blocking lock, bounded trylock, deadline-bounded
+// acquire — expired attempts withdraw cleanly and are reported as an
+// abort count and rate), and the session-length profile. Closed-loop
+// specs behave like a classic benchmark: each client thinks between its
+// own cycles, so the load adapts to the backend's speed. Open-loop specs
+// (Poisson or bursty arrivals at an offered rate) decouple demand from
+// capacity — the generator reports offered versus achieved throughput,
+// shed arrivals, and the abort rate, which is what an abortable lock
+// service's SLA behavior under overload actually looks like.
 //
 // The backend is anything that can acquire and release named locks — the
 // in-process lockmgr.Manager (via ManagerLocker) or a lockd server over
 // TCP (via the lockd/client package); cmd/anonload exposes both, and the
-// S2 experiment sweeps the in-process backend.
+// S2–S4 experiments sweep them.
 package loadgen
 
 import (
@@ -23,10 +32,8 @@ import (
 	"time"
 
 	"anonmutex/internal/lockmgr"
-	"anonmutex/internal/scenario"
 	"anonmutex/internal/stats"
 	"anonmutex/internal/workload"
-	"anonmutex/internal/xrand"
 )
 
 // Locker is one client's session on a named-lock backend. A Locker
@@ -48,10 +55,17 @@ type HoldsChecker interface {
 // DeadlineLocker is the optional deadline surface: a Locker whose
 // acquires can be bounded. AcquireFor reports whether the lock is now
 // held; giving up at the deadline is not an error — the waiter withdraws
-// cleanly and the generator counts an abort. Config.OpTimeout requires
-// the backend to offer this interface.
+// cleanly and the generator counts an abort. A spec with timed ops
+// requires the backend to offer this interface.
 type DeadlineLocker interface {
 	AcquireFor(name string, d time.Duration) (bool, error)
+}
+
+// TryLocker is the optional trylock surface: a bounded probe that never
+// waits out a holder's critical section. A miss reports (false, nil) and
+// the generator counts it. A spec with try ops requires this interface.
+type TryLocker interface {
+	TryAcquire(name string) (bool, error)
 }
 
 // Config parameterizes a run.
@@ -60,86 +74,127 @@ type Config struct {
 	Clients int
 	// Keys is the size of the lock-name space (default 16).
 	Keys int
-	// Cycles is the total acquire/release cycles across all clients; 0
-	// means run until Duration elapses (at least one must be set).
+	// Cycles bounds the total attempts across all clients (completed
+	// cycles plus aborts and try misses; in open-loop specs, arrivals);
+	// 0 means run until Duration elapses (at least one must be set).
 	Cycles int
 	// Duration bounds the run's wall clock; 0 means run until Cycles.
 	Duration time.Duration
-	// Dist is the key distribution: scenario.WorkloadUniform (every key
-	// equally hot), WorkloadSkewed (80% of traffic on one hot key), or
-	// WorkloadBursty (clusters of rapid cycles between long pauses).
-	// Default uniform.
+	// Workload is the unified traffic model driving key choice, arrival
+	// pacing, op kinds, and session lengths. Nil: a spec is built from
+	// the deprecated alias fields below.
+	Workload *workload.Spec
+	// Dist is the deprecated pre-unified-model alias: "uniform",
+	// "bursty" (the bursty session profile), or "skewed" (a 1-key
+	// hotset taking 80% of the traffic). It cannot be combined with
+	// Workload.
 	Dist string
-	// Seed drives key choice and think-time jitter.
+	// Seed drives the traffic model when the spec's own seed is unset.
 	Seed uint64
-	// CSWork and ThinkWork are spin units (workload.Spin) inside the
-	// critical section and between cycles.
+	// CSWork and ThinkWork are deprecated aliases for the spec's BaseCS
+	// and BaseRemainder spin units. They cannot be combined with
+	// Workload.
 	CSWork, ThinkWork int
-	// OpTimeout, when nonzero, bounds every acquire: an attempt that
-	// cannot complete within it is abandoned (the waiter withdraws
-	// cleanly) and counted as an abort instead of a cycle. Requires a
-	// backend whose sessions implement DeadlineLocker. With Cycles set,
-	// the bound counts attempts — completed cycles plus aborts.
+	// OpTimeout is the deprecated alias for a pure deadline-bounded op
+	// mix: every acquire carries this deadline, and expired attempts
+	// abort cleanly. It cannot be combined with Workload.
 	OpTimeout time.Duration
 	// NewLocker opens client i's session.
 	NewLocker func(client int) (Locker, error)
 }
 
-func (c Config) withDefaults() (Config, error) {
+// withDefaults validates the config and resolves the effective workload
+// spec.
+func (c Config) withDefaults() (Config, workload.Spec, error) {
+	var zero workload.Spec
 	if c.Clients == 0 {
 		c.Clients = 8
 	}
 	if c.Clients < 1 {
-		return c, fmt.Errorf("loadgen: need Clients >= 1, got %d", c.Clients)
+		return c, zero, fmt.Errorf("loadgen: need Clients >= 1, got %d", c.Clients)
 	}
 	if c.Keys == 0 {
 		c.Keys = 16
 	}
 	if c.Keys < 1 {
-		return c, fmt.Errorf("loadgen: need Keys >= 1, got %d", c.Keys)
+		return c, zero, fmt.Errorf("loadgen: need Keys >= 1, got %d", c.Keys)
 	}
 	if c.Cycles < 0 || c.Duration < 0 {
-		return c, fmt.Errorf("loadgen: negative bounds")
+		return c, zero, fmt.Errorf("loadgen: negative bounds")
 	}
 	if c.Cycles == 0 && c.Duration == 0 {
-		return c, fmt.Errorf("loadgen: need Cycles or Duration")
+		return c, zero, fmt.Errorf("loadgen: need Cycles or Duration")
 	}
 	if c.OpTimeout < 0 {
-		return c, fmt.Errorf("loadgen: negative OpTimeout")
-	}
-	if c.Dist == "" {
-		c.Dist = scenario.WorkloadUniform
-	}
-	switch c.Dist {
-	case scenario.WorkloadUniform, scenario.WorkloadBursty, scenario.WorkloadSkewed:
-	default:
-		return c, fmt.Errorf("loadgen: unknown distribution %q (want %s, %s, or %s)",
-			c.Dist, scenario.WorkloadUniform, scenario.WorkloadBursty, scenario.WorkloadSkewed)
+		return c, zero, fmt.Errorf("loadgen: negative OpTimeout")
 	}
 	if c.NewLocker == nil {
-		return c, fmt.Errorf("loadgen: NewLocker is required")
+		return c, zero, fmt.Errorf("loadgen: NewLocker is required")
 	}
-	return c, nil
+
+	var spec workload.Spec
+	if c.Workload != nil {
+		if c.Dist != "" || c.CSWork != 0 || c.ThinkWork != 0 || c.OpTimeout != 0 {
+			return c, zero, fmt.Errorf("loadgen: Workload cannot be combined with the deprecated Dist/CSWork/ThinkWork/OpTimeout fields")
+		}
+		spec = *c.Workload
+	} else {
+		spec = workload.Spec{BaseCS: c.CSWork, BaseRemainder: c.ThinkWork}
+		switch c.Dist {
+		case "", "uniform":
+		case "bursty":
+			spec.Profile = "bursty"
+		case "skewed":
+			spec.Keys = workload.KeySpec{Dist: workload.KeyHotset, HotKeys: 1, HotFrac: 0.8}
+		default:
+			return c, zero, fmt.Errorf("loadgen: unknown distribution %q (want uniform, bursty, or skewed)", c.Dist)
+		}
+		if c.OpTimeout > 0 {
+			spec.Ops = workload.OpMix{Timed: 1, TimeoutMS: float64(c.OpTimeout) / float64(time.Millisecond)}
+		}
+	}
+	if spec.Seed == 0 {
+		spec.Seed = c.Seed
+	}
+	spec, err := spec.Normalize()
+	if err != nil {
+		return c, zero, fmt.Errorf("loadgen: %w", err)
+	}
+	return c, spec, nil
 }
 
 // Result is one run's outcome. Latencies are microseconds.
 type Result struct {
-	Backend    string  `json:"backend"`
-	Clients    int     `json:"clients"`
-	Keys       int     `json:"keys"`
-	Dist       string  `json:"dist"`
-	Cycles     int64   `json:"cycles"`
-	Seconds    float64 `json:"seconds"`
+	Backend string `json:"backend"`
+	Clients int    `json:"clients"`
+	Keys    int    `json:"keys"`
+	// Profile, KeyDist, and Arrival summarize the traffic model.
+	Profile string  `json:"profile"`
+	KeyDist string  `json:"key_dist"`
+	Arrival string  `json:"arrival"`
+	Cycles  int64   `json:"cycles"`
+	Seconds float64 `json:"seconds"`
+	// Throughput is the achieved rate of completed cycles.
 	Throughput float64 `json:"cycles_per_second"`
+	// Open-loop accounting: Arrivals is every arrival the pacer emitted
+	// (OfferedPerSec is that over the wall clock); Shed counts arrivals
+	// dropped because the bounded backlog was full or the run ended
+	// before they were served.
+	Arrivals      int64   `json:"arrivals,omitempty"`
+	OfferedPerSec float64 `json:"offered_per_second,omitempty"`
+	Shed          int64   `json:"shed,omitempty"`
 	// Violations counts owner-check failures observed inside critical
 	// sections (client token mismatches and failed backend holds checks).
 	// It must be 0.
 	Violations int64 `json:"violations"`
-	// Aborts counts acquires abandoned at the per-op deadline
-	// (Config.OpTimeout); AbortRate is aborts over attempts. Latency
+	// Aborts counts deadline-bounded acquires abandoned at their per-op
+	// deadline (including open-loop arrivals whose SLA expired while
+	// queued); AbortRate is aborts over attempts (cycles + aborts).
+	// TryMisses counts trylock probes that found the lock busy. Latency
 	// percentiles cover successful acquires only.
 	Aborts      int64   `json:"aborts"`
 	AbortRate   float64 `json:"abort_rate"`
+	TryMisses   int64   `json:"try_misses,omitempty"`
 	OpTimeoutMS float64 `json:"op_timeout_ms,omitempty"`
 	LatencyP50  float64 `json:"acquire_p50_us"`
 	LatencyP90  float64 `json:"acquire_p90_us"`
@@ -152,140 +207,261 @@ type Result struct {
 func (r *Result) Table() *stats.Table {
 	t := &stats.Table{
 		Title: fmt.Sprintf("anonload — backend=%s", r.Backend),
-		Header: []string{"clients", "keys", "dist", "cycles", "seconds", "cycles/s",
-			"violations", "aborts", "abort rate", "acq p50 µs", "acq p90 µs", "acq p99 µs", "acq max µs"},
+		Header: []string{"clients", "keys", "profile", "key dist", "arrival",
+			"cycles", "seconds", "cycles/s", "offered/s", "shed",
+			"violations", "aborts", "abort rate", "try misses",
+			"acq p50 µs", "acq p90 µs", "acq p99 µs", "acq max µs"},
 	}
-	t.AddRow(r.Clients, r.Keys, r.Dist, r.Cycles, r.Seconds, r.Throughput,
-		r.Violations, r.Aborts, r.AbortRate, r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
+	t.AddRow(r.Clients, r.Keys, r.Profile, r.KeyDist, r.Arrival,
+		r.Cycles, r.Seconds, r.Throughput, r.OfferedPerSec, r.Shed,
+		r.Violations, r.Aborts, r.AbortRate, r.TryMisses,
+		r.LatencyP50, r.LatencyP90, r.LatencyP99, r.LatencyMax)
 	t.Notes = append(t.Notes,
 		"every critical section runs an owner check: a per-key token (CAS in, CAS out) plus the backend's holds op when offered")
 	if r.OpTimeoutMS > 0 {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("per-op deadline %.3gms: aborted acquires withdraw cleanly and do not enter the latency percentiles", r.OpTimeoutMS))
 	}
+	if r.Arrival != workload.ArrivalClosed {
+		t.Notes = append(t.Notes,
+			"open loop: arrivals are paced at the offered rate regardless of service capacity; latency is measured from the arrival stamp (queue wait included)")
+	}
 	return t
+}
+
+// runState is the bookkeeping shared by every goroutine of one run.
+type runState struct {
+	cfg      Config
+	spec     workload.Spec
+	keys     []string
+	owners   []atomic.Int64
+	deadline time.Time // zero when Duration is unset
+
+	next       atomic.Int64 // closed-loop global attempt allocator
+	arrivals   atomic.Int64 // open-loop arrivals emitted (incl. shed)
+	shed       atomic.Int64
+	violations atomic.Int64
+	aborts     atomic.Int64
+	tryMisses  atomic.Int64
+	stop       atomic.Bool
+
+	mu       sync.Mutex
+	firstErr error
+
+	// Per-client latency buffers keep the measured hot loop free of
+	// shared state; they merge into one histogram after the run.
+	latencies [][]float64
+}
+
+func (st *runState) fail(err error) {
+	st.stop.Store(true)
+	st.mu.Lock()
+	if st.firstErr == nil {
+		st.firstErr = err
+	}
+	st.mu.Unlock()
+}
+
+// client is one goroutine's session plus its traffic stream.
+type client struct {
+	st      *runState
+	me      int
+	lk      Locker
+	checker HoldsChecker
+	bounded DeadlineLocker
+	trier   TryLocker
+	src     *workload.Source
+	token   int64
+}
+
+// newClient opens session me and checks that the backend offers every
+// surface the op mix needs.
+func (st *runState) newClient(me int) (*client, error) {
+	lk, err := st.cfg.NewLocker(me)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: client %d: %w", me, err)
+	}
+	c := &client{
+		st: st, me: me, lk: lk,
+		src:   workload.NewSource(st.spec, uint64(me)),
+		token: int64(me + 1),
+	}
+	c.checker, _ = lk.(HoldsChecker)
+	if st.spec.Ops.Timed > 0 {
+		var ok bool
+		if c.bounded, ok = lk.(DeadlineLocker); !ok {
+			lk.Close()
+			return nil, fmt.Errorf("loadgen: client %d: the op mix has timed acquires but the backend session (%T) offers no AcquireFor", me, lk)
+		}
+	}
+	if st.spec.Ops.Try > 0 {
+		var ok bool
+		if c.trier, ok = lk.(TryLocker); !ok {
+			lk.Close()
+			return nil, fmt.Errorf("loadgen: client %d: the op mix has try acquires but the backend session (%T) offers no TryAcquire", me, lk)
+		}
+	}
+	return c, nil
+}
+
+// Cycle outcomes.
+const (
+	cycleDone = iota
+	cycleAbort
+	cycleMiss
+	cycleFailed
+)
+
+// runCycle executes one acquire→CS→release cycle on keys[k]. latFrom is
+// where the latency clock started (the arrival stamp in open loop, the
+// acquire start in closed loop); timeout bounds timed acquires. On
+// cycleFailed the run error has already been recorded.
+func (c *client) runCycle(k int, kind workload.OpKind, sess workload.Session, latFrom time.Time, timeout time.Duration) int {
+	st := c.st
+	name := st.keys[k]
+	switch kind {
+	case workload.OpTry:
+		ok, err := c.trier.TryAcquire(name)
+		if err != nil {
+			st.fail(fmt.Errorf("loadgen: client %d try-acquiring %s: %w", c.me, name, err))
+			return cycleFailed
+		}
+		if !ok {
+			return cycleMiss
+		}
+	case workload.OpTimed:
+		ok, err := c.bounded.AcquireFor(name, timeout)
+		if err != nil {
+			st.fail(fmt.Errorf("loadgen: client %d acquiring %s: %w", c.me, name, err))
+			return cycleFailed
+		}
+		if !ok {
+			return cycleAbort
+		}
+	default:
+		if err := c.lk.Acquire(name); err != nil {
+			st.fail(fmt.Errorf("loadgen: client %d acquiring %s: %w", c.me, name, err))
+			return cycleFailed
+		}
+	}
+	lat := float64(time.Since(latFrom).Microseconds())
+	// Critical section: owner checks, then the payload work.
+	if !st.owners[k].CompareAndSwap(0, c.token) {
+		st.violations.Add(1)
+	}
+	if c.checker != nil {
+		held, err := c.checker.Holds(name)
+		if err != nil {
+			// A transport/backend failure is a run error, not evidence
+			// the lock misbehaved.
+			st.fail(fmt.Errorf("loadgen: client %d holds check on %s: %w", c.me, name, err))
+			return cycleFailed
+		}
+		if !held {
+			st.violations.Add(1)
+		}
+	}
+	workload.Spin(sess.CSWork)
+	if !st.owners[k].CompareAndSwap(c.token, 0) {
+		st.violations.Add(1)
+	}
+	if err := c.lk.Release(name); err != nil {
+		st.fail(fmt.Errorf("loadgen: client %d releasing %s: %w", c.me, name, err))
+		return cycleFailed
+	}
+	st.latencies[c.me] = append(st.latencies[c.me], lat)
+	return cycleDone
+}
+
+// closedLoop is one client's classic benchmark loop: draw, acquire, run
+// the critical section, release, think.
+func (st *runState) closedLoop(me int) {
+	c, err := st.newClient(me)
+	if err != nil {
+		st.fail(err)
+		return
+	}
+	defer c.lk.Close()
+	timeout := st.spec.Ops.Timeout()
+	for !st.stop.Load() {
+		if st.cfg.Cycles > 0 && st.next.Add(1) > int64(st.cfg.Cycles) {
+			return
+		}
+		if st.cfg.Duration > 0 && !time.Now().Before(st.deadline) {
+			return
+		}
+		k := c.src.PickKey(st.cfg.Keys)
+		kind := c.src.NextOp()
+		sess := c.src.NextSession()
+		switch c.runCycle(k, kind, sess, time.Now(), timeout) {
+		case cycleFailed:
+			return
+		case cycleAbort:
+			st.aborts.Add(1)
+		case cycleMiss:
+			st.tryMisses.Add(1)
+		}
+		workload.Spin(sess.RemainderWork)
+	}
 }
 
 // Run executes the load.
 func Run(cfg Config) (*Result, error) {
-	cfg, err := cfg.withDefaults()
+	cfg, spec, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	keys := make([]string, cfg.Keys)
-	for i := range keys {
-		keys[i] = fmt.Sprintf("key-%04d", i)
+	st := &runState{
+		cfg:       cfg,
+		spec:      spec,
+		keys:      make([]string, cfg.Keys),
+		owners:    make([]atomic.Int64, cfg.Keys),
+		latencies: make([][]float64, cfg.Clients),
 	}
-	owners := make([]atomic.Int64, cfg.Keys)
-
-	var (
-		next       atomic.Int64 // global cycle allocator
-		violations atomic.Int64
-		aborts     atomic.Int64
-		stop       atomic.Bool
-		wg         sync.WaitGroup
-		mu         sync.Mutex
-		firstErr   error
-	)
-	// Per-client latency buffers keep the measured hot loop free of
-	// shared state; they merge into one histogram after the run.
-	latencies := make([][]float64, cfg.Clients)
-	fail := func(err error) {
-		stop.Store(true)
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
+	for i := range st.keys {
+		st.keys[i] = fmt.Sprintf("key-%04d", i)
 	}
-	var deadline time.Time
 	if cfg.Duration > 0 {
-		deadline = time.Now().Add(cfg.Duration)
+		st.deadline = time.Now().Add(cfg.Duration)
 	}
+
 	start := time.Now()
-	for i := 0; i < cfg.Clients; i++ {
+	var wg sync.WaitGroup
+	if spec.Open() {
+		backlog := spec.Arrival.MaxBacklog
+		if backlog == 0 {
+			backlog = 4 * cfg.Clients
+		}
+		arrivals := make(chan time.Time, backlog)
 		wg.Add(1)
-		go func(me int) {
+		go func() {
 			defer wg.Done()
-			lk, err := cfg.NewLocker(me)
-			if err != nil {
-				fail(fmt.Errorf("loadgen: client %d: %w", me, err))
-				return
-			}
-			defer lk.Close()
-			checker, _ := lk.(HoldsChecker)
-			var bounded DeadlineLocker
-			if cfg.OpTimeout > 0 {
-				var ok bool
-				if bounded, ok = lk.(DeadlineLocker); !ok {
-					fail(fmt.Errorf("loadgen: client %d: OpTimeout set but the backend session (%T) offers no AcquireFor", me, lk))
-					return
-				}
-			}
-			r := xrand.New(xrand.Mix64(cfg.Seed ^ uint64(me)*0x9e3779b97f4a7c15))
-			token := int64(me + 1)
-			var burst int
-			for !stop.Load() {
-				if cfg.Cycles > 0 && next.Add(1) > int64(cfg.Cycles) {
-					return
-				}
-				if cfg.Duration > 0 && !time.Now().Before(deadline) {
-					return
-				}
-				k := pickKey(cfg.Dist, r, cfg.Keys)
-				acqStart := time.Now()
-				if bounded != nil {
-					ok, err := bounded.AcquireFor(keys[k], cfg.OpTimeout)
-					if err != nil {
-						fail(fmt.Errorf("loadgen: client %d acquiring %s: %w", me, keys[k], err))
-						return
-					}
-					if !ok {
-						aborts.Add(1)
-						think(cfg, r, &burst)
-						continue
-					}
-				} else if err := lk.Acquire(keys[k]); err != nil {
-					fail(fmt.Errorf("loadgen: client %d acquiring %s: %w", me, keys[k], err))
-					return
-				}
-				lat := float64(time.Since(acqStart).Microseconds())
-				// Critical section: owner checks, then the payload work.
-				if !owners[k].CompareAndSwap(0, token) {
-					violations.Add(1)
-				}
-				if checker != nil {
-					held, err := checker.Holds(keys[k])
-					if err != nil {
-						// A transport/backend failure is a run error, not
-						// evidence the lock misbehaved.
-						fail(fmt.Errorf("loadgen: client %d holds check on %s: %w", me, keys[k], err))
-						return
-					}
-					if !held {
-						violations.Add(1)
-					}
-				}
-				workload.Spin(cfg.CSWork)
-				if !owners[k].CompareAndSwap(token, 0) {
-					violations.Add(1)
-				}
-				if err := lk.Release(keys[k]); err != nil {
-					fail(fmt.Errorf("loadgen: client %d releasing %s: %w", me, keys[k], err))
-					return
-				}
-				latencies[me] = append(latencies[me], lat)
-				think(cfg, r, &burst)
-			}
-		}(i)
+			st.pace(arrivals)
+		}()
+		for i := 0; i < cfg.Clients; i++ {
+			wg.Add(1)
+			go func(me int) {
+				defer wg.Done()
+				st.openLoop(me, arrivals)
+			}(i)
+		}
+	} else {
+		for i := 0; i < cfg.Clients; i++ {
+			wg.Add(1)
+			go func(me int) {
+				defer wg.Done()
+				st.closedLoop(me)
+			}(i)
+		}
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
-	if firstErr != nil {
-		return nil, firstErr
+	if st.firstErr != nil {
+		return nil, st.firstErr
 	}
+
 	var merged stats.Histogram
-	for _, buf := range latencies {
+	for _, buf := range st.latencies {
 		for _, lat := range buf {
 			merged.Add(lat)
 		}
@@ -294,56 +470,35 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{
 		Clients:     cfg.Clients,
 		Keys:        cfg.Keys,
-		Dist:        cfg.Dist,
+		Profile:     spec.Profile,
+		KeyDist:     spec.Keys.Dist,
+		Arrival:     spec.Arrival.Process,
 		Cycles:      cycles,
 		Seconds:     elapsed,
-		Violations:  violations.Load(),
-		Aborts:      aborts.Load(),
-		OpTimeoutMS: float64(cfg.OpTimeout) / float64(time.Millisecond),
-		LatencyP50:  merged.Percentile(50),
-		LatencyP90:  merged.Percentile(90),
-		LatencyP99:  merged.Percentile(99),
-		LatencyMax:  merged.Percentile(100),
+		Arrivals:    st.arrivals.Load(),
+		Shed:        st.shed.Load(),
+		Violations:  st.violations.Load(),
+		Aborts:      st.aborts.Load(),
+		TryMisses:   st.tryMisses.Load(),
+		OpTimeoutMS: spec.Ops.TimeoutMS,
 	}
+	if spec.Ops.Timed == 0 {
+		res.OpTimeoutMS = 0
+	}
+	res.LatencyP50 = merged.Percentile(50)
+	res.LatencyP90 = merged.Percentile(90)
+	res.LatencyP99 = merged.Percentile(99)
+	res.LatencyMax = merged.Percentile(100)
 	if attempts := cycles + res.Aborts; attempts > 0 {
 		res.AbortRate = float64(res.Aborts) / float64(attempts)
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(cycles) / elapsed
+		if spec.Open() {
+			res.OfferedPerSec = float64(res.Arrivals) / elapsed
+		}
 	}
 	return res, nil
-}
-
-// pickKey draws a lock name index from the configured distribution.
-func pickKey(dist string, r *xrand.Rand, keys int) int {
-	switch dist {
-	case scenario.WorkloadSkewed:
-		// One hot key takes 80% of the traffic — the service-side analog
-		// of the skewed workload profile's hammering process.
-		if r.Intn(5) != 0 {
-			return 0
-		}
-		return r.Intn(keys)
-	default: // uniform and bursty spread keys evenly
-		return r.Intn(keys)
-	}
-}
-
-// think burns the between-cycle time. Bursty clients alternate clusters
-// of back-to-back cycles with long pauses, mirroring workload.Bursty.
-func think(cfg Config, r *xrand.Rand, burst *int) {
-	switch cfg.Dist {
-	case scenario.WorkloadBursty:
-		if *burst > 0 {
-			*burst--
-			workload.Spin(1)
-			return
-		}
-		*burst = 2 + r.Intn(6)
-		workload.Spin(10 * (cfg.ThinkWork + 1))
-	default:
-		workload.Spin(cfg.ThinkWork)
-	}
 }
 
 // ManagerLocker adapts one client's view of an in-process
@@ -388,6 +543,20 @@ func (l *ManagerLocker) AcquireFor(name string, d time.Duration) (bool, error) {
 		if errors.Is(err, context.DeadlineExceeded) {
 			return false, nil
 		}
+		return false, err
+	}
+	l.leases[name] = lease
+	return true, nil
+}
+
+// TryAcquire implements TryLocker over the manager's bounded probe: a
+// lost race reports (false, nil) without waiting out the holder.
+func (l *ManagerLocker) TryAcquire(name string) (bool, error) {
+	if _, held := l.leases[name]; held {
+		return false, fmt.Errorf("loadgen: session already holds %q", name)
+	}
+	lease, ok, err := l.mgr.TryAcquireLease(name)
+	if err != nil || !ok {
 		return false, err
 	}
 	l.leases[name] = lease

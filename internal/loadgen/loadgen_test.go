@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"anonmutex/internal/lockmgr"
-	"anonmutex/internal/scenario"
+	"anonmutex/internal/workload"
 )
 
 func managerConfig(t *testing.T, mcfg lockmgr.Config, cfg Config) (Config, *lockmgr.Manager) {
@@ -19,10 +19,8 @@ func managerConfig(t *testing.T, mcfg lockmgr.Config, cfg Config) (Config, *lock
 	return cfg, mgr
 }
 
-func TestRunCycles(t *testing.T) {
-	for _, dist := range []string{
-		scenario.WorkloadUniform, scenario.WorkloadBursty, scenario.WorkloadSkewed,
-	} {
+func TestRunCyclesLegacyDistAliases(t *testing.T) {
+	for _, dist := range []string{"uniform", "bursty", "skewed"} {
 		t.Run(dist, func(t *testing.T) {
 			cfg, mgr := managerConfig(t,
 				lockmgr.Config{Shards: 2, HandlesPerLock: 2},
@@ -46,10 +44,63 @@ func TestRunCycles(t *testing.T) {
 			if res.LatencyP50 > res.LatencyP99 || res.LatencyP99 > res.LatencyMax {
 				t.Errorf("latency percentiles out of order: %+v", res)
 			}
+			if res.Arrival != workload.ArrivalClosed {
+				t.Errorf("legacy dist %q resolved to arrival %q", dist, res.Arrival)
+			}
 			if err := mgr.Close(); err != nil {
 				t.Errorf("manager close: %v", err)
 			}
 		})
+	}
+}
+
+// TestLegacyDistMapping pins what the deprecated -dist vocabulary means
+// in the unified model.
+func TestLegacyDistMapping(t *testing.T) {
+	run := func(dist string) *Result {
+		cfg, mgr := managerConfig(t,
+			lockmgr.Config{Shards: 2, HandlesPerLock: 2},
+			Config{Clients: 2, Keys: 4, Cycles: 20, Dist: dist})
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		return res
+	}
+	if res := run("skewed"); res.KeyDist != workload.KeyHotset || res.Profile != "uniform" {
+		t.Errorf("skewed mapped to profile=%s keys=%s", res.Profile, res.KeyDist)
+	}
+	if res := run("bursty"); res.Profile != "bursty" || res.KeyDist != workload.KeyUniform {
+		t.Errorf("bursty mapped to profile=%s keys=%s", res.Profile, res.KeyDist)
+	}
+}
+
+func TestRunWorkloadSpec(t *testing.T) {
+	// A full spec: zipf keys, a mixed op set, closed loop.
+	spec := workload.Spec{
+		Seed: 9,
+		Keys: workload.KeySpec{Dist: workload.KeyZipf, ZipfS: 1.2},
+		Ops:  workload.OpMix{Lock: 0.6, Try: 0.2, Timed: 0.2, TimeoutMS: 50},
+	}
+	cfg, mgr := managerConfig(t,
+		lockmgr.Config{Shards: 2, HandlesPerLock: 2},
+		Config{Clients: 4, Keys: 8, Cycles: 200, Workload: &spec})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if res.Violations != 0 || mgr.Violations() != 0 {
+		t.Errorf("violations = %d/%d", res.Violations, mgr.Violations())
+	}
+	if res.KeyDist != workload.KeyZipf {
+		t.Errorf("key dist = %q", res.KeyDist)
+	}
+	// Attempts are conserved: every allocated attempt completed, aborted,
+	// or missed.
+	if got := res.Cycles + res.Aborts + res.TryMisses; got != 200 {
+		t.Errorf("cycles+aborts+misses = %d, want 200", got)
 	}
 }
 
@@ -70,7 +121,8 @@ func TestRunDuration(t *testing.T) {
 }
 
 func TestResultTable(t *testing.T) {
-	res := &Result{Backend: "inproc", Clients: 2, Keys: 2, Dist: "uniform", Cycles: 10}
+	res := &Result{Backend: "inproc", Clients: 2, Keys: 2,
+		Profile: "uniform", KeyDist: "uniform", Arrival: "closed", Cycles: 10}
 	tbl := res.Table()
 	if len(tbl.Rows) != 1 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
@@ -93,11 +145,30 @@ func TestConfigErrors(t *testing.T) {
 		withLocker(Config{Cycles: 1, Keys: -1}),
 		withLocker(Config{Cycles: -1}),
 		withLocker(Config{Cycles: 1, Dist: "pareto"}),
+		// Unified spec and deprecated aliases cannot be mixed.
+		withLocker(Config{Cycles: 1, Dist: "uniform", Workload: &workload.Spec{}}),
+		withLocker(Config{Cycles: 1, OpTimeout: time.Second, Workload: &workload.Spec{}}),
+		// An invalid spec fails loudly.
+		withLocker(Config{Cycles: 1, Workload: &workload.Spec{Profile: "pareto"}}),
+		withLocker(Config{Cycles: 1, Workload: &workload.Spec{Keys: workload.KeySpec{Dist: "pareto"}}}),
 	}
 	for i, cfg := range cases {
 		if _, err := Run(cfg); err == nil {
 			t.Errorf("Run(case %d) succeeded", i)
 		}
+	}
+}
+
+// TestOpMixNeedsCapableBackend: a spec with try ops over a backend
+// without TryAcquire must fail loudly.
+func TestOpMixNeedsCapableBackend(t *testing.T) {
+	_, err := Run(Config{
+		Clients: 1, Keys: 1, Cycles: 1,
+		Workload:  &workload.Spec{Ops: workload.OpMix{Try: 1}},
+		NewLocker: func(int) (Locker, error) { return plainLocker{}, nil },
+	})
+	if err == nil || !strings.Contains(err.Error(), "TryAcquire") {
+		t.Fatalf("try mix over a try-less backend: err = %v", err)
 	}
 }
 
@@ -116,8 +187,16 @@ func TestManagerLockerSessionErrors(t *testing.T) {
 	if held, _ := lk.Holds("k"); !held {
 		t.Error("Holds = false for a held name")
 	}
+	if _, err := lk.TryAcquire("k"); err == nil {
+		t.Error("try re-acquire in one session succeeded")
+	}
 	if err := lk.Release("nope"); err == nil {
 		t.Error("release of unheld name succeeded")
+	}
+	// A try probe on a busy lock misses without error.
+	other := NewManagerLocker(mgr)
+	if ok, err := other.TryAcquire("k"); err != nil || ok {
+		t.Errorf("TryAcquire on a held lock = (%v, %v), want (false, nil)", ok, err)
 	}
 	// Close releases the leftover grant, so the manager can shut down.
 	if err := lk.Close(); err != nil {

@@ -3,6 +3,8 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"anonmutex/internal/workload"
 )
 
 // TestNormalizeErrorsAreDescriptive pins the contract the harnesses rely
@@ -24,6 +26,18 @@ func TestNormalizeErrorsAreDescriptive(t *testing.T) {
 			[]string{"unknown perms", "transposition"}},
 		{"unknown workload", Spec{Algorithm: AlgRW, N: 2, M: 3, Workload: "spiky"},
 			[]string{"unknown workload", "spiky"}},
+		{"unknown traffic profile", Spec{Algorithm: AlgRW, N: 2, M: 3,
+			Traffic: workload.Spec{Profile: "spiky"}},
+			[]string{"traffic model", "spiky"}},
+		{"unknown traffic key dist", Spec{Algorithm: AlgRW, N: 2, M: 3,
+			Traffic: workload.Spec{Keys: workload.KeySpec{Dist: "pareto"}}},
+			[]string{"traffic model", "pareto"}},
+		{"workload vs traffic conflict", Spec{Algorithm: AlgRW, N: 2, M: 3,
+			Workload: "uniform", Traffic: workload.Spec{Profile: "bursty"}},
+			[]string{"conflicts", "bursty"}},
+		{"seed conflict", Spec{Algorithm: AlgRW, N: 2, M: 3,
+			WorkloadSeed: 3, Traffic: workload.Spec{Seed: 4}},
+			[]string{"workload_seed", "conflicts"}},
 		{"illegal rw size", Spec{Algorithm: AlgRW, N: 2, M: 4},
 			[]string{"unchecked"}}, // must point at the escape hatch
 		{"rw size below n", Spec{Algorithm: AlgRW, N: 4, M: 3},
@@ -86,7 +100,9 @@ func TestIllegalSizesNeedUnchecked(t *testing.T) {
 }
 
 // TestParseJSONErrors covers the decode-side error paths: syntax errors,
-// unknown fields, and specs that parse but fail validation.
+// unknown fields, and specs that parse but fail validation. Unknown
+// workload names in JSON specs must fail loudly, never default to
+// uniform.
 func TestParseJSONErrors(t *testing.T) {
 	cases := []struct {
 		name, in string
@@ -96,6 +112,9 @@ func TestParseJSONErrors(t *testing.T) {
 		{"unknown field", `{"algorithm":"rw","n":2,"registers":5}`, "registers"},
 		{"invalid spec", `{"algorithm":"warp","n":2}`, "unknown algorithm"},
 		{"wrong type", `{"algorithm":"rw","n":"two"}`, "parsing spec"},
+		{"unknown workload name", `{"algorithm":"rw","n":2,"m":3,"workload":"pareto"}`, "unknown workload"},
+		{"unknown traffic profile", `{"algorithm":"rw","n":2,"m":3,"traffic":{"profile":"pareto"}}`, "pareto"},
+		{"unknown traffic field", `{"algorithm":"rw","n":2,"m":3,"traffic":{"dist":"zipf"}}`, "dist"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

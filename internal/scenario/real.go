@@ -106,18 +106,10 @@ func RunReal(s Spec) (*RealResult, error) {
 		}
 	}
 
-	var profile workload.Profile
-	switch s.Workload {
-	case WorkloadBursty:
-		profile = workload.Bursty
-	case WorkloadSkewed:
-		profile = workload.Skewed
-	default:
-		profile = workload.Uniform
-	}
-	plan, err := workload.Generate(workload.Config{
-		N: s.N, Sessions: s.Sessions, Profile: profile, Seed: s.WorkloadSeed,
-	})
+	// Per-session CS and remainder work comes from the scenario's unified
+	// traffic model: process i replays workload stream i, the same stream
+	// a loadgen client or the simulated scheduler would consume.
+	plan, err := workload.SpecPlan(s.Traffic, s.N, s.Sessions)
 	if err != nil {
 		return nil, err
 	}

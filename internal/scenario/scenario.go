@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"anonmutex/internal/mset"
+	"anonmutex/internal/workload"
 )
 
 // Algorithm, schedule, permutation, and workload names used in specs. The
@@ -37,7 +38,11 @@ const (
 	PermsIdentity = "identity" // non-anonymous memory
 	PermsRandom   = "random"   // seeded uniform permutations
 	PermsRotation = "rotation" // the Theorem 5 ring adversary
+)
 
+// Workload profile names, re-exported from the unified traffic model
+// (internal/workload) for spec files and older call sites.
+const (
 	WorkloadUniform = "uniform"
 	WorkloadBursty  = "bursty"
 	WorkloadSkewed  = "skewed"
@@ -80,11 +85,21 @@ type Spec struct {
 	PermSeed     uint64 `json:"perm_seed,omitempty"`
 	RotationStep int    `json:"rotation_step,omitempty"`
 
-	// Workload selects the contention profile (uniform, bursty, skewed)
-	// used by the real substrate for critical-section and remainder work;
-	// WorkloadSeed drives its jitter.
+	// Workload names the session profile (uniform, bursty, skewed) of
+	// the scenario's traffic model and WorkloadSeed its jitter seed —
+	// shorthands that Normalize folds into Traffic. Both substrates
+	// consume the result: the real runner draws per-session
+	// critical-section and remainder spin work from it, and the
+	// simulated scheduler scales its per-session CS ticks by it when
+	// CSTicks > 0.
 	Workload     string `json:"workload,omitempty"`
 	WorkloadSeed uint64 `json:"workload_seed,omitempty"`
+	// Traffic is the scenario's full traffic model (the unified
+	// internal/workload spec). Normalize materializes it from the
+	// shorthands above when unset; a spec may also state it directly
+	// for profiles and bases the shorthands cannot express. Workload
+	// and Traffic.Profile must agree when both are given.
+	Traffic workload.Spec `json:"traffic"`
 
 	// DeterministicClaims resolves Algorithm 1's "any ⊥ register" choice
 	// to the first hole instead of a seeded random one, making runs fully
@@ -165,14 +180,43 @@ func (s Spec) Normalize() (Spec, error) {
 	default:
 		return s, fmt.Errorf("scenario: unknown perms %q", s.Perms)
 	}
-	if s.Workload == "" {
-		s.Workload = WorkloadUniform
+	// Fold the Workload/WorkloadSeed shorthands into the unified traffic
+	// model, then let it validate itself (unknown profile names fail
+	// loudly there instead of defaulting to uniform).
+	if s.Workload != "" {
+		if _, err := workload.ParseProfile(s.Workload); err != nil {
+			return s, fmt.Errorf("scenario: unknown workload %q (want %s, %s, or %s)",
+				s.Workload, WorkloadUniform, WorkloadBursty, WorkloadSkewed)
+		}
 	}
-	switch s.Workload {
-	case WorkloadUniform, WorkloadBursty, WorkloadSkewed:
-	default:
-		return s, fmt.Errorf("scenario: unknown workload %q", s.Workload)
+	if s.Workload != "" && s.Traffic.Profile != "" && s.Workload != s.Traffic.Profile {
+		return s, fmt.Errorf("scenario: workload %q conflicts with traffic.profile %q",
+			s.Workload, s.Traffic.Profile)
 	}
+	if s.Traffic.Profile == "" {
+		s.Traffic.Profile = s.Workload // "" defaults to uniform below
+	}
+	if s.WorkloadSeed != 0 && s.Traffic.Seed != 0 && s.WorkloadSeed != s.Traffic.Seed {
+		return s, fmt.Errorf("scenario: workload_seed %d conflicts with traffic.seed %d",
+			s.WorkloadSeed, s.Traffic.Seed)
+	}
+	if s.Traffic.Seed == 0 {
+		s.Traffic.Seed = s.WorkloadSeed
+	}
+	// The historical real-substrate scales.
+	if s.Traffic.BaseCS == 0 {
+		s.Traffic.BaseCS = 5
+	}
+	if s.Traffic.BaseRemainder == 0 {
+		s.Traffic.BaseRemainder = 10
+	}
+	traffic, err := s.Traffic.Normalize()
+	if err != nil {
+		return s, fmt.Errorf("scenario: traffic model: %w", err)
+	}
+	s.Traffic = traffic
+	s.Workload = traffic.Profile
+	s.WorkloadSeed = traffic.Seed
 	if s.MaxSteps == 0 {
 		s.MaxSteps = 1_000_000
 	}
@@ -299,11 +343,19 @@ func init() {
 		MaxSteps:        20_000_000,
 	})
 	mustRegister(Spec{
-		Name: "bursty-rmw", Doc: "Algorithm 2 under a bursty workload profile",
+		Name: "bursty-rmw", Doc: "Algorithm 2 under a bursty traffic model (jittered per-session CS ticks on both substrates)",
 		Algorithm: AlgRMW, N: 4, Sessions: 4,
 		Schedule: SchedRandom, Seed: 19,
-		Workload: WorkloadBursty, WorkloadSeed: 3,
+		Traffic:  workload.Spec{Profile: WorkloadBursty, Seed: 3},
 		CSTicks:  2,
+		MaxSteps: 20_000_000,
+	})
+	mustRegister(Spec{
+		Name: "heavy-hitter-rw", Doc: "Algorithm 1 with one hammering process (skewed traffic model, shorthand form)",
+		Algorithm: AlgRW, N: 3, M: 5, Sessions: 3,
+		Schedule: SchedRandom, Seed: 29,
+		Workload: WorkloadSkewed, WorkloadSeed: 7,
+		CSTicks:  1,
 		MaxSteps: 20_000_000,
 	})
 	mustRegister(Spec{

@@ -3,6 +3,8 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"anonmutex/internal/workload"
 )
 
 func TestNormalizeDefaults(t *testing.T) {
@@ -172,5 +174,57 @@ func TestRunRealWorkloadProfiles(t *testing.T) {
 		if res.Entries != 6 || res.MEViolations != 0 {
 			t.Errorf("workload %s: entries=%d violations=%d", w, res.Entries, res.MEViolations)
 		}
+	}
+}
+
+// TestNormalizeMaterializesTraffic: the Workload/WorkloadSeed shorthands
+// and the embedded traffic model must end up in sync, with the
+// historical real-substrate scales as defaults.
+func TestNormalizeMaterializesTraffic(t *testing.T) {
+	s, err := Spec{Algorithm: AlgRMW, N: 3, Workload: WorkloadBursty, WorkloadSeed: 9}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Traffic.Profile != WorkloadBursty || s.Traffic.Seed != 9 {
+		t.Errorf("traffic not materialized from shorthands: %+v", s.Traffic)
+	}
+	if s.Traffic.BaseCS != 5 || s.Traffic.BaseRemainder != 10 {
+		t.Errorf("historical base scales not applied: %+v", s.Traffic)
+	}
+	// And the reverse direction: an explicit traffic spec fills the
+	// shorthand fields.
+	s, err = Spec{Algorithm: AlgRMW, N: 3, Traffic: workload.Spec{Profile: WorkloadSkewed, Seed: 4}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workload != WorkloadSkewed || s.WorkloadSeed != 4 {
+		t.Errorf("shorthands not synced from traffic: workload=%q seed=%d", s.Workload, s.WorkloadSeed)
+	}
+}
+
+// TestRunRealUsesUnifiedPlan: the real runner's per-process sessions
+// must come from workload.SpecPlan on the scenario's traffic model —
+// process i replays workload stream i.
+func TestRunRealUsesUnifiedPlan(t *testing.T) {
+	spec, err := (Spec{
+		Algorithm: AlgRMW, N: 2, M: 3, Sessions: 3,
+		Traffic: workload.Spec{Profile: WorkloadBursty, Seed: 21},
+	}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := workload.SpecPlan(spec.Traffic, spec.N, spec.Sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 || len(plan[0]) != 3 {
+		t.Fatalf("unexpected plan shape %dx%d", len(plan), len(plan[0]))
+	}
+	res, err := RunReal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries != 6 || res.MEViolations != 0 {
+		t.Errorf("entries=%d violations=%d", res.Entries, res.MEViolations)
 	}
 }

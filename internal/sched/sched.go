@@ -53,6 +53,12 @@ type Config struct {
 	// critical section before starting unlock (default 0: it unlocks on
 	// its next scheduled step).
 	CSTicks int
+	// CSTicksFor, when non-nil, overrides CSTicks per entry: it is
+	// called at each CS entry with the process index and its 0-based
+	// session number and must be deterministic (the unified workload
+	// model's session plans are; cycle detection fingerprints the
+	// remaining ticks, not the function).
+	CSTicksFor func(proc, session int) int
 	// MaxSteps bounds the run (default 1_000_000).
 	MaxSteps int
 	// HonestSnapshots expands each snapshot into individually scheduled
@@ -336,7 +342,16 @@ func (r *Runner) afterAdvance(i, step int, st core.Status) {
 	case core.StatusInCS:
 		r.mon.OnEnter(i, step)
 		r.tr.Add(trace.Event{Step: step, Proc: i, Kind: trace.EvEnterCS})
-		p.csLeft = r.cfg.CSTicks
+		if r.cfg.CSTicksFor != nil {
+			// p.sessions is not yet decremented, so completed sessions
+			// = Sessions - p.sessions indexes the one entered now.
+			p.csLeft = r.cfg.CSTicksFor(i, r.cfg.Sessions-p.sessions)
+		} else {
+			p.csLeft = r.cfg.CSTicks
+		}
+		if p.csLeft < 0 {
+			p.csLeft = 0
+		}
 	case core.StatusIdle:
 		p.sessions--
 		r.tr.Add(trace.Event{Step: step, Proc: i, Kind: trace.EvUnlockDone})

@@ -423,3 +423,38 @@ func TestAblationTieBreakNeverWedges(t *testing.T) {
 // TieBreakNeverForTest exposes the ablation constant without importing
 // core's internals in test tables.
 func TieBreakNeverForTest() core.TieBreak { return core.TieBreakNever }
+
+// TestCSTicksFor: the per-session hook must be called once per CS entry
+// with in-order 0-based session indexes, and its values must actually
+// pace the critical sections (more ticks, more steps).
+func TestCSTicksFor(t *testing.T) {
+	calls := make(map[int][]int)
+	cfg := Config{
+		N: 2, M: 3,
+		NewMachine: Alg1Factory(2, 3, core.Alg1Config{}),
+		Sessions:   3,
+		CSTicksFor: func(proc, session int) int {
+			calls[proc] = append(calls[proc], session)
+			return 2 * session // sessions get longer as they go
+		},
+	}
+	res := assertCorrectRun(t, cfg)
+	for proc, sessions := range calls {
+		if len(sessions) != 3 {
+			t.Errorf("process %d: hook called %d times, want 3", proc, len(sessions))
+		}
+		for i, s := range sessions {
+			if s != i {
+				t.Errorf("process %d: call %d carried session %d", proc, i, s)
+			}
+		}
+	}
+	flat := assertCorrectRun(t, Config{
+		N: 2, M: 3,
+		NewMachine: Alg1Factory(2, 3, core.Alg1Config{}),
+		Sessions:   3,
+	})
+	if res.Steps <= flat.Steps {
+		t.Errorf("per-session ticks (%d steps) should exceed zero-tick runs (%d steps)", res.Steps, flat.Steps)
+	}
+}

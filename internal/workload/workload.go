@@ -1,21 +1,22 @@
-// Package workload generates deterministic lock-usage patterns for the
-// benchmark harness: how long each critical section runs, how long a
-// process stays in the remainder section, and how many sessions it
-// performs.
+// Package workload is the repository's single traffic model: one
+// seed-deterministic, JSON-describable Spec (see spec.go) composes a
+// key-popularity distribution, an arrival process, an op mix, and
+// session-length generators, and every load-producing layer — the
+// loadgen client fleets, the scenario runners on both substrates, the
+// experiment catalog, and the CLIs — draws from it through per-stream
+// Sources.
 //
-// Everything derives from a seed so that harness runs replay exactly. The
-// durations are expressed in abstract "work units"; the real-concurrency
-// benches spin for that many units, the simulated benches convert them to
-// scheduler ticks.
+// Everything derives from a seed so that harness runs replay exactly.
+// Durations are expressed in abstract "work units": the real-concurrency
+// harnesses spin for that many units (Spin), the simulated benches
+// convert them to scheduler ticks.
 package workload
 
 import (
 	"fmt"
-
-	"anonmutex/internal/xrand"
 )
 
-// Profile names a contention pattern.
+// Profile names a session-length contention pattern.
 type Profile uint8
 
 // Built-in profiles.
@@ -25,12 +26,14 @@ const (
 	Uniform Profile = iota + 1
 	// Bursty: long idle periods punctuated by clusters of short sessions.
 	Bursty
-	// Skewed: one process (index 0) hammers the lock while others touch
+	// Skewed: one stream (index 0) hammers the lock while others touch
 	// it occasionally.
 	Skewed
 )
 
-// String returns the profile name.
+// String returns the profile's canonical token. Every value — including
+// unknown ones — renders to a token ParseProfile accepts, so the
+// String/Parse round trip never loses information.
 func (p Profile) String() string {
 	switch p {
 	case Uniform:
@@ -40,8 +43,29 @@ func (p Profile) String() string {
 	case Skewed:
 		return "skewed"
 	default:
-		return fmt.Sprintf("Profile(%d)", uint8(p))
+		return fmt.Sprintf("profile(%d)", uint8(p))
 	}
+}
+
+// ParseProfile inverts Profile.String: it accepts the built-in names and
+// the "profile(N)" token String renders for unknown values. Anything
+// else is an error — callers that need a *usable* profile (Spec
+// normalization) additionally reject parseable-but-unknown values, so a
+// typo in a JSON spec fails loudly instead of defaulting to uniform.
+func ParseProfile(s string) (Profile, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "bursty":
+		return Bursty, nil
+	case "skewed":
+		return Skewed, nil
+	}
+	var v uint8
+	if n, err := fmt.Sscanf(s, "profile(%d)", &v); err == nil && n == 1 {
+		return Profile(v), nil
+	}
+	return 0, fmt.Errorf("workload: unknown profile %q (want uniform, bursty, or skewed)", s)
 }
 
 // Session is one lock acquisition's workload.
@@ -52,11 +76,14 @@ type Session struct {
 	RemainderWork int
 }
 
-// Plan is a fully materialized workload: Plan[i] lists process i's
+// Plan is a fully materialized workload: Plan[i] lists stream i's
 // sessions in order.
 type Plan [][]Session
 
-// Config parameterizes generation.
+// Config is the legacy generation surface, kept as a thin alias over
+// Spec: it names a profile by enum value and applies the historical
+// defaults (BaseCS 5, BaseRemainder 10). New code should build a Spec
+// and use SpecPlan or NewSource directly.
 type Config struct {
 	// N is the number of processes; Sessions the sessions per process.
 	N, Sessions int
@@ -90,48 +117,19 @@ func (c *Config) normalize() error {
 	return nil
 }
 
-// Generate materializes a plan.
+// Generate materializes a plan from the legacy Config alias. Unknown
+// profile values are rejected (they used to fall back to uniform
+// silently).
 func Generate(cfg Config) (Plan, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	r := xrand.New(cfg.Seed)
-	plan := make(Plan, cfg.N)
-	for i := range plan {
-		pr := r.Fork()
-		plan[i] = make([]Session, cfg.Sessions)
-		for s := range plan[i] {
-			plan[i][s] = genSession(cfg, pr, i, s)
-		}
-	}
-	return plan, nil
-}
-
-func genSession(cfg Config, r *xrand.Rand, proc, _ int) Session {
-	jitter := func(base int) int {
-		if base == 0 {
-			return 0
-		}
-		// ±50% uniform jitter, at least 1.
-		lo := base/2 + 1
-		return lo + r.Intn(base)
-	}
-	switch cfg.Profile {
-	case Uniform:
-		return Session{CSWork: cfg.BaseCS, RemainderWork: cfg.BaseRemainder}
-	case Bursty:
-		if r.Intn(4) == 0 { // a burst: negligible think time
-			return Session{CSWork: jitter(cfg.BaseCS), RemainderWork: 1}
-		}
-		return Session{CSWork: jitter(cfg.BaseCS), RemainderWork: 10 * cfg.BaseRemainder}
-	case Skewed:
-		if proc == 0 {
-			return Session{CSWork: jitter(cfg.BaseCS), RemainderWork: 1}
-		}
-		return Session{CSWork: jitter(cfg.BaseCS), RemainderWork: 5 * cfg.BaseRemainder}
-	default:
-		return Session{CSWork: cfg.BaseCS, RemainderWork: cfg.BaseRemainder}
-	}
+	return SpecPlan(Spec{
+		Profile:       cfg.Profile.String(),
+		BaseCS:        cfg.BaseCS,
+		BaseRemainder: cfg.BaseRemainder,
+		Seed:          cfg.Seed,
+	}, cfg.N, cfg.Sessions)
 }
 
 // TotalSessions returns the number of sessions across all processes.

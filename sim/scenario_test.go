@@ -85,6 +85,43 @@ func TestRunScenarioJSON(t *testing.T) {
 	}
 }
 
+// TestSimConsumesTrafficModel: with cs_ticks set and a non-uniform
+// profile, the simulated scheduler draws per-session CS ticks from the
+// scenario's traffic plan — deterministically, and differently from the
+// constant-ticks configuration.
+func TestSimConsumesTrafficModel(t *testing.T) {
+	base := scenario.Spec{
+		Algorithm: scenario.AlgRMW, N: 3, M: 1, Sessions: 4,
+		Schedule: scenario.SchedRandom, Seed: 7,
+		CSTicks: 5, MaxSteps: 20_000_000,
+	}
+	bursty := base
+	bursty.Workload, bursty.WorkloadSeed = scenario.WorkloadBursty, 3
+
+	a, err := sim.RunSpec(bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.RunSpec(bursty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Completed || a.MEViolations != 0 {
+		t.Fatalf("bursty-traffic run misbehaved: %+v", a)
+	}
+	if a.Steps != b.Steps || a.Entries != b.Entries {
+		t.Errorf("traffic-driven sim not deterministic: (%d,%d) vs (%d,%d)",
+			a.Steps, a.Entries, b.Steps, b.Entries)
+	}
+	uniform, err := sim.RunSpec(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.Steps == a.Steps {
+		t.Errorf("bursty traffic did not change the schedule: both ran %d steps", a.Steps)
+	}
+}
+
 func TestRunSpecMatchesRunConfig(t *testing.T) {
 	// The same execution described declaratively and imperatively must
 	// agree step for step.

@@ -25,6 +25,7 @@ import (
 	"anonmutex/internal/scenario"
 	"anonmutex/internal/sched"
 	"anonmutex/internal/strawman"
+	"anonmutex/internal/workload"
 )
 
 // Algorithm selects a protocol.
@@ -93,6 +94,11 @@ type Config struct {
 	// Sessions per process (default 1) and critical-section ticks
 	// (default 0).
 	Sessions, CSTicks int
+	// CSTicksFor, when non-nil, draws each critical section's ticks per
+	// (process, 0-based session) instead of the constant CSTicks — the
+	// hook the scenario bridge uses to drive the scheduler from the
+	// unified workload model's session plans. Must be deterministic.
+	CSTicksFor func(proc, session int) int
 	// Schedule (default RoundRobin) and its seed.
 	Schedule Schedule
 	Seed     uint64
@@ -167,6 +173,7 @@ func Run(cfg Config) (*Result, error) {
 		Policy:          policy,
 		Sessions:        cfg.Sessions,
 		CSTicks:         cfg.CSTicks,
+		CSTicksFor:      cfg.CSTicksFor,
 		MaxSteps:        cfg.MaxSteps,
 		HonestSnapshots: cfg.HonestSnapshots,
 		DetectCycles:    cfg.DetectCycles,
@@ -488,6 +495,25 @@ func configFromSpec(spec scenario.Spec) (Config, error) {
 		cfg.Perms = RotationPerms
 	default:
 		return Config{}, fmt.Errorf("sim: unknown scenario perms %q", spec.Perms)
+	}
+	// The simulated substrate consumes the scenario's traffic model too:
+	// with cs_ticks > 0 and a non-uniform profile, per-session CS ticks
+	// come from the same session plan the real runner spins through,
+	// scaled so the profile's base equals cs_ticks. (A uniform profile
+	// is the constant-CSTicks case and needs no plan.)
+	if spec.CSTicks > 0 && spec.Traffic.Profile != scenario.WorkloadUniform {
+		tspec := spec.Traffic
+		tspec.BaseCS = spec.CSTicks
+		plan, err := workload.SpecPlan(tspec, spec.N, spec.Sessions)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.CSTicksFor = func(proc, session int) int {
+			if session >= len(plan[proc]) {
+				session = len(plan[proc]) - 1
+			}
+			return plan[proc][session].CSWork
+		}
 	}
 	return cfg, nil
 }
