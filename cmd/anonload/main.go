@@ -17,6 +17,7 @@
 //
 //	anonload -clients 64 -keys 32 -cycles 2000
 //	anonload -mode net -addr 127.0.0.1:7117 -dist skewed -duration 10s
+//	anonload -mode net -proto binary -mux 16 -clients 64 -cycles 20000
 //	anonload -op-timeout 5ms -clients 64 -keys 4       # per-acquire SLA
 //	anonload -workload-file zipf-openloop.json -duration 5s
 //	anonload -workload '{"keys":{"dist":"zipf"},"arrival":{"process":"poisson","rate_per_sec":50000},"ops":{"timed":1,"timeout_ms":5}}' -duration 2s
@@ -67,6 +68,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("anonload", flag.ContinueOnError)
 	mode := fs.String("mode", "inproc", "backend: inproc (own lock manager) or net (a lockd service)")
 	addr := fs.String("addr", "127.0.0.1:7117", "lockd address (net mode)")
+	proto := fs.String("proto", "json", "net-mode wire protocol: json (newline-delimited, one session per socket) or binary (multiplexed frames)")
+	mux := fs.Int("mux", 0, "net mode: logical sessions per socket, implies -proto binary (0: the spec's conns_per_socket, else one socket per client)")
 	clients := fs.Int("clients", 64, "concurrent clients")
 	keys := fs.Int("keys", 32, "distinct lock names")
 	cycles := fs.Int("cycles", 2000, "total acquire/release cycles (0: run for -duration)")
@@ -161,14 +164,45 @@ func run(args []string) error {
 		}
 		return report(*jsonOut, res, backendTable, violations)
 	case "net":
-		cfg.NewLocker = func(int) (loadgen.Locker, error) {
-			return client.Dial(*addr)
+		perSocket := *mux
+		if perSocket == 0 && cfg.Workload != nil {
+			perSocket = cfg.Workload.ConnsPerSocket
+		}
+		if perSocket < 0 {
+			return fmt.Errorf("-mux must be positive, got %d", perSocket)
+		}
+		useBinary := *proto == "binary" || perSocket > 0
+		switch *proto {
+		case "binary":
+		case "json":
+			if flagSet(fs, "proto") && perSocket > 0 {
+				return fmt.Errorf("-mux multiplexes the binary transport; it cannot be combined with -proto json")
+			}
+		default:
+			return fmt.Errorf("unknown -proto %q (want json or binary)", *proto)
+		}
+		label := "net " + *addr + " proto=json"
+		if useBinary {
+			if perSocket < 1 {
+				perSocket = 1
+			}
+			cfg.ConnsPerSocket = perSocket
+			pool := client.NewMuxPool(*addr, perSocket)
+			defer pool.Close()
+			cfg.NewLocker = func(int) (loadgen.Locker, error) {
+				return pool.Open()
+			}
+			label = fmt.Sprintf("net %s proto=binary mux=%d", *addr, perSocket)
+		} else {
+			cfg.NewLocker = func(int) (loadgen.Locker, error) {
+				return client.Dial(*addr)
+			}
 		}
 		res, err := loadgen.Run(cfg)
 		if err != nil {
 			return err
 		}
-		res.Backend = "net " + *addr
+		res.Backend = label
 		// The server's own cross-check is the authoritative violation
 		// count; fold it in via a final stats query.
 		c, err := client.Dial(*addr)
@@ -202,10 +236,10 @@ func serverTable(st lockd.Stats) *stats.Table {
 	t := &stats.Table{
 		Title: "lockd server counters",
 		Header: []string{"acquires", "releases", "waits", "aborts", "lease-timeouts",
-			"try-fail", "creates", "evictions", "resident", "sessions", "violations"},
+			"try-fail", "creates", "evictions", "resident", "sessions", "streams", "violations"},
 	}
 	t.AddRow(st.Acquires, st.Releases, st.Waits, st.Aborts, st.LeaseTimeouts,
-		st.TryFailures, st.LockCreates, st.Evictions, st.ResidentLocks, st.Sessions, st.Violations)
+		st.TryFailures, st.LockCreates, st.Evictions, st.ResidentLocks, st.Sessions, st.Streams, st.Violations)
 	return t
 }
 

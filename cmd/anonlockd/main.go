@@ -1,6 +1,9 @@
 // Command anonlockd serves the lockd network lock service: named locks
 // backed by anonymous-register mutexes, sharded and lease-pooled by
-// internal/lockmgr, over the newline-JSON TCP protocol in package lockd.
+// internal/lockmgr, over the TCP protocol in package lockd. Both wire
+// formats are served on the one port: clients leading with the binary
+// magic get the multiplexed framed protocol, everything else is
+// newline-JSON — no configuration needed on either side.
 //
 // Usage:
 //
@@ -8,6 +11,7 @@
 //	anonlockd -addr 127.0.0.1:9000          # explicit bind address
 //	anonlockd -alg rw -handles 4 -shards 8  # lock-manager tuning
 //	anonlockd -max-wait 50ms                # abort any acquire past 50ms
+//	anonlockd -max-frame 262144             # cap binary frames at 256 KiB
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // sessions get a drain window, and every session grant is released.
@@ -46,6 +50,7 @@ func run(args []string, stop <-chan struct{}) error {
 	maxLocks := fs.Int("max-locks", 1024, "resident locks per shard before LRU eviction")
 	seed := fs.Uint64("seed", 1, "anonymity-adversary seed")
 	maxWait := fs.Duration("max-wait", 0, "server-side cap on any acquire wait; longer waits abort cleanly (0: unlimited)")
+	maxFrame := fs.Int("max-frame", 0, "byte cap on one binary frame; an oversized frame is a protocol error (0: the built-in default)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +76,7 @@ func run(args []string, stop <-chan struct{}) error {
 
 	srv := lockd.NewServer(mgr)
 	srv.MaxWait = *maxWait
+	srv.MaxFrameBytes = *maxFrame
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

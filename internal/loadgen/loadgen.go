@@ -99,6 +99,10 @@ type Config struct {
 	// mix: every acquire carries this deadline, and expired attempts
 	// abort cleanly. It cannot be combined with Workload.
 	OpTimeout time.Duration
+	// ConnsPerSocket, when nonzero, overrides the spec's
+	// conns_per_socket knob — the CLI's -mux flag. The generator itself
+	// only records it; NewLocker decides what it means.
+	ConnsPerSocket int
 	// NewLocker opens client i's session.
 	NewLocker func(client int) (Locker, error)
 }
@@ -156,6 +160,9 @@ func (c Config) withDefaults() (Config, workload.Spec, error) {
 	if spec.Seed == 0 {
 		spec.Seed = c.Seed
 	}
+	if c.ConnsPerSocket != 0 {
+		spec.ConnsPerSocket = c.ConnsPerSocket
+	}
 	spec, err := spec.Normalize()
 	if err != nil {
 		return c, zero, fmt.Errorf("loadgen: %w", err)
@@ -168,6 +175,10 @@ type Result struct {
 	Backend string `json:"backend"`
 	Clients int    `json:"clients"`
 	Keys    int    `json:"keys"`
+	// ConnsPerSocket echoes the spec's socket-multiplexing knob so a
+	// recorded result states which transport shape produced it (0: one
+	// socket per client).
+	ConnsPerSocket int `json:"conns_per_socket,omitempty"`
 	// Profile, KeyDist, and Arrival summarize the traffic model.
 	Profile string  `json:"profile"`
 	KeyDist string  `json:"key_dist"`
@@ -468,19 +479,20 @@ func Run(cfg Config) (*Result, error) {
 	}
 	cycles := int64(merged.N())
 	res := &Result{
-		Clients:     cfg.Clients,
-		Keys:        cfg.Keys,
-		Profile:     spec.Profile,
-		KeyDist:     spec.Keys.Dist,
-		Arrival:     spec.Arrival.Process,
-		Cycles:      cycles,
-		Seconds:     elapsed,
-		Arrivals:    st.arrivals.Load(),
-		Shed:        st.shed.Load(),
-		Violations:  st.violations.Load(),
-		Aborts:      st.aborts.Load(),
-		TryMisses:   st.tryMisses.Load(),
-		OpTimeoutMS: spec.Ops.TimeoutMS,
+		Clients:        cfg.Clients,
+		Keys:           cfg.Keys,
+		ConnsPerSocket: spec.ConnsPerSocket,
+		Profile:        spec.Profile,
+		KeyDist:        spec.Keys.Dist,
+		Arrival:        spec.Arrival.Process,
+		Cycles:         cycles,
+		Seconds:        elapsed,
+		Arrivals:       st.arrivals.Load(),
+		Shed:           st.shed.Load(),
+		Violations:     st.violations.Load(),
+		Aborts:         st.aborts.Load(),
+		TryMisses:      st.tryMisses.Load(),
+		OpTimeoutMS:    spec.Ops.TimeoutMS,
 	}
 	if spec.Ops.Timed == 0 {
 		res.OpTimeoutMS = 0

@@ -46,6 +46,12 @@ type Spec struct {
 	BaseRemainder int    `json:"base_remainder,omitempty"`
 	// Seed drives every stream derived from this spec.
 	Seed uint64 `json:"seed,omitempty"`
+	// ConnsPerSocket is how many logical sessions a network backend
+	// multiplexes onto each physical socket (the binary transport's
+	// stream fan-in). 0 means the transport default: one dedicated
+	// socket per session. Backends without a network substrate ignore
+	// it.
+	ConnsPerSocket int `json:"conns_per_socket,omitempty"`
 	// Keys is the key-popularity distribution.
 	Keys KeySpec `json:"keys"`
 	// Arrival is the arrival process.
@@ -183,6 +189,9 @@ func (s Spec) Normalize() (Spec, error) {
 	}
 	if s.BaseCS < 0 || s.BaseRemainder < 0 {
 		return s, fmt.Errorf("workload: negative base durations")
+	}
+	if s.ConnsPerSocket < 0 {
+		return s, fmt.Errorf("workload: negative conns_per_socket")
 	}
 
 	switch s.Keys.Dist {

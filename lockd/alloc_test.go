@@ -36,7 +36,7 @@ func loop(t *testing.T, s *Server, sess *session, names *nameTable, req *Request
 	if err := decodeRequest(line, req, names); err != nil {
 		t.Fatalf("decode %s: %v", line, err)
 	}
-	resp := s.handle(context.Background(), sess, *req)
+	resp := s.handle(context.Background(), sess, *req, nil)
 	if resp.Err != "" {
 		t.Fatalf("handle %s: %s", line, resp.Err)
 	}
@@ -81,6 +81,55 @@ func TestServerSteadyStateRequestLoopZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestServerBinarySteadyStateZeroAllocs pins the same budget for the
+// binary transport's per-op pipeline: decode one binary op, execute it,
+// encode the response into the stream's frame. The framing itself
+// (BeginFrame/EndFrame on a reused buffer) is included.
+func TestServerBinarySteadyStateZeroAllocs(t *testing.T) {
+	s, sess, names := steadySession(t)
+	encode := func(req Request) []byte {
+		op, err := AppendRequestBin(nil, &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return op
+	}
+	acquire := encode(Request{Op: OpAcquire, Name: "hot-key"})
+	release := encode(Request{Op: OpRelease, Name: "hot-key"})
+	holds := encode(Request{Op: OpHolds, Name: "hot-key"})
+	ping := encode(Request{Op: OpPing})
+	var req Request
+	frame := BeginFrame(make([]byte, 0, 512), 1)
+
+	binLoop := func(op []byte) {
+		if _, err := decodeRequestBin(op, &req, names); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		resp := s.handle(context.Background(), sess, req, nil)
+		if resp.Err != "" {
+			t.Fatalf("handle: %s", resp.Err)
+		}
+		frame = AppendResponseBin(frame, &resp)
+		frame = EndFrame(frame, 0)
+		frame = BeginFrame(frame[:0], 1)
+	}
+	for i := 0; i < 3; i++ {
+		binLoop(acquire)
+		binLoop(holds)
+		binLoop(release)
+		binLoop(ping)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		binLoop(acquire)
+		binLoop(holds)
+		binLoop(release)
+		binLoop(ping)
+	})
+	if allocs != 0 {
+		t.Errorf("binary loop: %.1f allocs per steady-state cycle, budget is 0", allocs)
+	}
+}
+
 // TestServerFailedTryZeroAllocs covers the contended fail-fast probe: a
 // try on a held lock must also stay off the heap.
 func TestServerFailedTryZeroAllocs(t *testing.T) {
@@ -93,7 +142,7 @@ func TestServerFailedTryZeroAllocs(t *testing.T) {
 	if err := decodeRequest([]byte(`{"op":"acquire","name":"hot-key"}`), &req, names); err != nil {
 		t.Fatal(err)
 	}
-	if resp := s.handle(context.Background(), other, req); !resp.Acquired {
+	if resp := s.handle(context.Background(), other, req, nil); !resp.Acquired {
 		t.Fatalf("setup acquire failed: %+v", resp)
 	}
 
@@ -110,7 +159,7 @@ func TestServerFailedTryZeroAllocs(t *testing.T) {
 	if err := decodeRequest([]byte(`{"op":"release","name":"hot-key"}`), &req, names); err != nil {
 		t.Fatal(err)
 	}
-	if resp := s.handle(context.Background(), other, req); !resp.OK {
+	if resp := s.handle(context.Background(), other, req, nil); !resp.OK {
 		t.Fatalf("teardown release failed: %+v", resp)
 	}
 	_ = fmt.Sprint()

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -143,6 +144,22 @@ func benchRoundTrips(b *testing.B, conn *client.Conn) {
 			}
 		}
 	})
+	b.Run("batch-acquire-release", func(b *testing.B) {
+		reqs := []lockd.Request{
+			{Op: lockd.OpAcquire, Name: "bench-key"},
+			{Op: lockd.OpRelease, Name: "bench-key"},
+		}
+		resps := make([]lockd.Response, len(reqs))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := conn.Batch(reqs, resps); err != nil {
+				b.Fatal(err)
+			}
+			if !resps[0].Acquired || !resps[1].OK {
+				b.Fatalf("batch: %+v", resps)
+			}
+		}
+	})
 	b.Run("holds", func(b *testing.B) {
 		if err := conn.Acquire("bench-key"); err != nil {
 			b.Fatal(err)
@@ -172,6 +189,112 @@ func BenchmarkRoundTrip_Pipe(b *testing.B) {
 // BenchmarkRoundTrip_TCP is the same round trip over real loopback TCP.
 func BenchmarkRoundTrip_TCP(b *testing.B) {
 	benchRoundTrips(b, benchTCPClient(b))
+}
+
+// benchPipeMuxStream starts a server over an in-memory transport and
+// returns one logical stream of a binary-protocol mux.
+func benchPipeMuxStream(b *testing.B) *client.Conn {
+	b.Helper()
+	mgr, err := lockmgr.New(lockmgr.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := lockd.NewServer(mgr)
+	ln := newPipeListener()
+	go srv.Serve(ln)
+	cs, ss := net.Pipe()
+	ln.conns <- ss
+	mux := client.NewMux(cs)
+	st, err := mux.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		mux.Close()
+		ctx, cancel := benchCtx()
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return st
+}
+
+// benchTCPMux starts a server on loopback TCP and returns a connected
+// binary-protocol mux.
+func benchTCPMux(b *testing.B) *client.Mux {
+	b.Helper()
+	mgr, err := lockmgr.New(lockmgr.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := lockd.NewServer(mgr)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	mux, err := client.DialMux(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		mux.Close()
+		ctx, cancel := benchCtx()
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return mux
+}
+
+// BenchmarkRoundTrip_PipeBinary is the binary-transport counterpart of
+// BenchmarkRoundTrip_Pipe: the same logical round trips carried as
+// length-prefixed frames over one mux stream. The delta against the
+// JSON rows is the pure codec+framing win.
+func BenchmarkRoundTrip_PipeBinary(b *testing.B) {
+	benchRoundTrips(b, benchPipeMuxStream(b))
+}
+
+// BenchmarkRoundTrip_TCPBinary is the binary round trip over real
+// loopback TCP — the headline uncontended acquire+release number for
+// the multiplexed transport.
+func BenchmarkRoundTrip_TCPBinary(b *testing.B) {
+	mux := benchTCPMux(b)
+	st, err := mux.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchRoundTrips(b, st)
+}
+
+// BenchmarkMux_TCPStreams drives N logical streams over ONE TCP socket,
+// each goroutine doing uncontended acquire+release on its own key: the
+// multiplexing payoff — frame batching amortizes syscalls across
+// streams, so aggregate throughput rises while the socket count stays
+// at one.
+func BenchmarkMux_TCPStreams(b *testing.B) {
+	for _, streams := range []int{4, 16} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			mux := benchTCPMux(b)
+			var next atomic.Int32
+			b.ReportAllocs()
+			b.SetParallelism(streams)
+			b.RunParallel(func(pb *testing.PB) {
+				st, err := mux.Open()
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer st.Close()
+				key := fmt.Sprintf("bench-key-%d", next.Add(1))
+				for pb.Next() {
+					if err := st.Acquire(key); err != nil {
+						b.Fatal(err)
+					}
+					if err := st.Release(key); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // BenchmarkRoundTrip_PipeParallel drives one pipelined session from many

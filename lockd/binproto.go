@@ -1,0 +1,247 @@
+package lockd
+
+// Server side of the binary framed protocol: one reader goroutine per
+// connection demultiplexes frames onto per-stream processing goroutines,
+// each of which is a full logical session (own grants, own reaper
+// semantics) running the same handle() the JSON path uses. Responses are
+// batched per stream into frames and pushed through a shared writer
+// whose flush coalesces across streams — the last writer in a convoy
+// pays the syscall for everyone, the multi-stream analogue of the JSON
+// path's flush-when-idle batching.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"anonmutex/internal/lockmgr"
+)
+
+// binResponseFlushBytes caps how much encoded response a stream batches
+// into one frame before pushing it to the shared writer mid-burst.
+const binResponseFlushBytes = 16 << 10
+
+// muxWriter serializes frames from many stream goroutines onto one
+// connection and coalesces flushes: a writer flushes only when no other
+// writer is already waiting for the lock, so a convoy of frames costs
+// one syscall — the last writer out pays it. The error is sticky; once a
+// write fails every subsequent writeFrame reports it.
+type muxWriter struct {
+	waiters atomic.Int32
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	err     error
+}
+
+func (w *muxWriter) writeFrame(frame []byte) error {
+	w.waiters.Add(1)
+	w.mu.Lock()
+	w.waiters.Add(-1)
+	if w.err == nil {
+		_, w.err = w.bw.Write(frame)
+	}
+	if w.err == nil && w.waiters.Load() == 0 {
+		w.err = w.bw.Flush()
+	}
+	err := w.err
+	w.mu.Unlock()
+	return err
+}
+
+// binConn is one binary connection: the demultiplexer state shared by
+// its reader and its stream goroutines.
+type binConn struct {
+	srv    *Server
+	conn   net.Conn
+	ctx    context.Context
+	cancel context.CancelFunc
+	w      muxWriter
+
+	mu      sync.Mutex
+	streams map[uint32]*binStream
+
+	wg sync.WaitGroup
+}
+
+// binStream is one logical session multiplexed on a binary connection.
+type binStream struct {
+	id   uint32
+	sess *session
+	q    *opQueue[Request]
+}
+
+// serveBinary runs one binary framed connection. The reader goroutine is
+// the caller: it validates the magic, then demultiplexes frames, routing
+// each op to its stream's queue (spawning the stream's processing
+// goroutine on first use) and applying cancels out of band exactly as
+// the JSON reader does — so a cancel aborts its stream's blocked acquire
+// without waiting behind it. Any protocol error — bad magic, oversized
+// or malformed frame, unknown opcode, the reserved stream 0 — is
+// answered once with an error response on stream 0 and ends the
+// connection, mirroring the JSON path's oversized-line contract. When
+// the connection ends, every stream's queue is closed and every stream's
+// grants are released before the socket is torn down.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
+	var magic [len(BinaryMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	bc := &binConn{
+		srv:     s,
+		conn:    conn,
+		ctx:     ctx,
+		cancel:  cancel,
+		streams: make(map[uint32]*binStream),
+	}
+	bc.w.bw = bufio.NewWriter(conn)
+	if magic != BinaryMagic {
+		bc.connError(fmt.Sprintf("lockd: bad protocol magic %x", magic[:]))
+		return
+	}
+	defer func() {
+		// Cancel first so any stream blocked in a slow-path acquire
+		// withdraws instead of competing on behalf of a dead connection,
+		// then let every stream drain and release its grants.
+		bc.cancel()
+		bc.mu.Lock()
+		for _, st := range bc.streams {
+			st.q.close()
+		}
+		bc.mu.Unlock()
+		bc.wg.Wait()
+	}()
+
+	maxFrame := s.MaxFrameBytes
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrameBytes
+	}
+	names := newNameTable() // per-connection lock-name interning (byte-bounded)
+	var buf []byte
+	var req Request
+	for {
+		var stream uint32
+		var ops []byte
+		var err error
+		stream, ops, buf, err = ReadFrame(br, buf, maxFrame)
+		if err != nil {
+			if errors.Is(err, errFrameTooBig) || errors.Is(err, errShortFrame) {
+				bc.connError(err.Error())
+			}
+			return // disconnect (or the protocol error answered above)
+		}
+		if stream == 0 {
+			bc.connError("lockd: stream 0 is reserved")
+			return
+		}
+		st := bc.stream(stream)
+		for len(ops) > 0 {
+			if ops, err = decodeRequestBin(ops, &req, names); err != nil {
+				bc.connError(fmt.Sprintf("lockd: bad request: %v", err))
+				return
+			}
+			if req.Op == OpCancel {
+				st.sess.cancelAcquire(req.Name)
+			}
+			st.q.push(req)
+		}
+	}
+}
+
+// connError answers a connection-fatal protocol error once, on the
+// reserved stream 0, before the connection closes.
+func (bc *binConn) connError(msg string) {
+	frame := BeginFrame(make([]byte, 0, 64+len(msg)), 0)
+	frame = AppendResponseBin(frame, &Response{Err: msg})
+	bc.w.writeFrame(EndFrame(frame, 0))
+}
+
+// stream returns the processing stream for id, spawning it on first use.
+func (bc *binConn) stream(id uint32) *binStream {
+	bc.mu.Lock()
+	st := bc.streams[id]
+	if st == nil {
+		st = &binStream{
+			id:   id,
+			sess: &session{grants: make(map[string]lockmgr.Lease)},
+			q:    newOpQueue[Request](),
+		}
+		bc.streams[id] = st
+		bc.srv.liveStreams.Add(1)
+		bc.wg.Add(1)
+		go bc.streamLoop(st)
+	}
+	bc.mu.Unlock()
+	return st
+}
+
+// streamLoop is one stream's processing goroutine: the binary
+// counterpart of the JSON processing loop, with the same batching shape
+// — responses accumulate into a frame that is pushed when the stream's
+// queue runs dry, when it grows past binResponseFlushBytes, or right
+// before an acquire commits to blocking (the preBlock hook), so a
+// blocked stream never holds hostage responses it already owes. Each
+// stream blocks independently: a contended acquire on one stream never
+// delays its siblings on the same connection.
+func (bc *binConn) streamLoop(st *binStream) {
+	defer func() {
+		for _, l := range st.sess.grants {
+			bc.srv.mgr.Release(l)
+		}
+		bc.srv.liveStreams.Add(-1)
+		bc.wg.Done()
+	}()
+	frame := BeginFrame(make([]byte, 0, 512), st.id)
+	// flush pushes the batched responses, reporting false — after closing
+	// the connection so every stream unwinds — when the write failed.
+	flush := func() bool {
+		if len(frame) == frameHeaderLen {
+			return true
+		}
+		err := bc.w.writeFrame(EndFrame(frame, 0))
+		frame = BeginFrame(frame[:0], st.id)
+		if err != nil {
+			bc.conn.Close()
+			return false
+		}
+		return true
+	}
+	preBlock := func() { flush() }
+	for {
+		req, ok := st.q.tryPop()
+		if !ok {
+			// No pipelined op is waiting: push the batched responses out
+			// before parking on the queue.
+			if !flush() {
+				return
+			}
+			if req, ok = st.q.pop(); !ok {
+				return
+			}
+		}
+		if req.Op == OpEndStream {
+			// Retire the stream: ack, then forget it so the id can be
+			// reused; the deferred cleanup releases its grants.
+			frame = AppendResponseBin(frame, &Response{OK: true})
+			flush()
+			bc.mu.Lock()
+			if bc.streams[st.id] == st {
+				delete(bc.streams, st.id)
+			}
+			bc.mu.Unlock()
+			return
+		}
+		resp := bc.srv.handle(bc.ctx, st.sess, req, preBlock)
+		frame = AppendResponseBin(frame, &resp)
+		if len(frame) >= binResponseFlushBytes {
+			if !flush() {
+				return
+			}
+		}
+	}
+}

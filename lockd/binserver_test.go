@@ -1,0 +1,527 @@
+package lockd_test
+
+// End-to-end coverage of the binary multiplexed transport: negotiation
+// (binary magic vs the JSON fallback old clients speak), stream
+// independence (a blocked or cancelled stream must not desync its
+// siblings), the stream lifecycle (end_stream releases grants without
+// killing the socket; a dropped socket reaps every stream), and the
+// frame-limit protocol error contract on stream 0.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"anonmutex/internal/lockmgr"
+	"anonmutex/lockd"
+	"anonmutex/lockd/client"
+)
+
+func dialMux(t *testing.T, addr string) *client.Mux {
+	t.Helper()
+	m, err := client.DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+func openStream(t *testing.T, m *client.Mux) *client.Conn {
+	t.Helper()
+	c, err := m.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestMuxSessionLifecycle is TestSessionLifecycle over one stream of a
+// multiplexed binary connection: the whole client API must behave
+// identically on either transport.
+func TestMuxSessionLifecycle(t *testing.T) {
+	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
+	m := dialMux(t, addr)
+	c := openStream(t, m)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if held, err := c.Holds("k"); err != nil || held {
+		t.Fatalf("Holds before acquire: held=%v err=%v", held, err)
+	}
+	if err := c.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+	if held, err := c.Holds("k"); err != nil || !held {
+		t.Fatalf("Holds inside critical section: held=%v err=%v", held, err)
+	}
+	if err := c.Acquire("k"); err == nil {
+		t.Error("re-acquiring a held name in one session succeeded")
+	}
+	if err := c.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release("k"); err == nil {
+		t.Error("releasing an unheld name succeeded")
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Acquires != 1 || st.Releases != 1 || st.Violations != 0 || st.Sessions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Streams != 1 {
+		t.Errorf("Streams = %d, want 1 (one open stream)", st.Streams)
+	}
+}
+
+// TestMuxStreamsAreIndependentSessions: two streams of one socket are
+// distinct lock-protocol sessions — one can hold what the other then
+// fails to try, and holds answers per stream.
+func TestMuxStreamsAreIndependentSessions(t *testing.T) {
+	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
+	m := dialMux(t, addr)
+	a := openStream(t, m)
+	b := openStream(t, m)
+
+	if err := a.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := b.TryAcquire("k"); err != nil || ok {
+		t.Fatalf("sibling stream try of a held lock: ok=%v err=%v", ok, err)
+	}
+	if held, err := b.Holds("k"); err != nil || held {
+		t.Fatalf("sibling stream holds: held=%v err=%v", held, err)
+	}
+	if err := a.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := b.TryAcquire("k"); err != nil || !ok {
+		t.Fatalf("try after sibling release: ok=%v err=%v", ok, err)
+	}
+	if err := b.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxBlockedStreamDoesNotStallSiblings: an acquire blocked on one
+// stream must not delay any sibling on the same socket (per-stream
+// server goroutines, not per-connection).
+func TestMuxBlockedStreamDoesNotStallSiblings(t *testing.T) {
+	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
+	m := dialMux(t, addr)
+	a := openStream(t, m)
+	b := openStream(t, m)
+
+	if err := a.Acquire("hot"); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- b.Acquire("hot") }() // parks behind a
+	time.Sleep(20 * time.Millisecond)
+	// Sibling traffic on a fresh stream must flow while b is parked.
+	c := openStream(t, m)
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 50; i++ {
+			if err := c.Ping(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sibling stream stalled behind a blocked acquire")
+	}
+	if err := a.Release("hot"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Release("hot"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxCancelDoesNotDesyncSiblings is the regression test for the
+// Cancel+mux interaction: a mid-pipeline cancel on one stream must
+// neither lose nor misroute responses on sibling streams sharing the
+// socket. Run under -race it also exercises the demux bookkeeping.
+func TestMuxCancelDoesNotDesyncSiblings(t *testing.T) {
+	_, mgr, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
+	m := dialMux(t, addr)
+
+	holder := openStream(t, m)
+	if err := holder.Acquire("hot"); err != nil {
+		t.Fatal(err)
+	}
+
+	const siblings = 4
+	const rounds = 25
+	var wg sync.WaitGroup
+	// Sibling streams run an independent acquire/release workload on
+	// their own names throughout the cancel churn.
+	for i := 0; i < siblings; i++ {
+		c := openStream(t, m)
+		name := "sib-" + string(rune('a'+i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := c.Acquire(name); err != nil {
+					t.Error(err)
+					return
+				}
+				if held, err := c.Holds(name); err != nil || !held {
+					t.Errorf("holds: held=%v err=%v", held, err)
+					return
+				}
+				if err := c.Release(name); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// The cancelling stream repeatedly pipelines a blocked acquire with
+	// a chasing cancel — the mid-pipeline cancel of the regression.
+	canceller := openStream(t, m)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			got := make(chan error, 1)
+			go func() { got <- canceller.Acquire("hot") }()
+			if err := canceller.Cancel("hot"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := <-got; err != nil && !errors.Is(err, client.ErrAborted) {
+				t.Errorf("cancelled acquire: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := holder.Release("hot"); err != nil {
+		t.Fatal(err)
+	}
+	if v := mgr.Violations(); v != 0 {
+		t.Fatalf("%d violations", v)
+	}
+}
+
+// TestMuxStreamCloseReleasesGrants: Close on one stream releases its
+// grants server-side and leaves the socket serving its siblings.
+func TestMuxStreamCloseReleasesGrants(t *testing.T) {
+	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
+	m := dialMux(t, addr)
+	a := openStream(t, m)
+	b := openStream(t, m)
+
+	if err := a.Acquire("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil { // end_stream: grants released, acked
+		t.Fatal(err)
+	}
+	if err := a.Ping(); err == nil {
+		t.Error("request on a closed stream succeeded")
+	}
+	if err := b.Acquire("k"); err != nil { // blocks until the close freed it
+		t.Fatal(err)
+	}
+	if err := b.Release("k"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := b.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sessions != 1 || st.Streams != 1 {
+		t.Errorf("after stream close: Sessions=%d Streams=%d, want 1/1", st.Sessions, st.Streams)
+	}
+}
+
+// TestMuxDisconnectReleasesAllStreams drops the socket with several
+// streams mid-hold: every stream's grants must be reaped.
+func TestMuxDisconnectReleasesAllStreams(t *testing.T) {
+	_, mgr, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
+	m := dialMux(t, addr)
+	names := []string{"k1", "k2", "k3"}
+	for _, name := range names {
+		c := openStream(t, m)
+		if err := c.Acquire(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil { // vanish without releasing anything
+		t.Fatal(err)
+	}
+	b, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for _, name := range names {
+		if err := b.Acquire(name); err != nil { // blocks until cleanup frees it
+			t.Fatal(err)
+		}
+		if err := b.Release(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := mgr.Violations(); v != 0 {
+		t.Fatalf("%d violations", v)
+	}
+}
+
+// TestMuxMutualExclusion contends many streams of one socket for one
+// name with the client-side owner token and in-CS holds check.
+func TestMuxMutualExclusion(t *testing.T) {
+	_, mgr, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
+	m := dialMux(t, addr)
+	const streams = 4
+	const cycles = 10
+	var owner atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for i := 1; i <= streams; i++ {
+		c := openStream(t, m)
+		wg.Add(1)
+		go func(me int64) {
+			defer wg.Done()
+			for s := 0; s < cycles; s++ {
+				if err := c.Acquire("hot"); err != nil {
+					t.Error(err)
+					return
+				}
+				if !owner.CompareAndSwap(0, me) {
+					violations.Add(1)
+				}
+				if held, err := c.Holds("hot"); err != nil || !held {
+					t.Errorf("in-CS holds check: held=%v err=%v", held, err)
+				}
+				if !owner.CompareAndSwap(me, 0) {
+					violations.Add(1)
+				}
+				if err := c.Release("hot"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d client-observed violations", v)
+	}
+	if v := mgr.Violations(); v != 0 {
+		t.Fatalf("%d manager-observed violations", v)
+	}
+}
+
+// TestMuxBatch: a batched acquire+holds+release costs one frame and
+// comes back as matched in-order responses.
+func TestMuxBatch(t *testing.T) {
+	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
+	m := dialMux(t, addr)
+	c := openStream(t, m)
+	reqs := []lockd.Request{
+		{Op: lockd.OpAcquire, Name: "k"},
+		{Op: lockd.OpHolds, Name: "k"},
+		{Op: lockd.OpRelease, Name: "k"},
+	}
+	resps := make([]lockd.Response, len(reqs))
+	if err := c.Batch(reqs, resps); err != nil {
+		t.Fatal(err)
+	}
+	if !resps[0].Acquired || !resps[1].Holds || !resps[2].OK {
+		t.Errorf("batch responses = %+v", resps)
+	}
+}
+
+// TestJSONFallbackOldClient verifies negotiation end to end: a
+// pre-binary client — raw newline-JSON, no magic — must be served
+// unchanged by a binary-capable server.
+func TestJSONFallbackOldClient(t *testing.T) {
+	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	roundTrip := func(line string) lockd.Response {
+		t.Helper()
+		if _, err := conn.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := br.ReadBytes('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp lockd.Response
+		if err := lockd.DecodeResponse(raw[:len(raw)-1], &resp); err != nil {
+			t.Fatalf("unparseable response %q: %v", raw, err)
+		}
+		return resp
+	}
+	if resp := roundTrip(`{"op":"acquire","name":"k"}`); !resp.Acquired {
+		t.Fatalf("acquire: %+v", resp)
+	}
+	if resp := roundTrip(`{"op":"release","name":"k"}`); !resp.OK {
+		t.Fatalf("release: %+v", resp)
+	}
+	if resp := roundTrip(`{"op":"ping"}`); !resp.OK {
+		t.Fatalf("ping: %+v", resp)
+	}
+}
+
+// TestBinaryProtocolErrors exercises the frame-level error contract: the
+// server answers exactly once, on the reserved stream 0, then hangs up —
+// the binary mirror of the JSON oversized-line contract.
+func TestBinaryProtocolErrors(t *testing.T) {
+	readStream0Err := func(t *testing.T, conn net.Conn) string {
+		t.Helper()
+		br := bufio.NewReader(conn)
+		stream, ops, _, err := lockd.ReadFrame(br, nil, 0)
+		if err != nil {
+			t.Fatalf("reading error frame: %v", err)
+		}
+		if stream != 0 {
+			t.Fatalf("error frame on stream %d, want 0", stream)
+		}
+		var resp lockd.Response
+		if _, err := lockd.DecodeResponseBin(ops, &resp); err != nil {
+			t.Fatalf("decoding error frame: %v", err)
+		}
+		if resp.OK || resp.Err == "" {
+			t.Fatalf("error frame = %+v", resp)
+		}
+		// Exactly once, then hang up: the next read must be EOF.
+		if _, err := br.ReadByte(); err != io.EOF {
+			t.Errorf("after the error frame: %v, want EOF", err)
+		}
+		return resp.Err
+	}
+
+	t.Run("oversized frame", func(t *testing.T) {
+		srv, mgr, err := newBinServer(16) // tiny frame limit
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		conn := dialBin(t, srv)
+		hdr := make([]byte, 8)
+		binary.LittleEndian.PutUint32(hdr, 1<<16) // way past the limit
+		binary.LittleEndian.PutUint32(hdr[4:], 1)
+		if _, err := conn.Write(hdr); err != nil {
+			t.Fatal(err)
+		}
+		if msg := readStream0Err(t, conn); !strings.Contains(msg, "frame limit") {
+			t.Errorf("err = %q", msg)
+		}
+	})
+	t.Run("reserved stream 0", func(t *testing.T) {
+		srv, mgr, err := newBinServer(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		conn := dialBin(t, srv)
+		frame := lockd.BeginFrame(nil, 0)
+		frame, _ = lockd.AppendRequestBin(frame, &lockd.Request{Op: lockd.OpPing})
+		if _, err := conn.Write(lockd.EndFrame(frame, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if msg := readStream0Err(t, conn); !strings.Contains(msg, "reserved") {
+			t.Errorf("err = %q", msg)
+		}
+	})
+	t.Run("unknown opcode", func(t *testing.T) {
+		srv, mgr, err := newBinServer(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		conn := dialBin(t, srv)
+		frame := lockd.BeginFrame(nil, 1)
+		frame = append(frame, 0xEE) // no such opcode
+		if _, err := conn.Write(lockd.EndFrame(frame, 0)); err != nil {
+			t.Fatal(err)
+		}
+		if msg := readStream0Err(t, conn); !strings.Contains(msg, "bad request") {
+			t.Errorf("err = %q", msg)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		srv, mgr, err := newBinServer(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mgr.Close()
+		conn := dialBin(t, srv)
+		if msg := readStream0Err(t, conn); !strings.Contains(msg, "magic") {
+			t.Errorf("err = %q", msg)
+		}
+	})
+}
+
+// binServer is a server with a configurable frame limit on a loopback
+// listener, for raw-wire tests.
+type binServer struct {
+	addr     string
+	shutdown func()
+}
+
+func newBinServer(maxFrame int) (*binServer, *lockmgr.Manager, error) {
+	mgr, err := lockmgr.New(lockmgr.Config{HandlesPerLock: 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := lockd.NewServer(mgr)
+	srv.MaxFrameBytes = maxFrame
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Close()
+		return nil, nil, err
+	}
+	go srv.Serve(ln)
+	return &binServer{addr: ln.Addr().String(), shutdown: func() { ln.Close() }}, mgr, nil
+}
+
+// dialBin dials the raw socket and sends the binary magic — except for
+// the "bad magic" case, which sends a corrupted preamble.
+func dialBin(t *testing.T, srv *binServer) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close(); srv.shutdown() })
+	magic := lockd.BinaryMagic
+	if t.Name() == "TestBinaryProtocolErrors/bad_magic" {
+		magic[1] = 'X'
+	}
+	if _, err := conn.Write(magic[:]); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}

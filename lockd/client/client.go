@@ -47,9 +47,16 @@ var waiterPool = sync.Pool{
 }
 
 // Conn is one client session. Methods are safe for concurrent use and
-// pipeline over the single connection.
+// pipeline over the single connection. A Conn is either a whole dialed
+// connection speaking newline-JSON (Dial/NewConn) or one logical stream
+// of a multiplexed binary connection (Mux.Open) — the API is identical.
 type Conn struct {
 	c net.Conn
+
+	// mux and stream identify a logical session multiplexed on a shared
+	// socket; c is nil then, and all I/O goes through the mux.
+	mux    *Mux
+	stream uint32
 
 	// sendMu serializes writes and queue pushes, so the response queue
 	// order always matches the request order on the wire. It also guards
@@ -144,6 +151,9 @@ func (c *Conn) fail(err error) {
 // do executes one request/response exchange, waiting its turn in the
 // response order.
 func (c *Conn) do(req lockd.Request) (lockd.Response, error) {
+	if c.mux != nil {
+		return c.mux.do(c, req)
+	}
 	ch := waiterPool.Get().(chan result)
 	c.sendMu.Lock()
 	c.mu.Lock()
@@ -258,5 +268,89 @@ func (c *Conn) Ping() error {
 }
 
 // Close ends the session; the server releases any locks it still holds
-// and reaps any acquire still in flight.
-func (c *Conn) Close() error { return c.c.Close() }
+// and reaps any acquire still in flight. On a mux stream it retires just
+// this stream (waiting for the server's ack) and leaves the shared
+// socket up; do not issue or pipeline requests concurrently with Close.
+func (c *Conn) Close() error {
+	if c.mux != nil {
+		return c.mux.closeStream(c)
+	}
+	return c.c.Close()
+}
+
+// Batch executes len(reqs) requests as one coalesced write — one frame
+// on a mux stream, one buffer of lines on a direct connection — and
+// fills resps (which must be the same length) with the matched
+// responses, in order. It returns only transport errors: per-request
+// failures are left in each Response for the caller to inspect. A
+// pipelined acquire+release pair through Batch costs one round trip.
+func (c *Conn) Batch(reqs []lockd.Request, resps []lockd.Response) error {
+	if len(reqs) != len(resps) {
+		return fmt.Errorf("client: batch: %d requests but %d response slots", len(reqs), len(resps))
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	var ch chan result
+	pooled := len(reqs) <= batchPoolCap
+	if pooled {
+		ch = batchPool.Get().(chan result)
+	} else {
+		ch = make(chan result, len(reqs))
+	}
+	var err error
+	if c.mux != nil {
+		err = c.mux.send(c, reqs, ch)
+	} else {
+		err = c.sendBatch(reqs, ch)
+	}
+	if err != nil {
+		if pooled {
+			batchPool.Put(ch)
+		}
+		return fmt.Errorf("client: batch: %w", err)
+	}
+	var firstErr error
+	for i := range resps {
+		res := <-ch
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		resps[i] = res.resp
+	}
+	if pooled {
+		batchPool.Put(ch) // fully drained: len(reqs) sends, len(reqs) receives
+	}
+	if firstErr != nil {
+		return fmt.Errorf("client: batch: %w", firstErr)
+	}
+	return nil
+}
+
+// sendBatch is the direct-connection half of Batch: all lines in one
+// Write, ch registered once per request.
+func (c *Conn) sendBatch(reqs []lockd.Request, ch chan result) error {
+	c.sendMu.Lock()
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		c.sendMu.Unlock()
+		return err
+	}
+	for range reqs {
+		c.queue = append(c.queue, ch)
+	}
+	c.mu.Unlock()
+	c.wbuf = c.wbuf[:0]
+	for i := range reqs {
+		c.wbuf = lockd.AppendRequest(c.wbuf, &reqs[i])
+		c.wbuf = append(c.wbuf, '\n')
+	}
+	_, werr := c.c.Write(c.wbuf)
+	c.sendMu.Unlock()
+	if werr != nil {
+		c.c.Close()
+	}
+	return nil
+}

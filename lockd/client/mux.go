@@ -1,0 +1,327 @@
+package client
+
+// Mux multiplexes many logical sessions over one socket using lockd's
+// binary framed protocol: each Open() returns a *Conn that behaves
+// exactly like a dialed connection — same methods, same pipelining, same
+// Cancel semantics — but shares the underlying TCP connection with its
+// siblings. Frames from concurrent streams coalesce into single writes
+// (the last writer in a convoy pays the flush), and one reader goroutine
+// demultiplexes response frames back to per-stream FIFO queues, so a
+// cancelled or blocked stream never desyncs its siblings.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"anonmutex/lockd"
+)
+
+// errStreamClosed fails requests issued on a mux stream after Close.
+var errStreamClosed = errors.New("stream closed")
+
+// batchPool recycles the multi-response channels Batch matches its
+// responses on; sized for the common small batch.
+const batchPoolCap = 16
+
+var batchPool = sync.Pool{
+	New: func() any { return make(chan result, batchPoolCap) },
+}
+
+// Mux is one binary-protocol connection carrying many logical sessions.
+// Create with DialMux or NewMux, open sessions with Open, tear the whole
+// socket down with Close.
+type Mux struct {
+	c  net.Conn
+	bw *bufio.Writer
+
+	// waiters counts senders en route to sendMu; a sender flushes only
+	// when it is the last one, so a burst of concurrent requests across
+	// streams costs one syscall.
+	waiters atomic.Int32
+	// sendMu serializes frame writes and queue pushes (order on the wire
+	// must match each stream's queue order) and guards wbuf.
+	sendMu sync.Mutex
+	wbuf   []byte
+
+	mu      sync.Mutex
+	streams map[uint32]*Conn
+	nextID  uint32
+	broken  error
+}
+
+// DialMux connects to a lockd server and negotiates the binary framed
+// protocol.
+func DialMux(addr string) (*Mux, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing lockd at %s: %w", addr, err)
+	}
+	return NewMux(c), nil
+}
+
+// NewMux wraps an already-established connection as a binary multiplexed
+// client. The Mux takes ownership of c and immediately stakes the
+// protocol claim: the magic preamble is buffered ahead of the first
+// frame (the server reads it before anything else).
+func NewMux(c net.Conn) *Mux {
+	m := &Mux{c: c, bw: bufio.NewWriter(c), streams: make(map[uint32]*Conn)}
+	m.bw.Write(lockd.BinaryMagic[:])
+	go m.readLoop()
+	return m
+}
+
+// Open starts a new logical session on the mux. The returned Conn
+// supports the full client API; Close retires just this stream (the
+// server releases its grants) and leaves the socket up for its siblings.
+func (m *Mux) Open() (*Conn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken != nil {
+		return nil, fmt.Errorf("client: open stream: %w", m.broken)
+	}
+	m.nextID++
+	st := &Conn{mux: m, stream: m.nextID}
+	m.streams[st.stream] = st
+	return st, nil
+}
+
+// Close tears down the socket: every stream and every in-flight request
+// fails, and the server reaps every stream's grants.
+func (m *Mux) Close() error {
+	return m.c.Close()
+}
+
+// send encodes reqs as one frame on st's stream and registers ch to
+// receive len(reqs) responses, in order. It never partially registers:
+// on any error nothing was queued and nothing was written.
+func (m *Mux) send(st *Conn, reqs []lockd.Request, ch chan result) error {
+	m.waiters.Add(1)
+	m.sendMu.Lock()
+	m.waiters.Add(-1)
+	m.wbuf = lockd.BeginFrame(m.wbuf[:0], st.stream)
+	var err error
+	for i := range reqs {
+		if m.wbuf, err = lockd.AppendRequestBin(m.wbuf, &reqs[i]); err != nil {
+			m.flushIfLast()
+			m.sendMu.Unlock()
+			return err
+		}
+	}
+	m.wbuf = lockd.EndFrame(m.wbuf, 0)
+	st.mu.Lock()
+	if st.broken != nil {
+		err = st.broken
+		st.mu.Unlock()
+		m.flushIfLast()
+		m.sendMu.Unlock()
+		return err
+	}
+	for range reqs {
+		st.queue = append(st.queue, ch)
+	}
+	st.mu.Unlock()
+	_, werr := m.bw.Write(m.wbuf)
+	if werr == nil && m.waiters.Load() == 0 {
+		werr = m.bw.Flush()
+	}
+	m.sendMu.Unlock()
+	if werr != nil {
+		// The reader will observe the broken connection and deliver the
+		// failure to every queued waiter, including this one.
+		m.c.Close()
+	}
+	return nil
+}
+
+// flushIfLast keeps the last-writer-flushes invariant on paths that bail
+// out without writing: a sender that skipped its flush because we were
+// queued behind it must not be left with its frame stuck in the buffer.
+// Callers hold sendMu.
+func (m *Mux) flushIfLast() {
+	if m.bw.Buffered() > 0 && m.waiters.Load() == 0 {
+		m.bw.Flush()
+	}
+}
+
+// do executes one request/response exchange on stream st.
+func (m *Mux) do(st *Conn, req lockd.Request) (lockd.Response, error) {
+	ch := waiterPool.Get().(chan result)
+	reqs := [1]lockd.Request{req}
+	if err := m.send(st, reqs[:], ch); err != nil {
+		waiterPool.Put(ch)
+		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, err)
+	}
+	res := <-ch
+	waiterPool.Put(ch)
+	if res.err != nil {
+		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, res.err)
+	}
+	if !res.resp.OK {
+		return res.resp, fmt.Errorf("client: %s: %s", req.Op, res.resp.Err)
+	}
+	return res.resp, nil
+}
+
+// closeStream retires one logical session: the server acks after
+// releasing the stream's grants, then both sides forget the stream.
+func (m *Mux) closeStream(st *Conn) error {
+	st.mu.Lock()
+	already := st.broken != nil
+	st.mu.Unlock()
+	if already {
+		return nil
+	}
+	_, err := m.do(st, lockd.Request{Op: lockd.OpEndStream})
+	st.fail(errStreamClosed)
+	m.mu.Lock()
+	if m.streams[st.stream] == st {
+		delete(m.streams, st.stream)
+	}
+	m.mu.Unlock()
+	return err
+}
+
+// readLoop owns the inbound half: it reads response frames and routes
+// each frame's batch of responses to its stream's oldest waiters, in
+// order. Per-stream FIFOs are what keep sibling streams independent: a
+// response only ever advances its own stream's queue. Any read or decode
+// failure — and any frame on the reserved stream 0, which carries the
+// server's connection-fatal protocol errors — breaks the whole mux.
+func (m *Mux) readLoop() {
+	br := bufio.NewReader(m.c)
+	var buf []byte
+	for {
+		var stream uint32
+		var ops []byte
+		var err error
+		stream, ops, buf, err = lockd.ReadFrame(br, buf, lockd.DefaultMaxFrameBytes)
+		if err != nil {
+			m.fail(fmt.Errorf("mux broken: %w", err))
+			return
+		}
+		if stream == 0 {
+			var resp lockd.Response
+			if _, derr := lockd.DecodeResponseBin(ops, &resp); derr == nil && resp.Err != "" {
+				m.fail(fmt.Errorf("server error: %s", resp.Err))
+			} else {
+				m.fail(errors.New("server error on stream 0"))
+			}
+			return
+		}
+		m.mu.Lock()
+		st := m.streams[stream]
+		m.mu.Unlock()
+		if st == nil {
+			m.fail(fmt.Errorf("response on unknown stream %d", stream))
+			return
+		}
+		for len(ops) > 0 {
+			var res result
+			if ops, err = lockd.DecodeResponseBin(ops, &res.resp); err != nil {
+				m.fail(fmt.Errorf("bad response: %w", err))
+				return
+			}
+			st.mu.Lock()
+			if st.qhead == len(st.queue) {
+				st.mu.Unlock()
+				m.fail(fmt.Errorf("response with no request in flight on stream %d", stream))
+				return
+			}
+			ch := st.queue[st.qhead]
+			st.queue[st.qhead] = nil
+			st.qhead++
+			if st.qhead == len(st.queue) {
+				st.queue = st.queue[:0]
+				st.qhead = 0
+			}
+			st.mu.Unlock()
+			ch <- res
+		}
+	}
+}
+
+// fail breaks the mux: every stream's waiters are unblocked with err and
+// later requests and Opens fail fast.
+func (m *Mux) fail(err error) {
+	m.mu.Lock()
+	if m.broken == nil {
+		m.broken = err
+	}
+	sts := make([]*Conn, 0, len(m.streams))
+	for _, st := range m.streams {
+		sts = append(sts, st)
+	}
+	m.mu.Unlock()
+	for _, st := range sts {
+		st.fail(err)
+	}
+}
+
+// MuxPool opens logical sessions packed onto as few sockets as the
+// conns-per-socket budget allows: the loadgen backend for N workers over
+// N/perSocket connections.
+type MuxPool struct {
+	addr      string
+	perSocket int
+
+	mu    sync.Mutex
+	muxes []*Mux
+	open  int // streams opened on the newest mux
+}
+
+// NewMuxPool makes a pool dialing addr, packing up to perSocket logical
+// sessions per socket (min 1).
+func NewMuxPool(addr string, perSocket int) *MuxPool {
+	if perSocket < 1 {
+		perSocket = 1
+	}
+	return &MuxPool{addr: addr, perSocket: perSocket}
+}
+
+// Open returns a new logical session, dialing a fresh socket only when
+// the newest one is full.
+func (p *MuxPool) Open() (*Conn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.muxes) == 0 || p.open >= p.perSocket {
+		m, err := DialMux(p.addr)
+		if err != nil {
+			return nil, err
+		}
+		p.muxes = append(p.muxes, m)
+		p.open = 0
+	}
+	st, err := p.muxes[len(p.muxes)-1].Open()
+	if err != nil {
+		return nil, err
+	}
+	p.open++
+	return st, nil
+}
+
+// Sockets reports how many physical connections the pool has dialed.
+func (p *MuxPool) Sockets() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.muxes)
+}
+
+// Close tears down every socket in the pool.
+func (p *MuxPool) Close() error {
+	p.mu.Lock()
+	muxes := p.muxes
+	p.muxes = nil
+	p.open = 0
+	p.mu.Unlock()
+	var first error
+	for _, m := range muxes {
+		if err := m.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

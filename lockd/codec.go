@@ -83,6 +83,10 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		dst = strconv.AppendUint(dst, s.Violations, 10)
 		dst = append(dst, `,"sessions":`...)
 		dst = strconv.AppendInt(dst, int64(s.Sessions), 10)
+		if s.Streams != 0 {
+			dst = append(dst, `,"streams":`...)
+			dst = strconv.AppendInt(dst, int64(s.Streams), 10)
+		}
 		dst = append(dst, '}')
 	}
 	return append(dst, '}')
@@ -335,6 +339,10 @@ func (d *scanner) statsObject(s *Stats) error {
 		case "sessions":
 			v, err := d.intValue()
 			s.Sessions = int(v)
+			return err
+		case "streams":
+			v, err := d.intValue()
+			s.Streams = int(v)
 			return err
 		default:
 			return d.skipValue()

@@ -58,10 +58,50 @@ func checkRequestCodec(t *testing.T, req Request) {
 	if jgot != req {
 		t.Errorf("json.Unmarshal(AppendRequest) = %+v, want %+v", jgot, req)
 	}
+	checkRequestBinCodec(t, req)
+}
+
+// checkRequestBinCodec pins the semantic equivalence of the two wire
+// formats: every protocol request round-trips binary→struct→JSON→struct
+// to the identical value, so a binary client and a JSON client are
+// indistinguishable to the server. Ops outside the protocol must be
+// rejected by the binary encoder (the JSON format carries any string;
+// the binary format's opcode table is closed on purpose).
+func checkRequestBinCodec(t *testing.T, req Request) {
+	t.Helper()
+	enc, err := AppendRequestBin(nil, &req)
+	if opcodeOf(req.Op) == 0 {
+		if err == nil {
+			t.Errorf("AppendRequestBin(%+v) accepted an op with no opcode", req)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("AppendRequestBin(%+v): %v", req, err)
+	}
+	var bgot Request
+	rest, err := DecodeRequestBin(enc, &bgot)
+	if err != nil {
+		t.Fatalf("DecodeRequestBin(%+v): %v", req, err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("DecodeRequestBin(%+v) left %d trailing bytes", req, len(rest))
+	}
+	if bgot != req {
+		t.Errorf("binary round trip = %+v, want %+v", bgot, req)
+	}
+	// The decoded struct must re-enter the JSON format unchanged.
+	var jgot Request
+	if err := json.Unmarshal(AppendRequest(nil, &bgot), &jgot); err != nil {
+		t.Fatalf("json.Unmarshal(AppendRequest(binary round trip)): %v", err)
+	}
+	if jgot != req {
+		t.Errorf("binary→struct→JSON→struct = %+v, want %+v", jgot, req)
+	}
 }
 
 func TestRequestCodecAllFieldCombinations(t *testing.T) {
-	ops := []string{OpAcquire, OpTryAcquire, OpRelease, OpCancel, OpHolds, OpStats, OpPing, "unknown-op", ""}
+	ops := []string{OpAcquire, OpTryAcquire, OpRelease, OpCancel, OpHolds, OpStats, OpPing, OpEndStream, "unknown-op", ""}
 	for _, op := range ops {
 		for _, name := range codecNames {
 			for _, timeout := range codecTimeouts {
@@ -95,6 +135,33 @@ func checkResponseCodec(t *testing.T, resp Response) {
 	if !reflect.DeepEqual(jgot, resp) {
 		t.Errorf("json.Unmarshal(AppendResponse) = %+v, want %+v", jgot, resp)
 	}
+	checkResponseBinCodec(t, resp)
+}
+
+// checkResponseBinCodec is the response half of the cross-format
+// equivalence property: binary→struct→JSON→struct must reproduce the
+// value exactly, including full-range stats counters.
+func checkResponseBinCodec(t *testing.T, resp Response) {
+	t.Helper()
+	enc := AppendResponseBin(nil, &resp)
+	var bgot Response
+	rest, err := DecodeResponseBin(enc, &bgot)
+	if err != nil {
+		t.Fatalf("DecodeResponseBin(%+v): %v", resp, err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("DecodeResponseBin(%+v) left %d trailing bytes", resp, len(rest))
+	}
+	if !reflect.DeepEqual(bgot, resp) {
+		t.Errorf("binary round trip = %+v, want %+v", bgot, resp)
+	}
+	var jgot Response
+	if err := json.Unmarshal(AppendResponse(nil, &bgot), &jgot); err != nil {
+		t.Fatalf("json.Unmarshal(AppendResponse(binary round trip)): %v", err)
+	}
+	if !reflect.DeepEqual(jgot, resp) {
+		t.Errorf("binary→struct→JSON→struct = %+v, want %+v", jgot, resp)
+	}
 }
 
 func TestResponseCodecAllFieldCombinations(t *testing.T) {
@@ -104,9 +171,9 @@ func TestResponseCodecAllFieldCombinations(t *testing.T) {
 		{
 			Acquires: 1, Releases: 2, Waits: 3, TryAcquires: 4, TryFailures: 5,
 			LockCreates: 6, Evictions: 7, ResidentLocks: 8, Aborts: 9,
-			LeaseTimeouts: 10, Violations: 11, Sessions: 12,
+			LeaseTimeouts: 10, Violations: 11, Sessions: 12, Streams: 13,
 		},
-		{Acquires: math.MaxUint64, Violations: math.MaxUint64, ResidentLocks: math.MaxInt32, Sessions: -1},
+		{Acquires: math.MaxUint64, Violations: math.MaxUint64, ResidentLocks: math.MaxInt32, Sessions: -1, Streams: -64},
 	}
 	errs := []string{"", "lockd: session does not hold \"x\"", "uni ✓ <err>"}
 	for _, ok := range []bool{false, true} {

@@ -1,0 +1,407 @@
+package lockd
+
+// The binary wire format: length-prefixed frames carrying a stream id
+// and a batch of compactly encoded ops, so many logical client sessions
+// share one TCP connection and pipelined ops coalesce into single
+// writes. The newline-JSON protocol stays the zero-config fallback — a
+// connection whose first byte is the binary magic speaks frames, any
+// other first byte (in practice `{`) is served by the JSON path
+// unchanged — so every pre-binary client keeps working.
+//
+// Frame layout (all integers little-endian or unsigned/zigzag varints):
+//
+//	+----------------+----------------+------------------------------+
+//	| length uint32  | stream uint32  | ops ... (until length spent) |
+//	+----------------+----------------+------------------------------+
+//
+// length counts the payload after the length field itself (stream id
+// plus ops) and is bounded by MaxFrameBytes; a longer frame is a
+// protocol error answered once on stream 0 before the connection
+// closes, mirroring the JSON path's MaxLineBytes contract. Stream 0 is
+// reserved for connection-level errors; clients allocate ids from 1.
+//
+// Request op encoding (uniform for every op):
+//
+//	opcode byte | name len uvarint | name bytes | timeout_ms varint
+//
+// Response encoding:
+//
+//	flags byte | [err len uvarint | err bytes] | [stats fields]
+//
+// with flag bits OK, Acquired, Aborted, Holds, has-err, has-stats, and
+// the stats fields a fixed sequence of varints (see appendResponseBin).
+// Unknown opcodes and unknown flag bits are protocol errors: the magic
+// preamble is the version gate, not per-op tolerance — foreign or
+// future peers negotiate by magic, exactly one version per connection.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// BinaryMagic is the 4-byte preamble a client writes immediately after
+// connecting to negotiate the binary framed protocol. Its first byte
+// can never begin a JSON request line, which is what makes the
+// negotiation unambiguous.
+var BinaryMagic = [4]byte{0xA9, 'L', 'K', '1'}
+
+// DefaultMaxFrameBytes bounds one binary frame's payload when
+// Server.MaxFrameBytes is zero (and is the client-side bound too).
+const DefaultMaxFrameBytes = 1 << 20
+
+// frameHeaderLen is the bytes before a frame's ops: the length prefix
+// plus the stream id.
+const frameHeaderLen = 8
+
+// errFrameTooBig ends a session whose peer sent an oversized frame; like
+// the JSON path's line limit, the peer hears why before the hangup.
+var errFrameTooBig = errors.New("frame exceeds the connection's frame limit")
+
+// errShortFrame is the other malformed length: a frame too short to even
+// hold its own stream id.
+var errShortFrame = errors.New("frame length shorter than its stream id")
+
+// Binary opcodes, one per wire op (opEndStream is transport-level and
+// has no JSON counterpart: it retires one logical stream of a
+// multiplexed connection, releasing that stream's grants).
+const (
+	binOpAcquire = 1 + iota
+	binOpTry
+	binOpRelease
+	binOpCancel
+	binOpHolds
+	binOpStats
+	binOpPing
+	binOpEndStream
+)
+
+// OpEndStream retires one logical stream of a multiplexed binary
+// connection: the server releases every grant the stream holds, acks,
+// and forgets the stream. It exists only on the binary transport; the
+// JSON protocol's equivalent is closing the connection.
+const OpEndStream = "end_stream"
+
+// opcodeOf maps a protocol op string to its binary opcode (0 = unknown).
+func opcodeOf(op string) byte {
+	switch op {
+	case OpAcquire:
+		return binOpAcquire
+	case OpTryAcquire:
+		return binOpTry
+	case OpRelease:
+		return binOpRelease
+	case OpCancel:
+		return binOpCancel
+	case OpHolds:
+		return binOpHolds
+	case OpStats:
+		return binOpStats
+	case OpPing:
+		return binOpPing
+	case OpEndStream:
+		return binOpEndStream
+	}
+	return 0
+}
+
+// opOfCode is the inverse of opcodeOf ("" = unknown).
+func opOfCode(c byte) string {
+	switch c {
+	case binOpAcquire:
+		return OpAcquire
+	case binOpTry:
+		return OpTryAcquire
+	case binOpRelease:
+		return OpRelease
+	case binOpCancel:
+		return OpCancel
+	case binOpHolds:
+		return OpHolds
+	case binOpStats:
+		return OpStats
+	case binOpPing:
+		return OpPing
+	case binOpEndStream:
+		return OpEndStream
+	}
+	return ""
+}
+
+// Response flag bits.
+const (
+	binFlagOK       = 1 << iota // Response.OK
+	binFlagAcquired             // Response.Acquired
+	binFlagAborted              // Response.Aborted
+	binFlagHolds                // Response.Holds
+	binFlagErr                  // an error string follows
+	binFlagStats                // a stats payload follows
+)
+
+// BeginFrame appends a frame header (length placeholder plus stream id)
+// for stream to dst and returns the extended slice. The caller appends
+// encoded ops, then patches the length with EndFrame, passing the
+// offset that was len(dst) before this call.
+func BeginFrame(dst []byte, stream uint32) []byte {
+	dst = append(dst, 0, 0, 0, 0)
+	return binary.LittleEndian.AppendUint32(dst, stream)
+}
+
+// EndFrame patches the length prefix of the frame begun at offset start
+// and returns dst. The frame must fit the wire format's uint32 length.
+func EndFrame(dst []byte, start int) []byte {
+	n := len(dst) - start - 4 // payload: stream id + ops
+	binary.LittleEndian.PutUint32(dst[start:], uint32(n))
+	return dst
+}
+
+// AppendRequestBin appends req's binary op encoding to dst. It fails on
+// an op the binary protocol has no opcode for; encoding a known op
+// allocates only if dst must grow.
+func AppendRequestBin(dst []byte, req *Request) ([]byte, error) {
+	opc := opcodeOf(req.Op)
+	if opc == 0 {
+		return dst, fmt.Errorf("lockd: op %q has no binary opcode", req.Op)
+	}
+	dst = append(dst, opc)
+	dst = binary.AppendUvarint(dst, uint64(len(req.Name)))
+	dst = append(dst, req.Name...)
+	dst = binary.AppendVarint(dst, req.TimeoutMS)
+	return dst, nil
+}
+
+// DecodeRequestBin decodes one binary op from the front of data into
+// req, overwriting every field, and returns the remainder of data (the
+// next op of the frame). Arbitrary input never panics and never
+// allocates beyond the name string: lengths are validated against the
+// bytes actually present before any slice is taken.
+func DecodeRequestBin(data []byte, req *Request) (rest []byte, err error) {
+	return decodeRequestBin(data, req, nil)
+}
+
+// decodeRequestBin is DecodeRequestBin with the server's optional
+// per-connection name-interning table.
+func decodeRequestBin(data []byte, req *Request, names *nameTable) (rest []byte, err error) {
+	*req = Request{}
+	if len(data) == 0 {
+		return nil, errors.New("lockd: empty binary op")
+	}
+	op := opOfCode(data[0])
+	if op == "" {
+		return nil, fmt.Errorf("lockd: unknown binary opcode 0x%02x", data[0])
+	}
+	name, data, err := binBytes(data[1:])
+	if err != nil {
+		return nil, fmt.Errorf("lockd: binary op %s name: %w", op, err)
+	}
+	timeout, n := binary.Varint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("lockd: binary op %s: bad timeout varint", op)
+	}
+	req.Op = op
+	switch {
+	case len(name) == 0:
+		// Leave the zero value: "" round-trips without an allocation.
+	case names != nil:
+		req.Name = names.intern(name)
+	default:
+		req.Name = string(name)
+	}
+	req.TimeoutMS = timeout
+	return data[n:], nil
+}
+
+// AppendResponseBin appends resp's binary encoding to dst and returns
+// the extended slice. It allocates only if dst must grow.
+func AppendResponseBin(dst []byte, resp *Response) []byte {
+	var flags byte
+	if resp.OK {
+		flags |= binFlagOK
+	}
+	if resp.Acquired {
+		flags |= binFlagAcquired
+	}
+	if resp.Aborted {
+		flags |= binFlagAborted
+	}
+	if resp.Holds {
+		flags |= binFlagHolds
+	}
+	if resp.Err != "" {
+		flags |= binFlagErr
+	}
+	if resp.Stats != nil {
+		flags |= binFlagStats
+	}
+	dst = append(dst, flags)
+	if resp.Err != "" {
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Err)))
+		dst = append(dst, resp.Err...)
+	}
+	if s := resp.Stats; s != nil {
+		dst = binary.AppendUvarint(dst, s.Acquires)
+		dst = binary.AppendUvarint(dst, s.Releases)
+		dst = binary.AppendUvarint(dst, s.Waits)
+		dst = binary.AppendUvarint(dst, s.TryAcquires)
+		dst = binary.AppendUvarint(dst, s.TryFailures)
+		dst = binary.AppendUvarint(dst, s.LockCreates)
+		dst = binary.AppendUvarint(dst, s.Evictions)
+		dst = binary.AppendVarint(dst, int64(s.ResidentLocks))
+		dst = binary.AppendUvarint(dst, s.Aborts)
+		dst = binary.AppendUvarint(dst, s.LeaseTimeouts)
+		dst = binary.AppendUvarint(dst, s.Violations)
+		dst = binary.AppendVarint(dst, int64(s.Sessions))
+		dst = binary.AppendVarint(dst, int64(s.Streams))
+	}
+	return dst
+}
+
+// DecodeResponseBin decodes one binary response from the front of data
+// into resp, overwriting every field, and returns the remainder (the
+// next response of the frame). Arbitrary input never panics; only a
+// stats payload or an error string allocates.
+func DecodeResponseBin(data []byte, resp *Response) (rest []byte, err error) {
+	*resp = Response{}
+	if len(data) == 0 {
+		return nil, errors.New("lockd: empty binary response")
+	}
+	flags := data[0]
+	if flags&^byte(binFlagOK|binFlagAcquired|binFlagAborted|binFlagHolds|binFlagErr|binFlagStats) != 0 {
+		return nil, fmt.Errorf("lockd: unknown response flags 0x%02x", flags)
+	}
+	data = data[1:]
+	resp.OK = flags&binFlagOK != 0
+	resp.Acquired = flags&binFlagAcquired != 0
+	resp.Aborted = flags&binFlagAborted != 0
+	resp.Holds = flags&binFlagHolds != 0
+	if flags&binFlagErr != 0 {
+		var msg []byte
+		if msg, data, err = binBytes(data); err != nil {
+			return nil, fmt.Errorf("lockd: binary response error string: %w", err)
+		}
+		if len(msg) == 0 {
+			return nil, errors.New("lockd: binary response flags an empty error")
+		}
+		resp.Err = string(msg)
+	}
+	if flags&binFlagStats != 0 {
+		s := &Stats{}
+		fields := []struct {
+			u *uint64
+			i *int
+		}{
+			{u: &s.Acquires}, {u: &s.Releases}, {u: &s.Waits},
+			{u: &s.TryAcquires}, {u: &s.TryFailures}, {u: &s.LockCreates},
+			{u: &s.Evictions}, {i: &s.ResidentLocks}, {u: &s.Aborts},
+			{u: &s.LeaseTimeouts}, {u: &s.Violations}, {i: &s.Sessions},
+			{i: &s.Streams},
+		}
+		for _, f := range fields {
+			if f.u != nil {
+				v, n := binary.Uvarint(data)
+				if n <= 0 {
+					return nil, errors.New("lockd: binary stats: bad varint")
+				}
+				*f.u = v
+				data = data[n:]
+			} else {
+				v, n := binary.Varint(data)
+				if n <= 0 {
+					return nil, errors.New("lockd: binary stats: bad varint")
+				}
+				*f.i = int(v)
+				data = data[n:]
+			}
+		}
+		resp.Stats = s
+	}
+	return data, nil
+}
+
+// binBytes decodes a uvarint-length-prefixed byte string from the front
+// of data, validating the length against the bytes actually present so
+// a hostile length can neither panic nor force an allocation.
+func binBytes(data []byte) (b, rest []byte, err error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, errors.New("bad length varint")
+	}
+	if n > uint64(len(data)-k) {
+		return nil, nil, fmt.Errorf("length %d exceeds the %d bytes present", n, len(data)-k)
+	}
+	end := k + int(n)
+	return data[k:end], data[end:], nil
+}
+
+// DecodeFrame parses one whole frame from the front of data: the length
+// prefix (validated against max before anything is sliced), the stream
+// id, and the ops payload. rest is the byte stream after the frame. It
+// is the in-memory mirror of ReadFrame, and the surface the fuzz
+// harness drives: arbitrary bytes must error cleanly, never panic, and
+// never claim more bytes than are present.
+func DecodeFrame(data []byte, max int) (stream uint32, ops, rest []byte, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrameBytes
+	}
+	if len(data) < frameHeaderLen {
+		return 0, nil, nil, fmt.Errorf("lockd: truncated frame header: %d bytes", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n < 4 {
+		return 0, nil, nil, fmt.Errorf("lockd: %w: %d", errShortFrame, n)
+	}
+	if n > uint32(max) {
+		return 0, nil, nil, fmt.Errorf("lockd: %w: %d > %d bytes", errFrameTooBig, n, max)
+	}
+	if uint32(len(data)-4) < n {
+		return 0, nil, nil, fmt.Errorf("lockd: truncated frame: length %d, %d bytes present", n, len(data)-4)
+	}
+	stream = binary.LittleEndian.Uint32(data[4:])
+	return stream, data[frameHeaderLen : 4+n], data[4+n:], nil
+}
+
+// ReadFrame reads one frame from br into buf (reused and grown as
+// needed; pass the returned newBuf back in), returning the stream id
+// and the ops payload, which aliases newBuf and is valid until the next
+// call. A frame whose length prefix exceeds max fails with the
+// frame-limit error before any payload is read, so a hostile length
+// cannot balloon memory.
+func ReadFrame(br *bufio.Reader, buf []byte, max int) (stream uint32, ops, newBuf []byte, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrameBytes
+	}
+	// Peek instead of ReadFull: the header is parsed in place from the
+	// bufio buffer, so the steady-state read path performs zero heap
+	// allocations (a local header array would escape through the
+	// io.Reader interface).
+	hdr, err := br.Peek(frameHeaderLen)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n < 4 {
+		return 0, nil, buf, fmt.Errorf("lockd: %w: %d", errShortFrame, n)
+	}
+	if n > uint32(max) {
+		return 0, nil, buf, fmt.Errorf("lockd: %w: %d > %d bytes", errFrameTooBig, n, max)
+	}
+	stream = binary.LittleEndian.Uint32(hdr[4:])
+	br.Discard(frameHeaderLen)
+	body := int(n) - 4
+	if cap(buf) < body {
+		buf = make([]byte, body)
+	}
+	buf = buf[:body]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, buf, err
+	}
+	return stream, buf, buf, nil
+}

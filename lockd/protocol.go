@@ -1,11 +1,16 @@
 // Package lockd implements a small network lock service over the
-// internal/lockmgr sharded named-lock manager: newline-delimited JSON
-// requests over TCP, one session per connection, with every grant a
-// session holds released automatically when the connection ends.
+// internal/lockmgr sharded named-lock manager. Two wire formats carry
+// the same protocol: newline-delimited JSON (one logical session per
+// connection — the zero-config default every old client speaks) and a
+// length-prefixed binary framing that multiplexes many logical streams
+// over one connection and batches ops per frame (see frame.go; a client
+// opts in by leading with BinaryMagic, anything else is served as
+// JSON). Either way, every grant a logical session holds is released
+// automatically when the session ends.
 //
 // The protocol is deliberately minimal. Each request line is a Request;
 // each response line is a Response, and responses are written in request
-// order. Operations:
+// order (per stream, on the binary transport). Operations:
 //
 //	acquire  block until the session holds the named lock; with
 //	         timeout_ms set, give up after that many milliseconds —
@@ -97,4 +102,9 @@ type Stats struct {
 	Violations uint64 `json:"violations"`
 	// Sessions is the number of live connections.
 	Sessions int `json:"sessions"`
+	// Streams is the number of live logical sessions: every JSON
+	// connection counts one, and every open stream of a multiplexed
+	// binary connection counts one — Streams/Sessions is the socket
+	// amortization the binary transport buys.
+	Streams int `json:"streams,omitempty"`
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anonmutex/internal/lockmgr"
@@ -42,6 +43,16 @@ type Server struct {
 	// error response and the connection closes, instead of the silent
 	// stop a scanner-based reader would produce. Set before Serve.
 	MaxLineBytes int
+
+	// MaxFrameBytes bounds one binary frame's payload (default
+	// DefaultMaxFrameBytes). An oversized frame is a protocol error
+	// answered once on stream 0 before the connection closes — the
+	// binary mirror of MaxLineBytes. Set before Serve.
+	MaxFrameBytes int
+
+	// liveStreams counts live logical sessions: one per JSON connection,
+	// one per open stream of a binary connection.
+	liveStreams atomic.Int64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -226,40 +237,41 @@ type inbound struct {
 	parseErr error
 }
 
-// lineQueue is the unbounded handoff between a session's reader and its
-// processing loop. It must be unbounded: the reader can never be allowed
-// to block on a full buffer, or a client that pipelines requests behind
-// a blocked acquire and then drops its connection would park the reader
-// mid-handoff — it would never return to Read, never observe the EOF,
-// and the dead session's acquire would compete on as a ghost. Memory is
-// bounded by what the client actually sends; the backing array is reused
-// (a head cursor instead of re-slicing), so a steady-state session
-// allocates nothing per line.
-type lineQueue struct {
+// opQueue is the unbounded handoff between a session's reader and its
+// processing loop (of request lines on the JSON path, of decoded ops on
+// a binary stream). It must be unbounded: the reader can never be
+// allowed to block on a full buffer, or a client that pipelines
+// requests behind a blocked acquire and then drops its connection would
+// park the reader mid-handoff — it would never return to Read, never
+// observe the EOF, and the dead session's acquire would compete on as a
+// ghost. Memory is bounded by what the client actually sends; the
+// backing array is reused (a head cursor instead of re-slicing), so a
+// steady-state session allocates nothing per item.
+type opQueue[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []inbound
+	items  []T
 	head   int
 	closed bool
 }
 
-func newLineQueue() *lineQueue {
-	q := &lineQueue{}
+func newOpQueue[T any]() *opQueue[T] {
+	q := &opQueue[T]{}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// push appends a line. Never blocks.
-func (q *lineQueue) push(in inbound) {
+// push appends an item. Never blocks.
+func (q *opQueue[T]) push(in T) {
 	q.mu.Lock()
 	q.items = append(q.items, in)
 	q.mu.Unlock()
 	q.cond.Signal()
 }
 
-// pop removes the oldest line, blocking while the queue is empty and the
+// pop removes the oldest item, blocking while the queue is empty and the
 // stream still open. ok is false once the queue is drained and closed.
-func (q *lineQueue) pop() (in inbound, ok bool) {
+func (q *opQueue[T]) pop() (in T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.head == len(q.items) && !q.closed {
@@ -268,25 +280,27 @@ func (q *lineQueue) pop() (in inbound, ok bool) {
 	return q.popLocked()
 }
 
-// tryPop is pop without the blocking: ok is false whenever no line is
+// tryPop is pop without the blocking: ok is false whenever no item is
 // ready right now (drained-and-closed included). The processing loop
 // uses it to detect "no more pipelined work" and flush the write buffer
 // before parking.
-func (q *lineQueue) tryPop() (in inbound, ok bool) {
+func (q *opQueue[T]) tryPop() (in T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.head == len(q.items) {
-		return inbound{}, false
+		var zero T
+		return zero, false
 	}
 	return q.popLocked()
 }
 
-func (q *lineQueue) popLocked() (in inbound, ok bool) {
+func (q *opQueue[T]) popLocked() (in T, ok bool) {
+	var zero T
 	if q.head == len(q.items) {
-		return inbound{}, false
+		return zero, false
 	}
 	in = q.items[q.head]
-	q.items[q.head] = inbound{}
+	q.items[q.head] = zero
 	q.head++
 	if q.head == len(q.items) {
 		q.items = q.items[:0]
@@ -297,7 +311,7 @@ func (q *lineQueue) popLocked() (in inbound, ok bool) {
 
 // close marks the stream ended; pop drains the remainder then reports
 // done.
-func (q *lineQueue) close() {
+func (q *opQueue[T]) close() {
 	q.mu.Lock()
 	q.closed = true
 	q.mu.Unlock()
@@ -344,9 +358,37 @@ func readLine(br *bufio.Reader, scratch []byte, max int) (line, newScratch []byt
 	}
 }
 
-// serveConn runs one session. A dedicated reader goroutine decodes
-// request lines and feeds them to the processing loop, so the connection
-// stays responsive while an acquire blocks: a cancel line aborts the
+// serveConn dispatches one connection to its wire format. The first
+// byte decides: BinaryMagic[0] selects the length-prefixed multiplexed
+// framing, anything else — in particular the '{' every JSON request
+// line starts with — selects newline-JSON, so old clients keep working
+// with zero configuration. Whatever ends the connection, the deferred
+// cleanup here unregisters it; each protocol handler releases its own
+// sessions' grants before returning.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return // closed before the first byte; nothing was promised
+	}
+	if first[0] == BinaryMagic[0] {
+		s.serveBinary(conn, br)
+		return
+	}
+	s.serveJSON(conn, br)
+}
+
+// serveJSON runs one newline-JSON session: one logical session for the
+// whole connection. A dedicated reader goroutine decodes request lines
+// and feeds them to the processing loop, so the connection stays
+// responsive while an acquire blocks: a cancel line aborts the
 // in-flight acquire out of band (and still gets its response in order),
 // and a connection drop cancels the whole session context, reaping any
 // waiter the client abandoned. The processing loop batches responses:
@@ -354,19 +396,16 @@ func readLine(br *bufio.Reader, scratch []byte, max int) (line, newScratch []byt
 // pipelined burst costs one syscall, not one per response. Whatever ends
 // the connection — client close, protocol error, cancel-by-Shutdown —
 // the deferred cleanup releases every grant the session still holds.
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
 	sess := &session{grants: make(map[string]lockmgr.Lease)}
 	connCtx, connCancel := context.WithCancel(context.Background())
+	s.liveStreams.Add(1)
 	defer func() {
 		connCancel()
 		for _, l := range sess.grants {
 			s.mgr.Release(l)
 		}
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		s.wg.Done()
+		s.liveStreams.Add(-1)
 	}()
 
 	maxLine := s.MaxLineBytes
@@ -374,7 +413,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		maxLine = DefaultMaxLineBytes
 	}
 
-	lines := newLineQueue()
+	lines := newOpQueue[inbound]()
 	go func() {
 		defer lines.close()
 		// The reader owns the inbound half: when a read fails — client
@@ -385,7 +424,6 @@ func (s *Server) serveConn(conn net.Conn) {
 		// the disconnect promptly no matter how many lines are pipelined
 		// behind a blocked acquire.
 		defer connCancel()
-		br := bufio.NewReader(conn)
 		names := newNameTable() // per-session lock-name interning (byte-bounded)
 		var scratch []byte
 		for {
@@ -411,6 +449,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 
 	bw := bufio.NewWriter(conn)
+	// flushPending pushes batched responses out just before an acquire
+	// commits to blocking, so earlier responses in the same burst are not
+	// held hostage by a contended lock.
+	flushPending := func() { bw.Flush() }
 	var respBuf []byte
 	for {
 		in, ok := lines.tryPop()
@@ -429,7 +471,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// The stream is unusable; answer once and hang up.
 			resp = Response{Err: fmt.Sprintf("lockd: bad request: %v", in.parseErr)}
 		} else {
-			resp = s.handle(connCtx, sess, in.req)
+			resp = s.handle(connCtx, sess, in.req, flushPending)
 		}
 		respBuf = AppendResponse(respBuf[:0], &resp)
 		bw.Write(respBuf)
@@ -456,8 +498,12 @@ func (s *Server) acquireCtx(connCtx context.Context, req Request) (context.Conte
 	return context.WithCancel(connCtx)
 }
 
-// handle executes one request against the session.
-func (s *Server) handle(connCtx context.Context, sess *session, req Request) Response {
+// handle executes one request against the session. preBlock, when
+// non-nil, is called right before an acquire commits to the blocking
+// slow path — the transport uses it to flush responses batched so far,
+// keeping the fast path's batching while never letting a contended
+// acquire delay answers already owed.
+func (s *Server) handle(connCtx context.Context, sess *session, req Request, preBlock func()) Response {
 	switch req.Op {
 	case OpAcquire:
 		if req.Name == "" {
@@ -488,6 +534,9 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request) Res
 		}
 		if cancelled {
 			return Response{OK: true, Aborted: true}
+		}
+		if preBlock != nil {
+			preBlock()
 		}
 		base, baseCancel := s.acquireCtx(connCtx, req)
 		defer baseCancel()
@@ -558,6 +607,7 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request) Res
 			LeaseTimeouts: c.LeaseTimeouts,
 			Violations:    s.mgr.Violations(),
 			Sessions:      s.Sessions(),
+			Streams:       int(s.liveStreams.Load()),
 		}}
 	case OpPing:
 		return Response{OK: true}
