@@ -20,6 +20,7 @@
 //	anonload -mode net -proto binary -mux 16 -clients 64 -cycles 20000
 //	anonload -op-timeout 5ms -clients 64 -keys 4       # per-acquire SLA
 //	anonload -workload-file zipf-openloop.json -duration 5s
+//	anonload -mode net -heartbeat 500ms -workload '{"ops":{"lock":0.95,"crash":0.05}}' -duration 5s
 //	anonload -workload '{"keys":{"dist":"zipf"},"arrival":{"process":"poisson","rate_per_sec":50000},"ops":{"timed":1,"timeout_ms":5}}' -duration 2s
 //	anonload -json > BENCH_load.json
 //
@@ -41,6 +42,7 @@ import (
 	"fmt"
 	"os"
 
+	"anonmutex/internal/lease"
 	"anonmutex/internal/loadgen"
 	"anonmutex/internal/lockmgr"
 	"anonmutex/internal/stats"
@@ -81,6 +83,8 @@ func run(args []string) error {
 	cs := fs.Int("cs", 1, "deprecated alias: critical-section spin units (the spec's base_cs)")
 	think := fs.Int("think", 1, "deprecated alias: between-cycle spin units (the spec's base_remainder)")
 	opTimeout := fs.Duration("op-timeout", 0, "deprecated alias: per-acquire deadline; expired attempts abort cleanly and are counted (0: unbounded)")
+	heartbeat := fs.Duration("heartbeat", 0, "background heartbeat interval per client session — keep under the backend's lease TTL (0: no heartbeats)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "inproc mode: run grants under a lease manager with this TTL, enabling crash ops and fencing (0: leases off; net mode takes the TTL from the server)")
 	alg := fs.String("alg", "rmw", "per-name lock algorithm (inproc mode): rw or rmw")
 	handles := fs.Int("handles", 8, "process handles per named lock (inproc mode)")
 	shards := fs.Int("shards", 16, "lock-manager shards (inproc mode)")
@@ -149,6 +153,35 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *leaseTTL > 0 {
+			// Lease-backed sessions: grants carry fencing tokens, crash
+			// ops orphan keys that TTL expiry recovers, and each client
+			// session heartbeats on its own ticker.
+			hb := *heartbeat
+			if hb == 0 {
+				hb = *leaseTTL / 4
+			}
+			lm, err := lease.New(mgr, lease.Config{TTL: *leaseTTL})
+			if err != nil {
+				mgr.Close()
+				return err
+			}
+			cfg.NewLocker = func(int) (loadgen.Locker, error) {
+				return loadgen.NewLeaseLocker(lm, hb), nil
+			}
+			res, err := loadgen.Run(cfg)
+			if err != nil {
+				return err
+			}
+			lm.Close() // revokes crash orphans so the manager closes clean
+			violations = uint64(res.Violations) + mgr.Violations()
+			res.Backend = fmt.Sprintf("inproc lease-ttl=%v", *leaseTTL)
+			backendTable = mgr.StatsTable()
+			if err := mgr.Close(); err != nil {
+				return err
+			}
+			return report(*jsonOut, res, backendTable, violations)
+		}
 		cfg.NewLocker = func(int) (loadgen.Locker, error) {
 			return loadgen.NewManagerLocker(mgr), nil
 		}
@@ -181,6 +214,12 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown -proto %q (want json or binary)", *proto)
 		}
+		// Every net session goes through a crash pool so the workload's
+		// crash ops (holders that die silently, keeping their sockets
+		// open) work on either transport; a nonzero -heartbeat starts
+		// each session's renewal ticker against a lease-running server.
+		crashPool := client.NewCrashPool(*addr)
+		defer crashPool.Close()
 		label := "net " + *addr + " proto=json"
 		if useBinary {
 			if perSocket < 1 {
@@ -190,12 +229,27 @@ func run(args []string) error {
 			pool := client.NewMuxPool(*addr, perSocket)
 			defer pool.Close()
 			cfg.NewLocker = func(int) (loadgen.Locker, error) {
-				return pool.Open()
+				c, err := pool.Open()
+				if err != nil {
+					return nil, err
+				}
+				s := crashPool.Wrap(c)
+				if *heartbeat > 0 {
+					s.AutoHeartbeat(*heartbeat)
+				}
+				return s, nil
 			}
 			label = fmt.Sprintf("net %s proto=binary mux=%d", *addr, perSocket)
 		} else {
 			cfg.NewLocker = func(int) (loadgen.Locker, error) {
-				return client.Dial(*addr)
+				s, err := crashPool.Session()
+				if err != nil {
+					return nil, err
+				}
+				if *heartbeat > 0 {
+					s.AutoHeartbeat(*heartbeat)
+				}
+				return s, nil
 			}
 		}
 		res, err := loadgen.Run(cfg)
@@ -236,10 +290,12 @@ func serverTable(st lockd.Stats) *stats.Table {
 	t := &stats.Table{
 		Title: "lockd server counters",
 		Header: []string{"acquires", "releases", "waits", "aborts", "lease-timeouts",
-			"try-fail", "creates", "evictions", "resident", "sessions", "streams", "violations"},
+			"try-fail", "creates", "evictions", "resident", "expired", "revoked",
+			"fenced", "sessions", "streams", "violations"},
 	}
 	t.AddRow(st.Acquires, st.Releases, st.Waits, st.Aborts, st.LeaseTimeouts,
-		st.TryFailures, st.LockCreates, st.Evictions, st.ResidentLocks, st.Sessions, st.Streams, st.Violations)
+		st.TryFailures, st.LockCreates, st.Evictions, st.ResidentLocks, st.Expired,
+		st.Revoked, st.FencedRejects, st.Sessions, st.Streams, st.Violations)
 	return t
 }
 

@@ -12,6 +12,8 @@
 //	anonlockd -alg rw -handles 4 -shards 8  # lock-manager tuning
 //	anonlockd -max-wait 50ms                # abort any acquire past 50ms
 //	anonlockd -max-frame 262144             # cap binary frames at 256 KiB
+//	anonlockd -lease-ttl 2s                 # crash safety: fencing tokens +
+//	                                        # TTL expiry of silent holders
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // sessions get a drain window, and every session grant is released.
@@ -51,6 +53,8 @@ func run(args []string, stop <-chan struct{}) error {
 	seed := fs.Uint64("seed", 1, "anonymity-adversary seed")
 	maxWait := fs.Duration("max-wait", 0, "server-side cap on any acquire wait; longer waits abort cleanly (0: unlimited)")
 	maxFrame := fs.Int("max-frame", 0, "byte cap on one binary frame; an oversized frame is a protocol error (0: the built-in default)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "run grants under leases: acquires carry fencing tokens and holders that stop heartbeating for this long are forcibly revoked (0: leases off)")
+	leaseGrace := fs.Duration("lease-grace", 0, "post-expiry quarantine during which a revoked grant's stale token still answers with a fenced rejection (0: the lease TTL)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +81,11 @@ func run(args []string, stop <-chan struct{}) error {
 	srv := lockd.NewServer(mgr)
 	srv.MaxWait = *maxWait
 	srv.MaxFrameBytes = *maxFrame
+	srv.LeaseTTL = *leaseTTL
+	srv.LeaseGrace = *leaseGrace
+	if *leaseTTL > 0 {
+		fmt.Printf("anonlockd: leases on (ttl=%v)\n", *leaseTTL)
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 

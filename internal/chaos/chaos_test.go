@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRegistry: every scenario is findable and documented.
+func TestRegistry(t *testing.T) {
+	scenarios := Scenarios()
+	if len(scenarios) != 4 {
+		t.Fatalf("registry has %d scenarios, want 4", len(scenarios))
+	}
+	for _, s := range scenarios {
+		if s.Name == "" || s.Doc == "" || s.Run == nil {
+			t.Errorf("scenario %+v incomplete", s.Name)
+		}
+		got, ok := Find(s.Name)
+		if !ok || got.Name != s.Name {
+			t.Errorf("Find(%q) = %v, %v", s.Name, got.Name, ok)
+		}
+	}
+	if _, ok := Find("no-such-scenario"); ok {
+		t.Error("Find invented a scenario")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := (Config{TTL: 10 * time.Millisecond, Heartbeat: 10 * time.Millisecond}).withDefaults(); err == nil {
+		t.Error("heartbeat == TTL accepted")
+	}
+	if _, err := (Config{Duration: -1}).withDefaults(); err == nil {
+		t.Error("negative duration accepted")
+	}
+	cfg, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TTL == 0 || cfg.Heartbeat == 0 || cfg.Duration == 0 || cfg.Seed == 0 {
+		t.Errorf("defaults not filled: %+v", cfg)
+	}
+}
+
+// TestScenarios runs every registered scenario with a short TTL. Each
+// scenario enforces its own invariants (zero violations, recovery
+// within 2×TTL plus slack, stale ops fenced) and returns an error when
+// any is broken, so the assertion here is simply err == nil plus the
+// report's basic shape.
+func TestScenarios(t *testing.T) {
+	for _, s := range Scenarios() {
+		t.Run(s.Name, func(t *testing.T) {
+			r, err := s.Run(Config{TTL: 50 * time.Millisecond})
+			if err != nil {
+				t.Fatalf("%s: %v (report %+v)", s.Name, err, r)
+			}
+			if r.Violations != 0 {
+				t.Errorf("%s: %d violations", s.Name, r.Violations)
+			}
+			if r.MaxRecovery <= 0 {
+				t.Errorf("%s: no recovery measured", s.Name)
+			}
+			t.Logf("%s: %+v", s.Name, r)
+		})
+	}
+}

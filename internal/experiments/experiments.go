@@ -19,8 +19,9 @@
 //	S2             — the named-lock service sweep (lockmgr + lockd)
 //	S3             — deadline-bounded acquisition (abort rate, tail latency)
 //	S4             — open-loop offered load (backend × distribution × rate)
+//	S5             — lease sweep (TTL × heartbeat × rate, crash fraction)
 //
-// Everything except S1's real-substrate timings and the S2–S4 service
+// Everything except S1's real-substrate timings and the S2–S5 service
 // measurements is deterministic: fixed seeds, simulated schedules.
 // Experiments are independent — RunConcurrent executes them on a worker
 // pool and reports results in presentation order.
@@ -74,6 +75,7 @@ func All() []Experiment {
 		{"S2", "Service sweep: sharded named-lock manager and lockd under load", ServiceSweep},
 		{"S3", "Deadline sweep: abortable acquisition, abort rate and tail latency", DeadlineSweep},
 		{"S4", "Open-loop load: backend × key distribution × offered rate", OpenLoadSweep},
+		{"S5", "Lease sweep: TTL × heartbeat × offered rate under a crash fraction", LeaseSweep},
 	}
 }
 

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestLeaseSweepStructure checks S5's grid: the full TTL × heartbeat ×
+// rate cross appears, every cell reads 0 violations, every cell's
+// crash fraction actually fired and was recovered by lease expiry, and
+// the worst post-run recovery stays within 2×TTL plus the sweep's
+// scheduling slack.
+func TestLeaseSweepStructure(t *testing.T) {
+	tbl, err := LeaseSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (2 TTLs × 2 heartbeats × 2 rates)", len(tbl.Rows))
+	}
+	ttls := map[string]int{}
+	for _, row := range tbl.Rows {
+		ttls[row[0]]++
+		if violations := row[8]; violations != "0" {
+			t.Errorf("cell ttl=%s hb=%s rate=%s observed %s violations", row[0], row[1], row[2], violations)
+		}
+		crashes, err1 := strconv.Atoi(row[5])
+		expired, err2 := strconv.Atoi(row[6])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparseable counters in row %v", row)
+		}
+		if crashes == 0 {
+			t.Errorf("cell ttl=%s hb=%s rate=%s: crash fraction never fired", row[0], row[1], row[2])
+		}
+		if expired == 0 {
+			t.Errorf("cell ttl=%s hb=%s rate=%s: crashes were never recovered by expiry", row[0], row[1], row[2])
+		}
+		recoveryMS, err := strconv.ParseFloat(row[9], 64)
+		if err != nil {
+			t.Fatalf("unparseable recovery in row %v", row)
+		}
+		ttl, err := strconv.ParseFloat(row[0][:len(row[0])-2], 64) // "25ms" → 25
+		if err != nil {
+			t.Fatalf("unparseable ttl in row %v", row)
+		}
+		if bound := 2*ttl + 250; recoveryMS > bound {
+			t.Errorf("cell ttl=%s hb=%s rate=%s: recovery %.1fms past bound %.0fms", row[0], row[1], row[2], recoveryMS, bound)
+		}
+	}
+	if len(ttls) != 2 {
+		t.Errorf("TTL coverage = %v, want 2 distinct TTLs", ttls)
+	}
+}

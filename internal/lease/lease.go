@@ -1,0 +1,494 @@
+// Package lease layers a crash-recovery lifecycle over the lock
+// manager's grants: every grant is stamped with a monotonic fencing
+// token, kept alive by holder heartbeats, and forcibly revoked when its
+// TTL expires — so a client that dies holding a lock (kill -9 mid-CS, a
+// dropped network partition, a stuck process) orphans the name for at
+// most one TTL plus the cost of one revocation, instead of forever.
+//
+// The pieces:
+//
+//   - Fencing tokens. Tokens are issued from one manager-wide counter,
+//     so they are strictly increasing across every key — per-key
+//     monotonicity survives LRU eviction and lease-pool slot recycling
+//     for free, with no per-key persistent state. A holder that
+//     resurfaces after expiry presents a stale token and is rejected
+//     (ErrFenced) by every lifecycle operation.
+//   - Heartbeats with TTL expiry. Each shard keeps a min-heap of lease
+//     deadlines drained by one expiry goroutine — no per-lease timers,
+//     no per-lease goroutines. A heartbeat pushes the lease's deadline
+//     out by one TTL; a lease whose deadline passes is expired.
+//   - Revocation as release-by-proxy. Expiry drives the lock manager's
+//     Revoke on the orphaned lease: the revoker goroutine executes the
+//     holder's register-safe critical-section exit on the orphan's own
+//     process handle (identity and permutation attach to the handle,
+//     not the goroutine — the same machinery the abortable withdraw
+//     uses), then the handle returns to the lease pool for reuse.
+//     Waiters that die are not this package's problem: a dead waiter's
+//     context cancellation already withdraws it from the competition.
+//   - Quarantine. A revoked or released key's state (with its last
+//     token) is retained for a grace window, so a stale holder's late
+//     ops in that window are rejected with a specific fencing error and
+//     counted, before the state is garbage-collected.
+//
+// Exactly one lifecycle operation wins a given token: Release, Revoke,
+// and expiry all arbitrate under the shard mutex on (active, token), so
+// a connection teardown racing TTL expiry resolves to one release of
+// the underlying lock — the loser observes ErrFenced and touches
+// nothing.
+package lease
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anonmutex/internal/lockmgr"
+)
+
+// ErrFenced reports a lifecycle operation carrying a token whose lease
+// is no longer active: it expired, was revoked, or was already
+// released. Test with errors.Is.
+var ErrFenced = errors.New("fenced: stale lease token")
+
+// Config parameterizes a Manager. TTL is required; the zero value of
+// every other field means "default".
+type Config struct {
+	// TTL is how long a grant lives without a heartbeat before it is
+	// forcibly revoked. Required (> 0).
+	TTL time.Duration
+	// Grace is the quarantine window after a lease ends during which its
+	// key state (and last token) is retained so a stale holder's late
+	// ops get a specific fencing rejection. Default: TTL.
+	Grace time.Duration
+	// Shards is the number of independent expiry shards, each with its
+	// own deadline heap and expiry goroutine (default 8).
+	Shards int
+}
+
+// Grant is one leased hold on a named lock, as returned by the
+// convenience acquire wrappers: the name plus the fencing token that
+// every later lifecycle op must present.
+type Grant struct {
+	Name  string
+	Token uint64
+}
+
+// Counters is the manager's lifecycle bookkeeping.
+type Counters struct {
+	// Granted counts tokens issued.
+	Granted uint64
+	// Expired counts leases forcibly revoked at TTL (the holder stopped
+	// heartbeating); Revoked counts forcible revocations by explicit
+	// Revoke calls and by Close.
+	Expired, Revoked uint64
+	// FencedRejects counts lifecycle ops rejected for a stale token.
+	FencedRejects uint64
+	// Active is the number of currently live leases.
+	Active int
+}
+
+// keyState is one key's lease bookkeeping: resident from the first
+// grant until a grace window after the last lease ends.
+type keyState struct {
+	name     string
+	token    uint64        // latest issued token for this key
+	active   bool          // the lease behind token currently holds the lock
+	l        lockmgr.Lease // the held lock; valid only while active
+	deadline time.Time     // active: expiry time; inactive: quarantine GC time
+	idx      int           // position in the shard's deadline heap (-1: not queued)
+}
+
+// shard is one partition of the key space: a state table plus the
+// deadline min-heap its expiry goroutine drains.
+type shard struct {
+	mu   sync.Mutex
+	keys map[string]*keyState
+	heap []*keyState
+	wake chan struct{} // signaled when a new earliest deadline appears
+}
+
+// Manager runs the lease lifecycle over a lock manager. Safe for
+// concurrent use. The caller keeps ownership of the lock manager;
+// Close revokes every still-active lease so the lock manager can be
+// closed cleanly afterwards.
+type Manager struct {
+	lm     *lockmgr.Manager
+	ttl    time.Duration
+	grace  time.Duration
+	shards []*shard
+
+	// tokens is the manager-wide issue counter: strictly increasing
+	// across every key, which is what makes per-key token sequences
+	// monotonic across expiry, release, eviction, and slot recycling.
+	tokens atomic.Uint64
+
+	granted, expired, revoked, fenced atomic.Uint64
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New starts a lease manager over lm.
+func New(lm *lockmgr.Manager, cfg Config) (*Manager, error) {
+	if cfg.TTL <= 0 {
+		return nil, fmt.Errorf("lease: need TTL > 0, got %v", cfg.TTL)
+	}
+	if cfg.Grace < 0 {
+		return nil, fmt.Errorf("lease: need Grace >= 0, got %v", cfg.Grace)
+	}
+	if cfg.Grace == 0 {
+		cfg.Grace = cfg.TTL
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("lease: need Shards >= 1, got %d", cfg.Shards)
+	}
+	m := &Manager{
+		lm:     lm,
+		ttl:    cfg.TTL,
+		grace:  cfg.Grace,
+		shards: make([]*shard, cfg.Shards),
+		stop:   make(chan struct{}),
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{keys: make(map[string]*keyState), wake: make(chan struct{}, 1)}
+		m.wg.Add(1)
+		go m.runShard(m.shards[i])
+	}
+	return m, nil
+}
+
+// TTL returns the configured lease TTL.
+func (m *Manager) TTL() time.Duration { return m.ttl }
+
+// shard maps a key to its partition (FNV-1a, as the lock manager
+// shards names).
+func (m *Manager) shard(name string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return m.shards[h%uint64(len(m.shards))]
+}
+
+// Attach stamps an already-acquired lock-manager lease with a fresh
+// fencing token and starts its TTL clock, returning the token. This is
+// the zero-extra-roundtrip surface the lock service uses: the server
+// acquires through the manager's fast path, then attaches.
+func (m *Manager) Attach(l lockmgr.Lease) uint64 {
+	name := l.Name()
+	tok := m.tokens.Add(1)
+	sh := m.shard(name)
+	sh.mu.Lock()
+	st := sh.keys[name]
+	if st == nil {
+		st = &keyState{name: name, idx: -1}
+		sh.keys[name] = st
+	}
+	// Mutual exclusion is the invariant that makes this a plain store:
+	// a new grant on this name can only exist after the previous lease
+	// was released or revoked, so st is never active here.
+	st.token = tok
+	st.active = true
+	st.l = l
+	st.deadline = time.Now().Add(m.ttl)
+	if st.idx < 0 {
+		sh.heapPush(st)
+	} else {
+		sh.heapFix(st.idx)
+	}
+	earliest := sh.heap[0] == st
+	sh.mu.Unlock()
+	m.granted.Add(1)
+	if earliest {
+		// The expiry loop may be parked on a later (or absent) deadline.
+		select {
+		case sh.wake <- struct{}{}:
+		default:
+		}
+	}
+	return tok
+}
+
+// AcquireCtx acquires the named lock (blocking, context-bounded) and
+// leases it: the returned Grant carries the fencing token.
+func (m *Manager) AcquireCtx(ctx context.Context, name string) (Grant, error) {
+	l, err := m.lm.AcquireLeaseCtx(ctx, name)
+	if err != nil {
+		return Grant{}, err
+	}
+	return Grant{Name: name, Token: m.Attach(l)}, nil
+}
+
+// TryAcquire acquires the named lock only if immediately available,
+// leasing it on success.
+func (m *Manager) TryAcquire(name string) (Grant, bool, error) {
+	l, ok, err := m.lm.TryAcquireLease(name)
+	if !ok || err != nil {
+		return Grant{}, false, err
+	}
+	return Grant{Name: name, Token: m.Attach(l)}, true, nil
+}
+
+// Heartbeat renews the lease behind token, pushing its expiry out by
+// one TTL, and returns the new remaining TTL. A stale token — the
+// lease expired, was revoked, or was already released — is rejected
+// with ErrFenced.
+func (m *Manager) Heartbeat(name string, token uint64) (time.Duration, error) {
+	sh := m.shard(name)
+	sh.mu.Lock()
+	st := sh.keys[name]
+	if st == nil || !st.active || st.token != token {
+		sh.mu.Unlock()
+		m.fenced.Add(1)
+		return 0, fmt.Errorf("lease: heartbeat on %q token %d: %w", name, token, ErrFenced)
+	}
+	st.deadline = time.Now().Add(m.ttl)
+	sh.heapFix(st.idx)
+	sh.mu.Unlock()
+	return m.ttl, nil
+}
+
+// Remaining reports the lease's time to expiry, or ok=false when token
+// no longer names an active lease. It is an observability probe: a
+// stale token here is not counted as a fenced reject.
+func (m *Manager) Remaining(name string, token uint64) (time.Duration, bool) {
+	sh := m.shard(name)
+	sh.mu.Lock()
+	st := sh.keys[name]
+	if st == nil || !st.active || st.token != token {
+		sh.mu.Unlock()
+		return 0, false
+	}
+	d := time.Until(st.deadline)
+	sh.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// Release gives the lease behind token back voluntarily. A stale token
+// is rejected with ErrFenced and releases nothing — this is the single
+// arbitration point that lets connection teardown race TTL expiry
+// without ever double-releasing a recycled slot.
+func (m *Manager) Release(name string, token uint64) error {
+	l, err := m.detach(name, token)
+	if err != nil {
+		return err
+	}
+	return m.lm.Release(l)
+}
+
+// Revoke forcibly ends the lease behind token, driving the lock
+// manager's revocation path on the orphaned handle. Expiry uses the
+// same detach arbitration internally; Revoke is the explicit
+// (administrative or test) entry point.
+func (m *Manager) Revoke(name string, token uint64) error {
+	l, err := m.detach(name, token)
+	if err != nil {
+		return err
+	}
+	m.revoked.Add(1)
+	return m.lm.Revoke(l)
+}
+
+// detach atomically claims the active lease behind (name, token),
+// marking the state inactive and quarantined. Exactly one caller wins
+// a given token; every other gets ErrFenced.
+func (m *Manager) detach(name string, token uint64) (lockmgr.Lease, error) {
+	sh := m.shard(name)
+	sh.mu.Lock()
+	st := sh.keys[name]
+	if st == nil || !st.active || st.token != token {
+		sh.mu.Unlock()
+		m.fenced.Add(1)
+		return lockmgr.Lease{}, fmt.Errorf("lease: release of %q token %d: %w", name, token, ErrFenced)
+	}
+	l := st.l
+	st.active = false
+	st.l = lockmgr.Lease{}
+	st.deadline = time.Now().Add(m.grace)
+	sh.heapFix(st.idx)
+	sh.mu.Unlock()
+	return l, nil
+}
+
+// runShard is one shard's expiry goroutine: it sleeps until the
+// earliest deadline (or a wake for a newly earliest one), expires due
+// leases, and garbage-collects quarantined states whose grace window
+// has passed. Revocations run outside the shard mutex: the key cannot
+// be re-granted until the underlying lock is actually released, so
+// nothing can race the state while the lock is still held.
+func (m *Manager) runShard(sh *shard) {
+	defer m.wg.Done()
+	const idle = time.Hour
+	timer := time.NewTimer(idle)
+	defer timer.Stop()
+	var due []lockmgr.Lease
+	for {
+		sh.mu.Lock()
+		now := time.Now()
+		due = due[:0]
+		for len(sh.heap) > 0 && !sh.heap[0].deadline.After(now) {
+			st := sh.heap[0]
+			if st.active {
+				// TTL expiry: claim the lease exactly as detach would.
+				st.active = false
+				due = append(due, st.l)
+				st.l = lockmgr.Lease{}
+				st.deadline = now.Add(m.grace)
+				sh.heapFix(0)
+			} else {
+				// Quarantine over: forget the key.
+				sh.heapPop()
+				delete(sh.keys, st.name)
+			}
+		}
+		wait := idle
+		if len(sh.heap) > 0 {
+			if wait = time.Until(sh.heap[0].deadline); wait < 0 {
+				wait = 0
+			}
+		}
+		sh.mu.Unlock()
+		for _, l := range due {
+			m.expired.Add(1)
+			m.lm.Revoke(l)
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-m.stop:
+			return
+		case <-sh.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// Counters snapshots the lifecycle bookkeeping.
+func (m *Manager) Counters() Counters {
+	c := Counters{
+		Granted:       m.granted.Load(),
+		Expired:       m.expired.Load(),
+		Revoked:       m.revoked.Load(),
+		FencedRejects: m.fenced.Load(),
+	}
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, st := range sh.keys {
+			if st.active {
+				c.Active++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return c
+}
+
+// Close stops the expiry goroutines and revokes every still-active
+// lease (the crash orphans a draining server never heard a release
+// for), so the underlying lock manager can be closed with no
+// outstanding leases. Idempotent.
+func (m *Manager) Close() {
+	if m.closed.Swap(true) {
+		return
+	}
+	close(m.stop)
+	m.wg.Wait()
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		var orphans []lockmgr.Lease
+		for _, st := range sh.keys {
+			if st.active {
+				orphans = append(orphans, st.l)
+				st.active = false
+				st.l = lockmgr.Lease{}
+			}
+		}
+		sh.mu.Unlock()
+		for _, l := range orphans {
+			m.revoked.Add(1)
+			m.lm.Revoke(l)
+		}
+	}
+}
+
+// Min-heap of keyStates by deadline, with index maintenance so
+// heartbeats can fix an entry in place.
+
+func (sh *shard) heapPush(st *keyState) {
+	st.idx = len(sh.heap)
+	sh.heap = append(sh.heap, st)
+	sh.heapUp(st.idx)
+}
+
+// heapPop removes and returns the earliest entry.
+func (sh *shard) heapPop() *keyState {
+	st := sh.heap[0]
+	last := len(sh.heap) - 1
+	sh.heap[0] = sh.heap[last]
+	sh.heap[0].idx = 0
+	sh.heap[last] = nil
+	sh.heap = sh.heap[:last]
+	if last > 0 {
+		sh.heapDown(0)
+	}
+	st.idx = -1
+	return st
+}
+
+// heapFix restores heap order for the entry at i after its deadline
+// changed in either direction.
+func (sh *shard) heapFix(i int) {
+	sh.heapUp(i)
+	sh.heapDown(i)
+}
+
+func (sh *shard) heapUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !sh.heap[i].deadline.Before(sh.heap[p].deadline) {
+			return
+		}
+		sh.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (sh *shard) heapDown(i int) {
+	n := len(sh.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && sh.heap[r].deadline.Before(sh.heap[c].deadline) {
+			c = r
+		}
+		if !sh.heap[c].deadline.Before(sh.heap[i].deadline) {
+			return
+		}
+		sh.heapSwap(i, c)
+		i = c
+	}
+}
+
+func (sh *shard) heapSwap(i, j int) {
+	sh.heap[i], sh.heap[j] = sh.heap[j], sh.heap[i]
+	sh.heap[i].idx = i
+	sh.heap[j].idx = j
+}

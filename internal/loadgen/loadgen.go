@@ -68,6 +68,22 @@ type TryLocker interface {
 	TryAcquire(name string) (bool, error)
 }
 
+// Crasher is the optional crash surface: acquire name on a session of
+// its own and then go dark holding it — no release, no heartbeat — so
+// the key stays stuck until the backend's lease TTL recovers it. A
+// spec with crash ops requires this interface. The generator never
+// touches the owner token for a crashed hold: the dead holder can't
+// clear it, and the token protocol is exactly what the successor's
+// fencing is judged against.
+type Crasher interface {
+	// Crash reports false when the acquire could not be granted in
+	// time — the victim "died" while still waiting, which the generator
+	// counts as an abort, not a run failure: on a crash-heavy hot key
+	// the queue drains at one expiry per TTL, so bounded-patience
+	// crashers are expected to give up sometimes.
+	Crash(name string) (bool, error)
+}
+
 // Config parameterizes a run.
 type Config struct {
 	// Clients is the number of concurrent client goroutines (default 8).
@@ -203,9 +219,13 @@ type Result struct {
 	// queued); AbortRate is aborts over attempts (cycles + aborts).
 	// TryMisses counts trylock probes that found the lock busy. Latency
 	// percentiles cover successful acquires only.
-	Aborts      int64   `json:"aborts"`
-	AbortRate   float64 `json:"abort_rate"`
-	TryMisses   int64   `json:"try_misses,omitempty"`
+	Aborts    int64   `json:"aborts"`
+	AbortRate float64 `json:"abort_rate"`
+	TryMisses int64   `json:"try_misses,omitempty"`
+	// Crashes counts holders that deliberately died inside the critical
+	// section (the spec's crash ops); their keys stay held until the
+	// backend's lease TTL reclaims them.
+	Crashes     int64   `json:"crashes,omitempty"`
 	OpTimeoutMS float64 `json:"op_timeout_ms,omitempty"`
 	LatencyP50  float64 `json:"acquire_p50_us"`
 	LatencyP90  float64 `json:"acquire_p90_us"`
@@ -237,6 +257,10 @@ func (r *Result) Table() *stats.Table {
 		t.Notes = append(t.Notes,
 			"open loop: arrivals are paced at the offered rate regardless of service capacity; latency is measured from the arrival stamp (queue wait included)")
 	}
+	if r.Crashes > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("%d holders crashed inside their critical sections (spec crash ops); their keys were recovered by lease TTL expiry", r.Crashes))
+	}
 	return t
 }
 
@@ -254,6 +278,7 @@ type runState struct {
 	violations atomic.Int64
 	aborts     atomic.Int64
 	tryMisses  atomic.Int64
+	crashes    atomic.Int64
 	stop       atomic.Bool
 
 	mu       sync.Mutex
@@ -281,6 +306,7 @@ type client struct {
 	checker HoldsChecker
 	bounded DeadlineLocker
 	trier   TryLocker
+	crasher Crasher
 	src     *workload.Source
 	token   int64
 }
@@ -312,6 +338,13 @@ func (st *runState) newClient(me int) (*client, error) {
 			return nil, fmt.Errorf("loadgen: client %d: the op mix has try acquires but the backend session (%T) offers no TryAcquire", me, lk)
 		}
 	}
+	if st.spec.Ops.Crash > 0 {
+		var ok bool
+		if c.crasher, ok = lk.(Crasher); !ok {
+			lk.Close()
+			return nil, fmt.Errorf("loadgen: client %d: the op mix has crash ops but the backend session (%T) offers no Crash", me, lk)
+		}
+	}
 	return c, nil
 }
 
@@ -320,6 +353,7 @@ const (
 	cycleDone = iota
 	cycleAbort
 	cycleMiss
+	cycleCrash
 	cycleFailed
 )
 
@@ -331,6 +365,20 @@ func (c *client) runCycle(k int, kind workload.OpKind, sess workload.Session, la
 	st := c.st
 	name := st.keys[k]
 	switch kind {
+	case workload.OpCrash:
+		// Die holding the key: no latency sample, no owner-token traffic
+		// (a dead holder can't clear the token, and a false violation is
+		// worse than no check), no release. Recovery is the lease
+		// subsystem's job.
+		crashed, err := c.crasher.Crash(name)
+		if err != nil {
+			st.fail(fmt.Errorf("loadgen: client %d crashing on %s: %w", c.me, name, err))
+			return cycleFailed
+		}
+		if !crashed {
+			return cycleAbort // died waiting, never held the key
+		}
+		return cycleCrash
 	case workload.OpTry:
 		ok, err := c.trier.TryAcquire(name)
 		if err != nil {
@@ -411,6 +459,8 @@ func (st *runState) closedLoop(me int) {
 			st.aborts.Add(1)
 		case cycleMiss:
 			st.tryMisses.Add(1)
+		case cycleCrash:
+			st.crashes.Add(1)
 		}
 		workload.Spin(sess.RemainderWork)
 	}
@@ -492,6 +542,7 @@ func Run(cfg Config) (*Result, error) {
 		Violations:     st.violations.Load(),
 		Aborts:         st.aborts.Load(),
 		TryMisses:      st.tryMisses.Load(),
+		Crashes:        st.crashes.Load(),
 		OpTimeoutMS:    spec.Ops.TimeoutMS,
 	}
 	if spec.Ops.Timed == 0 {

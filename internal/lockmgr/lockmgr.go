@@ -119,6 +119,7 @@ type Manager struct {
 // StatsTable never block an acquire to read.
 type shardCounters struct {
 	acquires, releases   atomic.Uint64
+	revokes              atomic.Uint64
 	tryAcquires          atomic.Uint64
 	tryFailures          atomic.Uint64
 	waits                atomic.Uint64
@@ -134,6 +135,7 @@ func (c *shardCounters) snapshot() Counters {
 	return Counters{
 		Acquires:      c.acquires.Load(),
 		Releases:      c.releases.Load(),
+		Revokes:       c.revokes.Load(),
 		TryAcquires:   c.tryAcquires.Load(),
 		TryFailures:   c.tryFailures.Load(),
 		Waits:         c.waits.Load(),
@@ -181,6 +183,9 @@ type Counters struct {
 	// Acquires and Releases count completed blocking operations;
 	// TryAcquires counts attempts, TryFailures the unavailable ones.
 	Acquires, Releases, TryAcquires, TryFailures uint64
+	// Revokes counts forcible releases through Revoke — a lease
+	// subsystem reclaiming an orphaned holder's grant on its behalf.
+	Revokes uint64
 	// Waits counts acquirers that queued for a handle (all n leased).
 	Waits uint64
 	// LeaseTimeouts counts acquirers whose context ended while queued for
@@ -199,6 +204,7 @@ type Counters struct {
 func (a Counters) add(b Counters) Counters {
 	a.Acquires += b.Acquires
 	a.Releases += b.Releases
+	a.Revokes += b.Revokes
 	a.TryAcquires += b.TryAcquires
 	a.TryFailures += b.TryFailures
 	a.Waits += b.Waits
@@ -502,6 +508,27 @@ func (m *Manager) Release(l Lease) error {
 		return err
 	}
 	m.checkin(l.e, l.h, true)
+	return nil
+}
+
+// Revoke forcibly releases a lease on behalf of a holder that will
+// never release it itself — the lease subsystem's reclamation of an
+// expired grant. The revoking goroutine executes the holder's
+// register-safe critical-section exit on the orphan's own process
+// handle (identity and permutation attach to the handle, not the
+// goroutine — the same property the abortable withdraw relies on), so
+// the anonymous-register slot is left clean and the handle returns to
+// the lease pool for reuse. It is Release with its own counter: stats
+// keep "the holder gave it back" and "the manager took it back"
+// distinguishable.
+func (m *Manager) Revoke(l Lease) error {
+	l.e.held.Add(-1)
+	if err := l.h.Unlock(); err != nil {
+		return err
+	}
+	l.e.pool.release(l.h)
+	l.e.refs.Add(-1)
+	l.e.sh.c.revokes.Add(1)
 	return nil
 }
 

@@ -29,8 +29,9 @@ import (
 //     at an offered rate, decoupled from service capacity, with a
 //     bounded backlog — the load model abortable-mutex evaluations
 //     measure);
-//   - an op mix (Ops): blocking lock, bounded trylock, and
-//     deadline-bounded acquire with a per-op timeout, drawn by weight.
+//   - an op mix (Ops): blocking lock, bounded trylock, deadline-bounded
+//     acquire with a per-op timeout, and crash (acquire, then die
+//     holding the lock), drawn by weight.
 //
 // The zero value of every field means "default"; Normalize fills
 // defaults and validates, failing loudly on unknown names. Spec contains
@@ -132,6 +133,12 @@ const (
 	// OpTimed is a deadline-bounded acquire with the mix's per-op
 	// timeout; expiry withdraws cleanly and counts as an abort.
 	OpTimed
+	// OpCrash acquires the key and then dies holding it: no release, no
+	// heartbeat, the session simply goes dark. It models a holder
+	// crashing inside its critical section — the failure the lease
+	// subsystem's TTL expiry exists to recover from. Backends without a
+	// crash facility reject specs that weight it.
+	OpCrash
 )
 
 // String returns the op-kind name.
@@ -143,6 +150,8 @@ func (k OpKind) String() string {
 		return "try"
 	case OpTimed:
 		return "timed"
+	case OpCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("opkind(%d)", uint8(k))
 	}
@@ -155,6 +164,10 @@ type OpMix struct {
 	Lock  float64 `json:"lock,omitempty"`
 	Try   float64 `json:"try,omitempty"`
 	Timed float64 `json:"timed,omitempty"`
+	// Crash weights holders that die inside the critical section (see
+	// OpCrash). Leaving it 0 keeps every existing spec's draw sequence
+	// bit-identical.
+	Crash float64 `json:"crash,omitempty"`
 	// TimeoutMS is the per-op deadline for timed acquires, in
 	// milliseconds (fractions allowed; required when Timed > 0).
 	TimeoutMS float64 `json:"timeout_ms,omitempty"`
@@ -251,10 +264,10 @@ func (s Spec) Normalize() (Spec, error) {
 		return s, fmt.Errorf("workload: negative max_backlog")
 	}
 
-	if s.Ops.Lock < 0 || s.Ops.Try < 0 || s.Ops.Timed < 0 || s.Ops.TimeoutMS < 0 {
+	if s.Ops.Lock < 0 || s.Ops.Try < 0 || s.Ops.Timed < 0 || s.Ops.Crash < 0 || s.Ops.TimeoutMS < 0 {
 		return s, fmt.Errorf("workload: negative op-mix values")
 	}
-	if s.Ops.Lock+s.Ops.Try+s.Ops.Timed == 0 {
+	if s.Ops.Lock+s.Ops.Try+s.Ops.Timed+s.Ops.Crash == 0 {
 		if s.Ops.TimeoutMS > 0 {
 			s.Ops.Timed = 1 // a bare timeout means "every acquire is bounded"
 		} else {
@@ -394,7 +407,7 @@ func (s *Source) hotPick(nkeys, start int) int {
 // NextOp draws the next acquire's kind from the op mix.
 func (s *Source) NextOp() OpKind {
 	m := s.spec.Ops
-	total := m.Lock + m.Try + m.Timed
+	total := m.Lock + m.Try + m.Timed + m.Crash
 	if total <= 0 {
 		return OpLock
 	}
@@ -404,8 +417,10 @@ func (s *Source) NextOp() OpKind {
 		return OpLock
 	case u < m.Lock+m.Try:
 		return OpTry
-	default:
+	case u < m.Lock+m.Try+m.Timed:
 		return OpTimed
+	default:
+		return OpCrash
 	}
 }
 

@@ -26,8 +26,7 @@ func steadySession(t *testing.T) (*Server, *session, *nameTable) {
 	}
 	t.Cleanup(func() { mgr.Close() })
 	s := NewServer(mgr)
-	sess := &session{grants: make(map[string]lockmgr.Lease)}
-	return s, sess, newNameTable()
+	return s, newSession(), newNameTable()
 }
 
 // loop runs the exact per-request pipeline of the processing loop.
@@ -134,7 +133,7 @@ func TestServerBinarySteadyStateZeroAllocs(t *testing.T) {
 // try on a held lock must also stay off the heap.
 func TestServerFailedTryZeroAllocs(t *testing.T) {
 	s, sess, names := steadySession(t)
-	other := &session{grants: make(map[string]lockmgr.Lease)}
+	other := newSession()
 	var req Request
 	respBuf := make([]byte, 0, 256)
 

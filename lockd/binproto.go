@@ -18,8 +18,6 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-
-	"anonmutex/internal/lockmgr"
 )
 
 // binResponseFlushBytes caps how much encoded response a stream batches
@@ -60,6 +58,9 @@ type binConn struct {
 	conn   net.Conn
 	ctx    context.Context
 	cancel context.CancelFunc
+	// legacy pins the v1 response dialect for connections that led with
+	// the v1 magic: no lease/fenced flags, 13-field stats.
+	legacy bool
 	w      muxWriter
 
 	mu      sync.Mutex
@@ -100,7 +101,11 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 		streams: make(map[uint32]*binStream),
 	}
 	bc.w.bw = bufio.NewWriter(conn)
-	if magic != BinaryMagic {
+	switch magic {
+	case BinaryMagic:
+		bc.legacy = true
+	case BinaryMagicV2:
+	default:
 		bc.connError(fmt.Sprintf("lockd: bad protocol magic %x", magic[:]))
 		return
 	}
@@ -157,7 +162,7 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 // reserved stream 0, before the connection closes.
 func (bc *binConn) connError(msg string) {
 	frame := BeginFrame(make([]byte, 0, 64+len(msg)), 0)
-	frame = AppendResponseBin(frame, &Response{Err: msg})
+	frame = appendResponseBin(frame, &Response{Err: msg}, bc.legacy)
 	bc.w.writeFrame(EndFrame(frame, 0))
 }
 
@@ -168,7 +173,7 @@ func (bc *binConn) stream(id uint32) *binStream {
 	if st == nil {
 		st = &binStream{
 			id:   id,
-			sess: &session{grants: make(map[string]lockmgr.Lease)},
+			sess: newSession(),
 			q:    newOpQueue[Request](),
 		}
 		bc.streams[id] = st
@@ -190,8 +195,12 @@ func (bc *binConn) stream(id uint32) *binStream {
 // delays its siblings on the same connection.
 func (bc *binConn) streamLoop(st *binStream) {
 	defer func() {
-		for _, l := range st.sess.grants {
-			bc.srv.mgr.Release(l)
+		// Teardown routes through the same releaseGrant the end_stream ack
+		// and the release op use: with leases on, exactly one of teardown
+		// and TTL expiry wins each grant's token arbitration, so a stream
+		// dying mid-expiry can never double-release.
+		for _, g := range st.sess.grants {
+			bc.srv.releaseGrant(g)
 		}
 		bc.srv.liveStreams.Add(-1)
 		bc.wg.Done()
@@ -227,7 +236,7 @@ func (bc *binConn) streamLoop(st *binStream) {
 		if req.Op == OpEndStream {
 			// Retire the stream: ack, then forget it so the id can be
 			// reused; the deferred cleanup releases its grants.
-			frame = AppendResponseBin(frame, &Response{OK: true})
+			frame = appendResponseBin(frame, &Response{OK: true}, bc.legacy)
 			flush()
 			bc.mu.Lock()
 			if bc.streams[st.id] == st {
@@ -237,7 +246,7 @@ func (bc *binConn) streamLoop(st *binStream) {
 			return
 		}
 		resp := bc.srv.handle(bc.ctx, st.sess, req, preBlock)
-		frame = AppendResponseBin(frame, &resp)
+		frame = appendResponseBin(frame, &resp, bc.legacy)
 		if len(frame) >= binResponseFlushBytes {
 			if !flush() {
 				return

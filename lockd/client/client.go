@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anonmutex/lockd"
@@ -32,6 +33,14 @@ import (
 // maximum wait — after withdrawing cleanly. AcquireFor reports the same
 // outcome as (false, nil) instead.
 var ErrAborted = errors.New("client: acquire aborted")
+
+// ErrFenced marks an operation rejected because the session's lease on
+// the lock expired or was revoked: its fencing token is stale and the
+// lock may already be held by a successor. Returned (wrapped) by any
+// op the server answers with fenced=true — typically a release or
+// heartbeat issued after the holder paused past the lease TTL. Test
+// with errors.Is.
+var ErrFenced = errors.New("client: fenced: stale lease token")
 
 // result is one matched response.
 type result struct {
@@ -68,6 +77,13 @@ type Conn struct {
 	queue  []chan result // FIFO of callers awaiting responses
 	qhead  int           // first live entry; backing array is reused
 	broken error         // set once the reader stops
+
+	// hbMu guards the auto-heartbeat ticker; hbPaused suspends it
+	// without tearing it down (chaos tests simulate a stalled holder
+	// this way).
+	hbMu     sync.Mutex
+	hbStop   chan struct{}
+	hbPaused atomic.Bool
 }
 
 // Dial connects to a lockd server.
@@ -181,6 +197,9 @@ func (c *Conn) do(req lockd.Request) (lockd.Response, error) {
 		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, res.err)
 	}
 	if !res.resp.OK {
+		if res.resp.Fenced {
+			return res.resp, fmt.Errorf("client: %s: %s: %w", req.Op, res.resp.Err, ErrFenced)
+		}
 		return res.resp, fmt.Errorf("client: %s: %s", req.Op, res.resp.Err)
 	}
 	return res.resp, nil
@@ -267,11 +286,81 @@ func (c *Conn) Ping() error {
 	return err
 }
 
+// Heartbeat renews every lease the session holds. On a server without
+// leases it is an acknowledged no-op. It returns ErrFenced (wrapped) if
+// any grant's lease had already expired — the session no longer holds
+// that lock.
+func (c *Conn) Heartbeat() error {
+	resp, err := c.do(lockd.Request{Op: lockd.OpHeartbeat})
+	if err != nil {
+		return err
+	}
+	if resp.Fenced {
+		return fmt.Errorf("client: heartbeat: %w", ErrFenced)
+	}
+	return nil
+}
+
+// AutoHeartbeat starts a background ticker that renews the session's
+// leases every interval — set it under half the server's lease TTL.
+// Safe to call on a server without leases (each beat is a cheap no-op);
+// idempotent while a ticker is already running. The ticker stops itself
+// when the session breaks, and Close stops it too.
+func (c *Conn) AutoHeartbeat(every time.Duration) {
+	c.hbMu.Lock()
+	defer c.hbMu.Unlock()
+	if c.hbStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	c.hbStop = stop
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if c.hbPaused.Load() {
+					continue
+				}
+				// A fenced beat is survivable (only stale grants were
+				// dropped); a transport error means the session is dead
+				// and the ticker with it.
+				if err := c.Heartbeat(); err != nil && !errors.Is(err, ErrFenced) {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// PauseHeartbeat suspends the auto-heartbeat ticker without stopping
+// it: the session keeps its grants but stops renewing them, so on a
+// lease-running server they expire after one TTL. This is how a crashed
+// or stalled holder is simulated deliberately.
+func (c *Conn) PauseHeartbeat() { c.hbPaused.Store(true) }
+
+// ResumeHeartbeat re-enables a paused auto-heartbeat ticker.
+func (c *Conn) ResumeHeartbeat() { c.hbPaused.Store(false) }
+
+// StopHeartbeat stops the auto-heartbeat ticker, if one is running.
+func (c *Conn) StopHeartbeat() {
+	c.hbMu.Lock()
+	if c.hbStop != nil {
+		close(c.hbStop)
+		c.hbStop = nil
+	}
+	c.hbMu.Unlock()
+}
+
 // Close ends the session; the server releases any locks it still holds
 // and reaps any acquire still in flight. On a mux stream it retires just
 // this stream (waiting for the server's ack) and leaves the shared
 // socket up; do not issue or pipeline requests concurrently with Close.
 func (c *Conn) Close() error {
+	c.StopHeartbeat()
 	if c.mux != nil {
 		return c.mux.closeStream(c)
 	}

@@ -1,0 +1,116 @@
+package client
+
+// CrashPool manufactures orphaned holders: each Crash dials a fresh
+// session, acquires the named lock, and then goes silent — no
+// heartbeat, no release, socket deliberately kept open — exactly the
+// footprint of a process that took a lock and then hung or was
+// SIGKILLed with the connection still in the kernel's hands. On a
+// lease-running server the orphan's grant is forcibly revoked one TTL
+// later; on a lease-free server the key stays stuck until the pool is
+// closed, which is the failure mode the lease subsystem exists to fix.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CrashPool holds crashed sessions' connections alive. Create with
+// NewCrashPool; Close tears the corpses down. Its Crash method has the
+// loadgen Crasher shape, so a pool slots straight into a workload with
+// crash ops.
+type CrashPool struct {
+	addr string
+
+	// Timeout bounds each crash's acquire (default 10s): a crasher that
+	// cannot get the lock within it reports an error instead of
+	// stalling the workload behind an already-orphaned key.
+	Timeout time.Duration
+
+	mu    sync.Mutex
+	conns []*Conn
+}
+
+// NewCrashPool makes a pool whose crashed holders dial addr.
+func NewCrashPool(addr string) *CrashPool {
+	return &CrashPool{addr: addr}
+}
+
+// Crash acquires name on a brand-new session and abandons it: the
+// session never heartbeats and never releases, but its socket stays
+// open (and referenced here, so no finalizer closes it) — the server
+// cannot tell the holder is gone until the lease TTL says so. The
+// acquire itself waits up to the pool's Timeout for the lock; running
+// out of patience reports (false, nil) — the victim died while still
+// waiting, which on a crash-heavy hot key (draining at one lease
+// expiry per TTL) is an expected outcome, not a failure.
+func (p *CrashPool) Crash(name string) (bool, error) {
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	c, err := Dial(p.addr)
+	if err != nil {
+		return false, fmt.Errorf("client: crash %s: %w", name, err)
+	}
+	ok, err := c.AcquireFor(name, timeout)
+	if err != nil || !ok {
+		c.Close()
+		if err != nil && !errors.Is(err, ErrAborted) {
+			return false, fmt.Errorf("client: crash %s: %w", name, err)
+		}
+		return false, nil
+	}
+	p.mu.Lock()
+	p.conns = append(p.conns, c)
+	p.mu.Unlock()
+	return true, nil
+}
+
+// Session is one client session whose crash ops are served by the
+// pool: the full Conn surface (acquire, release, holds, heartbeats)
+// plus Crash — exactly the shape a workload with crash ops needs from
+// a network backend.
+type Session struct {
+	*Conn
+	pool *CrashPool
+}
+
+// Crash abandons name on a fresh session from the pool; the calling
+// session's own grants are untouched.
+func (s *Session) Crash(name string) (bool, error) { return s.pool.Crash(name) }
+
+// Session dials a fresh connection whose crash ops delegate to the
+// pool.
+func (p *CrashPool) Session() (*Session, error) {
+	c, err := Dial(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{Conn: c, pool: p}, nil
+}
+
+// Wrap gives an existing connection (for example a multiplexed stream
+// from a MuxPool) the pool's crash surface.
+func (p *CrashPool) Wrap(c *Conn) *Session {
+	return &Session{Conn: c, pool: p}
+}
+
+// Crashed reports how many holders the pool has abandoned so far.
+func (p *CrashPool) Crashed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// Close finally closes every crashed holder's socket.
+func (p *CrashPool) Close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}

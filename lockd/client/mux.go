@@ -65,11 +65,12 @@ func DialMux(addr string) (*Mux, error) {
 
 // NewMux wraps an already-established connection as a binary multiplexed
 // client. The Mux takes ownership of c and immediately stakes the
-// protocol claim: the magic preamble is buffered ahead of the first
-// frame (the server reads it before anything else).
+// protocol claim: the magic preamble — v2, so responses may carry
+// fencing tokens, TTLs, and the fenced bit — is buffered ahead of the
+// first frame (the server reads it before anything else).
 func NewMux(c net.Conn) *Mux {
 	m := &Mux{c: c, bw: bufio.NewWriter(c), streams: make(map[uint32]*Conn)}
-	m.bw.Write(lockd.BinaryMagic[:])
+	m.bw.Write(lockd.BinaryMagicV2[:])
 	go m.readLoop()
 	return m
 }
@@ -161,6 +162,9 @@ func (m *Mux) do(st *Conn, req lockd.Request) (lockd.Response, error) {
 		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, res.err)
 	}
 	if !res.resp.OK {
+		if res.resp.Fenced {
+			return res.resp, fmt.Errorf("client: %s: %s: %w", req.Op, res.resp.Err, ErrFenced)
+		}
 		return res.resp, fmt.Errorf("client: %s: %s", req.Op, res.resp.Err)
 	}
 	return res.resp, nil

@@ -57,6 +57,17 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	if resp.Holds {
 		dst = append(dst, `,"holds":true`...)
 	}
+	if resp.Token != 0 {
+		dst = append(dst, `,"token":`...)
+		dst = strconv.AppendUint(dst, resp.Token, 10)
+	}
+	if resp.TTLMS != 0 {
+		dst = append(dst, `,"ttl_ms":`...)
+		dst = strconv.AppendInt(dst, resp.TTLMS, 10)
+	}
+	if resp.Fenced {
+		dst = append(dst, `,"fenced":true`...)
+	}
 	if resp.Stats != nil {
 		s := resp.Stats
 		dst = append(dst, `,"stats":{"acquires":`...)
@@ -79,6 +90,12 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 		dst = strconv.AppendUint(dst, s.Aborts, 10)
 		dst = append(dst, `,"lease_timeouts":`...)
 		dst = strconv.AppendUint(dst, s.LeaseTimeouts, 10)
+		dst = append(dst, `,"expired":`...)
+		dst = strconv.AppendUint(dst, s.Expired, 10)
+		dst = append(dst, `,"revoked":`...)
+		dst = strconv.AppendUint(dst, s.Revoked, 10)
+		dst = append(dst, `,"fenced_rejects":`...)
+		dst = strconv.AppendUint(dst, s.FencedRejects, 10)
 		dst = append(dst, `,"violations":`...)
 		dst = strconv.AppendUint(dst, s.Violations, 10)
 		dst = append(dst, `,"sessions":`...)
@@ -237,6 +254,8 @@ func internOp(raw []byte, escaped bool) string {
 		return OpCancel
 	case OpHolds:
 		return OpHolds
+	case OpHeartbeat:
+		return OpHeartbeat
 	case OpStats:
 		return OpStats
 	case OpPing:
@@ -284,6 +303,16 @@ func DecodeResponse(data []byte, resp *Response) error {
 		case "holds":
 			v, err := d.boolValue()
 			resp.Holds = v
+			return err
+		case "token":
+			return d.uintInto(&resp.Token)
+		case "ttl_ms":
+			v, err := d.intValue()
+			resp.TTLMS = v
+			return err
+		case "fenced":
+			v, err := d.boolValue()
+			resp.Fenced = v
 			return err
 		case "stats":
 			d.ws()
@@ -334,6 +363,12 @@ func (d *scanner) statsObject(s *Stats) error {
 			return d.uintInto(&s.Aborts)
 		case "lease_timeouts":
 			return d.uintInto(&s.LeaseTimeouts)
+		case "expired":
+			return d.uintInto(&s.Expired)
+		case "revoked":
+			return d.uintInto(&s.Revoked)
+		case "fenced_rejects":
+			return d.uintInto(&s.FencedRejects)
 		case "violations":
 			return d.uintInto(&s.Violations)
 		case "sessions":

@@ -101,7 +101,7 @@ func checkRequestBinCodec(t *testing.T, req Request) {
 }
 
 func TestRequestCodecAllFieldCombinations(t *testing.T) {
-	ops := []string{OpAcquire, OpTryAcquire, OpRelease, OpCancel, OpHolds, OpStats, OpPing, OpEndStream, "unknown-op", ""}
+	ops := []string{OpAcquire, OpTryAcquire, OpRelease, OpCancel, OpHolds, OpHeartbeat, OpStats, OpPing, OpEndStream, "unknown-op", ""}
 	for _, op := range ops {
 		for _, name := range codecNames {
 			for _, timeout := range codecTimeouts {
@@ -171,9 +171,23 @@ func TestResponseCodecAllFieldCombinations(t *testing.T) {
 		{
 			Acquires: 1, Releases: 2, Waits: 3, TryAcquires: 4, TryFailures: 5,
 			LockCreates: 6, Evictions: 7, ResidentLocks: 8, Aborts: 9,
-			LeaseTimeouts: 10, Violations: 11, Sessions: 12, Streams: 13,
+			LeaseTimeouts: 10, Expired: 11, Revoked: 12, FencedRejects: 13,
+			Violations: 14, Sessions: 15, Streams: 16,
 		},
-		{Acquires: math.MaxUint64, Violations: math.MaxUint64, ResidentLocks: math.MaxInt32, Sessions: -1, Streams: -64},
+		{Acquires: math.MaxUint64, Violations: math.MaxUint64, FencedRejects: math.MaxUint64,
+			ResidentLocks: math.MaxInt32, Sessions: -1, Streams: -64},
+	}
+	type leaseFields struct {
+		token  uint64
+		ttl    int64
+		fenced bool
+	}
+	leaseCases := []leaseFields{
+		{},
+		{token: 1},
+		{token: math.MaxUint64, ttl: 12345, fenced: true},
+		{ttl: math.MaxInt64},
+		{fenced: true},
 	}
 	errs := []string{"", "lockd: session does not hold \"x\"", "uni ✓ <err>"}
 	for _, ok := range []bool{false, true} {
@@ -181,16 +195,67 @@ func TestResponseCodecAllFieldCombinations(t *testing.T) {
 			for _, acquired := range []bool{false, true} {
 				for _, aborted := range []bool{false, true} {
 					for _, holds := range []bool{false, true} {
-						for _, stats := range statsCases {
-							checkResponseCodec(t, Response{
-								OK: ok, Err: errStr, Acquired: acquired,
-								Aborted: aborted, Holds: holds, Stats: stats,
-							})
+						for _, lf := range leaseCases {
+							for _, stats := range statsCases {
+								checkResponseCodec(t, Response{
+									OK: ok, Err: errStr, Acquired: acquired,
+									Aborted: aborted, Holds: holds,
+									Token: lf.token, TTLMS: lf.ttl, Fenced: lf.fenced,
+									Stats: stats,
+								})
+							}
 						}
 					}
 				}
 			}
 		}
+	}
+}
+
+// TestResponseBinV1Dialect pins the legacy binary response dialect a
+// BinaryMagic (v1) client decodes: lease fields are dropped on encode
+// — byte-for-byte what a pre-lease server sent — stats carry the
+// original 13-field sequence, and the v2 flag bits stay unknown to the
+// v1 decoder. This is the compatibility contract that lets old binary
+// clients talk to a lease-running server.
+func TestResponseBinV1Dialect(t *testing.T) {
+	full := Response{
+		OK: true, Acquired: true, Token: 42, TTLMS: 1500, Fenced: true,
+		Stats: &Stats{
+			Acquires: 1, Releases: 2, Waits: 3, TryAcquires: 4, TryFailures: 5,
+			LockCreates: 6, Evictions: 7, ResidentLocks: 8, Aborts: 9,
+			LeaseTimeouts: 10, Expired: 11, Revoked: 12, FencedRejects: 13,
+			Violations: 14, Sessions: 15, Streams: 16,
+		},
+	}
+	enc := AppendResponseBinV1(nil, &full)
+	var got Response
+	rest, err := DecodeResponseBinV1(enc, &got)
+	if err != nil {
+		t.Fatalf("DecodeResponseBinV1: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("v1 decode left %d trailing bytes", len(rest))
+	}
+	want := full
+	want.Token, want.TTLMS, want.Fenced = 0, 0, false
+	ws := *full.Stats
+	ws.Expired, ws.Revoked, ws.FencedRejects = 0, 0, 0
+	want.Stats = &ws
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("v1 round trip = %+v, want %+v", got, want)
+	}
+	// A v2 encoding of the same response must be rejected by the v1
+	// decoder: its lease/fenced flag bits are unknown in that dialect.
+	v2 := AppendResponseBin(nil, &full)
+	if _, err := DecodeResponseBinV1(v2, &got); err == nil {
+		t.Error("v1 decoder accepted v2 lease flag bits")
+	}
+	// And a lease-free response must encode identically in both
+	// dialects except for the stats tail — spot-check the plain case.
+	plain := Response{OK: true, Holds: true}
+	if v1, v2 := AppendResponseBinV1(nil, &plain), AppendResponseBin(nil, &plain); string(v1) != string(v2) {
+		t.Errorf("lease-free response differs across dialects: v1=%x v2=%x", v1, v2)
 	}
 }
 

@@ -28,11 +28,17 @@ package lockd
 //
 //	flags byte | [err len uvarint | err bytes] | [stats fields]
 //
-// with flag bits OK, Acquired, Aborted, Holds, has-err, has-stats, and
-// the stats fields a fixed sequence of varints (see appendResponseBin).
-// Unknown opcodes and unknown flag bits are protocol errors: the magic
-// preamble is the version gate, not per-op tolerance — foreign or
-// future peers negotiate by magic, exactly one version per connection.
+// with flag bits OK, Acquired, Aborted, Holds, has-err, has-stats —
+// plus, in the v2 dialect, has-lease (a fencing token and TTL follow)
+// and fenced — and the stats fields a fixed sequence of varints (see
+// appendResponseBin). Unknown opcodes and unknown flag bits are
+// protocol errors: the magic preamble is the version gate, not per-op
+// tolerance — foreign or future peers negotiate by magic, exactly one
+// version per connection. That gate is how the lease fields arrived
+// compatibly: a v1 client's magic pins the v1 response dialect (no
+// lease flags, the 13-field stats sequence) for its whole connection,
+// while v2 connections carry tokens, TTLs, fenced rejections, and the
+// extended stats.
 
 import (
 	"bufio"
@@ -45,8 +51,16 @@ import (
 // BinaryMagic is the 4-byte preamble a client writes immediately after
 // connecting to negotiate the binary framed protocol. Its first byte
 // can never begin a JSON request line, which is what makes the
-// negotiation unambiguous.
+// negotiation unambiguous. This is the v1 magic: a server answers such
+// a connection in the pre-lease response dialect, so old binary
+// clients keep working against lease-running servers.
 var BinaryMagic = [4]byte{0xA9, 'L', 'K', '1'}
+
+// BinaryMagicV2 negotiates the current binary dialect: responses may
+// carry a fencing token and TTL (binFlagLease) and the fenced bit, and
+// stats payloads include the lease counters. New clients lead with it;
+// the server accepts both magics and pins the dialect per connection.
+var BinaryMagicV2 = [4]byte{0xA9, 'L', 'K', '2'}
 
 // DefaultMaxFrameBytes bounds one binary frame's payload when
 // Server.MaxFrameBytes is zero (and is the client-side bound too).
@@ -76,6 +90,7 @@ const (
 	binOpStats
 	binOpPing
 	binOpEndStream
+	binOpHeartbeat
 )
 
 // OpEndStream retires one logical stream of a multiplexed binary
@@ -103,6 +118,8 @@ func opcodeOf(op string) byte {
 		return binOpPing
 	case OpEndStream:
 		return binOpEndStream
+	case OpHeartbeat:
+		return binOpHeartbeat
 	}
 	return 0
 }
@@ -126,11 +143,16 @@ func opOfCode(c byte) string {
 		return OpPing
 	case binOpEndStream:
 		return OpEndStream
+	case binOpHeartbeat:
+		return OpHeartbeat
 	}
 	return ""
 }
 
-// Response flag bits.
+// Response flag bits. The lease and fenced bits exist only in the v2
+// dialect; a v1 connection never sees them (and a v1 decoder rejects
+// them as unknown, which is exactly why the dialect is pinned by
+// magic).
 const (
 	binFlagOK       = 1 << iota // Response.OK
 	binFlagAcquired             // Response.Acquired
@@ -138,6 +160,8 @@ const (
 	binFlagHolds                // Response.Holds
 	binFlagErr                  // an error string follows
 	binFlagStats                // a stats payload follows
+	binFlagLease                // v2: a fencing token uvarint + ttl_ms varint follow
+	binFlagFenced               // v2: Response.Fenced
 )
 
 // BeginFrame appends a frame header (length placeholder plus stream id)
@@ -213,9 +237,22 @@ func decodeRequestBin(data []byte, req *Request, names *nameTable) (rest []byte,
 	return data[n:], nil
 }
 
-// AppendResponseBin appends resp's binary encoding to dst and returns
-// the extended slice. It allocates only if dst must grow.
+// AppendResponseBin appends resp's binary encoding (the current, v2
+// dialect: lease token/TTL and fenced flags, extended stats) to dst and
+// returns the extended slice. It allocates only if dst must grow.
 func AppendResponseBin(dst []byte, resp *Response) []byte {
+	return appendResponseBin(dst, resp, false)
+}
+
+// AppendResponseBinV1 appends resp's encoding in the v1 dialect served
+// to clients that negotiated with BinaryMagic: no lease or fenced
+// flags (those fields are silently dropped, exactly what a pre-lease
+// server would have sent) and the original 13-field stats sequence.
+func AppendResponseBinV1(dst []byte, resp *Response) []byte {
+	return appendResponseBin(dst, resp, true)
+}
+
+func appendResponseBin(dst []byte, resp *Response, legacy bool) []byte {
 	var flags byte
 	if resp.OK {
 		flags |= binFlagOK
@@ -235,10 +272,21 @@ func AppendResponseBin(dst []byte, resp *Response) []byte {
 	if resp.Stats != nil {
 		flags |= binFlagStats
 	}
+	hasLease := !legacy && (resp.Token != 0 || resp.TTLMS != 0)
+	if hasLease {
+		flags |= binFlagLease
+	}
+	if !legacy && resp.Fenced {
+		flags |= binFlagFenced
+	}
 	dst = append(dst, flags)
 	if resp.Err != "" {
 		dst = binary.AppendUvarint(dst, uint64(len(resp.Err)))
 		dst = append(dst, resp.Err...)
+	}
+	if hasLease {
+		dst = binary.AppendUvarint(dst, resp.Token)
+		dst = binary.AppendVarint(dst, resp.TTLMS)
 	}
 	if s := resp.Stats; s != nil {
 		dst = binary.AppendUvarint(dst, s.Acquires)
@@ -251,6 +299,11 @@ func AppendResponseBin(dst []byte, resp *Response) []byte {
 		dst = binary.AppendVarint(dst, int64(s.ResidentLocks))
 		dst = binary.AppendUvarint(dst, s.Aborts)
 		dst = binary.AppendUvarint(dst, s.LeaseTimeouts)
+		if !legacy {
+			dst = binary.AppendUvarint(dst, s.Expired)
+			dst = binary.AppendUvarint(dst, s.Revoked)
+			dst = binary.AppendUvarint(dst, s.FencedRejects)
+		}
 		dst = binary.AppendUvarint(dst, s.Violations)
 		dst = binary.AppendVarint(dst, int64(s.Sessions))
 		dst = binary.AppendVarint(dst, int64(s.Streams))
@@ -258,17 +311,34 @@ func AppendResponseBin(dst []byte, resp *Response) []byte {
 	return dst
 }
 
-// DecodeResponseBin decodes one binary response from the front of data
-// into resp, overwriting every field, and returns the remainder (the
-// next response of the frame). Arbitrary input never panics; only a
-// stats payload or an error string allocates.
+// DecodeResponseBin decodes one binary response (v2 dialect) from the
+// front of data into resp, overwriting every field, and returns the
+// remainder (the next response of the frame). Arbitrary input never
+// panics; only a stats payload or an error string allocates.
 func DecodeResponseBin(data []byte, resp *Response) (rest []byte, err error) {
+	return decodeResponseBin(data, resp, false)
+}
+
+// DecodeResponseBinV1 decodes a v1-dialect response: lease/fenced flag
+// bits are unknown (a protocol error, as they were before they existed)
+// and the stats payload is the original 13-field sequence. It is what a
+// pre-lease client's decoder does, kept exported so the compat tests
+// can pin the dialect byte-for-byte.
+func DecodeResponseBinV1(data []byte, resp *Response) (rest []byte, err error) {
+	return decodeResponseBin(data, resp, true)
+}
+
+func decodeResponseBin(data []byte, resp *Response, legacy bool) (rest []byte, err error) {
 	*resp = Response{}
 	if len(data) == 0 {
 		return nil, errors.New("lockd: empty binary response")
 	}
 	flags := data[0]
-	if flags&^byte(binFlagOK|binFlagAcquired|binFlagAborted|binFlagHolds|binFlagErr|binFlagStats) != 0 {
+	known := byte(binFlagOK | binFlagAcquired | binFlagAborted | binFlagHolds | binFlagErr | binFlagStats)
+	if !legacy {
+		known |= binFlagLease | binFlagFenced
+	}
+	if flags&^known != 0 {
 		return nil, fmt.Errorf("lockd: unknown response flags 0x%02x", flags)
 	}
 	data = data[1:]
@@ -276,6 +346,7 @@ func DecodeResponseBin(data []byte, resp *Response) (rest []byte, err error) {
 	resp.Acquired = flags&binFlagAcquired != 0
 	resp.Aborted = flags&binFlagAborted != 0
 	resp.Holds = flags&binFlagHolds != 0
+	resp.Fenced = flags&binFlagFenced != 0
 	if flags&binFlagErr != 0 {
 		var msg []byte
 		if msg, data, err = binBytes(data); err != nil {
@@ -286,6 +357,20 @@ func DecodeResponseBin(data []byte, resp *Response) (rest []byte, err error) {
 		}
 		resp.Err = string(msg)
 	}
+	if flags&binFlagLease != 0 {
+		tok, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, errors.New("lockd: binary response: bad token varint")
+		}
+		data = data[n:]
+		ttl, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, errors.New("lockd: binary response: bad ttl varint")
+		}
+		data = data[n:]
+		resp.Token = tok
+		resp.TTLMS = ttl
+	}
 	if flags&binFlagStats != 0 {
 		s := &Stats{}
 		fields := []struct {
@@ -295,10 +380,16 @@ func DecodeResponseBin(data []byte, resp *Response) (rest []byte, err error) {
 			{u: &s.Acquires}, {u: &s.Releases}, {u: &s.Waits},
 			{u: &s.TryAcquires}, {u: &s.TryFailures}, {u: &s.LockCreates},
 			{u: &s.Evictions}, {i: &s.ResidentLocks}, {u: &s.Aborts},
-			{u: &s.LeaseTimeouts}, {u: &s.Violations}, {i: &s.Sessions},
+			{u: &s.LeaseTimeouts}, {u: &s.Expired}, {u: &s.Revoked},
+			{u: &s.FencedRejects}, {u: &s.Violations}, {i: &s.Sessions},
 			{i: &s.Streams},
 		}
-		for _, f := range fields {
+		for i, f := range fields {
+			// Fields 10-12 (expired, revoked, fenced_rejects) joined the
+			// sequence in v2; the v1 dialect never carried them.
+			if legacy && i >= 10 && i <= 12 {
+				continue
+			}
 			if f.u != nil {
 				v, n := binary.Uvarint(data)
 				if n <= 0 {

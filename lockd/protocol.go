@@ -25,7 +25,17 @@
 //	release  give a held lock back
 //	holds    report whether this session holds the named lock — the
 //	         owner check load generators issue inside the critical
-//	         section
+//	         section; with leases enabled the response carries the
+//	         grant's fencing token and remaining TTL
+//	heartbeat
+//	         renew the session's leases: with a name, just that grant;
+//	         without, every grant the session holds. On a server with
+//	         leases enabled (-lease-ttl), a grant whose holder stops
+//	         heartbeating is forcibly revoked after one TTL and later
+//	         ops on it are rejected with fenced=true — the stale
+//	         holder's fencing token no longer matches. With leases
+//	         disabled heartbeat is an acknowledged no-op, so clients
+//	         can always send it
 //	stats    manager-wide counters, including the mutual-exclusion
 //	         violation cross-check and the abort/timeout tallies
 //	ping     liveness probe
@@ -47,6 +57,7 @@ const (
 	OpRelease    = "release"
 	OpCancel     = "cancel"
 	OpHolds      = "holds"
+	OpHeartbeat  = "heartbeat"
 	OpStats      = "stats"
 	OpPing       = "ping"
 )
@@ -79,6 +90,19 @@ type Response struct {
 	Aborted bool `json:"aborted,omitempty"`
 	// Holds answers holds.
 	Holds bool `json:"holds,omitempty"`
+	// Token is the grant's fencing token, stamped on every acquire and
+	// echoed by holds when the server runs leases. Tokens are strictly
+	// increasing per key, so a token smaller than the key's latest is
+	// provably stale. 0 when leases are disabled.
+	Token uint64 `json:"token,omitempty"`
+	// TTLMS is the grant's remaining lease TTL in milliseconds (holds
+	// and heartbeat; rounded up, so a live lease never reads 0).
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Fenced marks a request rejected (or, on heartbeat, partially
+	// ignored) because the grant's lease expired or was revoked: the
+	// session's fencing token is stale and the lock may already be held
+	// by a successor.
+	Fenced bool `json:"fenced,omitempty"`
 	// Stats answers stats.
 	Stats *Stats `json:"stats,omitempty"`
 }
@@ -98,6 +122,13 @@ type Stats struct {
 	// whose context ended while still queued for a process handle.
 	Aborts        uint64 `json:"aborts"`
 	LeaseTimeouts uint64 `json:"lease_timeouts"`
+	// Expired counts grants forcibly revoked because their holder
+	// stopped heartbeating past the lease TTL; Revoked counts explicit
+	// and shutdown-time revocations; FencedRejects counts ops rejected
+	// for a stale fencing token. All 0 with leases disabled.
+	Expired       uint64 `json:"expired"`
+	Revoked       uint64 `json:"revoked"`
+	FencedRejects uint64 `json:"fenced_rejects"`
 	// Violations is the manager's holder cross-check: it must stay 0.
 	Violations uint64 `json:"violations"`
 	// Sessions is the number of live connections.

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"anonmutex/internal/lease"
 	"anonmutex/internal/lockmgr"
 )
 
@@ -50,6 +51,23 @@ type Server struct {
 	// binary mirror of MaxLineBytes. Set before Serve.
 	MaxFrameBytes int
 
+	// LeaseTTL, when positive, runs every grant under the lease
+	// subsystem: acquires are stamped with fencing tokens, holders must
+	// heartbeat within the TTL or their grants are forcibly revoked, and
+	// later ops on a revoked grant are rejected as fenced. Zero (the
+	// default) keeps the original lease-free behavior exactly. Set
+	// before Serve.
+	LeaseTTL time.Duration
+
+	// LeaseGrace overrides the post-expiry quarantine window during
+	// which a revoked grant's token still answers with a fenced
+	// rejection rather than an unknown-key error (default: LeaseTTL).
+	// Set before Serve.
+	LeaseGrace time.Duration
+
+	// leases is non-nil iff LeaseTTL was positive when Serve started.
+	leases *lease.Manager
+
 	// liveStreams counts live logical sessions: one per JSON connection,
 	// one per open stream of a binary connection.
 	liveStreams atomic.Int64
@@ -80,6 +98,15 @@ func (s *Server) Serve(ln net.Listener) error {
 		return nil
 	}
 	s.ln = ln
+	if s.leases == nil && s.LeaseTTL > 0 {
+		lm, err := lease.New(s.mgr, lease.Config{TTL: s.LeaseTTL, Grace: s.LeaseGrace})
+		if err != nil {
+			s.mu.Unlock()
+			ln.Close()
+			return err
+		}
+		s.leases = lm
+	}
 	s.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
@@ -133,6 +160,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Unlock()
 		<-done
 	}
+	// Every session has drained and released its live grants; what
+	// remains in the lease manager are crash orphans (holders that
+	// stopped heartbeating and kept their sockets open). Closing it
+	// revokes them so the lock manager is fully checked in.
+	s.mu.Lock()
+	leases := s.leases
+	s.mu.Unlock()
+	if leases != nil {
+		leases.Close()
+	}
 	return nil
 }
 
@@ -143,11 +180,18 @@ func (s *Server) Sessions() int {
 	return len(s.conns)
 }
 
+// grant is one held lock plus the fencing token the lease subsystem
+// stamped on it (0 when leases are disabled).
+type grant struct {
+	l     lockmgr.Lease
+	token uint64
+}
+
 // session is one connection's state. The request-processing loop owns
 // grants; mu guards only the fields the reader goroutine touches to
 // implement out-of-band cancellation.
 type session struct {
-	grants map[string]lockmgr.Lease
+	grants map[string]grant
 
 	mu             sync.Mutex
 	inflightName   string             // name of the acquire being processed
@@ -156,6 +200,43 @@ type session struct {
 	fastCancelled  bool               // a cancel matched that fast attempt
 	cancelPending  bool               // a cancel arrived with no acquire in flight
 	pendingName    string             // the name that pending cancel targets ("" = any)
+}
+
+func newSession() *session {
+	return &session{grants: make(map[string]grant)}
+}
+
+// attachGrant stamps a freshly acquired lease with its fencing token
+// (0 when leases are disabled).
+func (s *Server) attachGrant(l lockmgr.Lease) grant {
+	if s.leases != nil {
+		return grant{l: l, token: s.leases.Attach(l)}
+	}
+	return grant{l: l}
+}
+
+// grantResponse is the success response for a fresh acquire: the grant's
+// fencing token plus the full TTL, so a client learns the heartbeat
+// budget it must stay under without a separate negotiation round.
+func (s *Server) grantResponse(g grant) Response {
+	resp := Response{OK: true, Acquired: true, Token: g.token}
+	if s.leases != nil {
+		resp.TTLMS = ttlMillis(s.leases.TTL())
+	}
+	return resp
+}
+
+// releaseGrant gives one grant back through whichever authority owns
+// it: the lease manager's token arbitration when leases run — so a
+// session teardown racing a TTL expiry resolves to exactly one release
+// — or the lock manager directly otherwise. The release op, the binary
+// end_stream ack, and both transports' teardown paths all route here;
+// there is exactly one release codepath.
+func (s *Server) releaseGrant(g grant) error {
+	if s.leases != nil {
+		return s.leases.Release(g.l.Name(), g.token)
+	}
+	return s.mgr.Release(g.l)
 }
 
 // beginFastAcquire registers the context-free fast-path attempt on name,
@@ -397,13 +478,16 @@ func (s *Server) serveConn(conn net.Conn) {
 // the connection — client close, protocol error, cancel-by-Shutdown —
 // the deferred cleanup releases every grant the session still holds.
 func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
-	sess := &session{grants: make(map[string]lockmgr.Lease)}
+	sess := newSession()
 	connCtx, connCancel := context.WithCancel(context.Background())
 	s.liveStreams.Add(1)
 	defer func() {
 		connCancel()
-		for _, l := range sess.grants {
-			s.mgr.Release(l)
+		// Same single release codepath as the release op: with leases on,
+		// a teardown that lost its grant's token arbitration to a TTL
+		// expiry is a no-op, never a double release.
+		for _, g := range sess.grants {
+			s.releaseGrant(g)
 		}
 		s.liveStreams.Add(-1)
 	}()
@@ -529,8 +613,9 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 		if ok {
 			// A cancel that raced in during the attempt lost, exactly as a
 			// cancel observed after a slow-path acquisition completes.
-			sess.grants[req.Name] = l
-			return Response{OK: true, Acquired: true}
+			g := s.attachGrant(l)
+			sess.grants[req.Name] = g
+			return s.grantResponse(g)
 		}
 		if cancelled {
 			return Response{OK: true, Aborted: true}
@@ -542,7 +627,7 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 		defer baseCancel()
 		ctx, cancel := sess.beginAcquire(base, req.Name)
 		defer cancel()
-		lease, err := s.mgr.AcquireLeaseCtx(ctx, req.Name)
+		held, err := s.mgr.AcquireLeaseCtx(ctx, req.Name)
 		sess.endAcquire()
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -550,8 +635,9 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 			}
 			return Response{Err: err.Error()}
 		}
-		sess.grants[req.Name] = lease
-		return Response{OK: true, Acquired: true}
+		g := s.attachGrant(held)
+		sess.grants[req.Name] = g
+		return s.grantResponse(g)
 	case OpCancel:
 		// The abort itself already happened out of band (or was
 		// remembered) when the reader saw this line; this is just the
@@ -571,18 +657,22 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 		if !ok {
 			return Response{OK: true, Acquired: false}
 		}
-		sess.grants[req.Name] = l
-		return Response{OK: true, Acquired: true}
+		g := s.attachGrant(l)
+		sess.grants[req.Name] = g
+		return s.grantResponse(g)
 	case OpRelease:
 		if req.Name == "" {
 			return needName(req.Op)
 		}
-		l, held := sess.grants[req.Name]
+		g, held := sess.grants[req.Name]
 		if !held {
 			return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
 		}
 		delete(sess.grants, req.Name)
-		if err := s.mgr.Release(l); err != nil {
+		if err := s.releaseGrant(g); err != nil {
+			if errors.Is(err, lease.ErrFenced) {
+				return Response{Err: err.Error(), Fenced: true}
+			}
 			return Response{Err: err.Error()}
 		}
 		return Response{OK: true}
@@ -590,11 +680,59 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 		if req.Name == "" {
 			return needName(req.Op)
 		}
-		_, held := sess.grants[req.Name]
-		return Response{OK: true, Holds: held}
+		g, held := sess.grants[req.Name]
+		resp := Response{OK: true, Holds: held}
+		if held && s.leases != nil {
+			resp.Token = g.token
+			if rem, ok := s.leases.Remaining(req.Name, g.token); ok {
+				resp.TTLMS = ttlMillis(rem)
+			} else {
+				// The lease expired under the session: the grant is gone
+				// and the token stale, exactly as any other fenced op.
+				delete(sess.grants, req.Name)
+				resp.Holds = false
+				resp.Fenced = true
+			}
+		}
+		return resp
+	case OpHeartbeat:
+		if s.leases == nil {
+			// Leases off: an acknowledged no-op, so clients can always
+			// send heartbeats unconditionally.
+			return Response{OK: true}
+		}
+		if req.Name != "" {
+			g, held := sess.grants[req.Name]
+			if !held {
+				return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
+			}
+			ttl, err := s.leases.Heartbeat(req.Name, g.token)
+			if err != nil {
+				delete(sess.grants, req.Name)
+				return Response{Err: err.Error(), Fenced: true}
+			}
+			return Response{OK: true, TTLMS: ttlMillis(ttl)}
+		}
+		// Bare heartbeat renews every grant the session holds, dropping
+		// the ones whose leases already expired; Fenced flags that any
+		// were dropped, TTLMS reports the tightest surviving deadline.
+		var fenced bool
+		var min time.Duration
+		for name, g := range sess.grants {
+			ttl, err := s.leases.Heartbeat(name, g.token)
+			if err != nil {
+				delete(sess.grants, name)
+				fenced = true
+				continue
+			}
+			if min == 0 || ttl < min {
+				min = ttl
+			}
+		}
+		return Response{OK: true, Fenced: fenced, TTLMS: ttlMillis(min)}
 	case OpStats:
 		c := s.mgr.Counters()
-		return Response{OK: true, Stats: &Stats{
+		st := &Stats{
 			Acquires:      c.Acquires,
 			Releases:      c.Releases,
 			Waits:         c.Waits,
@@ -608,7 +746,14 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 			Violations:    s.mgr.Violations(),
 			Sessions:      s.Sessions(),
 			Streams:       int(s.liveStreams.Load()),
-		}}
+		}
+		if s.leases != nil {
+			lc := s.leases.Counters()
+			st.Expired = lc.Expired
+			st.Revoked = lc.Revoked
+			st.FencedRejects = lc.FencedRejects
+		}
+		return Response{OK: true, Stats: st}
 	case OpPing:
 		return Response{OK: true}
 	default:
@@ -622,4 +767,13 @@ func needName(op string) Response {
 
 func alreadyHeld(name string) Response {
 	return Response{Err: fmt.Sprintf("lockd: session already holds %q", name)}
+}
+
+// ttlMillis reports a remaining TTL in milliseconds, rounded up so a
+// live lease never reads 0.
+func ttlMillis(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64((d + time.Millisecond - 1) / time.Millisecond)
 }
