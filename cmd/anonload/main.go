@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"anonmutex/internal/lease"
 	"anonmutex/internal/loadgen"
@@ -69,7 +70,7 @@ type record struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("anonload", flag.ContinueOnError)
 	mode := fs.String("mode", "inproc", "backend: inproc (own lock manager) or net (a lockd service)")
-	addr := fs.String("addr", "127.0.0.1:7117", "lockd address (net mode)")
+	addr := fs.String("addr", "127.0.0.1:7117", "lockd address, or a comma-separated cluster address list (net mode)")
 	proto := fs.String("proto", "json", "net-mode wire protocol: json (newline-delimited, one session per socket) or binary (multiplexed frames)")
 	mux := fs.Int("mux", 0, "net mode: logical sessions per socket, implies -proto binary (0: the spec's conns_per_socket, else one socket per client)")
 	clients := fs.Int("clients", 64, "concurrent clients")
@@ -84,6 +85,7 @@ func run(args []string) error {
 	think := fs.Int("think", 1, "deprecated alias: between-cycle spin units (the spec's base_remainder)")
 	opTimeout := fs.Duration("op-timeout", 0, "deprecated alias: per-acquire deadline; expired attempts abort cleanly and are counted (0: unbounded)")
 	heartbeat := fs.Duration("heartbeat", 0, "background heartbeat interval per client session — keep under the backend's lease TTL (0: no heartbeats)")
+	tolerateLoss := fs.Bool("tolerate-grant-loss", false, "net mode: count grants lost to fencing or node failure instead of failing the run (cluster failover workloads; exclusion is judged by the servers' counters)")
 	leaseTTL := fs.Duration("lease-ttl", 0, "inproc mode: run grants under a lease manager with this TTL, enabling crash ops and fencing (0: leases off; net mode takes the TTL from the server)")
 	alg := fs.String("alg", "rmw", "per-name lock algorithm (inproc mode): rw or rmw")
 	handles := fs.Int("handles", 8, "process handles per named lock (inproc mode)")
@@ -131,10 +133,17 @@ func run(args []string) error {
 		}
 		cfg.Workload = &spec
 	default:
-		cfg.Dist = *dist
-		cfg.CSWork = *cs
-		cfg.ThinkWork = *think
-		cfg.OpTimeout = *opTimeout
+		// The deprecated alias fields are populated only when their flags
+		// were explicitly given (loadgen warns once about them); a plain
+		// run takes the unified model's path with the same defaults.
+		if flagSet(fs, "dist") || flagSet(fs, "cs") || flagSet(fs, "think") || flagSet(fs, "op-timeout") {
+			cfg.Dist = *dist
+			cfg.CSWork = *cs
+			cfg.ThinkWork = *think
+			cfg.OpTimeout = *opTimeout
+		} else {
+			cfg.Workload = &workload.Spec{BaseCS: *cs, BaseRemainder: *think}
+		}
 	}
 
 	var (
@@ -197,6 +206,12 @@ func run(args []string) error {
 		}
 		return report(*jsonOut, res, backendTable, violations)
 	case "net":
+		var addrs []string
+		for _, a := range strings.Split(*addr, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
 		perSocket := *mux
 		if perSocket == 0 && cfg.Workload != nil {
 			perSocket = cfg.Workload.ConnsPerSocket
@@ -214,57 +229,47 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown -proto %q (want json or binary)", *proto)
 		}
-		// Every net session goes through a crash pool so the workload's
-		// crash ops (holders that die silently, keeping their sockets
-		// open) work on either transport; a nonzero -heartbeat starts
-		// each session's renewal ticker against a lease-running server.
-		crashPool := client.NewCrashPool(*addr)
-		defer crashPool.Close()
-		label := "net " + *addr + " proto=json"
+		// One unified client serves every transport shape: sessions carry
+		// crash ops and heartbeats themselves, and a multi-address list
+		// makes them cluster-routed (redirects followed, ownership
+		// cached, grants pinned to the node that issued them).
+		opts := client.Options{
+			Addrs:     addrs,
+			Proto:     client.ProtoJSON,
+			Heartbeat: *heartbeat,
+		}
+		label := fmt.Sprintf("net %s proto=json", strings.Join(addrs, ","))
 		if useBinary {
 			if perSocket < 1 {
 				perSocket = 1
 			}
 			cfg.ConnsPerSocket = perSocket
-			pool := client.NewMuxPool(*addr, perSocket)
-			defer pool.Close()
-			cfg.NewLocker = func(int) (loadgen.Locker, error) {
-				c, err := pool.Open()
-				if err != nil {
-					return nil, err
-				}
-				s := crashPool.Wrap(c)
-				if *heartbeat > 0 {
-					s.AutoHeartbeat(*heartbeat)
-				}
-				return s, nil
+			opts.Proto = client.ProtoBinary
+			opts.ConnsPerSocket = perSocket
+			label = fmt.Sprintf("net %s proto=binary mux=%d", strings.Join(addrs, ","), perSocket)
+		}
+		cl, err := client.Dial(opts)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		cfg.TolerateGrantLoss = *tolerateLoss
+		cfg.NewLocker = func(int) (loadgen.Locker, error) {
+			s, err := cl.Open()
+			if err != nil {
+				return nil, err
 			}
-			label = fmt.Sprintf("net %s proto=binary mux=%d", *addr, perSocket)
-		} else {
-			cfg.NewLocker = func(int) (loadgen.Locker, error) {
-				s, err := crashPool.Session()
-				if err != nil {
-					return nil, err
-				}
-				if *heartbeat > 0 {
-					s.AutoHeartbeat(*heartbeat)
-				}
-				return s, nil
-			}
+			return s, nil
 		}
 		res, err := loadgen.Run(cfg)
 		if err != nil {
 			return err
 		}
 		res.Backend = label
-		// The server's own cross-check is the authoritative violation
-		// count; fold it in via a final stats query.
-		c, err := client.Dial(*addr)
-		if err != nil {
-			return err
-		}
-		st, err := c.Stats()
-		c.Close()
+		// The servers' own cross-check is the authoritative violation
+		// count; fold it in via a final stats sweep (summed across every
+		// reachable address — a failover run's dead node stays out).
+		st, err := cl.Stats()
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,10 @@
 //	anonlockd -max-frame 262144             # cap binary frames at 256 KiB
 //	anonlockd -lease-ttl 2s                 # crash safety: fencing tokens +
 //	                                        # TTL expiry of silent holders
+//	anonlockd -node-id a -gossip-addr :7118 \
+//	          -join host-b:7118,host-c:7118 \
+//	          -lease-ttl 2s                 # clustered: gossip membership,
+//	                                        # per-key ownership, redirects
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // sessions get a drain window, and every session grant is released.
@@ -26,9 +30,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"anonmutex/internal/cluster"
 	"anonmutex/internal/lockmgr"
 	"anonmutex/lockd"
 )
@@ -56,8 +62,22 @@ func run(args []string, stop <-chan struct{}) error {
 	leaseTTL := fs.Duration("lease-ttl", 0, "run grants under leases: acquires carry fencing tokens and holders that stop heartbeating for this long are forcibly revoked (0: leases off)")
 	leaseGrace := fs.Duration("lease-grace", 0, "post-expiry quarantine during which a revoked grant's stale token still answers with a fenced rejection (0: the lease TTL)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+	nodeID := fs.String("node-id", "", "this node's cluster identity; setting it (or any cluster flag) turns clustering on")
+	gossipAddr := fs.String("gossip-addr", "", "UDP address for membership gossip (clustered mode)")
+	join := fs.String("join", "", "comma-separated peer gossip addresses to join through; peers need not be up yet")
+	gossipEvery := fs.Duration("gossip-interval", 0, "membership heartbeat period (0: the cluster default)")
+	advertise := fs.String("advertise", "", "lock-service address redirects send clients to (default: the listen address)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	clustered := *nodeID != "" || *gossipAddr != "" || *join != "" || *advertise != ""
+	if clustered {
+		if *nodeID == "" || *gossipAddr == "" {
+			return fmt.Errorf("clustered serving needs both -node-id and -gossip-addr")
+		}
+		if *leaseTTL <= 0 {
+			return fmt.Errorf("clustered serving needs -lease-ttl: lease handoff is what makes ownership moves safe")
+		}
 	}
 
 	mgr, err := lockmgr.New(lockmgr.Config{
@@ -85,6 +105,36 @@ func run(args []string, stop <-chan struct{}) error {
 	srv.LeaseGrace = *leaseGrace
 	if *leaseTTL > 0 {
 		fmt.Printf("anonlockd: leases on (ttl=%v)\n", *leaseTTL)
+	}
+	if clustered {
+		adv := *advertise
+		if adv == "" {
+			adv = ln.Addr().String()
+		}
+		var seeds []string
+		for _, s := range strings.Split(*join, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+		node, err := cluster.Start(cluster.Config{
+			ID:         *nodeID,
+			Addr:       adv,
+			GossipAddr: *gossipAddr,
+			Seeds:      seeds,
+			Interval:   *gossipEvery,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("anonlockd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer node.Close()
+		srv.Cluster = node
+		fmt.Printf("anonlockd: cluster node %s gossiping on %s (seeds: %s)\n",
+			*nodeID, node.GossipAddr(), *join)
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -76,7 +76,7 @@ func dialRetry(t *testing.T, addr string) *client.Conn {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		c, err := client.Dial(addr)
+		c, err := client.DialConn(addr)
 		if err == nil {
 			return c
 		}

@@ -118,6 +118,11 @@ func Scenarios() []Scenario {
 			Doc:  "open-loop zipf load with a crash fraction: some holders die silently under contention; the run must stay violation-free and every key must be acquirable within the recovery bound afterwards",
 			Run:  runCrashUnderLoad,
 		},
+		{
+			Name: "kill-node-mid-failover",
+			Doc:  "a three-node cluster under open-loop zipf load has one member — an owner of live keys — killed outright; the handoff must stay violation-free, every moved key re-acquirable within the failure detector's budget, and every post-failover token strictly above its pre-kill grant",
+			Run:  runKillNodeFailover,
+		},
 	}
 }
 
@@ -187,7 +192,7 @@ func (h *harness) stop() error {
 // and enforces the invariants every scenario shares: no violations
 // anywhere, and recovery within the bound.
 func (h *harness) finishReport(cfg Config, r *Report) error {
-	c, err := client.Dial(h.addr)
+	c, err := client.DialConn(h.addr)
 	if err != nil {
 		return err
 	}
@@ -213,7 +218,7 @@ func (h *harness) finishReport(cfg Config, r *Report) error {
 // name that must complete within the scenario bound. It returns the
 // observed wait and leaves the key released.
 func acquireWithin(addr, name string, bound time.Duration) (time.Duration, error) {
-	c, err := client.Dial(addr)
+	c, err := client.DialConn(addr)
 	if err != nil {
 		return 0, err
 	}

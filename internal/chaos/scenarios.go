@@ -34,7 +34,7 @@ func runKillHolder(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	r := &Report{}
-	holder, err := client.Dial(h.addr)
+	holder, err := client.DialConn(h.addr)
 	if err != nil {
 		h.stop()
 		return nil, err
@@ -84,7 +84,7 @@ func runStopHeartbeat(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	r := &Report{}
-	holder, err := client.Dial(h.addr)
+	holder, err := client.DialConn(h.addr)
 	if err != nil {
 		h.stop()
 		return nil, err

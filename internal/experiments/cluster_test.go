@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestClusterSweepStructure checks S6's grid: the full nodes × keys ×
+// rate cross appears, the kill column marks exactly the multi-node
+// cells, every cell reads 0 violations, and every killed cell's
+// recovery stays within the failure detector's budget. The scenario
+// body additionally enforces per-key token monotonicity across the
+// handoff and errors the whole sweep if any cell breaks it.
+func TestClusterSweepStructure(t *testing.T) {
+	tbl, err := ClusterSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (2 sizes × 2 keyspaces × 2 rates)", len(tbl.Rows))
+	}
+	sizes := map[string]int{}
+	for _, row := range tbl.Rows {
+		sizes[row[0]]++
+		baseline := row[0] == "1"
+		if baseline != (row[3] == "-") {
+			t.Errorf("kill column inconsistent with cluster size: %v", row)
+		}
+		if row[8] != "0" {
+			t.Errorf("cell nodes=%s keys=%s rate=%s observed %s violations", row[0], row[1], row[2], row[8])
+		}
+		recoveryMS, err := strconv.ParseFloat(row[9], 64)
+		if err != nil {
+			t.Fatalf("unparseable recovery in row %v", row)
+		}
+		if recoveryMS <= 0 {
+			t.Errorf("cell nodes=%s keys=%s rate=%s measured no recovery", row[0], row[1], row[2])
+		}
+		// TTL is 50ms; the scenario's bound is 2×TTL + 250ms slack.
+		if !baseline && recoveryMS > 350 {
+			t.Errorf("cell nodes=%s keys=%s rate=%s: recovery %.1fms past the 350ms bound", row[0], row[1], row[2], recoveryMS)
+		}
+	}
+	if len(sizes) != 2 {
+		t.Errorf("cluster-size coverage = %v, want 2 distinct sizes", sizes)
+	}
+}

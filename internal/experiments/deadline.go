@@ -107,7 +107,7 @@ func DeadlineSweep() (*stats.Table, error) {
 		Clients: clients, Keys: keys, Cycles: attempts,
 		Workload: &netSpec, Seed: 42,
 		NewLocker: func(int) (loadgen.Locker, error) {
-			return client.Dial(ln.Addr().String())
+			return client.DialConn(ln.Addr().String())
 		},
 	})
 	if err != nil {

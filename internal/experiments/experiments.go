@@ -20,8 +20,9 @@
 //	S3             — deadline-bounded acquisition (abort rate, tail latency)
 //	S4             — open-loop offered load (backend × distribution × rate)
 //	S5             — lease sweep (TTL × heartbeat × rate, crash fraction)
+//	S6             — cluster failover sweep (nodes × keys × rate, owner killed)
 //
-// Everything except S1's real-substrate timings and the S2–S5 service
+// Everything except S1's real-substrate timings and the S2–S6 service
 // measurements is deterministic: fixed seeds, simulated schedules.
 // Experiments are independent — RunConcurrent executes them on a worker
 // pool and reports results in presentation order.
@@ -76,6 +77,7 @@ func All() []Experiment {
 		{"S3", "Deadline sweep: abortable acquisition, abort rate and tail latency", DeadlineSweep},
 		{"S4", "Open-loop load: backend × key distribution × offered rate", OpenLoadSweep},
 		{"S5", "Lease sweep: TTL × heartbeat × offered rate under a crash fraction", LeaseSweep},
+		{"S6", "Cluster failover sweep: nodes × keys × offered rate, one owner killed mid-run", ClusterSweep},
 	}
 }
 

@@ -118,7 +118,7 @@ func runLeaseCell(ttl, heartbeat time.Duration, rate float64, seed, clients, key
 	}
 	var st lockd.Stats
 	if runErr == nil && sweepErr == nil {
-		c, err := client.Dial(addr)
+		c, err := client.DialConn(addr)
 		if err == nil {
 			st, err = c.Stats()
 			c.Close()
@@ -158,7 +158,7 @@ func runLeaseCell(ttl, heartbeat time.Duration, rate float64, seed, clients, key
 // leaseRecoveryProbe measures one orphan recovery: a blocking acquire
 // of name bounded by the scenario's recovery budget.
 func leaseRecoveryProbe(addr, name string, bound time.Duration) (time.Duration, error) {
-	c, err := client.Dial(addr)
+	c, err := client.DialConn(addr)
 	if err != nil {
 		return 0, err
 	}

@@ -150,7 +150,7 @@ func runOpenLoadCell(cell openLoadCell, seed, clients, keys int, d time.Duration
 		serveErr := make(chan error, 1)
 		go func() { serveErr <- srv.Serve(ln) }()
 		cfg.NewLocker = func(int) (loadgen.Locker, error) {
-			return client.Dial(ln.Addr().String())
+			return client.DialConn(ln.Addr().String())
 		}
 		res, runErr := loadgen.Run(cfg)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

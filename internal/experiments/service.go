@@ -87,7 +87,7 @@ func ServiceSweep() (*stats.Table, error) {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	res, err := load(workload.Spec{}, 42, func(int) (loadgen.Locker, error) {
-		return client.Dial(ln.Addr().String())
+		return client.DialConn(ln.Addr().String())
 	})
 	if err != nil {
 		return nil, fmt.Errorf("S2 net row: %w", err)

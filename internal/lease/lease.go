@@ -321,6 +321,56 @@ func (m *Manager) detach(name string, token uint64) (lockmgr.Lease, error) {
 	return l, nil
 }
 
+// EnsureTokenFloor raises the token issue counter to at least floor,
+// so every token granted from now on exceeds it. It never lowers the
+// counter. The cluster layer calls it with the membership epoch's
+// token floor on every view change: grants issued by a key's new
+// owner under epoch E+1 then compare strictly greater than anything
+// its previous owner issued under epoch E, which is what keeps fencing
+// sound across failover (a fenced holder's token can never outrank a
+// successor's).
+func (m *Manager) EnsureTokenFloor(floor uint64) {
+	for {
+		cur := m.tokens.Load()
+		if cur >= floor || m.tokens.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
+// RevokeIf forcibly revokes every active lease whose name satisfies
+// pred, through the same detach arbitration every other revocation
+// uses, and reports how many it revoked. The cluster layer calls it on
+// membership change with "no longer owned here" as the predicate: the
+// keys that moved to another node have their local grants fenced out
+// before the new owner starts granting them.
+func (m *Manager) RevokeIf(pred func(name string) bool) int {
+	type target struct {
+		name  string
+		token uint64
+	}
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		var targets []target
+		for name, st := range sh.keys {
+			if st.active && pred(name) {
+				targets = append(targets, target{name: name, token: st.token})
+			}
+		}
+		sh.mu.Unlock()
+		// Revoke outside the shard mutex: a target that loses the detach
+		// arbitration to a concurrent expiry, release, or teardown was
+		// ended by that path instead — either way it is gone.
+		for _, tg := range targets {
+			if err := m.Revoke(tg.name, tg.token); err == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // runShard is one shard's expiry goroutine: it sleeps until the
 // earliest deadline (or a wake for a newly earliest one), expires due
 // leases, and garbage-collects quarantined states whose grace window

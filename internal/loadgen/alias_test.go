@@ -1,0 +1,64 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+
+	"anonmutex/internal/workload"
+)
+
+// TestAliasDeprecationWarnsOnce pins the retirement path for the
+// pre-unified-model Config fields: using any of them still works but
+// warns exactly once per process, and mixing them with the replacement
+// Workload spec is rejected outright.
+func TestAliasDeprecationWarnsOnce(t *testing.T) {
+	var warnings []string
+	orig := aliasWarn
+	aliasWarn = func(msg string) { warnings = append(warnings, msg) }
+	prior := aliasWarned.Swap(false)
+	t.Cleanup(func() {
+		aliasWarn = orig
+		aliasWarned.Store(prior)
+	})
+
+	locker := func(int) (Locker, error) { return nil, nil }
+	base := Config{Cycles: 1, NewLocker: locker}
+
+	// A spec-described config is the blessed path: never a warning.
+	clean := base
+	clean.Workload = &workload.Spec{}
+	if _, _, err := clean.withDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("spec-only config warned: %q", warnings)
+	}
+
+	// Each deprecated alias trips the warning — but only the first one.
+	for i, mutate := range []func(*Config){
+		func(c *Config) { c.Dist = "skewed" },
+		func(c *Config) { c.CSWork = 10 },
+		func(c *Config) { c.ThinkWork = 10 },
+		func(c *Config) { c.OpTimeout = 1 },
+	} {
+		aliased := base
+		mutate(&aliased)
+		if _, _, err := aliased.withDefaults(); err != nil {
+			t.Fatalf("alias %d: %v", i, err)
+		}
+	}
+	if len(warnings) != 1 {
+		t.Fatalf("alias warning fired %d times, want once: %q", len(warnings), warnings)
+	}
+	if !strings.Contains(warnings[0], "deprecated") || !strings.Contains(warnings[0], "Workload") {
+		t.Errorf("warning %q does not name the deprecation or the replacement", warnings[0])
+	}
+
+	// Old and new vocabulary in one config is ambiguous, not mergeable.
+	conflicted := clean
+	conflicted.Dist = "uniform"
+	if _, _, err := conflicted.withDefaults(); err == nil ||
+		!strings.Contains(err.Error(), "deprecated") {
+		t.Fatalf("Workload+Dist conflict = %v, want a rejection naming the deprecated fields", err)
+	}
+}

@@ -27,13 +27,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"anonmutex/internal/lease"
 	"anonmutex/internal/lockmgr"
 	"anonmutex/internal/stats"
 	"anonmutex/internal/workload"
+	lockclient "anonmutex/lockd/client"
 )
 
 // Locker is one client's session on a named-lock backend. A Locker
@@ -119,9 +122,26 @@ type Config struct {
 	// conns_per_socket knob — the CLI's -mux flag. The generator itself
 	// only records it; NewLocker decides what it means.
 	ConnsPerSocket int
+	// TolerateGrantLoss makes grant loss a counted outcome instead of a
+	// run failure: ops rejected because the grant was fenced away or its
+	// node became unreachable count as Lost (acquire-side losses count
+	// as aborts), and the client-side owner-token CAS check — which is
+	// unsound across an ownership handoff, where the old holder cannot
+	// clear its token — is skipped. Use for cluster failover runs, where
+	// mutual exclusion is judged by the servers' own violation counters
+	// and fencing-token monotonicity instead.
+	TolerateGrantLoss bool
 	// NewLocker opens client i's session.
 	NewLocker func(client int) (Locker, error)
 }
+
+// aliasWarn receives the one-time deprecation warning for the
+// pre-unified-model alias fields; a test hook, os.Stderr by default.
+var aliasWarn = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+
+// aliasWarned makes the deprecation warning fire once per process
+// (resettable in tests).
+var aliasWarned atomic.Bool
 
 // withDefaults validates the config and resolves the effective workload
 // spec.
@@ -153,12 +173,16 @@ func (c Config) withDefaults() (Config, workload.Spec, error) {
 	}
 
 	var spec workload.Spec
+	aliased := c.Dist != "" || c.CSWork != 0 || c.ThinkWork != 0 || c.OpTimeout != 0
 	if c.Workload != nil {
-		if c.Dist != "" || c.CSWork != 0 || c.ThinkWork != 0 || c.OpTimeout != 0 {
+		if aliased {
 			return c, zero, fmt.Errorf("loadgen: Workload cannot be combined with the deprecated Dist/CSWork/ThinkWork/OpTimeout fields")
 		}
 		spec = *c.Workload
 	} else {
+		if aliased && aliasWarned.CompareAndSwap(false, true) {
+			aliasWarn("loadgen: the Dist/CSWork/ThinkWork/OpTimeout fields are deprecated aliases; describe the traffic with a workload.Spec (Config.Workload) instead")
+		}
 		spec = workload.Spec{BaseCS: c.CSWork, BaseRemainder: c.ThinkWork}
 		switch c.Dist {
 		case "", "uniform":
@@ -225,7 +249,13 @@ type Result struct {
 	// Crashes counts holders that deliberately died inside the critical
 	// section (the spec's crash ops); their keys stay held until the
 	// backend's lease TTL reclaims them.
-	Crashes     int64   `json:"crashes,omitempty"`
+	Crashes int64 `json:"crashes,omitempty"`
+	// Lost counts grants the run lost mid-critical-section to fencing or
+	// node failure (TolerateGrantLoss runs only): the op on the grant was
+	// rejected, the cycle completed no release, and no violation is
+	// implied — the backend fenced the holder out, which is the designed
+	// failover outcome.
+	Lost        int64   `json:"lost,omitempty"`
 	OpTimeoutMS float64 `json:"op_timeout_ms,omitempty"`
 	LatencyP50  float64 `json:"acquire_p50_us"`
 	LatencyP90  float64 `json:"acquire_p90_us"`
@@ -261,6 +291,10 @@ func (r *Result) Table() *stats.Table {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("%d holders crashed inside their critical sections (spec crash ops); their keys were recovered by lease TTL expiry", r.Crashes))
 	}
+	if r.Lost > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("%d grants were lost mid-cycle to fencing or node failure (tolerated: failover run; exclusion is judged by server counters)", r.Lost))
+	}
 	return t
 }
 
@@ -279,6 +313,7 @@ type runState struct {
 	aborts     atomic.Int64
 	tryMisses  atomic.Int64
 	crashes    atomic.Int64
+	lost       atomic.Int64
 	stop       atomic.Bool
 
 	mu       sync.Mutex
@@ -354,8 +389,21 @@ const (
 	cycleAbort
 	cycleMiss
 	cycleCrash
+	cycleLost
 	cycleFailed
 )
+
+// grantLost reports whether err is a lost-grant rejection: the holder
+// was fenced out (lease expiry, ownership handoff) or the node behind
+// the grant stopped answering. Only these classes are tolerated in
+// TolerateGrantLoss runs; any other error still fails the run.
+func grantLost(err error) bool {
+	var redir *lockclient.RedirectError
+	return errors.Is(err, lockclient.ErrFenced) ||
+		errors.Is(err, lockclient.ErrUnavailable) ||
+		errors.Is(err, lease.ErrFenced) ||
+		errors.As(err, &redir)
+}
 
 // runCycle executes one acquire→CS→release cycle on keys[k]. latFrom is
 // where the latency clock started (the arrival stamp in open loop, the
@@ -382,6 +430,9 @@ func (c *client) runCycle(k int, kind workload.OpKind, sess workload.Session, la
 	case workload.OpTry:
 		ok, err := c.trier.TryAcquire(name)
 		if err != nil {
+			if st.cfg.TolerateGrantLoss && grantLost(err) {
+				return cycleAbort // the key's owner was mid-failover
+			}
 			st.fail(fmt.Errorf("loadgen: client %d try-acquiring %s: %w", c.me, name, err))
 			return cycleFailed
 		}
@@ -391,6 +442,9 @@ func (c *client) runCycle(k int, kind workload.OpKind, sess workload.Session, la
 	case workload.OpTimed:
 		ok, err := c.bounded.AcquireFor(name, timeout)
 		if err != nil {
+			if st.cfg.TolerateGrantLoss && grantLost(err) {
+				return cycleAbort
+			}
 			st.fail(fmt.Errorf("loadgen: client %d acquiring %s: %w", c.me, name, err))
 			return cycleFailed
 		}
@@ -399,32 +453,49 @@ func (c *client) runCycle(k int, kind workload.OpKind, sess workload.Session, la
 		}
 	default:
 		if err := c.lk.Acquire(name); err != nil {
+			if st.cfg.TolerateGrantLoss && grantLost(err) {
+				return cycleAbort
+			}
 			st.fail(fmt.Errorf("loadgen: client %d acquiring %s: %w", c.me, name, err))
 			return cycleFailed
 		}
 	}
 	lat := float64(time.Since(latFrom).Microseconds())
-	// Critical section: owner checks, then the payload work.
-	if !st.owners[k].CompareAndSwap(0, c.token) {
+	// Critical section: owner checks, then the payload work. In a
+	// TolerateGrantLoss run the client-side token CAS is skipped — a
+	// holder fenced out by an ownership handoff cannot clear its token,
+	// so the CAS would report false violations; the servers' own
+	// counters carry the exclusion verdict there.
+	tokenCheck := !st.cfg.TolerateGrantLoss
+	if tokenCheck && !st.owners[k].CompareAndSwap(0, c.token) {
 		st.violations.Add(1)
 	}
 	if c.checker != nil {
 		held, err := c.checker.Holds(name)
 		if err != nil {
+			if st.cfg.TolerateGrantLoss && grantLost(err) {
+				return cycleLost
+			}
 			// A transport/backend failure is a run error, not evidence
 			// the lock misbehaved.
 			st.fail(fmt.Errorf("loadgen: client %d holds check on %s: %w", c.me, name, err))
 			return cycleFailed
 		}
 		if !held {
+			if st.cfg.TolerateGrantLoss {
+				return cycleLost // fenced away between grant and check
+			}
 			st.violations.Add(1)
 		}
 	}
 	workload.Spin(sess.CSWork)
-	if !st.owners[k].CompareAndSwap(c.token, 0) {
+	if tokenCheck && !st.owners[k].CompareAndSwap(c.token, 0) {
 		st.violations.Add(1)
 	}
 	if err := c.lk.Release(name); err != nil {
+		if st.cfg.TolerateGrantLoss && grantLost(err) {
+			return cycleLost
+		}
 		st.fail(fmt.Errorf("loadgen: client %d releasing %s: %w", c.me, name, err))
 		return cycleFailed
 	}
@@ -461,6 +532,8 @@ func (st *runState) closedLoop(me int) {
 			st.tryMisses.Add(1)
 		case cycleCrash:
 			st.crashes.Add(1)
+		case cycleLost:
+			st.lost.Add(1)
 		}
 		workload.Spin(sess.RemainderWork)
 	}
@@ -543,6 +616,7 @@ func Run(cfg Config) (*Result, error) {
 		Aborts:         st.aborts.Load(),
 		TryMisses:      st.tryMisses.Load(),
 		Crashes:        st.crashes.Load(),
+		Lost:           st.lost.Load(),
 		OpTimeoutMS:    spec.Ops.TimeoutMS,
 	}
 	if spec.Ops.Timed == 0 {

@@ -103,6 +103,8 @@ func (st *runState) openLoop(me int, arrivals <-chan time.Time) {
 			st.tryMisses.Add(1)
 		case cycleCrash:
 			st.crashes.Add(1)
+		case cycleLost:
+			st.lost.Add(1)
 		}
 		// No remainder think time: in an open loop the arrival process,
 		// not the client, owns the pacing.

@@ -36,7 +36,7 @@ func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
 func TestDisconnectWhileQueuedReapsWaiter(t *testing.T) {
 	srv, mgr, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2, Shards: 1})
 
-	holder, err := client.Dial(addr)
+	holder, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +47,11 @@ func TestDisconnectWhileQueuedReapsWaiter(t *testing.T) {
 
 	// B leases the second handle and competes for the held lock; C then
 	// queues for a handle behind it.
-	b, err := client.Dial(addr)
+	b, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := client.Dial(addr)
+	c, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestDisconnectWhileQueuedReapsWaiter(t *testing.T) {
 	if err := holder.Release("k"); err != nil {
 		t.Fatal(err)
 	}
-	d, err := client.Dial(addr)
+	d, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestDisconnectWhileQueuedReapsWaiter(t *testing.T) {
 func TestDisconnectWithPipelinedLinesReapsWaiter(t *testing.T) {
 	srv, mgr, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2, Shards: 1})
 
-	holder, err := client.Dial(addr)
+	holder, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,12 +165,12 @@ func TestDisconnectWithPipelinedLinesReapsWaiter(t *testing.T) {
 // acquirable.
 func TestAcquireTimeoutMS(t *testing.T) {
 	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2, Shards: 1})
-	a, err := client.Dial(addr)
+	a, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	b, err := client.Dial(addr)
+	b, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,12 +216,12 @@ func TestAcquireTimeoutMS(t *testing.T) {
 // unblocks an in-flight unbounded Acquire with ErrAborted, in order.
 func TestCancelChasesBlockedAcquire(t *testing.T) {
 	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2, Shards: 1})
-	a, err := client.Dial(addr)
+	a, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	b, err := client.Dial(addr)
+	b, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,12 +291,12 @@ func TestServerMaxWaitCapsUnboundedAcquire(t *testing.T) {
 		}
 	}()
 
-	a, err := client.Dial(ln.Addr().String())
+	a, err := client.DialConn(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	b, err := client.Dial(ln.Addr().String())
+	b, err := client.DialConn(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -96,7 +96,7 @@ func benchTCPClient(b *testing.B) *client.Conn {
 		b.Fatal(err)
 	}
 	go srv.Serve(ln)
-	conn, err := client.Dial(ln.Addr().String())
+	conn, err := client.DialConn(ln.Addr().String())
 	if err != nil {
 		b.Fatal(err)
 	}

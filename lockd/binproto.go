@@ -18,6 +18,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"anonmutex/lockd/wire"
 )
 
 // binResponseFlushBytes caps how much encoded response a stream batches
@@ -58,10 +60,11 @@ type binConn struct {
 	conn   net.Conn
 	ctx    context.Context
 	cancel context.CancelFunc
-	// legacy pins the v1 response dialect for connections that led with
-	// the v1 magic: no lease/fenced flags, 13-field stats.
-	legacy bool
-	w      muxWriter
+	// dialect pins the response encoding negotiated by the connection's
+	// magic preamble: v1 (no lease/fenced flags, 13-field stats), v2
+	// (lease fields, byte flags), or v3 (uvarint flags, redirects).
+	dialect wire.Dialect
+	w       muxWriter
 
 	mu      sync.Mutex
 	streams map[uint32]*binStream
@@ -103,8 +106,11 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 	bc.w.bw = bufio.NewWriter(conn)
 	switch magic {
 	case BinaryMagic:
-		bc.legacy = true
+		bc.dialect = wire.DialectV1
 	case BinaryMagicV2:
+		bc.dialect = wire.DialectV2
+	case BinaryMagicV3:
+		bc.dialect = wire.DialectV3
 	default:
 		bc.connError(fmt.Sprintf("lockd: bad protocol magic %x", magic[:]))
 		return
@@ -162,7 +168,7 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 // reserved stream 0, before the connection closes.
 func (bc *binConn) connError(msg string) {
 	frame := BeginFrame(make([]byte, 0, 64+len(msg)), 0)
-	frame = appendResponseBin(frame, &Response{Err: msg}, bc.legacy)
+	frame = appendResponseBin(frame, &Response{Err: msg}, bc.dialect)
 	bc.w.writeFrame(EndFrame(frame, 0))
 }
 
@@ -236,7 +242,7 @@ func (bc *binConn) streamLoop(st *binStream) {
 		if req.Op == OpEndStream {
 			// Retire the stream: ack, then forget it so the id can be
 			// reused; the deferred cleanup releases its grants.
-			frame = appendResponseBin(frame, &Response{OK: true}, bc.legacy)
+			frame = appendResponseBin(frame, &Response{OK: true}, bc.dialect)
 			flush()
 			bc.mu.Lock()
 			if bc.streams[st.id] == st {
@@ -246,7 +252,7 @@ func (bc *binConn) streamLoop(st *binStream) {
 			return
 		}
 		resp := bc.srv.handle(bc.ctx, st.sess, req, preBlock)
-		frame = appendResponseBin(frame, &resp, bc.legacy)
+		frame = appendResponseBin(frame, &resp, bc.dialect)
 		if len(frame) >= binResponseFlushBytes {
 			if !flush() {
 				return

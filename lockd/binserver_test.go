@@ -274,7 +274,7 @@ func TestMuxDisconnectReleasesAllStreams(t *testing.T) {
 	if err := m.Close(); err != nil { // vanish without releasing anything
 		t.Fatal(err)
 	}
-	b, err := client.Dial(addr)
+	b, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,6 +78,12 @@ type Conn struct {
 	qhead  int           // first live entry; backing array is reused
 	broken error         // set once the reader stops
 
+	// tokMu guards tokens, the fencing token of the session's most
+	// recent grant per name — the client-side view the cluster failover
+	// property tests compare across ownership changes.
+	tokMu  sync.Mutex
+	tokens map[string]uint64
+
 	// hbMu guards the auto-heartbeat ticker; hbPaused suspends it
 	// without tearing it down (chaos tests simulate a stalled holder
 	// this way).
@@ -86,11 +92,13 @@ type Conn struct {
 	hbPaused atomic.Bool
 }
 
-// Dial connects to a lockd server.
-func Dial(addr string) (*Conn, error) {
+// DialConn connects to a lockd server as one newline-JSON session.
+// For the address-list front door (routing, redirects, crash ops behind
+// one interface) use Dial.
+func DialConn(addr string) (*Conn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("client: dialing lockd at %s: %w", addr, err)
+		return nil, fmt.Errorf("client: dialing lockd at %s: %w: %w", addr, ErrUnavailable, err)
 	}
 	return NewConn(c), nil
 }
@@ -178,7 +186,7 @@ func (c *Conn) do(req lockd.Request) (lockd.Response, error) {
 		c.mu.Unlock()
 		c.sendMu.Unlock()
 		waiterPool.Put(ch)
-		return lockd.Response{}, fmt.Errorf("%s: %w", req.Op, err)
+		return lockd.Response{}, fmt.Errorf("client: %s: %w: %w", req.Op, ErrUnavailable, err)
 	}
 	c.queue = append(c.queue, ch)
 	c.mu.Unlock()
@@ -193,16 +201,50 @@ func (c *Conn) do(req lockd.Request) (lockd.Response, error) {
 	}
 	res := <-ch
 	waiterPool.Put(ch)
+	return finishResult(req, res)
+}
+
+// finishResult classifies one matched exchange into the client's error
+// vocabulary, shared by the direct and multiplexed paths: transport
+// failures wrap ErrUnavailable, wrong-owner rejections wrap a
+// *RedirectError carrying the owner's address, fenced rejections wrap
+// ErrFenced.
+func finishResult(req lockd.Request, res result) (lockd.Response, error) {
 	if res.err != nil {
-		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, res.err)
+		return lockd.Response{}, fmt.Errorf("client: %s: %w: %w", req.Op, ErrUnavailable, res.err)
 	}
 	if !res.resp.OK {
+		if res.resp.WrongOwner {
+			return res.resp, fmt.Errorf("client: %s: %w",
+				req.Op, &RedirectError{Name: req.Name, Owner: res.resp.Owner, Epoch: res.resp.Epoch})
+		}
 		if res.resp.Fenced {
 			return res.resp, fmt.Errorf("client: %s: %s: %w", req.Op, res.resp.Err, ErrFenced)
 		}
 		return res.resp, fmt.Errorf("client: %s: %s", req.Op, res.resp.Err)
 	}
 	return res.resp, nil
+}
+
+// noteToken records the fencing token of a fresh grant on name.
+func (c *Conn) noteToken(name string, token uint64) {
+	c.tokMu.Lock()
+	if c.tokens == nil {
+		c.tokens = make(map[string]uint64)
+	}
+	c.tokens[name] = token
+	c.tokMu.Unlock()
+}
+
+// Token reports the fencing token of the session's most recent grant on
+// name (0 before any grant, and always 0 on a lease-free server). It is
+// not cleared by Release: it answers "what was the last token this
+// session was granted for name", which is the quantity cluster-failover
+// monotonicity is asserted over.
+func (c *Conn) Token(name string) uint64 {
+	c.tokMu.Lock()
+	defer c.tokMu.Unlock()
+	return c.tokens[name]
 }
 
 // Acquire blocks until the session holds the named lock, or returns
@@ -215,6 +257,7 @@ func (c *Conn) Acquire(name string) error {
 	if resp.Aborted {
 		return fmt.Errorf("%w: %s", ErrAborted, name)
 	}
+	c.noteToken(name, resp.Token)
 	return nil
 }
 
@@ -230,6 +273,9 @@ func (c *Conn) AcquireFor(name string, timeout time.Duration) (bool, error) {
 	resp, err := c.do(req)
 	if err != nil {
 		return false, err
+	}
+	if resp.Acquired {
+		c.noteToken(name, resp.Token)
 	}
 	return resp.Acquired, nil
 }
@@ -248,6 +294,9 @@ func (c *Conn) TryAcquire(name string) (bool, error) {
 	resp, err := c.do(lockd.Request{Op: lockd.OpTryAcquire, Name: name})
 	if err != nil {
 		return false, err
+	}
+	if resp.Acquired {
+		c.noteToken(name, resp.Token)
 	}
 	return resp.Acquired, nil
 }

@@ -50,7 +50,7 @@ func (p *CrashPool) Crash(name string) (bool, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	c, err := Dial(p.addr)
+	c, err := DialConn(p.addr)
 	if err != nil {
 		return false, fmt.Errorf("client: crash %s: %w", name, err)
 	}
@@ -68,33 +68,33 @@ func (p *CrashPool) Crash(name string) (bool, error) {
 	return true, nil
 }
 
-// Session is one client session whose crash ops are served by the
+// CrashSession is one client session whose crash ops are served by the
 // pool: the full Conn surface (acquire, release, holds, heartbeats)
 // plus Crash — exactly the shape a workload with crash ops needs from
 // a network backend.
-type Session struct {
+type CrashSession struct {
 	*Conn
 	pool *CrashPool
 }
 
 // Crash abandons name on a fresh session from the pool; the calling
 // session's own grants are untouched.
-func (s *Session) Crash(name string) (bool, error) { return s.pool.Crash(name) }
+func (s *CrashSession) Crash(name string) (bool, error) { return s.pool.Crash(name) }
 
 // Session dials a fresh connection whose crash ops delegate to the
 // pool.
-func (p *CrashPool) Session() (*Session, error) {
-	c, err := Dial(p.addr)
+func (p *CrashPool) Session() (*CrashSession, error) {
+	c, err := DialConn(p.addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{Conn: c, pool: p}, nil
+	return &CrashSession{Conn: c, pool: p}, nil
 }
 
 // Wrap gives an existing connection (for example a multiplexed stream
 // from a MuxPool) the pool's crash surface.
-func (p *CrashPool) Wrap(c *Conn) *Session {
-	return &Session{Conn: c, pool: p}
+func (p *CrashPool) Wrap(c *Conn) *CrashSession {
+	return &CrashSession{Conn: c, pool: p}
 }
 
 // Crashed reports how many holders the pool has abandoned so far.

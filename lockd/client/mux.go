@@ -65,12 +65,13 @@ func DialMux(addr string) (*Mux, error) {
 
 // NewMux wraps an already-established connection as a binary multiplexed
 // client. The Mux takes ownership of c and immediately stakes the
-// protocol claim: the magic preamble — v2, so responses may carry
-// fencing tokens, TTLs, and the fenced bit — is buffered ahead of the
-// first frame (the server reads it before anything else).
+// protocol claim: the magic preamble — v3, so responses may carry
+// fencing tokens, TTLs, the fenced bit, and cluster wrong-owner
+// redirects — is buffered ahead of the first frame (the server reads it
+// before anything else).
 func NewMux(c net.Conn) *Mux {
 	m := &Mux{c: c, bw: bufio.NewWriter(c), streams: make(map[uint32]*Conn)}
-	m.bw.Write(lockd.BinaryMagicV2[:])
+	m.bw.Write(lockd.BinaryMagicV3[:])
 	go m.readLoop()
 	return m
 }
@@ -82,7 +83,7 @@ func (m *Mux) Open() (*Conn, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.broken != nil {
-		return nil, fmt.Errorf("client: open stream: %w", m.broken)
+		return nil, fmt.Errorf("client: open stream: %w: %w", ErrUnavailable, m.broken)
 	}
 	m.nextID++
 	st := &Conn{mux: m, stream: m.nextID}
@@ -115,7 +116,7 @@ func (m *Mux) send(st *Conn, reqs []lockd.Request, ch chan result) error {
 	m.wbuf = lockd.EndFrame(m.wbuf, 0)
 	st.mu.Lock()
 	if st.broken != nil {
-		err = st.broken
+		err = fmt.Errorf("%w: %w", ErrUnavailable, st.broken)
 		st.mu.Unlock()
 		m.flushIfLast()
 		m.sendMu.Unlock()
@@ -158,16 +159,7 @@ func (m *Mux) do(st *Conn, req lockd.Request) (lockd.Response, error) {
 	}
 	res := <-ch
 	waiterPool.Put(ch)
-	if res.err != nil {
-		return lockd.Response{}, fmt.Errorf("client: %s: %w", req.Op, res.err)
-	}
-	if !res.resp.OK {
-		if res.resp.Fenced {
-			return res.resp, fmt.Errorf("client: %s: %s: %w", req.Op, res.resp.Err, ErrFenced)
-		}
-		return res.resp, fmt.Errorf("client: %s: %s", req.Op, res.resp.Err)
-	}
-	return res.resp, nil
+	return finishResult(req, res)
 }
 
 // closeStream retires one logical session: the server acks after
@@ -287,24 +279,36 @@ func NewMuxPool(addr string, perSocket int) *MuxPool {
 }
 
 // Open returns a new logical session, dialing a fresh socket only when
-// the newest one is full.
+// the newest one is full. A newest socket that broke (the server
+// restarted, a failover killed the connection) does not wedge the pool:
+// Open retires it and dials a replacement.
 func (p *MuxPool) Open() (*Conn, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.muxes) == 0 || p.open >= p.perSocket {
-		m, err := DialMux(p.addr)
+	for try := 0; ; try++ {
+		if len(p.muxes) == 0 || p.open >= p.perSocket {
+			m, err := DialMux(p.addr)
+			if err != nil {
+				return nil, err
+			}
+			p.muxes = append(p.muxes, m)
+			p.open = 0
+		}
+		st, err := p.muxes[len(p.muxes)-1].Open()
 		if err != nil {
+			// Heal once: drop the broken socket and dial a fresh one; a
+			// second failure is reported (the server itself is refusing).
+			if try == 0 && errors.Is(err, ErrUnavailable) {
+				p.muxes[len(p.muxes)-1].Close()
+				p.muxes = p.muxes[:len(p.muxes)-1]
+				p.open = p.perSocket
+				continue
+			}
 			return nil, err
 		}
-		p.muxes = append(p.muxes, m)
-		p.open = 0
+		p.open++
+		return st, nil
 	}
-	st, err := p.muxes[len(p.muxes)-1].Open()
-	if err != nil {
-		return nil, err
-	}
-	p.open++
-	return st, nil
 }
 
 // Sockets reports how many physical connections the pool has dialed.

@@ -1,0 +1,422 @@
+package lockd_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"anonmutex/internal/cluster"
+	"anonmutex/internal/lockmgr"
+	"anonmutex/lockd"
+	"anonmutex/lockd/client"
+)
+
+// clusterNode is one member of an in-test lockd cluster.
+type clusterNode struct {
+	addr string
+	srv  *lockd.Server
+	node *cluster.Node
+	mgr  *lockmgr.Manager
+	ln   net.Listener
+}
+
+// startCluster brings up n clustered lockd servers on loopback with fast
+// gossip timings, waits for every member to see every other alive, and
+// tears the whole thing down with the test.
+func startCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	nodes := make([]*clusterNode, 0, n)
+	var seeds []string
+	for i := 0; i < n; i++ {
+		mgr, err := lockmgr.New(lockmgr.Config{HandlesPerLock: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cn, err := cluster.Start(cluster.Config{
+			ID:           fmt.Sprintf("n%d", i),
+			Addr:         ln.Addr().String(),
+			GossipAddr:   "127.0.0.1:0",
+			Seeds:        seeds,
+			Interval:     20 * time.Millisecond,
+			SuspectAfter: 120 * time.Millisecond,
+			DeadAfter:    240 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, cn.GossipAddr())
+		srv := lockd.NewServer(mgr)
+		srv.LeaseTTL = time.Second
+		srv.Cluster = cn
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(ln) }()
+		node := &clusterNode{addr: ln.Addr().String(), srv: srv, node: cn, mgr: mgr, ln: ln}
+		nodes = append(nodes, node)
+		t.Cleanup(func() {
+			node.stop(t)
+			if err := <-serveErr; err != nil {
+				t.Errorf("Serve: %v", err)
+			}
+			mgr.Close()
+		})
+	}
+	// Convergence: every node sees n alive members.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, nd := range nodes {
+		for {
+			alive := 0
+			for _, m := range nd.node.View().Members {
+				if m.State == cluster.StateAlive {
+					alive++
+				}
+			}
+			if alive == n {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("cluster did not converge: node %s sees %d/%d alive", nd.node.Self().ID, alive, n)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return nodes
+}
+
+// stop shuts one node down; killing it from the cluster's point of view
+// (Close is silent — peers find out via the failure detector).
+func (cn *clusterNode) stop(t *testing.T) {
+	t.Helper()
+	if cn.node != nil {
+		cn.node.Close()
+		cn.node = nil
+	}
+	if cn.srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := cn.srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		cn.srv = nil
+	}
+}
+
+// keyOwnedBy finds a lock name the given member owns under the current
+// view (every member owns some key within a few dozen candidates).
+func keyOwnedBy(t *testing.T, nodes []*clusterNode, id string) string {
+	t.Helper()
+	view := nodes[0].node.View()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("key-%d", i)
+		if owner, ok := view.Owner(name); ok && owner.ID == id {
+			return name
+		}
+	}
+	t.Fatalf("no key hashed to member %s", id)
+	return ""
+}
+
+// TestClusterServeNeedsLeases pins that a clustered server without
+// leases refuses to serve: handoff safety depends on fencing tokens.
+func TestClusterServeNeedsLeases(t *testing.T) {
+	mgr, err := lockmgr.New(lockmgr.Config{HandlesPerLock: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	cn, err := cluster.Start(cluster.Config{ID: "solo", Addr: "127.0.0.1:1", GossipAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cn.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := lockd.NewServer(mgr)
+	srv.Cluster = cn
+	if err := srv.Serve(ln); err == nil || !strings.Contains(err.Error(), "LeaseTTL") {
+		t.Fatalf("Serve without leases = %v, want a LeaseTTL error", err)
+	}
+}
+
+// TestClusterRedirect exercises the v3 redirect through the modern
+// client: the owning node grants, the other node redirects to it.
+func TestClusterRedirect(t *testing.T) {
+	nodes := startCluster(t, 2)
+	key := keyOwnedBy(t, nodes, "n0")
+
+	owner, err := client.DialConn(nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	if err := owner.Acquire(key); err != nil {
+		t.Fatalf("acquire on the owning node: %v", err)
+	}
+	if tok := owner.Token(key); tok == 0 {
+		t.Error("grant on a clustered server carried no fencing token")
+	}
+	if err := owner.Release(key); err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := client.DialConn(nodes[1].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	err = other.Acquire(key)
+	var redir *client.RedirectError
+	if !errors.As(err, &redir) {
+		t.Fatalf("acquire on the wrong node = %v, want RedirectError", err)
+	}
+	if redir.Owner != nodes[0].addr {
+		t.Errorf("redirect points at %q, want %q", redir.Owner, nodes[0].addr)
+	}
+	if redir.Epoch == 0 {
+		t.Error("redirect carried no epoch")
+	}
+	// Grant-bound ops stay local: the wrong node answers about its own
+	// state instead of redirecting, so holds on an unheld key is false.
+	if held, err := other.Holds(key); err != nil || held {
+		t.Errorf("Holds on non-owner = %v, %v", held, err)
+	}
+}
+
+// TestClusterRoutedClient drives the unified routed client against the
+// cluster: acquires land on owners transparently, tokens flow, and
+// mutual exclusion holds across sessions routed independently.
+func TestClusterRoutedClient(t *testing.T) {
+	nodes := startCluster(t, 2)
+	cl, err := client.Dial(client.Options{Addrs: []string{nodes[0].addr, nodes[1].addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	s1, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	for _, key := range []string{keyOwnedBy(t, nodes, "n0"), keyOwnedBy(t, nodes, "n1")} {
+		if err := s1.Acquire(key); err != nil {
+			t.Fatalf("routed acquire of %s: %v", key, err)
+		}
+		if tok := s1.Token(key); tok == 0 {
+			t.Errorf("routed grant on %s carried no token", key)
+		}
+		if ok, err := s2.TryAcquire(key); err != nil || ok {
+			t.Errorf("TryAcquire of held %s = %v, %v; exclusion broken", key, ok, err)
+		}
+		if held, err := s1.Holds(key); err != nil || !held {
+			t.Errorf("Holds(%s) = %v, %v", key, held, err)
+		}
+		if err := s1.Release(key); err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := s2.TryAcquire(key); err != nil || !ok {
+			t.Fatalf("TryAcquire of released %s = %v, %v", key, ok, err)
+		}
+		if err := s2.Release(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Violations != 0 {
+		t.Errorf("violations = %d", st.Violations)
+	}
+}
+
+// TestClusterOldBinaryClients runs v1 and v2 binary clients against a
+// clustered server: the owning node serves them untouched; the wrong
+// node rejects cleanly — ok=false with an error they can surface — since
+// their dialects cannot carry the redirect payload.
+func TestClusterOldBinaryClients(t *testing.T) {
+	nodes := startCluster(t, 2)
+	ownKey := keyOwnedBy(t, nodes, "n0")
+	awayKey := keyOwnedBy(t, nodes, "n1")
+
+	dialects := []struct {
+		name   string
+		magic  [4]byte
+		decode func([]byte, *lockd.Response) ([]byte, error)
+	}{
+		{"v1", lockd.BinaryMagic, lockd.DecodeResponseBinV1},
+		{"v2", lockd.BinaryMagicV2, lockd.DecodeResponseBinV2},
+	}
+	for _, d := range dialects {
+		t.Run(d.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", nodes[0].addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(d.magic[:]); err != nil {
+				t.Fatal(err)
+			}
+			br := bufio.NewReader(conn)
+			do := func(op, name string) lockd.Response {
+				t.Helper()
+				frame := lockd.BeginFrame(nil, 1)
+				frame, err := lockd.AppendRequestBin(frame, &lockd.Request{Op: op, Name: name})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := conn.Write(lockd.EndFrame(frame, 0)); err != nil {
+					t.Fatal(err)
+				}
+				stream, ops, _, err := lockd.ReadFrame(br, nil, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stream != 1 {
+					t.Fatalf("response on stream %d", stream)
+				}
+				var resp lockd.Response
+				if _, err := d.decode(ops, &resp); err != nil {
+					t.Fatalf("%s decode: %v", d.name, err)
+				}
+				return resp
+			}
+
+			// The owning node serves the old dialect exactly as before.
+			if resp := do(lockd.OpAcquire, ownKey); !resp.OK {
+				t.Fatalf("%s acquire on owner failed: %+v", d.name, resp)
+			}
+			if resp := do(lockd.OpRelease, ownKey); !resp.OK {
+				t.Fatalf("%s release on owner failed: %+v", d.name, resp)
+			}
+			// A key owned elsewhere fails loudly, never silently: the old
+			// dialect drops the redirect payload but keeps the error.
+			resp := do(lockd.OpTryAcquire, awayKey)
+			if resp.OK {
+				t.Fatalf("%s acquire of a foreign key succeeded on the wrong node", d.name)
+			}
+			if resp.Err == "" {
+				t.Fatalf("%s wrong-owner rejection lost its error text", d.name)
+			}
+			if !strings.Contains(resp.Err, "wrong owner") {
+				t.Errorf("%s err = %q", d.name, resp.Err)
+			}
+		})
+	}
+}
+
+// TestClusterOldJSONClient sends a raw newline-JSON acquire — what a
+// pre-cluster JSON client emits — to the wrong node and checks the
+// response stays parseable and explicit for a reader that ignores the
+// redirect fields.
+func TestClusterOldJSONClient(t *testing.T) {
+	nodes := startCluster(t, 2)
+	awayKey := keyOwnedBy(t, nodes, "n1")
+
+	conn, err := net.Dial("tcp", nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, `{"op":%q,"name":%q}`+"\n", lockd.OpTryAcquire, awayKey)
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		OK         bool   `json:"ok"`
+		Err        string `json:"err"`
+		WrongOwner bool   `json:"wrong_owner"`
+		Owner      string `json:"owner"`
+	}
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatalf("unparseable response %q: %v", line, err)
+	}
+	if resp.OK {
+		t.Fatal("foreign-key acquire succeeded on the wrong node")
+	}
+	if resp.Err == "" {
+		t.Fatal("wrong-owner rejection without error text")
+	}
+	if !resp.WrongOwner || resp.Owner != nodes[1].addr {
+		t.Errorf("redirect fields = %+v, want owner %s", resp, nodes[1].addr)
+	}
+}
+
+// TestClusterFailoverTokens kills a key's owner and checks the handoff
+// invariant: the surviving node grants the key again within the failure
+// detector's budget, with a strictly larger fencing token under a newer
+// epoch.
+func TestClusterFailoverTokens(t *testing.T) {
+	nodes := startCluster(t, 2)
+	key := keyOwnedBy(t, nodes, "n1")
+	epochBefore := nodes[0].node.Epoch()
+
+	c1, err := client.DialConn(nodes[1].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Acquire(key); err != nil {
+		t.Fatal(err)
+	}
+	tokenBefore := c1.Token(key)
+	if tokenBefore == 0 {
+		t.Fatal("no fencing token before failover")
+	}
+	if err := c1.Release(key); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	// Kill the owner: cluster Close is silent (a crash, as peers see it).
+	nodes[1].stop(t)
+
+	// The survivor must take the key over within the detector's dead
+	// timeout plus gossip slack, and grant it under a larger token.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if owner, ok := nodes[0].node.Owner(key); ok && owner.ID == "n0" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ownership never moved to the survivor")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if e := nodes[0].node.Epoch(); e <= epochBefore {
+		t.Fatalf("epoch did not advance across the death: %d -> %d", epochBefore, e)
+	}
+
+	c0, err := client.DialConn(nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	if ok, err := c0.TryAcquire(key); err != nil || !ok {
+		t.Fatalf("survivor did not grant the moved key: %v, %v", ok, err)
+	}
+	tokenAfter := c0.Token(key)
+	if tokenAfter <= tokenBefore {
+		t.Fatalf("token did not advance across failover: %d -> %d", tokenBefore, tokenAfter)
+	}
+	if floor := cluster.TokenFloor(nodes[0].node.Epoch()); tokenAfter <= floor-1<<32 {
+		t.Errorf("post-failover token %d below the previous epoch band", tokenAfter)
+	}
+}

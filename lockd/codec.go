@@ -68,6 +68,17 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	if resp.Fenced {
 		dst = append(dst, `,"fenced":true`...)
 	}
+	if resp.WrongOwner {
+		dst = append(dst, `,"wrong_owner":true`...)
+	}
+	if resp.Owner != "" {
+		dst = append(dst, `,"owner":`...)
+		dst = appendString(dst, resp.Owner)
+	}
+	if resp.Epoch != 0 {
+		dst = append(dst, `,"epoch":`...)
+		dst = strconv.AppendUint(dst, resp.Epoch, 10)
+	}
 	if resp.Stats != nil {
 		s := resp.Stats
 		dst = append(dst, `,"stats":{"acquires":`...)
@@ -314,6 +325,27 @@ func DecodeResponse(data []byte, resp *Response) error {
 			v, err := d.boolValue()
 			resp.Fenced = v
 			return err
+		case "wrong_owner":
+			v, err := d.boolValue()
+			resp.WrongOwner = v
+			return err
+		case "owner":
+			raw, esc, err := d.stringValue()
+			if err != nil {
+				return err
+			}
+			if esc {
+				un, err := unescape(raw)
+				if err != nil {
+					return err
+				}
+				resp.Owner = string(un)
+				return nil
+			}
+			resp.Owner = string(raw)
+			return nil
+		case "epoch":
+			return d.uintInto(&resp.Epoch)
 		case "stats":
 			d.ws()
 			if d.peek() == 'n' { // null: Stats stays nil, as encoding/json leaves it

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"anonmutex/internal/xrand"
+	"anonmutex/lockd/wire"
 )
 
 var codecNames = []string{
@@ -70,7 +71,7 @@ func checkRequestCodec(t *testing.T, req Request) {
 func checkRequestBinCodec(t *testing.T, req Request) {
 	t.Helper()
 	enc, err := AppendRequestBin(nil, &req)
-	if opcodeOf(req.Op) == 0 {
+	if wire.Opcode(req.Op) == 0 {
 		if err == nil {
 			t.Errorf("AppendRequestBin(%+v) accepted an op with no opcode", req)
 		}
@@ -189,6 +190,16 @@ func TestResponseCodecAllFieldCombinations(t *testing.T) {
 		{ttl: math.MaxInt64},
 		{fenced: true},
 	}
+	type redirectFields struct {
+		wrongOwner bool
+		owner      string
+		epoch      uint64
+	}
+	redirectCases := []redirectFields{
+		{},
+		{wrongOwner: true, owner: "10.0.0.7:7171", epoch: 3},
+		{wrongOwner: true, owner: "", epoch: math.MaxUint64},
+	}
 	errs := []string{"", "lockd: session does not hold \"x\"", "uni ✓ <err>"}
 	for _, ok := range []bool{false, true} {
 		for _, errStr := range errs {
@@ -196,13 +207,16 @@ func TestResponseCodecAllFieldCombinations(t *testing.T) {
 				for _, aborted := range []bool{false, true} {
 					for _, holds := range []bool{false, true} {
 						for _, lf := range leaseCases {
-							for _, stats := range statsCases {
-								checkResponseCodec(t, Response{
-									OK: ok, Err: errStr, Acquired: acquired,
-									Aborted: aborted, Holds: holds,
-									Token: lf.token, TTLMS: lf.ttl, Fenced: lf.fenced,
-									Stats: stats,
-								})
+							for _, rd := range redirectCases {
+								for _, stats := range statsCases {
+									checkResponseCodec(t, Response{
+										OK: ok, Err: errStr, Acquired: acquired,
+										Aborted: aborted, Holds: holds,
+										Token: lf.token, TTLMS: lf.ttl, Fenced: lf.fenced,
+										WrongOwner: rd.wrongOwner, Owner: rd.owner, Epoch: rd.epoch,
+										Stats: stats,
+									})
+								}
 							}
 						}
 					}
@@ -245,17 +259,81 @@ func TestResponseBinV1Dialect(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("v1 round trip = %+v, want %+v", got, want)
 	}
-	// A v2 encoding of the same response must be rejected by the v1
-	// decoder: its lease/fenced flag bits are unknown in that dialect.
-	v2 := AppendResponseBin(nil, &full)
+	// A newer-dialect encoding of the same response must be rejected by
+	// the v1 decoder: its lease/fenced flag bits are unknown there.
+	v2 := AppendResponseBinV2(nil, &full)
 	if _, err := DecodeResponseBinV1(v2, &got); err == nil {
 		t.Error("v1 decoder accepted v2 lease flag bits")
 	}
-	// And a lease-free response must encode identically in both
-	// dialects except for the stats tail — spot-check the plain case.
+	// And a lease-free response must encode identically in every
+	// dialect except for the stats tail — spot-check the plain case.
 	plain := Response{OK: true, Holds: true}
-	if v1, v2 := AppendResponseBinV1(nil, &plain), AppendResponseBin(nil, &plain); string(v1) != string(v2) {
-		t.Errorf("lease-free response differs across dialects: v1=%x v2=%x", v1, v2)
+	if v1, v3 := AppendResponseBinV1(nil, &plain), AppendResponseBin(nil, &plain); string(v1) != string(v3) {
+		t.Errorf("lease-free response differs across dialects: v1=%x v3=%x", v1, v3)
+	}
+}
+
+// TestResponseBinV2Dialect pins the v2 binary response dialect a
+// BinaryMagicV2 client decodes: lease fields intact, but the redirect
+// fields are dropped on encode — the peer sees only the refusal's
+// error string, exactly what a pre-cluster server sent — and the v3
+// redirect flag stays unknown to the v2 decoder. This is the contract
+// that lets v2 binary clients talk to a clustered server: a redirect
+// reaching them fails cleanly, never silently.
+func TestResponseBinV2Dialect(t *testing.T) {
+	redir := Response{
+		Err:        `lockd: wrong owner for "k": try 10.0.0.7:7171`,
+		WrongOwner: true, Owner: "10.0.0.7:7171", Epoch: 9,
+		Token: 42, TTLMS: 1500, Fenced: true,
+	}
+	enc := AppendResponseBinV2(nil, &redir)
+	var got Response
+	rest, err := DecodeResponseBinV2(enc, &got)
+	if err != nil {
+		t.Fatalf("DecodeResponseBinV2: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("v2 decode left %d trailing bytes", len(rest))
+	}
+	want := redir
+	want.WrongOwner, want.Owner, want.Epoch = false, "", 0
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("v2 round trip = %+v, want %+v", got, want)
+	}
+	if got.Err == "" || got.OK {
+		t.Error("a redirect through the v2 dialect must stay a visible error")
+	}
+
+	// A v3 redirect encoding means nothing to a v2 decoder: the uvarint
+	// flag field is not a valid v2 flags byte stream, so the decode
+	// errors or yields garbage — never the redirect. The magic preamble
+	// is what guarantees a v2 connection never receives these bytes;
+	// this pins that the dialects really did diverge.
+	v3 := AppendResponseBin(nil, &redir)
+	var cross Response
+	if _, err := DecodeResponseBinV2(v3, &cross); err == nil && reflect.DeepEqual(cross, got) {
+		t.Error("v2 decoder understood a v3 redirect response; the dialect bump is not a bump")
+	}
+
+	// Responses whose flags fit seven bits encode identically in v2 and
+	// v3 — the uvarint widening is free for every pre-redirect shape.
+	lease := Response{OK: true, Acquired: true, Token: 7, TTLMS: 900}
+	if v2, v3 := AppendResponseBinV2(nil, &lease), AppendResponseBin(nil, &lease); string(v2) != string(v3) {
+		t.Errorf("lease response differs across v2/v3: v2=%x v3=%x", v2, v3)
+	}
+	// A fenced response is the first shape that does differ (bit 7 sets
+	// the uvarint continuation bit in v3) — but both dialects must
+	// decode their own bytes to the same value.
+	fenced := Response{Err: "lockd: fenced", Fenced: true}
+	var fromV2, fromV3 Response
+	if _, err := DecodeResponseBinV2(AppendResponseBinV2(nil, &fenced), &fromV2); err != nil {
+		t.Fatalf("v2 fenced round trip: %v", err)
+	}
+	if _, err := DecodeResponseBin(AppendResponseBin(nil, &fenced), &fromV3); err != nil {
+		t.Fatalf("v3 fenced round trip: %v", err)
+	}
+	if !reflect.DeepEqual(fromV2, fromV3) {
+		t.Errorf("fenced response decodes differently: v2=%+v v3=%+v", fromV2, fromV3)
 	}
 }
 

@@ -26,19 +26,21 @@ package lockd
 //
 // Response encoding:
 //
-//	flags byte | [err len uvarint | err bytes] | [stats fields]
+//	flags | [err len uvarint | err bytes] | [token uvarint | ttl varint]
+//	      | [owner len uvarint | owner bytes | epoch uvarint]
+//	      | [stats fields]
 //
-// with flag bits OK, Acquired, Aborted, Holds, has-err, has-stats —
-// plus, in the v2 dialect, has-lease (a fencing token and TTL follow)
-// and fenced — and the stats fields a fixed sequence of varints (see
-// appendResponseBin). Unknown opcodes and unknown flag bits are
-// protocol errors: the magic preamble is the version gate, not per-op
-// tolerance — foreign or future peers negotiate by magic, exactly one
-// version per connection. That gate is how the lease fields arrived
-// compatibly: a v1 client's magic pins the v1 response dialect (no
-// lease flags, the 13-field stats sequence) for its whole connection,
-// while v2 connections carry tokens, TTLs, fenced rejections, and the
-// extended stats.
+// where flags is one byte in the v1/v2 dialects and a uvarint from v3
+// on (values under 128 still cost one byte), with the bit and opcode
+// tables defined once in lockd/wire. Unknown opcodes and unknown flag
+// bits are protocol errors: the magic preamble is the version gate, not
+// per-op tolerance — foreign or future peers negotiate by magic,
+// exactly one version per connection. That gate is how each dialect
+// arrived compatibly: a v1 client's magic pins the pre-lease response
+// dialect (no lease flags, the 13-field stats sequence), v2 added the
+// lease token/TTL, fenced bit, and extended stats, and v3 widened the
+// flag field and added the wrong_owner redirect (owner address plus
+// membership epoch) for clustered servers.
 
 import (
 	"bufio"
@@ -46,6 +48,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"anonmutex/lockd/wire"
 )
 
 // BinaryMagic is the 4-byte preamble a client writes immediately after
@@ -56,11 +60,18 @@ import (
 // clients keep working against lease-running servers.
 var BinaryMagic = [4]byte{0xA9, 'L', 'K', '1'}
 
-// BinaryMagicV2 negotiates the current binary dialect: responses may
-// carry a fencing token and TTL (binFlagLease) and the fenced bit, and
-// stats payloads include the lease counters. New clients lead with it;
-// the server accepts both magics and pins the dialect per connection.
+// BinaryMagicV2 negotiates the v2 binary dialect: responses may carry
+// a fencing token and TTL (wire.FlagLease) and the fenced bit, and
+// stats payloads include the lease counters. The server accepts every
+// magic and pins the dialect per connection.
 var BinaryMagicV2 = [4]byte{0xA9, 'L', 'K', '2'}
+
+// BinaryMagicV3 negotiates the current binary dialect: the response
+// flag field is a uvarint (one byte for every pre-existing response)
+// and responses may carry a wrong_owner redirect — the owning node's
+// address and the membership epoch — which is how a clustered server
+// bounces a key op to the right node. New clients lead with it.
+var BinaryMagicV3 = [4]byte{0xA9, 'L', 'K', '3'}
 
 // DefaultMaxFrameBytes bounds one binary frame's payload when
 // Server.MaxFrameBytes is zero (and is the client-side bound too).
@@ -78,91 +89,9 @@ var errFrameTooBig = errors.New("frame exceeds the connection's frame limit")
 // hold its own stream id.
 var errShortFrame = errors.New("frame length shorter than its stream id")
 
-// Binary opcodes, one per wire op (opEndStream is transport-level and
-// has no JSON counterpart: it retires one logical stream of a
-// multiplexed connection, releasing that stream's grants).
-const (
-	binOpAcquire = 1 + iota
-	binOpTry
-	binOpRelease
-	binOpCancel
-	binOpHolds
-	binOpStats
-	binOpPing
-	binOpEndStream
-	binOpHeartbeat
-)
-
 // OpEndStream retires one logical stream of a multiplexed binary
-// connection: the server releases every grant the stream holds, acks,
-// and forgets the stream. It exists only on the binary transport; the
-// JSON protocol's equivalent is closing the connection.
-const OpEndStream = "end_stream"
-
-// opcodeOf maps a protocol op string to its binary opcode (0 = unknown).
-func opcodeOf(op string) byte {
-	switch op {
-	case OpAcquire:
-		return binOpAcquire
-	case OpTryAcquire:
-		return binOpTry
-	case OpRelease:
-		return binOpRelease
-	case OpCancel:
-		return binOpCancel
-	case OpHolds:
-		return binOpHolds
-	case OpStats:
-		return binOpStats
-	case OpPing:
-		return binOpPing
-	case OpEndStream:
-		return binOpEndStream
-	case OpHeartbeat:
-		return binOpHeartbeat
-	}
-	return 0
-}
-
-// opOfCode is the inverse of opcodeOf ("" = unknown).
-func opOfCode(c byte) string {
-	switch c {
-	case binOpAcquire:
-		return OpAcquire
-	case binOpTry:
-		return OpTryAcquire
-	case binOpRelease:
-		return OpRelease
-	case binOpCancel:
-		return OpCancel
-	case binOpHolds:
-		return OpHolds
-	case binOpStats:
-		return OpStats
-	case binOpPing:
-		return OpPing
-	case binOpEndStream:
-		return OpEndStream
-	case binOpHeartbeat:
-		return OpHeartbeat
-	}
-	return ""
-}
-
-// Response flag bits. The lease and fenced bits exist only in the v2
-// dialect; a v1 connection never sees them (and a v1 decoder rejects
-// them as unknown, which is exactly why the dialect is pinned by
-// magic).
-const (
-	binFlagOK       = 1 << iota // Response.OK
-	binFlagAcquired             // Response.Acquired
-	binFlagAborted              // Response.Aborted
-	binFlagHolds                // Response.Holds
-	binFlagErr                  // an error string follows
-	binFlagStats                // a stats payload follows
-	binFlagLease                // v2: a fencing token uvarint + ttl_ms varint follow
-	binFlagFenced               // v2: Response.Fenced
-)
+// connection (defined in lockd/wire; see there).
+const OpEndStream = wire.OpEndStream
 
 // BeginFrame appends a frame header (length placeholder plus stream id)
 // for stream to dst and returns the extended slice. The caller appends
@@ -185,7 +114,7 @@ func EndFrame(dst []byte, start int) []byte {
 // an op the binary protocol has no opcode for; encoding a known op
 // allocates only if dst must grow.
 func AppendRequestBin(dst []byte, req *Request) ([]byte, error) {
-	opc := opcodeOf(req.Op)
+	opc := wire.Opcode(req.Op)
 	if opc == 0 {
 		return dst, fmt.Errorf("lockd: op %q has no binary opcode", req.Op)
 	}
@@ -212,7 +141,7 @@ func decodeRequestBin(data []byte, req *Request, names *nameTable) (rest []byte,
 	if len(data) == 0 {
 		return nil, errors.New("lockd: empty binary op")
 	}
-	op := opOfCode(data[0])
+	op := wire.OpOfCode(data[0])
 	if op == "" {
 		return nil, fmt.Errorf("lockd: unknown binary opcode 0x%02x", data[0])
 	}
@@ -237,49 +166,66 @@ func decodeRequestBin(data []byte, req *Request, names *nameTable) (rest []byte,
 	return data[n:], nil
 }
 
-// AppendResponseBin appends resp's binary encoding (the current, v2
-// dialect: lease token/TTL and fenced flags, extended stats) to dst and
-// returns the extended slice. It allocates only if dst must grow.
+// AppendResponseBin appends resp's binary encoding (the current, v3
+// dialect: uvarint flags, redirects, lease fields, extended stats) to
+// dst and returns the extended slice. It allocates only if dst must
+// grow.
 func AppendResponseBin(dst []byte, resp *Response) []byte {
-	return appendResponseBin(dst, resp, false)
+	return appendResponseBin(dst, resp, wire.DialectV3)
+}
+
+// AppendResponseBinV2 appends resp's encoding in the v2 dialect served
+// to clients that negotiated with BinaryMagicV2: single-byte flags and
+// no redirect fields (those are silently dropped — the peer still sees
+// the refusal's error string), lease fields and extended stats intact.
+func AppendResponseBinV2(dst []byte, resp *Response) []byte {
+	return appendResponseBin(dst, resp, wire.DialectV2)
 }
 
 // AppendResponseBinV1 appends resp's encoding in the v1 dialect served
-// to clients that negotiated with BinaryMagic: no lease or fenced
-// flags (those fields are silently dropped, exactly what a pre-lease
-// server would have sent) and the original 13-field stats sequence.
+// to clients that negotiated with BinaryMagic: no lease, fenced, or
+// redirect fields (silently dropped, exactly what a pre-lease server
+// would have sent) and the original 13-field stats sequence.
 func AppendResponseBinV1(dst []byte, resp *Response) []byte {
-	return appendResponseBin(dst, resp, true)
+	return appendResponseBin(dst, resp, wire.DialectV1)
 }
 
-func appendResponseBin(dst []byte, resp *Response, legacy bool) []byte {
-	var flags byte
+func appendResponseBin(dst []byte, resp *Response, d wire.Dialect) []byte {
+	var flags uint64
 	if resp.OK {
-		flags |= binFlagOK
+		flags |= wire.FlagOK
 	}
 	if resp.Acquired {
-		flags |= binFlagAcquired
+		flags |= wire.FlagAcquired
 	}
 	if resp.Aborted {
-		flags |= binFlagAborted
+		flags |= wire.FlagAborted
 	}
 	if resp.Holds {
-		flags |= binFlagHolds
+		flags |= wire.FlagHolds
 	}
 	if resp.Err != "" {
-		flags |= binFlagErr
+		flags |= wire.FlagErr
 	}
 	if resp.Stats != nil {
-		flags |= binFlagStats
+		flags |= wire.FlagStats
 	}
-	hasLease := !legacy && (resp.Token != 0 || resp.TTLMS != 0)
+	hasLease := d >= wire.DialectV2 && (resp.Token != 0 || resp.TTLMS != 0)
 	if hasLease {
-		flags |= binFlagLease
+		flags |= wire.FlagLease
 	}
-	if !legacy && resp.Fenced {
-		flags |= binFlagFenced
+	if d >= wire.DialectV2 && resp.Fenced {
+		flags |= wire.FlagFenced
 	}
-	dst = append(dst, flags)
+	redirect := d >= wire.DialectV3 && resp.WrongOwner
+	if redirect {
+		flags |= wire.FlagRedirect
+	}
+	if d >= wire.DialectV3 {
+		dst = binary.AppendUvarint(dst, flags)
+	} else {
+		dst = append(dst, byte(flags))
+	}
 	if resp.Err != "" {
 		dst = binary.AppendUvarint(dst, uint64(len(resp.Err)))
 		dst = append(dst, resp.Err...)
@@ -287,6 +233,11 @@ func appendResponseBin(dst []byte, resp *Response, legacy bool) []byte {
 	if hasLease {
 		dst = binary.AppendUvarint(dst, resp.Token)
 		dst = binary.AppendVarint(dst, resp.TTLMS)
+	}
+	if redirect {
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Owner)))
+		dst = append(dst, resp.Owner...)
+		dst = binary.AppendUvarint(dst, resp.Epoch)
 	}
 	if s := resp.Stats; s != nil {
 		dst = binary.AppendUvarint(dst, s.Acquires)
@@ -299,7 +250,7 @@ func appendResponseBin(dst []byte, resp *Response, legacy bool) []byte {
 		dst = binary.AppendVarint(dst, int64(s.ResidentLocks))
 		dst = binary.AppendUvarint(dst, s.Aborts)
 		dst = binary.AppendUvarint(dst, s.LeaseTimeouts)
-		if !legacy {
+		if d >= wire.DialectV2 {
 			dst = binary.AppendUvarint(dst, s.Expired)
 			dst = binary.AppendUvarint(dst, s.Revoked)
 			dst = binary.AppendUvarint(dst, s.FencedRejects)
@@ -311,43 +262,57 @@ func appendResponseBin(dst []byte, resp *Response, legacy bool) []byte {
 	return dst
 }
 
-// DecodeResponseBin decodes one binary response (v2 dialect) from the
-// front of data into resp, overwriting every field, and returns the
-// remainder (the next response of the frame). Arbitrary input never
-// panics; only a stats payload or an error string allocates.
+// DecodeResponseBin decodes one binary response (the current, v3
+// dialect) from the front of data into resp, overwriting every field,
+// and returns the remainder (the next response of the frame). Arbitrary
+// input never panics; only a stats payload, an owner address, or an
+// error string allocates.
 func DecodeResponseBin(data []byte, resp *Response) (rest []byte, err error) {
-	return decodeResponseBin(data, resp, false)
+	return decodeResponseBin(data, resp, wire.DialectV3)
+}
+
+// DecodeResponseBinV2 decodes a v2-dialect response: single-byte
+// flags, the redirect bit unknown (a protocol error, as it was before
+// it existed). It is what a v2 client's decoder does, kept exported so
+// the compat tests can pin the dialect byte-for-byte.
+func DecodeResponseBinV2(data []byte, resp *Response) (rest []byte, err error) {
+	return decodeResponseBin(data, resp, wire.DialectV2)
 }
 
 // DecodeResponseBinV1 decodes a v1-dialect response: lease/fenced flag
-// bits are unknown (a protocol error, as they were before they existed)
-// and the stats payload is the original 13-field sequence. It is what a
-// pre-lease client's decoder does, kept exported so the compat tests
-// can pin the dialect byte-for-byte.
+// bits are unknown and the stats payload is the original 13-field
+// sequence. It is what a pre-lease client's decoder does, kept exported
+// so the compat tests can pin the dialect byte-for-byte.
 func DecodeResponseBinV1(data []byte, resp *Response) (rest []byte, err error) {
-	return decodeResponseBin(data, resp, true)
+	return decodeResponseBin(data, resp, wire.DialectV1)
 }
 
-func decodeResponseBin(data []byte, resp *Response, legacy bool) (rest []byte, err error) {
+func decodeResponseBin(data []byte, resp *Response, d wire.Dialect) (rest []byte, err error) {
 	*resp = Response{}
 	if len(data) == 0 {
 		return nil, errors.New("lockd: empty binary response")
 	}
-	flags := data[0]
-	known := byte(binFlagOK | binFlagAcquired | binFlagAborted | binFlagHolds | binFlagErr | binFlagStats)
-	if !legacy {
-		known |= binFlagLease | binFlagFenced
+	var flags uint64
+	if d >= wire.DialectV3 {
+		var n int
+		flags, n = binary.Uvarint(data)
+		if n <= 0 {
+			return nil, errors.New("lockd: binary response: bad flags varint")
+		}
+		data = data[n:]
+	} else {
+		flags = uint64(data[0])
+		data = data[1:]
 	}
-	if flags&^known != 0 {
+	if flags&^wire.KnownFlags(d) != 0 {
 		return nil, fmt.Errorf("lockd: unknown response flags 0x%02x", flags)
 	}
-	data = data[1:]
-	resp.OK = flags&binFlagOK != 0
-	resp.Acquired = flags&binFlagAcquired != 0
-	resp.Aborted = flags&binFlagAborted != 0
-	resp.Holds = flags&binFlagHolds != 0
-	resp.Fenced = flags&binFlagFenced != 0
-	if flags&binFlagErr != 0 {
+	resp.OK = flags&wire.FlagOK != 0
+	resp.Acquired = flags&wire.FlagAcquired != 0
+	resp.Aborted = flags&wire.FlagAborted != 0
+	resp.Holds = flags&wire.FlagHolds != 0
+	resp.Fenced = flags&wire.FlagFenced != 0
+	if flags&wire.FlagErr != 0 {
 		var msg []byte
 		if msg, data, err = binBytes(data); err != nil {
 			return nil, fmt.Errorf("lockd: binary response error string: %w", err)
@@ -357,7 +322,7 @@ func decodeResponseBin(data []byte, resp *Response, legacy bool) (rest []byte, e
 		}
 		resp.Err = string(msg)
 	}
-	if flags&binFlagLease != 0 {
+	if flags&wire.FlagLease != 0 {
 		tok, n := binary.Uvarint(data)
 		if n <= 0 {
 			return nil, errors.New("lockd: binary response: bad token varint")
@@ -371,7 +336,21 @@ func decodeResponseBin(data []byte, resp *Response, legacy bool) (rest []byte, e
 		resp.Token = tok
 		resp.TTLMS = ttl
 	}
-	if flags&binFlagStats != 0 {
+	if flags&wire.FlagRedirect != 0 {
+		var owner []byte
+		if owner, data, err = binBytes(data); err != nil {
+			return nil, fmt.Errorf("lockd: binary response owner address: %w", err)
+		}
+		epoch, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, errors.New("lockd: binary response: bad epoch varint")
+		}
+		data = data[n:]
+		resp.WrongOwner = true
+		resp.Owner = string(owner)
+		resp.Epoch = epoch
+	}
+	if flags&wire.FlagStats != 0 {
 		s := &Stats{}
 		fields := []struct {
 			u *uint64
@@ -387,7 +366,7 @@ func decodeResponseBin(data []byte, resp *Response, legacy bool) (rest []byte, e
 		for i, f := range fields {
 			// Fields 10-12 (expired, revoked, fenced_rejects) joined the
 			// sequence in v2; the v1 dialect never carried them.
-			if legacy && i >= 10 && i <= 12 {
+			if d == wire.DialectV1 && i >= 10 && i <= 12 {
 				continue
 			}
 			if f.u != nil {

@@ -60,7 +60,7 @@ func startLeaseServer(t *testing.T, ttl time.Duration) (*lockd.Server, *lockmgr.
 func TestLeaseExpiryFencesStaleHolder(t *testing.T) {
 	const ttl = 50 * time.Millisecond
 	_, mgr, addr := startLeaseServer(t, ttl)
-	holder, err := client.Dial(addr)
+	holder, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestLeaseExpiryFencesStaleHolder(t *testing.T) {
 	}
 	// The holder goes silent: no heartbeats, socket still open. A
 	// second session's blocking acquire must complete within 2×TTL.
-	successor, err := client.Dial(addr)
+	successor, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestLeaseExpiryFencesStaleHolder(t *testing.T) {
 func TestClientAutoHeartbeat(t *testing.T) {
 	const ttl = 60 * time.Millisecond
 	_, _, addr := startLeaseServer(t, ttl)
-	c, err := client.Dial(addr)
+	c, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestTeardownRacesExpiry(t *testing.T) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
+			c, err := client.DialConn(addr)
 			if err != nil {
 				t.Error(err)
 				return

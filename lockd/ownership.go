@@ -1,0 +1,275 @@
+package lockd
+
+// Request execution and, in clustered mode, key ownership: every op
+// from either transport lands in handle(), and acquire-type ops pass
+// the ownership gate first. The handoff argument when a key moves
+// between nodes lives in wireCluster.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"anonmutex/internal/cluster"
+	"anonmutex/internal/lease"
+	"anonmutex/lockd/wire"
+)
+
+// wireCluster hooks the membership layer into the lease subsystem.
+// Called once from Serve (under s.mu) when Cluster is set. Two effects,
+// ordered so tokens stay sound across a handoff:
+//
+//  1. The token counter is floored to the current epoch's band
+//     (cluster.TokenFloor), so every grant this node issues while the
+//     view is at epoch E carries a token in [E<<32, (E+1)<<32).
+//  2. On every membership change the floor rises to the new epoch's
+//     band first, then every grant for a key this node no longer owns
+//     is revoked through the lease manager's usual arbitration.
+//
+// Together: when a key moves from node A to node B at epoch E+1, A's
+// outstanding grants (tokens < (E+1)<<32) are revoked — later ops on
+// them answer Fenced — and B's first grant for the key already carries
+// a token ≥ (E+1)<<32, strictly larger than anything A ever issued for
+// it. Fencing-token monotonicity therefore survives ownership changes
+// without any token state moving between nodes.
+func (s *Server) wireCluster() {
+	s.leases.EnsureTokenFloor(cluster.TokenFloor(s.Cluster.Epoch()))
+	self := s.Cluster.Self().ID
+	leases := s.leases
+	s.Cluster.OnChange(func(v cluster.View) {
+		leases.EnsureTokenFloor(cluster.TokenFloor(v.Epoch))
+		leases.RevokeIf(func(name string) bool {
+			owner, ok := v.Owner(name)
+			return ok && owner.ID != self
+		})
+	})
+}
+
+// checkOwner gates acquire-type ops in clustered mode: a key owned by
+// another node is answered with a wrong_owner redirect naming that
+// owner, and the request never touches the lock manager. Ops on grants
+// this session already holds (release, heartbeat, holds) are not gated:
+// if ownership moved, the membership-change hook has already revoked
+// the grant, so those ops answer Fenced — the informative outcome —
+// rather than a redirect to a node that never knew the grant.
+//
+// A view where the key has no owner (every member dead — a partitioned
+// node's view of the world) refuses the acquire outright rather than
+// granting what another partition may also grant.
+func (s *Server) checkOwner(name string) (Response, bool) {
+	owner, ok := s.Cluster.Owner(name)
+	if !ok {
+		return Response{Err: fmt.Sprintf("lockd: no live owner for %q", name)}, false
+	}
+	if owner.ID == s.Cluster.Self().ID {
+		return Response{}, true
+	}
+	return wire.WrongOwnerResponse(name, owner.Addr, s.Cluster.Epoch()), false
+}
+
+// handle executes one request against the session. preBlock, when
+// non-nil, is called right before an acquire commits to the blocking
+// slow path — the transport uses it to flush responses batched so far,
+// keeping the fast path's batching while never letting a contended
+// acquire delay answers already owed.
+func (s *Server) handle(connCtx context.Context, sess *session, req Request, preBlock func()) Response {
+	switch req.Op {
+	case OpAcquire:
+		if req.Name == "" {
+			return needName(req.Op)
+		}
+		if req.TimeoutMS < 0 {
+			return Response{Err: fmt.Sprintf("lockd: negative timeout_ms %d", req.TimeoutMS)}
+		}
+		if _, held := sess.grants[req.Name]; held {
+			return alreadyHeld(req.Name)
+		}
+		if s.Cluster != nil {
+			if resp, ok := s.checkOwner(req.Name); !ok {
+				return resp
+			}
+		}
+		// Fast path: no contexts, no timers, no allocation — consume a
+		// remembered cancel, then take the lock manager's uncontended
+		// probe. Only a lock that is actually busy pays the slow path.
+		if sess.beginFastAcquire(req.Name) {
+			return Response{OK: true, Aborted: true}
+		}
+		l, ok, err := s.mgr.AcquireFast(req.Name)
+		cancelled := sess.endFastAcquire()
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		if ok {
+			// A cancel that raced in during the attempt lost, exactly as a
+			// cancel observed after a slow-path acquisition completes.
+			g := s.attachGrant(l)
+			sess.grants[req.Name] = g
+			return s.grantResponse(g)
+		}
+		if cancelled {
+			return Response{OK: true, Aborted: true}
+		}
+		if preBlock != nil {
+			preBlock()
+		}
+		base, baseCancel := s.acquireCtx(connCtx, req)
+		defer baseCancel()
+		ctx, cancel := sess.beginAcquire(base, req.Name)
+		defer cancel()
+		held, err := s.mgr.AcquireLeaseCtx(ctx, req.Name)
+		sess.endAcquire()
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return Response{OK: true, Aborted: true}
+			}
+			return Response{Err: err.Error()}
+		}
+		g := s.attachGrant(held)
+		sess.grants[req.Name] = g
+		return s.grantResponse(g)
+	case OpCancel:
+		// The abort itself already happened out of band (or was
+		// remembered) when the reader saw this line; this is just the
+		// in-order acknowledgement.
+		return Response{OK: true}
+	case OpTryAcquire:
+		if req.Name == "" {
+			return needName(req.Op)
+		}
+		if _, held := sess.grants[req.Name]; held {
+			return alreadyHeld(req.Name)
+		}
+		if s.Cluster != nil {
+			if resp, ok := s.checkOwner(req.Name); !ok {
+				return resp
+			}
+		}
+		l, ok, err := s.mgr.TryAcquireLease(req.Name)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
+		if !ok {
+			return Response{OK: true, Acquired: false}
+		}
+		g := s.attachGrant(l)
+		sess.grants[req.Name] = g
+		return s.grantResponse(g)
+	case OpRelease:
+		if req.Name == "" {
+			return needName(req.Op)
+		}
+		g, held := sess.grants[req.Name]
+		if !held {
+			return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
+		}
+		delete(sess.grants, req.Name)
+		if err := s.releaseGrant(g); err != nil {
+			if errors.Is(err, lease.ErrFenced) {
+				return Response{Err: err.Error(), Fenced: true}
+			}
+			return Response{Err: err.Error()}
+		}
+		return Response{OK: true}
+	case OpHolds:
+		if req.Name == "" {
+			return needName(req.Op)
+		}
+		g, held := sess.grants[req.Name]
+		resp := Response{OK: true, Holds: held}
+		if held && s.leases != nil {
+			resp.Token = g.token
+			if rem, ok := s.leases.Remaining(req.Name, g.token); ok {
+				resp.TTLMS = ttlMillis(rem)
+			} else {
+				// The lease expired under the session: the grant is gone
+				// and the token stale, exactly as any other fenced op.
+				delete(sess.grants, req.Name)
+				resp.Holds = false
+				resp.Fenced = true
+			}
+		}
+		return resp
+	case OpHeartbeat:
+		if s.leases == nil {
+			// Leases off: an acknowledged no-op, so clients can always
+			// send heartbeats unconditionally.
+			return Response{OK: true}
+		}
+		if req.Name != "" {
+			g, held := sess.grants[req.Name]
+			if !held {
+				return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
+			}
+			ttl, err := s.leases.Heartbeat(req.Name, g.token)
+			if err != nil {
+				delete(sess.grants, req.Name)
+				return Response{Err: err.Error(), Fenced: true}
+			}
+			return Response{OK: true, TTLMS: ttlMillis(ttl)}
+		}
+		// Bare heartbeat renews every grant the session holds, dropping
+		// the ones whose leases already expired; Fenced flags that any
+		// were dropped, TTLMS reports the tightest surviving deadline.
+		var fenced bool
+		var min time.Duration
+		for name, g := range sess.grants {
+			ttl, err := s.leases.Heartbeat(name, g.token)
+			if err != nil {
+				delete(sess.grants, name)
+				fenced = true
+				continue
+			}
+			if min == 0 || ttl < min {
+				min = ttl
+			}
+		}
+		return Response{OK: true, Fenced: fenced, TTLMS: ttlMillis(min)}
+	case OpStats:
+		c := s.mgr.Counters()
+		st := &Stats{
+			Acquires:      c.Acquires,
+			Releases:      c.Releases,
+			Waits:         c.Waits,
+			TryAcquires:   c.TryAcquires,
+			TryFailures:   c.TryFailures,
+			LockCreates:   c.LockCreates,
+			Evictions:     c.Evictions,
+			ResidentLocks: c.ResidentLocks,
+			Aborts:        c.Aborts,
+			LeaseTimeouts: c.LeaseTimeouts,
+			Violations:    s.mgr.Violations(),
+			Sessions:      s.Sessions(),
+			Streams:       int(s.liveStreams.Load()),
+		}
+		if s.leases != nil {
+			lc := s.leases.Counters()
+			st.Expired = lc.Expired
+			st.Revoked = lc.Revoked
+			st.FencedRejects = lc.FencedRejects
+		}
+		return Response{OK: true, Stats: st}
+	case OpPing:
+		return Response{OK: true}
+	default:
+		return Response{Err: fmt.Sprintf("lockd: unknown op %q", req.Op)}
+	}
+}
+
+func needName(op string) Response {
+	return Response{Err: fmt.Sprintf("lockd: %s needs a name", op)}
+}
+
+func alreadyHeld(name string) Response {
+	return Response{Err: fmt.Sprintf("lockd: session already holds %q", name)}
+}
+
+// ttlMillis reports a remaining TTL in milliseconds, rounded up so a
+// live lease never reads 0.
+func ttlMillis(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64((d + time.Millisecond - 1) / time.Millisecond)
+}

@@ -40,6 +40,16 @@
 //	         violation cross-check and the abort/timeout tallies
 //	ping     liveness probe
 //
+// On a clustered server (see internal/cluster), each key is owned by
+// exactly one node under rendezvous hashing of the membership view.
+// Key ops sent to the wrong node are refused with wrong_owner=true
+// plus the owning node's address and the membership epoch, so a
+// routing client can follow the redirect and invalidate stale cache
+// entries. Single-node servers never emit the field, and old clients —
+// which skip unknown JSON fields, or whose binary dialect predates the
+// redirect flag — see a plain error: a clean failure, never a silent
+// success on the wrong node.
+//
 // A connection that drops mid-acquire is reaped: the server cancels the
 // in-flight acquisition, the waiter leaves the lease queue or withdraws
 // from the registers, and every grant the session held is released.
@@ -48,94 +58,33 @@
 // is an error, as is releasing one it does not hold. See lockd/client for
 // the Go client (which pipelines requests, so Cancel can chase a blocked
 // Acquire on the same session).
+//
+// The protocol's vocabulary — op names, Request/Response/Stats shapes,
+// binary opcode and flag tables — is defined once in lockd/wire and
+// consumed by both codecs; this package re-exports the names so
+// existing importers keep compiling.
 package lockd
 
-// Operation names of the wire protocol.
+import "anonmutex/lockd/wire"
+
+// Operation names of the wire protocol (defined in lockd/wire).
 const (
-	OpAcquire    = "acquire"
-	OpTryAcquire = "try"
-	OpRelease    = "release"
-	OpCancel     = "cancel"
-	OpHolds      = "holds"
-	OpHeartbeat  = "heartbeat"
-	OpStats      = "stats"
-	OpPing       = "ping"
+	OpAcquire    = wire.OpAcquire
+	OpTryAcquire = wire.OpTryAcquire
+	OpRelease    = wire.OpRelease
+	OpCancel     = wire.OpCancel
+	OpHolds      = wire.OpHolds
+	OpHeartbeat  = wire.OpHeartbeat
+	OpStats      = wire.OpStats
+	OpPing       = wire.OpPing
 )
 
-// Request is one client request line.
-type Request struct {
-	// Op is one of the Op* constants.
-	Op string `json:"op"`
-	// Name is the lock name (required for acquire, try, release, holds;
-	// optional for cancel, which then aborts any in-flight acquire).
-	Name string `json:"name,omitempty"`
-	// TimeoutMS bounds an acquire: after this many milliseconds the
-	// waiter gives up cleanly and the response reports aborted. 0 means
-	// wait forever (subject to the server's -max-wait cap, if any).
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
+// Request is one client request line. Alias of wire.Request.
+type Request = wire.Request
 
-// Response is one server response line.
-type Response struct {
-	// OK reports whether the request succeeded; on failure Err explains.
-	// An aborted acquire is a success (OK with Aborted set): the protocol
-	// worked exactly as asked.
-	OK  bool   `json:"ok"`
-	Err string `json:"err,omitempty"`
-	// Acquired answers acquire and try: whether the lock is now held by
-	// the session.
-	Acquired bool `json:"acquired,omitempty"`
-	// Aborted answers acquire: the attempt was abandoned (timeout, cancel
-	// op, or server cap) after withdrawing cleanly; the lock is not held.
-	Aborted bool `json:"aborted,omitempty"`
-	// Holds answers holds.
-	Holds bool `json:"holds,omitempty"`
-	// Token is the grant's fencing token, stamped on every acquire and
-	// echoed by holds when the server runs leases. Tokens are strictly
-	// increasing per key, so a token smaller than the key's latest is
-	// provably stale. 0 when leases are disabled.
-	Token uint64 `json:"token,omitempty"`
-	// TTLMS is the grant's remaining lease TTL in milliseconds (holds
-	// and heartbeat; rounded up, so a live lease never reads 0).
-	TTLMS int64 `json:"ttl_ms,omitempty"`
-	// Fenced marks a request rejected (or, on heartbeat, partially
-	// ignored) because the grant's lease expired or was revoked: the
-	// session's fencing token is stale and the lock may already be held
-	// by a successor.
-	Fenced bool `json:"fenced,omitempty"`
-	// Stats answers stats.
-	Stats *Stats `json:"stats,omitempty"`
-}
+// Response is one server response line. Alias of wire.Response.
+type Response = wire.Response
 
 // Stats is the manager-wide counter snapshot served by the stats op.
-type Stats struct {
-	Acquires      uint64 `json:"acquires"`
-	Releases      uint64 `json:"releases"`
-	Waits         uint64 `json:"waits"`
-	TryAcquires   uint64 `json:"try_acquires"`
-	TryFailures   uint64 `json:"try_failures"`
-	LockCreates   uint64 `json:"lock_creates"`
-	Evictions     uint64 `json:"evictions"`
-	ResidentLocks int    `json:"resident_locks"`
-	// Aborts counts acquirers that withdrew from the register competition
-	// (deadline, cancel, or connection drop); LeaseTimeouts counts those
-	// whose context ended while still queued for a process handle.
-	Aborts        uint64 `json:"aborts"`
-	LeaseTimeouts uint64 `json:"lease_timeouts"`
-	// Expired counts grants forcibly revoked because their holder
-	// stopped heartbeating past the lease TTL; Revoked counts explicit
-	// and shutdown-time revocations; FencedRejects counts ops rejected
-	// for a stale fencing token. All 0 with leases disabled.
-	Expired       uint64 `json:"expired"`
-	Revoked       uint64 `json:"revoked"`
-	FencedRejects uint64 `json:"fenced_rejects"`
-	// Violations is the manager's holder cross-check: it must stay 0.
-	Violations uint64 `json:"violations"`
-	// Sessions is the number of live connections.
-	Sessions int `json:"sessions"`
-	// Streams is the number of live logical sessions: every JSON
-	// connection counts one, and every open stream of a multiplexed
-	// binary connection counts one — Streams/Sessions is the socket
-	// amortization the binary transport buys.
-	Streams int `json:"streams,omitempty"`
-}
+// Alias of wire.Stats.
+type Stats = wire.Stats

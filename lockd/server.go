@@ -1,15 +1,14 @@
 package lockd
 
 import (
-	"bufio"
 	"context"
 	"errors"
-	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"anonmutex/internal/cluster"
 	"anonmutex/internal/lease"
 	"anonmutex/internal/lockmgr"
 )
@@ -17,6 +16,11 @@ import (
 // DefaultMaxLineBytes bounds one request line when Server.MaxLineBytes
 // is zero.
 const DefaultMaxLineBytes = 1 << 20
+
+// errClusterNeedsLeases rejects a clustered server without leases: the
+// ownership-handoff argument (revoke the old owner's grants, floor the
+// new owner's tokens) only exists when grants carry fencing tokens.
+var errClusterNeedsLeases = errors.New("lockd: clustered serving requires LeaseTTL > 0")
 
 // Server serves the lock protocol over a listener, one session per
 // connection. Create with NewServer, start with Serve, stop with
@@ -56,7 +60,7 @@ type Server struct {
 	// heartbeat within the TTL or their grants are forcibly revoked, and
 	// later ops on a revoked grant are rejected as fenced. Zero (the
 	// default) keeps the original lease-free behavior exactly. Set
-	// before Serve.
+	// before Serve. Required (positive) when Cluster is set.
 	LeaseTTL time.Duration
 
 	// LeaseGrace overrides the post-expiry quarantine window during
@@ -64,6 +68,16 @@ type Server struct {
 	// rejection rather than an unknown-key error (default: LeaseTTL).
 	// Set before Serve.
 	LeaseGrace time.Duration
+
+	// Cluster, when non-nil, makes this server one node of a lock
+	// cluster: acquires for keys this node does not own are answered
+	// with a wrong_owner redirect naming the owner, and on every
+	// membership change the grants for keys that moved away are revoked
+	// while the token counter is floored to the new epoch's band — so a
+	// key's new owner always issues strictly larger fencing tokens than
+	// its old one. Nil (the default) is single-node mode, byte-identical
+	// to a server without a cluster. Set before Serve.
+	Cluster *cluster.Node
 
 	// leases is non-nil iff LeaseTTL was positive when Serve started.
 	leases *lease.Manager
@@ -98,6 +112,11 @@ func (s *Server) Serve(ln net.Listener) error {
 		return nil
 	}
 	s.ln = ln
+	if s.Cluster != nil && s.LeaseTTL <= 0 {
+		s.mu.Unlock()
+		ln.Close()
+		return errClusterNeedsLeases
+	}
 	if s.leases == nil && s.LeaseTTL > 0 {
 		lm, err := lease.New(s.mgr, lease.Config{TTL: s.LeaseTTL, Grace: s.LeaseGrace})
 		if err != nil {
@@ -106,6 +125,9 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		s.leases = lm
+	}
+	if s.Cluster != nil {
+		s.wireCluster()
 	}
 	s.mu.Unlock()
 	for {
@@ -180,395 +202,6 @@ func (s *Server) Sessions() int {
 	return len(s.conns)
 }
 
-// grant is one held lock plus the fencing token the lease subsystem
-// stamped on it (0 when leases are disabled).
-type grant struct {
-	l     lockmgr.Lease
-	token uint64
-}
-
-// session is one connection's state. The request-processing loop owns
-// grants; mu guards only the fields the reader goroutine touches to
-// implement out-of-band cancellation.
-type session struct {
-	grants map[string]grant
-
-	mu             sync.Mutex
-	inflightName   string             // name of the acquire being processed
-	inflightCancel context.CancelFunc // cancels a slow-path acquire; nil when none
-	fastInflight   bool               // a fast-path attempt is running for inflightName
-	fastCancelled  bool               // a cancel matched that fast attempt
-	cancelPending  bool               // a cancel arrived with no acquire in flight
-	pendingName    string             // the name that pending cancel targets ("" = any)
-}
-
-func newSession() *session {
-	return &session{grants: make(map[string]grant)}
-}
-
-// attachGrant stamps a freshly acquired lease with its fencing token
-// (0 when leases are disabled).
-func (s *Server) attachGrant(l lockmgr.Lease) grant {
-	if s.leases != nil {
-		return grant{l: l, token: s.leases.Attach(l)}
-	}
-	return grant{l: l}
-}
-
-// grantResponse is the success response for a fresh acquire: the grant's
-// fencing token plus the full TTL, so a client learns the heartbeat
-// budget it must stay under without a separate negotiation round.
-func (s *Server) grantResponse(g grant) Response {
-	resp := Response{OK: true, Acquired: true, Token: g.token}
-	if s.leases != nil {
-		resp.TTLMS = ttlMillis(s.leases.TTL())
-	}
-	return resp
-}
-
-// releaseGrant gives one grant back through whichever authority owns
-// it: the lease manager's token arbitration when leases run — so a
-// session teardown racing a TTL expiry resolves to exactly one release
-// — or the lock manager directly otherwise. The release op, the binary
-// end_stream ack, and both transports' teardown paths all route here;
-// there is exactly one release codepath.
-func (s *Server) releaseGrant(g grant) error {
-	if s.leases != nil {
-		return s.leases.Release(g.l.Name(), g.token)
-	}
-	return s.mgr.Release(g.l)
-}
-
-// beginFastAcquire registers the context-free fast-path attempt on name,
-// or consumes a remembered cancel (one that raced ahead of the acquire
-// line), reported as aborted=true: the attempt must not run.
-func (sess *session) beginFastAcquire(name string) (aborted bool) {
-	sess.mu.Lock()
-	if sess.cancelPending && (sess.pendingName == "" || sess.pendingName == name) {
-		sess.cancelPending = false
-		sess.pendingName = ""
-		sess.mu.Unlock()
-		return true
-	}
-	sess.inflightName = name
-	sess.fastInflight = true
-	sess.fastCancelled = false
-	sess.mu.Unlock()
-	return false
-}
-
-// endFastAcquire clears the fast-path registration, reporting whether a
-// cancel arrived during the attempt.
-func (sess *session) endFastAcquire() (cancelled bool) {
-	sess.mu.Lock()
-	cancelled = sess.fastCancelled
-	sess.fastCancelled = false
-	sess.fastInflight = false
-	sess.inflightName = ""
-	sess.mu.Unlock()
-	return cancelled
-}
-
-// beginAcquire installs ctx-cancellation for a slow-path acquire on name
-// and returns the context the acquisition must use. A remembered cancel
-// is consumed here: the returned context is already cancelled.
-func (sess *session) beginAcquire(parent context.Context, name string) (context.Context, context.CancelFunc) {
-	ctx, cancel := context.WithCancel(parent)
-	sess.mu.Lock()
-	sess.inflightName = name
-	sess.inflightCancel = cancel
-	if sess.cancelPending && (sess.pendingName == "" || sess.pendingName == name) {
-		sess.cancelPending = false
-		sess.pendingName = ""
-		cancel()
-	}
-	sess.mu.Unlock()
-	return ctx, cancel
-}
-
-// endAcquire clears the in-flight registration.
-func (sess *session) endAcquire() {
-	sess.mu.Lock()
-	sess.inflightName = ""
-	sess.inflightCancel = nil
-	sess.mu.Unlock()
-}
-
-// cancelAcquire implements the cancel op's out-of-band side: abort the
-// in-flight acquire if its name matches — whichever path it is on —
-// otherwise remember the cancellation for the session's next acquire.
-func (sess *session) cancelAcquire(name string) {
-	sess.mu.Lock()
-	switch {
-	case sess.inflightCancel != nil && (name == "" || name == sess.inflightName):
-		sess.inflightCancel()
-	case sess.fastInflight && (name == "" || name == sess.inflightName):
-		sess.fastCancelled = true
-	default:
-		sess.cancelPending = true
-		sess.pendingName = name
-	}
-	sess.mu.Unlock()
-}
-
-// inbound is one parsed request line, or the error that ended the
-// stream.
-type inbound struct {
-	req      Request
-	parseErr error
-}
-
-// opQueue is the unbounded handoff between a session's reader and its
-// processing loop (of request lines on the JSON path, of decoded ops on
-// a binary stream). It must be unbounded: the reader can never be
-// allowed to block on a full buffer, or a client that pipelines
-// requests behind a blocked acquire and then drops its connection would
-// park the reader mid-handoff — it would never return to Read, never
-// observe the EOF, and the dead session's acquire would compete on as a
-// ghost. Memory is bounded by what the client actually sends; the
-// backing array is reused (a head cursor instead of re-slicing), so a
-// steady-state session allocates nothing per item.
-type opQueue[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []T
-	head   int
-	closed bool
-}
-
-func newOpQueue[T any]() *opQueue[T] {
-	q := &opQueue[T]{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-// push appends an item. Never blocks.
-func (q *opQueue[T]) push(in T) {
-	q.mu.Lock()
-	q.items = append(q.items, in)
-	q.mu.Unlock()
-	q.cond.Signal()
-}
-
-// pop removes the oldest item, blocking while the queue is empty and the
-// stream still open. ok is false once the queue is drained and closed.
-func (q *opQueue[T]) pop() (in T, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.head == len(q.items) && !q.closed {
-		q.cond.Wait()
-	}
-	return q.popLocked()
-}
-
-// tryPop is pop without the blocking: ok is false whenever no item is
-// ready right now (drained-and-closed included). The processing loop
-// uses it to detect "no more pipelined work" and flush the write buffer
-// before parking.
-func (q *opQueue[T]) tryPop() (in T, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.head == len(q.items) {
-		var zero T
-		return zero, false
-	}
-	return q.popLocked()
-}
-
-func (q *opQueue[T]) popLocked() (in T, ok bool) {
-	var zero T
-	if q.head == len(q.items) {
-		return zero, false
-	}
-	in = q.items[q.head]
-	q.items[q.head] = zero
-	q.head++
-	if q.head == len(q.items) {
-		q.items = q.items[:0]
-		q.head = 0
-	}
-	return in, true
-}
-
-// close marks the stream ended; pop drains the remainder then reports
-// done.
-func (q *opQueue[T]) close() {
-	q.mu.Lock()
-	q.closed = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-// errLineTooLong ends a session whose client sent an oversized request
-// line; unlike a scanner's silent stop, the client hears why.
-var errLineTooLong = errors.New("request line exceeds the server's line limit")
-
-// readLine reads one newline-terminated line using the reader's own
-// buffer when the line fits (the common case: no copy, no allocation)
-// and accumulating into scratch otherwise, up to max bytes.
-func readLine(br *bufio.Reader, scratch []byte, max int) (line, newScratch []byte, err error) {
-	line, err = br.ReadSlice('\n')
-	if err == nil {
-		if len(line)-1 > max {
-			// The limit binds even below bufio's own buffer size.
-			return nil, scratch, errLineTooLong
-		}
-		return line[:len(line)-1], scratch, nil
-	}
-	if err != bufio.ErrBufferFull {
-		return nil, scratch, err
-	}
-	scratch = append(scratch[:0], line...)
-	for {
-		if len(scratch) > max {
-			return nil, scratch, errLineTooLong
-		}
-		line, err = br.ReadSlice('\n')
-		scratch = append(scratch, line...)
-		switch err {
-		case nil:
-			if len(scratch)-1 > max {
-				return nil, scratch, errLineTooLong
-			}
-			return scratch[:len(scratch)-1], scratch, nil
-		case bufio.ErrBufferFull:
-			// keep accumulating
-		default:
-			return nil, scratch, err
-		}
-	}
-}
-
-// serveConn dispatches one connection to its wire format. The first
-// byte decides: BinaryMagic[0] selects the length-prefixed multiplexed
-// framing, anything else — in particular the '{' every JSON request
-// line starts with — selects newline-JSON, so old clients keep working
-// with zero configuration. Whatever ends the connection, the deferred
-// cleanup here unregisters it; each protocol handler releases its own
-// sessions' grants before returning.
-func (s *Server) serveConn(conn net.Conn) {
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		s.wg.Done()
-	}()
-	br := bufio.NewReader(conn)
-	first, err := br.Peek(1)
-	if err != nil {
-		return // closed before the first byte; nothing was promised
-	}
-	if first[0] == BinaryMagic[0] {
-		s.serveBinary(conn, br)
-		return
-	}
-	s.serveJSON(conn, br)
-}
-
-// serveJSON runs one newline-JSON session: one logical session for the
-// whole connection. A dedicated reader goroutine decodes request lines
-// and feeds them to the processing loop, so the connection stays
-// responsive while an acquire blocks: a cancel line aborts the
-// in-flight acquire out of band (and still gets its response in order),
-// and a connection drop cancels the whole session context, reaping any
-// waiter the client abandoned. The processing loop batches responses:
-// it flushes the write buffer only when the line queue is empty, so a
-// pipelined burst costs one syscall, not one per response. Whatever ends
-// the connection — client close, protocol error, cancel-by-Shutdown —
-// the deferred cleanup releases every grant the session still holds.
-func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
-	sess := newSession()
-	connCtx, connCancel := context.WithCancel(context.Background())
-	s.liveStreams.Add(1)
-	defer func() {
-		connCancel()
-		// Same single release codepath as the release op: with leases on,
-		// a teardown that lost its grant's token arbitration to a TTL
-		// expiry is a no-op, never a double release.
-		for _, g := range sess.grants {
-			s.releaseGrant(g)
-		}
-		s.liveStreams.Add(-1)
-	}()
-
-	maxLine := s.MaxLineBytes
-	if maxLine <= 0 {
-		maxLine = DefaultMaxLineBytes
-	}
-
-	lines := newOpQueue[inbound]()
-	go func() {
-		defer lines.close()
-		// The reader owns the inbound half: when a read fails — client
-		// disconnect, or conn.Close from Shutdown or a protocol error —
-		// the session context is cancelled so a blocked acquire withdraws
-		// instead of competing on behalf of a ghost. The queue's pushes
-		// never block, so the reader is always back in Read and observes
-		// the disconnect promptly no matter how many lines are pipelined
-		// behind a blocked acquire.
-		defer connCancel()
-		names := newNameTable() // per-session lock-name interning (byte-bounded)
-		var scratch []byte
-		for {
-			var line []byte
-			var err error
-			line, scratch, err = readLine(br, scratch, maxLine)
-			if err != nil {
-				if err == errLineTooLong {
-					lines.push(inbound{parseErr: err})
-				}
-				return // disconnect (or the too-long protocol error above)
-			}
-			var in inbound
-			if err := decodeRequest(line, &in.req, names); err != nil {
-				lines.push(inbound{parseErr: err})
-				return
-			}
-			if in.req.Op == OpCancel {
-				sess.cancelAcquire(in.req.Name)
-			}
-			lines.push(in)
-		}
-	}()
-
-	bw := bufio.NewWriter(conn)
-	// flushPending pushes batched responses out just before an acquire
-	// commits to blocking, so earlier responses in the same burst are not
-	// held hostage by a contended lock.
-	flushPending := func() { bw.Flush() }
-	var respBuf []byte
-	for {
-		in, ok := lines.tryPop()
-		if !ok {
-			// No pipelined request is waiting: push the batched responses
-			// out before parking on the queue.
-			if bw.Flush() != nil {
-				return
-			}
-			if in, ok = lines.pop(); !ok {
-				return
-			}
-		}
-		var resp Response
-		if in.parseErr != nil {
-			// The stream is unusable; answer once and hang up.
-			resp = Response{Err: fmt.Sprintf("lockd: bad request: %v", in.parseErr)}
-		} else {
-			resp = s.handle(connCtx, sess, in.req, flushPending)
-		}
-		respBuf = AppendResponse(respBuf[:0], &resp)
-		bw.Write(respBuf)
-		if err := bw.WriteByte('\n'); err != nil {
-			return
-		}
-		if in.parseErr != nil {
-			bw.Flush()
-			return
-		}
-	}
-}
-
 // acquireCtx derives the context governing one slow-path acquire from
 // the session context, the request's timeout, and the server cap.
 func (s *Server) acquireCtx(connCtx context.Context, req Request) (context.Context, context.CancelFunc) {
@@ -580,200 +213,4 @@ func (s *Server) acquireCtx(connCtx context.Context, req Request) (context.Conte
 		return context.WithTimeout(connCtx, timeout)
 	}
 	return context.WithCancel(connCtx)
-}
-
-// handle executes one request against the session. preBlock, when
-// non-nil, is called right before an acquire commits to the blocking
-// slow path — the transport uses it to flush responses batched so far,
-// keeping the fast path's batching while never letting a contended
-// acquire delay answers already owed.
-func (s *Server) handle(connCtx context.Context, sess *session, req Request, preBlock func()) Response {
-	switch req.Op {
-	case OpAcquire:
-		if req.Name == "" {
-			return needName(req.Op)
-		}
-		if req.TimeoutMS < 0 {
-			return Response{Err: fmt.Sprintf("lockd: negative timeout_ms %d", req.TimeoutMS)}
-		}
-		if _, held := sess.grants[req.Name]; held {
-			return alreadyHeld(req.Name)
-		}
-		// Fast path: no contexts, no timers, no allocation — consume a
-		// remembered cancel, then take the lock manager's uncontended
-		// probe. Only a lock that is actually busy pays the slow path.
-		if sess.beginFastAcquire(req.Name) {
-			return Response{OK: true, Aborted: true}
-		}
-		l, ok, err := s.mgr.AcquireFast(req.Name)
-		cancelled := sess.endFastAcquire()
-		if err != nil {
-			return Response{Err: err.Error()}
-		}
-		if ok {
-			// A cancel that raced in during the attempt lost, exactly as a
-			// cancel observed after a slow-path acquisition completes.
-			g := s.attachGrant(l)
-			sess.grants[req.Name] = g
-			return s.grantResponse(g)
-		}
-		if cancelled {
-			return Response{OK: true, Aborted: true}
-		}
-		if preBlock != nil {
-			preBlock()
-		}
-		base, baseCancel := s.acquireCtx(connCtx, req)
-		defer baseCancel()
-		ctx, cancel := sess.beginAcquire(base, req.Name)
-		defer cancel()
-		held, err := s.mgr.AcquireLeaseCtx(ctx, req.Name)
-		sess.endAcquire()
-		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return Response{OK: true, Aborted: true}
-			}
-			return Response{Err: err.Error()}
-		}
-		g := s.attachGrant(held)
-		sess.grants[req.Name] = g
-		return s.grantResponse(g)
-	case OpCancel:
-		// The abort itself already happened out of band (or was
-		// remembered) when the reader saw this line; this is just the
-		// in-order acknowledgement.
-		return Response{OK: true}
-	case OpTryAcquire:
-		if req.Name == "" {
-			return needName(req.Op)
-		}
-		if _, held := sess.grants[req.Name]; held {
-			return alreadyHeld(req.Name)
-		}
-		l, ok, err := s.mgr.TryAcquireLease(req.Name)
-		if err != nil {
-			return Response{Err: err.Error()}
-		}
-		if !ok {
-			return Response{OK: true, Acquired: false}
-		}
-		g := s.attachGrant(l)
-		sess.grants[req.Name] = g
-		return s.grantResponse(g)
-	case OpRelease:
-		if req.Name == "" {
-			return needName(req.Op)
-		}
-		g, held := sess.grants[req.Name]
-		if !held {
-			return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
-		}
-		delete(sess.grants, req.Name)
-		if err := s.releaseGrant(g); err != nil {
-			if errors.Is(err, lease.ErrFenced) {
-				return Response{Err: err.Error(), Fenced: true}
-			}
-			return Response{Err: err.Error()}
-		}
-		return Response{OK: true}
-	case OpHolds:
-		if req.Name == "" {
-			return needName(req.Op)
-		}
-		g, held := sess.grants[req.Name]
-		resp := Response{OK: true, Holds: held}
-		if held && s.leases != nil {
-			resp.Token = g.token
-			if rem, ok := s.leases.Remaining(req.Name, g.token); ok {
-				resp.TTLMS = ttlMillis(rem)
-			} else {
-				// The lease expired under the session: the grant is gone
-				// and the token stale, exactly as any other fenced op.
-				delete(sess.grants, req.Name)
-				resp.Holds = false
-				resp.Fenced = true
-			}
-		}
-		return resp
-	case OpHeartbeat:
-		if s.leases == nil {
-			// Leases off: an acknowledged no-op, so clients can always
-			// send heartbeats unconditionally.
-			return Response{OK: true}
-		}
-		if req.Name != "" {
-			g, held := sess.grants[req.Name]
-			if !held {
-				return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
-			}
-			ttl, err := s.leases.Heartbeat(req.Name, g.token)
-			if err != nil {
-				delete(sess.grants, req.Name)
-				return Response{Err: err.Error(), Fenced: true}
-			}
-			return Response{OK: true, TTLMS: ttlMillis(ttl)}
-		}
-		// Bare heartbeat renews every grant the session holds, dropping
-		// the ones whose leases already expired; Fenced flags that any
-		// were dropped, TTLMS reports the tightest surviving deadline.
-		var fenced bool
-		var min time.Duration
-		for name, g := range sess.grants {
-			ttl, err := s.leases.Heartbeat(name, g.token)
-			if err != nil {
-				delete(sess.grants, name)
-				fenced = true
-				continue
-			}
-			if min == 0 || ttl < min {
-				min = ttl
-			}
-		}
-		return Response{OK: true, Fenced: fenced, TTLMS: ttlMillis(min)}
-	case OpStats:
-		c := s.mgr.Counters()
-		st := &Stats{
-			Acquires:      c.Acquires,
-			Releases:      c.Releases,
-			Waits:         c.Waits,
-			TryAcquires:   c.TryAcquires,
-			TryFailures:   c.TryFailures,
-			LockCreates:   c.LockCreates,
-			Evictions:     c.Evictions,
-			ResidentLocks: c.ResidentLocks,
-			Aborts:        c.Aborts,
-			LeaseTimeouts: c.LeaseTimeouts,
-			Violations:    s.mgr.Violations(),
-			Sessions:      s.Sessions(),
-			Streams:       int(s.liveStreams.Load()),
-		}
-		if s.leases != nil {
-			lc := s.leases.Counters()
-			st.Expired = lc.Expired
-			st.Revoked = lc.Revoked
-			st.FencedRejects = lc.FencedRejects
-		}
-		return Response{OK: true, Stats: st}
-	case OpPing:
-		return Response{OK: true}
-	default:
-		return Response{Err: fmt.Sprintf("lockd: unknown op %q", req.Op)}
-	}
-}
-
-func needName(op string) Response {
-	return Response{Err: fmt.Sprintf("lockd: %s needs a name", op)}
-}
-
-func alreadyHeld(name string) Response {
-	return Response{Err: fmt.Sprintf("lockd: session already holds %q", name)}
-}
-
-// ttlMillis reports a remaining TTL in milliseconds, rounded up so a
-// live lease never reads 0.
-func ttlMillis(d time.Duration) int64 {
-	if d <= 0 {
-		return 0
-	}
-	return int64((d + time.Millisecond - 1) / time.Millisecond)
 }

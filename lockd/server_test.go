@@ -46,7 +46,7 @@ func startServer(t *testing.T, cfg lockmgr.Config) (*lockd.Server, *lockmgr.Mana
 
 func TestSessionLifecycle(t *testing.T) {
 	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
-	c, err := client.Dial(addr)
+	c, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,12 +84,12 @@ func TestSessionLifecycle(t *testing.T) {
 
 func TestTryAcquireAcrossSessions(t *testing.T) {
 	_, _, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
-	a, err := client.Dial(addr)
+	a, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	b, err := client.Dial(addr)
+	b, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestTryAcquireAcrossSessions(t *testing.T) {
 // session cleanup must free the lock for the next client.
 func TestDisconnectReleasesGrants(t *testing.T) {
 	_, mgr, addr := startServer(t, lockmgr.Config{HandlesPerLock: 2})
-	a, err := client.Dial(addr)
+	a, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestDisconnectReleasesGrants(t *testing.T) {
 	if err := a.Close(); err != nil { // vanish without releasing
 		t.Fatal(err)
 	}
-	b, err := client.Dial(addr)
+	b, err := client.DialConn(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestMutualExclusionOverNetwork(t *testing.T) {
 		wg.Add(1)
 		go func(me int64) {
 			defer wg.Done()
-			c, err := client.Dial(addr)
+			c, err := client.DialConn(addr)
 			if err != nil {
 				t.Error(err)
 				return
@@ -205,7 +205,7 @@ func TestShutdownForceClosesIdleSessions(t *testing.T) {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	c, err := client.Dial(ln.Addr().String())
+	c, err := client.DialConn(ln.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}

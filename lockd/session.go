@@ -1,0 +1,226 @@
+package lockd
+
+// One logical session's state and the grant lifecycle around it. Both
+// transports — the whole-connection JSON session and each stream of a
+// binary connection — share this layer: the same session struct, the
+// same out-of-band cancellation protocol, and the same single
+// releaseGrant codepath.
+
+import (
+	"context"
+	"sync"
+
+	"anonmutex/internal/lockmgr"
+)
+
+// grant is one held lock plus the fencing token the lease subsystem
+// stamped on it (0 when leases are disabled).
+type grant struct {
+	l     lockmgr.Lease
+	token uint64
+}
+
+// session is one connection's state. The request-processing loop owns
+// grants; mu guards only the fields the reader goroutine touches to
+// implement out-of-band cancellation.
+type session struct {
+	grants map[string]grant
+
+	mu             sync.Mutex
+	inflightName   string             // name of the acquire being processed
+	inflightCancel context.CancelFunc // cancels a slow-path acquire; nil when none
+	fastInflight   bool               // a fast-path attempt is running for inflightName
+	fastCancelled  bool               // a cancel matched that fast attempt
+	cancelPending  bool               // a cancel arrived with no acquire in flight
+	pendingName    string             // the name that pending cancel targets ("" = any)
+}
+
+func newSession() *session {
+	return &session{grants: make(map[string]grant)}
+}
+
+// attachGrant stamps a freshly acquired lease with its fencing token
+// (0 when leases are disabled).
+func (s *Server) attachGrant(l lockmgr.Lease) grant {
+	if s.leases != nil {
+		return grant{l: l, token: s.leases.Attach(l)}
+	}
+	return grant{l: l}
+}
+
+// grantResponse is the success response for a fresh acquire: the grant's
+// fencing token plus the full TTL, so a client learns the heartbeat
+// budget it must stay under without a separate negotiation round.
+func (s *Server) grantResponse(g grant) Response {
+	resp := Response{OK: true, Acquired: true, Token: g.token}
+	if s.leases != nil {
+		resp.TTLMS = ttlMillis(s.leases.TTL())
+	}
+	return resp
+}
+
+// releaseGrant gives one grant back through whichever authority owns
+// it: the lease manager's token arbitration when leases run — so a
+// session teardown racing a TTL expiry resolves to exactly one release
+// — or the lock manager directly otherwise. The release op, the binary
+// end_stream ack, and both transports' teardown paths all route here;
+// there is exactly one release codepath.
+func (s *Server) releaseGrant(g grant) error {
+	if s.leases != nil {
+		return s.leases.Release(g.l.Name(), g.token)
+	}
+	return s.mgr.Release(g.l)
+}
+
+// beginFastAcquire registers the context-free fast-path attempt on name,
+// or consumes a remembered cancel (one that raced ahead of the acquire
+// line), reported as aborted=true: the attempt must not run.
+func (sess *session) beginFastAcquire(name string) (aborted bool) {
+	sess.mu.Lock()
+	if sess.cancelPending && (sess.pendingName == "" || sess.pendingName == name) {
+		sess.cancelPending = false
+		sess.pendingName = ""
+		sess.mu.Unlock()
+		return true
+	}
+	sess.inflightName = name
+	sess.fastInflight = true
+	sess.fastCancelled = false
+	sess.mu.Unlock()
+	return false
+}
+
+// endFastAcquire clears the fast-path registration, reporting whether a
+// cancel arrived during the attempt.
+func (sess *session) endFastAcquire() (cancelled bool) {
+	sess.mu.Lock()
+	cancelled = sess.fastCancelled
+	sess.fastCancelled = false
+	sess.fastInflight = false
+	sess.inflightName = ""
+	sess.mu.Unlock()
+	return cancelled
+}
+
+// beginAcquire installs ctx-cancellation for a slow-path acquire on name
+// and returns the context the acquisition must use. A remembered cancel
+// is consumed here: the returned context is already cancelled.
+func (sess *session) beginAcquire(parent context.Context, name string) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	sess.mu.Lock()
+	sess.inflightName = name
+	sess.inflightCancel = cancel
+	if sess.cancelPending && (sess.pendingName == "" || sess.pendingName == name) {
+		sess.cancelPending = false
+		sess.pendingName = ""
+		cancel()
+	}
+	sess.mu.Unlock()
+	return ctx, cancel
+}
+
+// endAcquire clears the in-flight registration.
+func (sess *session) endAcquire() {
+	sess.mu.Lock()
+	sess.inflightName = ""
+	sess.inflightCancel = nil
+	sess.mu.Unlock()
+}
+
+// cancelAcquire implements the cancel op's out-of-band side: abort the
+// in-flight acquire if its name matches — whichever path it is on —
+// otherwise remember the cancellation for the session's next acquire.
+func (sess *session) cancelAcquire(name string) {
+	sess.mu.Lock()
+	switch {
+	case sess.inflightCancel != nil && (name == "" || name == sess.inflightName):
+		sess.inflightCancel()
+	case sess.fastInflight && (name == "" || name == sess.inflightName):
+		sess.fastCancelled = true
+	default:
+		sess.cancelPending = true
+		sess.pendingName = name
+	}
+	sess.mu.Unlock()
+}
+
+// opQueue is the unbounded handoff between a session's reader and its
+// processing loop (of request lines on the JSON path, of decoded ops on
+// a binary stream). It must be unbounded: the reader can never be
+// allowed to block on a full buffer, or a client that pipelines
+// requests behind a blocked acquire and then drops its connection would
+// park the reader mid-handoff — it would never return to Read, never
+// observe the EOF, and the dead session's acquire would compete on as a
+// ghost. Memory is bounded by what the client actually sends; the
+// backing array is reused (a head cursor instead of re-slicing), so a
+// steady-state session allocates nothing per item.
+type opQueue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	head   int
+	closed bool
+}
+
+func newOpQueue[T any]() *opQueue[T] {
+	q := &opQueue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends an item. Never blocks.
+func (q *opQueue[T]) push(in T) {
+	q.mu.Lock()
+	q.items = append(q.items, in)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop removes the oldest item, blocking while the queue is empty and the
+// stream still open. ok is false once the queue is drained and closed.
+func (q *opQueue[T]) pop() (in T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	return q.popLocked()
+}
+
+// tryPop is pop without the blocking: ok is false whenever no item is
+// ready right now (drained-and-closed included). The processing loop
+// uses it to detect "no more pipelined work" and flush the write buffer
+// before parking.
+func (q *opQueue[T]) tryPop() (in T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		var zero T
+		return zero, false
+	}
+	return q.popLocked()
+}
+
+func (q *opQueue[T]) popLocked() (in T, ok bool) {
+	var zero T
+	if q.head == len(q.items) {
+		return zero, false
+	}
+	in = q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return in, true
+}
+
+// close marks the stream ended; pop drains the remainder then reports
+// done.
+func (q *opQueue[T]) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,256 @@
+// Package wire defines the lockd protocol's vocabulary once, for every
+// codec: the operation names, the Request/Response/Stats shapes, the
+// binary opcode and response-flag tables, and the dialect numbering
+// that version-gates them. The JSON codec (lockd's AppendResponse/
+// DecodeRequest family) and the binary codec (AppendResponseBin/
+// DecodeRequestBin) both consume these definitions, so a protocol
+// addition — the wrong_owner redirect being the first one made under
+// this regime — is declared in exactly one place and picked up by both
+// wire formats.
+//
+// The package is pure data: no I/O, no dependencies beyond the
+// standard library's fmt. lockd re-exports the names (type aliases and
+// constant re-declarations), so existing importers keep compiling
+// unchanged.
+package wire
+
+import "fmt"
+
+// Operation names of the wire protocol.
+const (
+	OpAcquire    = "acquire"
+	OpTryAcquire = "try"
+	OpRelease    = "release"
+	OpCancel     = "cancel"
+	OpHolds      = "holds"
+	OpHeartbeat  = "heartbeat"
+	OpStats      = "stats"
+	OpPing       = "ping"
+
+	// OpEndStream retires one logical stream of a multiplexed binary
+	// connection: the server releases every grant the stream holds,
+	// acks, and forgets the stream. It exists only on the binary
+	// transport; the JSON protocol's equivalent is closing the
+	// connection.
+	OpEndStream = "end_stream"
+)
+
+// Request is one client request line.
+type Request struct {
+	// Op is one of the Op* constants.
+	Op string `json:"op"`
+	// Name is the lock name (required for acquire, try, release, holds;
+	// optional for cancel, which then aborts any in-flight acquire).
+	Name string `json:"name,omitempty"`
+	// TimeoutMS bounds an acquire: after this many milliseconds the
+	// waiter gives up cleanly and the response reports aborted. 0 means
+	// wait forever (subject to the server's -max-wait cap, if any).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Response is one server response line.
+type Response struct {
+	// OK reports whether the request succeeded; on failure Err explains.
+	// An aborted acquire is a success (OK with Aborted set): the protocol
+	// worked exactly as asked.
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+	// Acquired answers acquire and try: whether the lock is now held by
+	// the session.
+	Acquired bool `json:"acquired,omitempty"`
+	// Aborted answers acquire: the attempt was abandoned (timeout, cancel
+	// op, or server cap) after withdrawing cleanly; the lock is not held.
+	Aborted bool `json:"aborted,omitempty"`
+	// Holds answers holds.
+	Holds bool `json:"holds,omitempty"`
+	// Token is the grant's fencing token, stamped on every acquire and
+	// echoed by holds when the server runs leases. Tokens are strictly
+	// increasing per key, so a token smaller than the key's latest is
+	// provably stale. 0 when leases are disabled.
+	Token uint64 `json:"token,omitempty"`
+	// TTLMS is the grant's remaining lease TTL in milliseconds (holds
+	// and heartbeat; rounded up, so a live lease never reads 0).
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Fenced marks a request rejected (or, on heartbeat, partially
+	// ignored) because the grant's lease expired or was revoked: the
+	// session's fencing token is stale and the lock may already be held
+	// by a successor.
+	Fenced bool `json:"fenced,omitempty"`
+	// WrongOwner marks a request refused because, in the cluster's
+	// current membership view, this node does not own the key: Owner is
+	// the lock-service address of the node that does, and Epoch is the
+	// membership epoch the answer was computed under, so a routing
+	// client can invalidate everything it cached under older epochs.
+	// Single-node servers never set it.
+	WrongOwner bool `json:"wrong_owner,omitempty"`
+	// Owner is the owning node's lock-service address (with WrongOwner).
+	Owner string `json:"owner,omitempty"`
+	// Epoch is the membership epoch of the redirect (with WrongOwner).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Stats answers stats.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Stats is the manager-wide counter snapshot served by the stats op.
+type Stats struct {
+	Acquires      uint64 `json:"acquires"`
+	Releases      uint64 `json:"releases"`
+	Waits         uint64 `json:"waits"`
+	TryAcquires   uint64 `json:"try_acquires"`
+	TryFailures   uint64 `json:"try_failures"`
+	LockCreates   uint64 `json:"lock_creates"`
+	Evictions     uint64 `json:"evictions"`
+	ResidentLocks int    `json:"resident_locks"`
+	// Aborts counts acquirers that withdrew from the register competition
+	// (deadline, cancel, or connection drop); LeaseTimeouts counts those
+	// whose context ended while still queued for a process handle.
+	Aborts        uint64 `json:"aborts"`
+	LeaseTimeouts uint64 `json:"lease_timeouts"`
+	// Expired counts grants forcibly revoked because their holder
+	// stopped heartbeating past the lease TTL; Revoked counts explicit
+	// and shutdown-time revocations; FencedRejects counts ops rejected
+	// for a stale fencing token. All 0 with leases disabled.
+	Expired       uint64 `json:"expired"`
+	Revoked       uint64 `json:"revoked"`
+	FencedRejects uint64 `json:"fenced_rejects"`
+	// Violations is the manager's holder cross-check: it must stay 0.
+	Violations uint64 `json:"violations"`
+	// Sessions is the number of live connections.
+	Sessions int `json:"sessions"`
+	// Streams is the number of live logical sessions: every JSON
+	// connection counts one, and every open stream of a multiplexed
+	// binary connection counts one — Streams/Sessions is the socket
+	// amortization the binary transport buys.
+	Streams int `json:"streams,omitempty"`
+}
+
+// WrongOwnerResponse builds the redirect answer for a key this node
+// does not own: a refusal (OK=false) whose WrongOwner/Owner/Epoch
+// fields carry where the key lives now. Both codecs encode it from
+// here — the redirect is defined once. Old-dialect peers (JSON decoders
+// that skip unknown fields, binary v1/v2 connections whose encoder has
+// no redirect flag) see a plain refusal with the same error text: they
+// fail cleanly rather than silently operating on the wrong node.
+func WrongOwnerResponse(name, owner string, epoch uint64) Response {
+	return Response{
+		Err:        fmt.Sprintf("lockd: wrong owner for %q: try %s", name, owner),
+		WrongOwner: true,
+		Owner:      owner,
+		Epoch:      epoch,
+	}
+}
+
+// Dialect numbers one negotiated binary response encoding. The magic
+// preamble a client leads with pins the dialect for its whole
+// connection; there is no per-op tolerance.
+type Dialect uint8
+
+const (
+	// DialectV1 is the pre-lease encoding: no lease/fenced flags, the
+	// original 13-field stats sequence.
+	DialectV1 Dialect = 1
+	// DialectV2 added the lease token/TTL pair, the fenced flag, and
+	// the expired/revoked/fenced_rejects stats fields.
+	DialectV2 Dialect = 2
+	// DialectV3 widens the response flags to a uvarint (values under
+	// 128 still cost one byte) and adds the wrong_owner redirect: flag
+	// FlagRedirect, owner address, membership epoch.
+	DialectV3 Dialect = 3
+)
+
+// Binary opcodes, one per wire op (OpEndStream is transport-level and
+// has no JSON counterpart).
+const (
+	binOpAcquire = 1 + iota
+	binOpTry
+	binOpRelease
+	binOpCancel
+	binOpHolds
+	binOpStats
+	binOpPing
+	binOpEndStream
+	binOpHeartbeat
+)
+
+// Opcode maps a protocol op string to its binary opcode (0 = unknown).
+func Opcode(op string) byte {
+	switch op {
+	case OpAcquire:
+		return binOpAcquire
+	case OpTryAcquire:
+		return binOpTry
+	case OpRelease:
+		return binOpRelease
+	case OpCancel:
+		return binOpCancel
+	case OpHolds:
+		return binOpHolds
+	case OpStats:
+		return binOpStats
+	case OpPing:
+		return binOpPing
+	case OpEndStream:
+		return binOpEndStream
+	case OpHeartbeat:
+		return binOpHeartbeat
+	}
+	return 0
+}
+
+// OpOfCode is the inverse of Opcode ("" = unknown).
+func OpOfCode(c byte) string {
+	switch c {
+	case binOpAcquire:
+		return OpAcquire
+	case binOpTry:
+		return OpTryAcquire
+	case binOpRelease:
+		return OpRelease
+	case binOpCancel:
+		return OpCancel
+	case binOpHolds:
+		return OpHolds
+	case binOpStats:
+		return OpStats
+	case binOpPing:
+		return OpPing
+	case binOpEndStream:
+		return OpEndStream
+	case binOpHeartbeat:
+		return OpHeartbeat
+	}
+	return ""
+}
+
+// Binary response flag bits. The lease and fenced bits exist only from
+// the v2 dialect on; the redirect bit only from v3, where the flag
+// field widened from one byte to a uvarint. A connection pinned to an
+// older dialect never sees the newer bits (and its decoder rejects
+// them as unknown — that strictness is what makes the magic preamble
+// the version gate).
+const (
+	FlagOK       = 1 << iota // Response.OK
+	FlagAcquired             // Response.Acquired
+	FlagAborted              // Response.Aborted
+	FlagHolds                // Response.Holds
+	FlagErr                  // an error string follows
+	FlagStats                // a stats payload follows
+	FlagLease                // v2+: a fencing token uvarint + ttl_ms varint follow
+	FlagFenced               // v2+: Response.Fenced
+	FlagRedirect             // v3+: an owner address + epoch uvarint follow
+)
+
+// KnownFlags is the set of flag bits a dialect defines; anything
+// outside it is a protocol error for that dialect.
+func KnownFlags(d Dialect) uint64 {
+	switch d {
+	case DialectV1:
+		return FlagOK | FlagAcquired | FlagAborted | FlagHolds | FlagErr | FlagStats
+	case DialectV2:
+		return FlagOK | FlagAcquired | FlagAborted | FlagHolds | FlagErr | FlagStats |
+			FlagLease | FlagFenced
+	default:
+		return FlagOK | FlagAcquired | FlagAborted | FlagHolds | FlagErr | FlagStats |
+			FlagLease | FlagFenced | FlagRedirect
+	}
+}
