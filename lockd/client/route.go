@@ -496,22 +496,37 @@ func (s *routedSession) TryAcquire(name string) (bool, error) {
 	})
 }
 
-// Release gives a held name back to the node that granted it.
+// Release gives a held name back to the node that granted it. The
+// grant's address pin is dropped only once the granting node has
+// actually answered the release (success or a definitive rejection):
+// a dial or transport failure keeps the pin, so a retried Release
+// still routes to the node that holds the grant instead of asking a
+// stranger that would answer "does not hold" while the grant lives on
+// until its TTL.
 func (s *routedSession) Release(name string) error {
 	c, addr, err := s.grantConn(name)
-	s.mu.Lock()
-	delete(s.grants, name)
-	s.mu.Unlock()
 	if err != nil {
 		return err
 	}
 	if err := c.Release(name); err != nil {
 		if errors.Is(err, ErrUnavailable) {
 			s.dropSub(addr, c)
+			return err
 		}
+		// The node answered: whatever it said (fenced, not held…), the
+		// grant is definitively gone there.
+		s.forgetGrant(name)
 		return err
 	}
+	s.forgetGrant(name)
 	return nil
+}
+
+// forgetGrant drops name's granting-address pin.
+func (s *routedSession) forgetGrant(name string) {
+	s.mu.Lock()
+	delete(s.grants, name)
+	s.mu.Unlock()
 }
 
 // Holds asks the granting node whether the session still holds name.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"strings"
 	"testing"
@@ -357,6 +358,201 @@ func TestClusterOldJSONClient(t *testing.T) {
 	}
 	if !resp.WrongOwner || resp.Owner != nodes[1].addr {
 		t.Errorf("redirect fields = %+v, want owner %s", resp, nodes[1].addr)
+	}
+}
+
+// TestClusterBlockedAcquireRedirectsAfterHandoff pins the
+// blocked-acquire handoff race: an acquire that parks behind a holder
+// on the key's owner, and only unblocks because a membership change
+// moved the key away (the handoff sweep revoked the holder), must
+// answer a redirect to the new owner — not a grant. A grant here would
+// attach after the sweep already scanned, leaving live grants for one
+// key on two nodes with neither fencing token outranking the other.
+func TestClusterBlockedAcquireRedirectsAfterHandoff(t *testing.T) {
+	mgr, err := lockmgr.New(lockmgr.Config{HandlesPerLock: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := cluster.Start(cluster.Config{
+		ID:           "a",
+		Addr:         ln.Addr().String(),
+		GossipAddr:   "127.0.0.1:0",
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 120 * time.Millisecond,
+		DeadAfter:    240 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := lockd.NewServer(mgr)
+	// TTL far beyond the test: only the handoff sweep can free the key.
+	srv.LeaseTTL = time.Minute
+	srv.Cluster = ca
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		ca.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	// A key that moves to b the moment b joins the two-member view.
+	two := cluster.View{Members: []cluster.Member{{ID: "a"}, {ID: "b"}}}
+	key := ""
+	for i := 0; i < 10000 && key == ""; i++ {
+		name := fmt.Sprintf("moved-%d", i)
+		if owner, ok := two.Owner(name); ok && owner.ID == "b" {
+			key = name
+		}
+	}
+	if key == "" {
+		t.Fatal("no key hashed to the joining member")
+	}
+
+	holder, err := client.DialConn(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	if err := holder.Acquire(key); err != nil {
+		t.Fatal(err)
+	}
+
+	waiter, err := client.DialConn(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer waiter.Close()
+	acquired := make(chan error, 1)
+	go func() { acquired <- waiter.Acquire(key) }()
+	// The waiter must actually be parked server-side before b joins, or
+	// the pre-acquire ownership check would answer the redirect and
+	// never exercise the post-acquire one. The pre-check runs within one
+	// round trip of the request hitting the server, so after this settle
+	// window the waiter is past it and blocked on the held lock.
+	time.Sleep(300 * time.Millisecond)
+	select {
+	case err := <-acquired:
+		t.Fatalf("waiter resolved before the handoff: %v", err)
+	default:
+	}
+
+	// b joins cluster-only: the redirect names its lock address; no
+	// lockd server needs to answer there for this test.
+	const bAddr = "127.0.0.1:49999"
+	cb, err := cluster.Start(cluster.Config{
+		ID:         "b",
+		Addr:       bAddr,
+		GossipAddr: "127.0.0.1:0",
+		Seeds:      []string{ca.GossipAddr()},
+		Interval:   20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	select {
+	case err := <-acquired:
+		var redir *client.RedirectError
+		if !errors.As(err, &redir) {
+			t.Fatalf("blocked acquire after the handoff = %v, want RedirectError", err)
+		}
+		if redir.Owner != bAddr {
+			t.Errorf("redirect points at %q, want %q", redir.Owner, bAddr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked acquire never resolved after the handoff revoked its holder")
+	}
+	// The holder was revoked by the sweep, not released: its own release
+	// is fenced, and the lock manager records no violation.
+	if err := holder.Release(key); !errors.Is(err, client.ErrFenced) {
+		t.Errorf("holder release after handoff = %v, want ErrFenced", err)
+	}
+	if v := mgr.Violations(); v != 0 {
+		t.Errorf("violations = %d", v)
+	}
+}
+
+// TestClusterReleasePinSurvivesDialFailure pins the routed client's
+// release routing: when the node that granted a key dies, a failed
+// Release must not forget which address held the grant — a retry keeps
+// routing there (and keeps failing as unavailable) instead of asking a
+// surviving stranger that would answer "does not hold" while the grant
+// waits out its TTL.
+func TestClusterReleasePinSurvivesDialFailure(t *testing.T) {
+	nodes := startCluster(t, 2)
+	addrs := []string{nodes[0].addr, nodes[1].addr}
+
+	// The key must be owned by n1 (so the grant lives there) AND have
+	// its client-side fallback guess also land on n1 (so the acquire
+	// goes direct and teaches the ownership cache nothing) — then, with
+	// no grant pin, a retried release would fall back to n0 once n1 is
+	// quarantined, and n0 would answer "does not hold". The guess
+	// replicates the client's rendezvous hash over addresses.
+	guess := func(name string) string {
+		best, bestScore := "", uint64(0)
+		for _, addr := range addrs {
+			h := fnv.New64a()
+			h.Write([]byte(addr))
+			h.Write([]byte{0})
+			h.Write([]byte(name))
+			if score := h.Sum64(); best == "" || score > bestScore {
+				best, bestScore = addr, score
+			}
+		}
+		return best
+	}
+	view := nodes[0].node.View()
+	key := ""
+	for i := 0; i < 10000 && key == ""; i++ {
+		name := fmt.Sprintf("pinned-%d", i)
+		if owner, ok := view.Owner(name); ok && owner.ID == "n1" && guess(name) == nodes[1].addr {
+			key = name
+		}
+	}
+	if key == "" {
+		t.Fatal("no key both owned by and guessed at n1")
+	}
+
+	cl, err := client.Dial(client.Options{Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	s, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Acquire(key); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes[1].stop(t)
+
+	// Every retry must keep routing to the granting (dead) node: losing
+	// the pin would send a retry to n0, whose "does not hold" answer
+	// does not wrap ErrUnavailable.
+	for attempt := 0; attempt < 3; attempt++ {
+		err := s.Release(key)
+		if err == nil {
+			t.Fatalf("release attempt %d against the dead granting node succeeded", attempt)
+		}
+		if !errors.Is(err, client.ErrUnavailable) {
+			t.Fatalf("release attempt %d = %v, want ErrUnavailable (a retry must keep routing to the granting node)", attempt, err)
+		}
 	}
 }
 

@@ -9,10 +9,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"anonmutex/internal/cluster"
 	"anonmutex/internal/lease"
+	"anonmutex/internal/lockmgr"
 	"anonmutex/lockd/wire"
 )
 
@@ -33,16 +35,79 @@ import (
 // a token ≥ (E+1)<<32, strictly larger than anything A ever issued for
 // it. Fencing-token monotonicity therefore survives ownership changes
 // without any token state moving between nodes.
+//
+// The revocation sweep executes lock-manager holder exits and must
+// not stall the gossip goroutines the OnChange callback runs on — a
+// node busy revoking a large handoff would miss its own heartbeats and
+// get marked suspect by its peers. The callback therefore only queues
+// the view; a dedicated handoff worker applies every view in epoch
+// order (no coalescing: a key that moves away and back must still have
+// its interim grants revoked, exactly as synchronous semantics would).
+// Floor raises happen only under handoffMu — in applyHandoff and at
+// each attach in commitAcquire — never inline in the callback, so a
+// token can never land in a band newer than the view its grant was
+// validated under.
 func (s *Server) wireCluster() {
 	s.leases.EnsureTokenFloor(cluster.TokenFloor(s.Cluster.Epoch()))
 	self := s.Cluster.Self().ID
-	leases := s.leases
+	wake := make(chan struct{}, 1)
+	quit := make(chan struct{})
+	s.handoffQuit = quit
+	s.wg.Add(1)
+	go s.handoffLoop(self, wake, quit)
 	s.Cluster.OnChange(func(v cluster.View) {
-		leases.EnsureTokenFloor(cluster.TokenFloor(v.Epoch))
-		leases.RevokeIf(func(name string) bool {
-			owner, ok := v.Owner(name)
-			return ok && owner.ID != self
-		})
+		s.mu.Lock()
+		s.handoffPend = append(s.handoffPend, v)
+		s.mu.Unlock()
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	})
+}
+
+// handoffLoop drains queued membership views and runs each view's
+// revocation sweep, in epoch order. Pending sweeps left at shutdown
+// are subsumed by leases.Close, which revokes everything.
+func (s *Server) handoffLoop(self string, wake, quit <-chan struct{}) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-wake:
+		}
+		for {
+			s.mu.Lock()
+			pending := s.handoffPend
+			s.handoffPend = nil
+			s.mu.Unlock()
+			if len(pending) == 0 {
+				break
+			}
+			// Callbacks fire from two gossip goroutines, so two views can
+			// be queued slightly out of order; sweeping in epoch order
+			// keeps the newest view's verdict the last word.
+			sort.Slice(pending, func(i, j int) bool { return pending[i].Epoch < pending[j].Epoch })
+			for _, v := range pending {
+				s.applyHandoff(self, v)
+			}
+		}
+	}
+}
+
+// applyHandoff runs one view's handoff: raise the token floor to the
+// view's epoch band, then revoke every grant for a key this node no
+// longer owns. It holds handoffMu so the scan inside RevokeIf is
+// ordered after every grant attached under any earlier view — no
+// grant can slip between the view change and the sweep.
+func (s *Server) applyHandoff(self string, v cluster.View) {
+	s.handoffMu.Lock()
+	defer s.handoffMu.Unlock()
+	s.leases.EnsureTokenFloor(cluster.TokenFloor(v.Epoch))
+	s.leases.RevokeIf(func(name string) bool {
+		owner, ok := v.Owner(name)
+		return ok && owner.ID != self
 	})
 }
 
@@ -57,15 +122,64 @@ func (s *Server) wireCluster() {
 // A view where the key has no owner (every member dead — a partitioned
 // node's view of the world) refuses the acquire outright rather than
 // granting what another partition may also grant.
+//
+// Owner and epoch come from one View snapshot: reading them separately
+// could pair a stale owner address with a newer epoch and teach the
+// client cache a wrong owner at that epoch.
 func (s *Server) checkOwner(name string) (Response, bool) {
-	owner, ok := s.Cluster.Owner(name)
+	v := s.Cluster.View()
+	owner, ok := v.Owner(name)
 	if !ok {
 		return Response{Err: fmt.Sprintf("lockd: no live owner for %q", name)}, false
 	}
-	if owner.ID == s.Cluster.Self().ID {
+	if owner.ID == v.Self.ID {
 		return Response{}, true
 	}
-	return wire.WrongOwnerResponse(name, owner.Addr, s.Cluster.Epoch()), false
+	return wire.WrongOwnerResponse(name, owner.Addr, v.Epoch), false
+}
+
+// commitAcquire turns a lock the manager just granted into the
+// session's grant. In clustered mode this is where the ownership gate
+// is decided for real: the pre-acquire checkOwner only short-circuits
+// the obvious redirect — an acquire that then blocked may complete
+// long after the key moved to another node, and the view-change sweep
+// cannot revoke a grant that does not exist yet. So ownership is
+// re-checked here, under handoffMu, making (re-check, floor, attach)
+// atomic with respect to the sweep and to other attachments: if this
+// node still owns the key under the view read here, either the attach
+// completes before any sweep that moves the key away (which then
+// revokes it), or a later re-check sees the newer view and redirects.
+// When ownership moved, the lock goes straight back to the manager —
+// it never becomes a lease — and the client gets the redirect it would
+// have gotten up front.
+//
+// The token floor is raised to the checked view's epoch band before
+// the token is drawn, so a new owner's first grant is banded correctly
+// even if its handoff sweep has not run yet; because no other floor
+// raise can interleave (they all hold handoffMu), the token also
+// cannot land in a band newer than the view it was validated under.
+func (s *Server) commitAcquire(sess *session, name string, l lockmgr.Lease) Response {
+	if s.Cluster == nil {
+		g := s.attachGrant(l)
+		sess.grants[name] = g
+		return s.grantResponse(g)
+	}
+	s.handoffMu.Lock()
+	v := s.Cluster.View()
+	owner, ok := v.Owner(name)
+	if !ok || owner.ID != v.Self.ID {
+		s.handoffMu.Unlock()
+		s.mgr.Release(l)
+		if !ok {
+			return Response{Err: fmt.Sprintf("lockd: no live owner for %q", name)}
+		}
+		return wire.WrongOwnerResponse(name, owner.Addr, v.Epoch)
+	}
+	s.leases.EnsureTokenFloor(cluster.TokenFloor(v.Epoch))
+	g := grant{l: l, token: s.leases.Attach(l)}
+	s.handoffMu.Unlock()
+	sess.grants[name] = g
+	return s.grantResponse(g)
 }
 
 // handle executes one request against the session. preBlock, when
@@ -104,9 +218,7 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 		if ok {
 			// A cancel that raced in during the attempt lost, exactly as a
 			// cancel observed after a slow-path acquisition completes.
-			g := s.attachGrant(l)
-			sess.grants[req.Name] = g
-			return s.grantResponse(g)
+			return s.commitAcquire(sess, req.Name, l)
 		}
 		if cancelled {
 			return Response{OK: true, Aborted: true}
@@ -126,9 +238,7 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 			}
 			return Response{Err: err.Error()}
 		}
-		g := s.attachGrant(held)
-		sess.grants[req.Name] = g
-		return s.grantResponse(g)
+		return s.commitAcquire(sess, req.Name, held)
 	case OpCancel:
 		// The abort itself already happened out of band (or was
 		// remembered) when the reader saw this line; this is just the
@@ -153,9 +263,7 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 		if !ok {
 			return Response{OK: true, Acquired: false}
 		}
-		g := s.attachGrant(l)
-		sess.grants[req.Name] = g
-		return s.grantResponse(g)
+		return s.commitAcquire(sess, req.Name, l)
 	case OpRelease:
 		if req.Name == "" {
 			return needName(req.Op)

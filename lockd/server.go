@@ -86,10 +86,26 @@ type Server struct {
 	// one per open stream of a binary connection.
 	liveStreams atomic.Int64
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]bool
-	draining bool
+	// handoffMu serializes clustered grant attachment (ownership re-check,
+	// token-floor raise, token draw — commitAcquire) against the
+	// membership-change revocation sweep (applyHandoff) and against other
+	// attachments. The ordering this buys is the cluster-safety argument:
+	// a grant attached under a view where this node owned the key either
+	// completes before a sweep that moves the key away — and is then
+	// revoked by that sweep — or starts after it, re-checks against the
+	// new view, and answers a redirect instead of attaching. Exclusivity
+	// between attachments keeps each token inside the band of the epoch
+	// it was validated under: no concurrent floor raise can push a grant
+	// validated under epoch E into E+1's band, where it could collide
+	// with the tokens the key's next owner issues.
+	handoffMu sync.Mutex
+
+	mu          sync.Mutex
+	ln          net.Listener
+	conns       map[net.Conn]bool
+	draining    bool
+	handoffPend []cluster.View // views queued for the handoff worker (guarded by mu)
+	handoffQuit chan struct{}  // closes when Shutdown begins; nil until wireCluster
 
 	wg sync.WaitGroup
 }
@@ -126,7 +142,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		s.leases = lm
 	}
-	if s.Cluster != nil {
+	if s.Cluster != nil && s.handoffQuit == nil {
 		s.wireCluster()
 	}
 	s.mu.Unlock()
@@ -163,9 +179,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	ln := s.ln
+	quit := s.handoffQuit
+	s.handoffQuit = nil
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
+	}
+	if quit != nil {
+		// Stop the handoff worker before waiting on s.wg (it is counted
+		// there); its revocation work is subsumed by leases.Close below.
+		close(quit)
 	}
 	done := make(chan struct{})
 	go func() {
