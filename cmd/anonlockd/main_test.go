@@ -58,6 +58,43 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-addr", "256.256.256.256:1"}, nil); err == nil {
 		t.Error("run with unusable address succeeded")
 	}
+	if err := run([]string{"-data-dir", t.TempDir()}, nil); err == nil {
+		t.Error("run with -data-dir but no -lease-ttl succeeded")
+	}
+	if err := run([]string{"-data-dir", t.TempDir(), "-lease-ttl", "1s", "-fsync", "sometimes"}, nil); err == nil {
+		t.Error("run with an unknown -fsync policy succeeded")
+	}
+}
+
+// TestDurableDaemonCycle boots the daemon journaling into a directory,
+// holds and releases a key, drains it, and boots it again on the same
+// directory: the graceful cycle must come up clean (the release was
+// journaled, so there is nothing to recover).
+func TestDurableDaemonCycle(t *testing.T) {
+	dir := t.TempDir()
+	for cycle := 0; cycle < 2; cycle++ {
+		addr := pickAddr(t)
+		stop := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			done <- run([]string{"-addr", addr, "-handles", "2", "-lease-ttl", "2s", "-data-dir", dir}, stop)
+		}()
+		c := dialRetry(t, addr)
+		if err := c.Acquire("dk"); err != nil {
+			t.Fatal(err)
+		}
+		if tok := c.Token("dk"); tok == 0 {
+			t.Fatal("no fencing token from the durable daemon")
+		}
+		if err := c.Release("dk"); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+		close(stop)
+		if err := <-done; err != nil {
+			t.Fatalf("cycle %d: run: %v", cycle, err)
+		}
+	}
 }
 
 // pickAddr finds a free loopback port by binding and releasing it.

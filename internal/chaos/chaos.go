@@ -81,6 +81,9 @@ type Report struct {
 	// Cycles and Crashes summarize workload-driven scenarios.
 	Cycles  int64 `json:"cycles,omitempty"`
 	Crashes int64 `json:"crashes,omitempty"`
+	// Recovered counts the leases a restarted server rebuilt from its
+	// journal (restart scenarios only).
+	Recovered uint64 `json:"recovered,omitempty"`
 	// MaxRecovery is the worst observed orphan-recovery time: how long
 	// a contender waited for a key a dead holder had. The scenarios
 	// assert it against their unavailability bound (2×TTL plus
@@ -117,6 +120,11 @@ func Scenarios() []Scenario {
 			Name: "stop-heartbeat-under-open-loop-zipf",
 			Doc:  "open-loop zipf load with a crash fraction: some holders die silently under contention; the run must stay violation-free and every key must be acquirable within the recovery bound afterwards",
 			Run:  runCrashUnderLoad,
+		},
+		{
+			Name: "restart-under-load",
+			Doc:  "a durable server is killed outright (kill -9 semantics: no teardown, journal buffer dropped) with holders mid-lease and churn in flight, then restarted on the same data directory; every held key must come back recovered, still excluding contenders until its original TTL runs out, with post-restart fencing tokens strictly above their pre-crash grants and zero violations",
+			Run:  runRestartUnderLoad,
 		},
 		{
 			Name: "kill-node-mid-failover",

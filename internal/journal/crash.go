@@ -1,0 +1,64 @@
+package journal
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Crash-point injection for the re-exec crash harness: when the
+// environment names a point, reaching it kills the process with
+// os.Exit — no deferred cleanup, no flush, exactly what kill -9 leaves
+// behind. The env var is read once at init so the hot path pays one
+// string compare against a package variable, nothing more.
+
+// CrashEnvVar names the crash point to die at — "point" or "point:N"
+// to survive the first N hits and die on hit N+1. Empty disables all
+// points. Exported so the harness (a _test child process) and the
+// package agree on the spelling.
+const CrashEnvVar = "ANONMUTEX_JOURNAL_CRASHPOINT"
+
+const (
+	crashBeforeSync           = "commit-before-sync"
+	crashAfterSync            = "commit-after-sync"
+	crashCompactBeforeRename  = "compact-before-rename"
+	crashCompactAfterRename   = "compact-after-rename"
+	crashCompactAfterTruncate = "compact-after-truncate"
+	crashAppendTorn           = "append-torn"
+)
+
+// crashExitCode distinguishes an intentional crash-point death from a
+// test failure in the child process.
+const crashExitCode = 42
+
+var (
+	crashEnv   string
+	crashSkips atomic.Int64
+)
+
+func init() {
+	crashEnv = os.Getenv(CrashEnvVar)
+	if point, n, ok := strings.Cut(crashEnv, ":"); ok {
+		if skips, err := strconv.Atoi(n); err == nil {
+			crashEnv = point
+			crashSkips.Store(int64(skips))
+		}
+	}
+}
+
+// crashArmed reports whether the named point should fire now,
+// consuming one skip if any remain.
+func crashArmed(point string) bool {
+	if crashEnv != point {
+		return false
+	}
+	return crashSkips.Add(-1) < 0
+}
+
+// crash dies if the named point is armed.
+func crash(point string) {
+	if crashArmed(point) {
+		os.Exit(crashExitCode)
+	}
+}

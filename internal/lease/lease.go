@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"anonmutex/internal/journal"
 	"anonmutex/internal/lockmgr"
 )
 
@@ -66,6 +67,20 @@ type Config struct {
 	// Shards is the number of independent expiry shards, each with its
 	// own deadline heap and expiry goroutine (default 8).
 	Shards int
+	// Journal, when non-nil, records every lease transition in the
+	// write-ahead log: grants and heartbeat renewals are committed per
+	// the journal's sync policy before they are acknowledged, and the
+	// fencing counter draws from durably reserved token bands so no
+	// token is ever reissued across a restart. Nil keeps the manager
+	// purely in-memory (the pre-durability behavior, byte for byte).
+	Journal *journal.Log
+	// Recovered, when non-nil alongside Journal, is the state the
+	// journal recovered: New re-acquires each recovered lease from the
+	// lock manager and reattaches it under its original token and
+	// absolute deadline (remaining-time semantics — a restart does not
+	// refresh TTLs), and seeds the token counter at the recovered
+	// high-water mark.
+	Recovered *journal.State
 }
 
 // Grant is one leased hold on a named lock, as returned by the
@@ -86,6 +101,8 @@ type Counters struct {
 	Expired, Revoked uint64
 	// FencedRejects counts lifecycle ops rejected for a stale token.
 	FencedRejects uint64
+	// Recovered counts leases reattached from the journal at startup.
+	Recovered uint64
 	// Active is the number of currently live leases.
 	Active int
 }
@@ -125,7 +142,16 @@ type Manager struct {
 	// monotonic across expiry, release, eviction, and slot recycling.
 	tokens atomic.Uint64
 
-	granted, expired, revoked, fenced atomic.Uint64
+	// jn, when non-nil, journals every transition. band is the durably
+	// reserved token high-water mark: tokens at or below it may be
+	// issued without touching the journal; the first draw above it
+	// reserves the next band under bandMu (serialized so one fsync
+	// renews the band for everyone).
+	jn     *journal.Log
+	band   atomic.Uint64
+	bandMu sync.Mutex
+
+	granted, expired, revoked, fenced, recovered atomic.Uint64
 
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -154,15 +180,70 @@ func New(lm *lockmgr.Manager, cfg Config) (*Manager, error) {
 		ttl:    cfg.TTL,
 		grace:  cfg.Grace,
 		shards: make([]*shard, cfg.Shards),
+		jn:     cfg.Journal,
 		stop:   make(chan struct{}),
 	}
 	for i := range m.shards {
 		m.shards[i] = &shard{keys: make(map[string]*keyState), wake: make(chan struct{}, 1)}
+	}
+	if cfg.Recovered != nil {
+		m.recover(cfg.Recovered)
+	}
+	for i := range m.shards {
 		m.wg.Add(1)
 		go m.runShard(m.shards[i])
 	}
 	return m, nil
 }
+
+// recover reattaches the journal's recovered leases before the expiry
+// goroutines start: each lease is re-acquired from the (necessarily
+// fresh and uncontended) lock manager and reinstalled under its
+// original token and absolute deadline — a restart does not refresh
+// TTLs, so a holder that died with the server still expires on the
+// schedule it last heartbeat for, and one whose deadline already
+// passed is expired by the first expiry sweep. The token counter
+// restarts at the recovered band high-water mark (never below any
+// recovered token), which is the restart-monotonicity argument: every
+// token this incarnation issues exceeds every token the previous one
+// could have issued.
+func (m *Manager) recover(st *journal.State) {
+	high := st.TokenHigh
+	for _, ls := range st.Leases {
+		if ls.Token > high {
+			high = ls.Token
+		}
+	}
+	m.tokens.Store(high)
+	m.band.Store(high)
+	for _, ls := range st.Leases {
+		l, ok, err := m.lm.TryAcquireLease(ls.Name)
+		if err != nil || !ok {
+			// The lock manager is fresh at recovery time, so this only
+			// happens if the caller raced its own acquires in first;
+			// their grant wins, the recovered one is dropped.
+			continue
+		}
+		sh := m.shard(ls.Name)
+		sh.mu.Lock()
+		ks := &keyState{
+			name:     ls.Name,
+			token:    ls.Token,
+			active:   true,
+			l:        l,
+			deadline: time.Unix(0, ls.Deadline),
+			idx:      -1,
+		}
+		sh.keys[ls.Name] = ks
+		sh.heapPush(ks)
+		sh.mu.Unlock()
+		m.recovered.Add(1)
+	}
+}
+
+// Recovered reports how many leases were reattached from the journal
+// at startup.
+func (m *Manager) Recovered() uint64 { return m.recovered.Load() }
 
 // TTL returns the configured lease TTL.
 func (m *Manager) TTL() time.Duration { return m.ttl }
@@ -178,13 +259,52 @@ func (m *Manager) shard(name string) *shard {
 	return m.shards[h%uint64(len(m.shards))]
 }
 
+// issueToken draws the next fencing token. Without a journal this is
+// one atomic add. With one, the draw must stay inside a durably
+// reserved band: the first draw past the band's high-water mark
+// reserves the next band (one journal sync covering the next BandSize
+// tokens), serialized under bandMu so concurrent overflowing draws
+// share that sync. EnsureTokenFloor can jump the counter arbitrarily
+// far (epoch<<32); the next draw then reserves from the new position,
+// which is how bands compose with cluster epoch floors.
+func (m *Manager) issueToken() (uint64, error) {
+	tok := m.tokens.Add(1)
+	if m.jn == nil {
+		return tok, nil
+	}
+	for tok > m.band.Load() {
+		m.bandMu.Lock()
+		if tok <= m.band.Load() {
+			m.bandMu.Unlock()
+			break
+		}
+		high, err := m.jn.ReserveTokens(tok)
+		if err != nil {
+			m.bandMu.Unlock()
+			return 0, fmt.Errorf("lease: token band reservation: %w", err)
+		}
+		m.band.Store(high)
+		m.bandMu.Unlock()
+	}
+	return tok, nil
+}
+
 // Attach stamps an already-acquired lock-manager lease with a fresh
 // fencing token and starts its TTL clock, returning the token. This is
 // the zero-extra-roundtrip surface the lock service uses: the server
-// acquires through the manager's fast path, then attaches.
-func (m *Manager) Attach(l lockmgr.Lease) uint64 {
+// acquires through the manager's fast path, then attaches. With a
+// journal configured, the grant is recorded and committed per the sync
+// policy before Attach returns — under `always`, a grant the caller
+// acknowledges is guaranteed to be re-served after a crash. On error
+// the underlying lock has been released: the caller holds nothing.
+func (m *Manager) Attach(l lockmgr.Lease) (uint64, error) {
 	name := l.Name()
-	tok := m.tokens.Add(1)
+	tok, err := m.issueToken()
+	if err != nil {
+		m.lm.Release(l)
+		return 0, err
+	}
+	deadline := time.Now().Add(m.ttl)
 	sh := m.shard(name)
 	sh.mu.Lock()
 	st := sh.keys[name]
@@ -198,14 +318,31 @@ func (m *Manager) Attach(l lockmgr.Lease) uint64 {
 	st.token = tok
 	st.active = true
 	st.l = l
-	st.deadline = time.Now().Add(m.ttl)
+	st.deadline = deadline
 	if st.idx < 0 {
 		sh.heapPush(st)
 	} else {
 		sh.heapFix(st.idx)
 	}
 	earliest := sh.heap[0] == st
+	var lsn uint64
+	if m.jn != nil {
+		// Appended under the shard mutex so the journal's record order
+		// agrees with the state transition order for this key.
+		lsn = m.jn.Append(journal.Record{Op: journal.OpGrant, Name: name, Token: tok, Deadline: deadline.UnixNano()})
+	}
 	sh.mu.Unlock()
+	if m.jn != nil {
+		if err := m.jn.Commit(lsn); err != nil {
+			// The grant cannot be made durable, so it must not be
+			// acknowledged: take the lease back through the usual
+			// arbitration (expiry may already have raced it).
+			if dl, derr := m.detach(name, tok); derr == nil {
+				m.lm.Release(dl)
+			}
+			return 0, fmt.Errorf("lease: journal commit: %w", err)
+		}
+	}
 	m.granted.Add(1)
 	if earliest {
 		// The expiry loop may be parked on a later (or absent) deadline.
@@ -214,7 +351,7 @@ func (m *Manager) Attach(l lockmgr.Lease) uint64 {
 		default:
 		}
 	}
-	return tok
+	return tok, nil
 }
 
 // AcquireCtx acquires the named lock (blocking, context-bounded) and
@@ -224,7 +361,11 @@ func (m *Manager) AcquireCtx(ctx context.Context, name string) (Grant, error) {
 	if err != nil {
 		return Grant{}, err
 	}
-	return Grant{Name: name, Token: m.Attach(l)}, nil
+	tok, err := m.Attach(l)
+	if err != nil {
+		return Grant{}, err
+	}
+	return Grant{Name: name, Token: tok}, nil
 }
 
 // TryAcquire acquires the named lock only if immediately available,
@@ -234,7 +375,11 @@ func (m *Manager) TryAcquire(name string) (Grant, bool, error) {
 	if !ok || err != nil {
 		return Grant{}, false, err
 	}
-	return Grant{Name: name, Token: m.Attach(l)}, true, nil
+	tok, err := m.Attach(l)
+	if err != nil {
+		return Grant{}, false, err
+	}
+	return Grant{Name: name, Token: tok}, true, nil
 }
 
 // Heartbeat renews the lease behind token, pushing its expiry out by
@@ -250,9 +395,23 @@ func (m *Manager) Heartbeat(name string, token uint64) (time.Duration, error) {
 		m.fenced.Add(1)
 		return 0, fmt.Errorf("lease: heartbeat on %q token %d: %w", name, token, ErrFenced)
 	}
-	st.deadline = time.Now().Add(m.ttl)
+	deadline := time.Now().Add(m.ttl)
+	st.deadline = deadline
 	sh.heapFix(st.idx)
+	var lsn uint64
+	if m.jn != nil {
+		lsn = m.jn.Append(journal.Record{Op: journal.OpExtend, Name: name, Token: token, Deadline: deadline.UnixNano()})
+	}
 	sh.mu.Unlock()
+	if m.jn != nil {
+		// A renewal must be durable before it is acknowledged for the
+		// same reason a grant must: a holder whose ack'd extension is
+		// lost would be expired while it believes itself renewed. The
+		// error is deliberately not ErrFenced — the lease is still live.
+		if err := m.jn.Commit(lsn); err != nil {
+			return 0, fmt.Errorf("lease: journal commit: %w", err)
+		}
+	}
 	return m.ttl, nil
 }
 
@@ -292,7 +451,7 @@ func (m *Manager) Release(name string, token uint64) error {
 // same detach arbitration internally; Revoke is the explicit
 // (administrative or test) entry point.
 func (m *Manager) Revoke(name string, token uint64) error {
-	l, err := m.detach(name, token)
+	l, err := m.detachOp(name, token, journal.OpRevoke)
 	if err != nil {
 		return err
 	}
@@ -302,8 +461,16 @@ func (m *Manager) Revoke(name string, token uint64) error {
 
 // detach atomically claims the active lease behind (name, token),
 // marking the state inactive and quarantined. Exactly one caller wins
-// a given token; every other gets ErrFenced.
+// a given token; every other gets ErrFenced. The winner's ending op is
+// journaled in transition order but never waited for: losing an ending
+// record to a crash only means the key is recovered as held and
+// expires by TTL — a liveness delay, never a safety violation — so
+// release paths pay no sync.
 func (m *Manager) detach(name string, token uint64) (lockmgr.Lease, error) {
+	return m.detachOp(name, token, journal.OpRelease)
+}
+
+func (m *Manager) detachOp(name string, token uint64, op journal.Op) (lockmgr.Lease, error) {
 	sh := m.shard(name)
 	sh.mu.Lock()
 	st := sh.keys[name]
@@ -317,6 +484,9 @@ func (m *Manager) detach(name string, token uint64) (lockmgr.Lease, error) {
 	st.l = lockmgr.Lease{}
 	st.deadline = time.Now().Add(m.grace)
 	sh.heapFix(st.idx)
+	if m.jn != nil {
+		m.jn.Append(journal.Record{Op: op, Name: name, Token: token})
+	}
 	sh.mu.Unlock()
 	return l, nil
 }
@@ -396,6 +566,9 @@ func (m *Manager) runShard(sh *shard) {
 				st.l = lockmgr.Lease{}
 				st.deadline = now.Add(m.grace)
 				sh.heapFix(0)
+				if m.jn != nil {
+					m.jn.Append(journal.Record{Op: journal.OpExpire, Name: st.name, Token: st.token})
+				}
 			} else {
 				// Quarantine over: forget the key.
 				sh.heapPop()
@@ -436,6 +609,7 @@ func (m *Manager) Counters() Counters {
 		Expired:       m.expired.Load(),
 		Revoked:       m.revoked.Load(),
 		FencedRejects: m.fenced.Load(),
+		Recovered:     m.recovered.Load(),
 	}
 	for _, sh := range m.shards {
 		sh.mu.Lock()
@@ -449,10 +623,27 @@ func (m *Manager) Counters() Counters {
 	return c
 }
 
+// Abandon stops the manager as a crash would: expiry goroutines halt,
+// nothing is revoked, and nothing further is journaled. It exists for
+// crash-simulation tests (pair with the journal's Abandon) — a real
+// kill -9 gets exactly this, minus the goroutine cleanup. Idempotent,
+// mutually exclusive with Close.
+func (m *Manager) Abandon() {
+	if m.closed.Swap(true) {
+		return
+	}
+	close(m.stop)
+	m.wg.Wait()
+}
+
 // Close stops the expiry goroutines and revokes every still-active
 // lease (the crash orphans a draining server never heard a release
 // for), so the underlying lock manager can be closed with no
-// outstanding leases. Idempotent.
+// outstanding leases. The revocations are deliberately NOT journaled:
+// a graceful restart must recover the orphans' holds (their owners may
+// merely be paused), so as far as the journal is concerned a drain
+// ends with the leases still active — revoking them durably here would
+// make restart strictly less safe than staying up. Idempotent.
 func (m *Manager) Close() {
 	if m.closed.Swap(true) {
 		return

@@ -124,8 +124,20 @@ type Options struct {
 	MaxRedirects int
 
 	// RetryBackoff is the base delay between retries after an
-	// unavailable node (default 10ms, growing linearly per attempt).
+	// unavailable node (default 10ms). Each retry doubles the delay,
+	// jittered uniformly over [d/2, d], up to RetryBackoffMax — so a
+	// fleet of clients hammering a restarting server spreads out
+	// instead of retrying in lockstep.
 	RetryBackoff time.Duration
+
+	// RetryBackoffMax caps the exponential retry delay (default 1s).
+	RetryBackoffMax time.Duration
+
+	// MaxAttempts bounds how many times one acquire-type op is retried
+	// against the cluster before the last error surfaces (default
+	// 2×len(Addrs)+2; redirect hops are budgeted separately by
+	// MaxRedirects).
+	MaxAttempts int
 }
 
 // withDefaults validates and fills in the option defaults.
@@ -167,6 +179,15 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 10 * time.Millisecond
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = time.Second
+	}
+	if o.RetryBackoffMax < o.RetryBackoff {
+		o.RetryBackoffMax = o.RetryBackoff
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 2*len(o.Addrs) + 2
 	}
 	return o, nil
 }

@@ -14,11 +14,29 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand/v2"
 	"sync"
 	"time"
 
 	"anonmutex/lockd"
 )
+
+// retryDelay is the pause before retry number attempt (0-based):
+// exponential from base, capped at max, jittered uniformly over
+// [d/2, d]. The jitter is what matters during a restart window — a
+// fleet of clients that all saw the server die at the same instant
+// must not all redial at the same instant, every doubling thereafter.
+func retryDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + rand.N(d-half+1)
+}
 
 // errClientClosed fails operations issued after Close.
 var errClientClosed = errors.New("client: closed")
@@ -401,8 +419,7 @@ func (s *routedSession) dropSub(addr string, c *Conn) {
 // are retried against the rest with backoff, and a success pins the
 // grant to the address that issued it.
 func (s *routedSession) acquireRoute(name string, op func(c *Conn) (bool, error)) (bool, error) {
-	addrs := s.cl.opts.Addrs
-	maxAttempts := 2*len(addrs) + 2
+	maxAttempts := s.cl.opts.MaxAttempts
 	hops := 0
 	next := "" // a just-received redirect target, followed unconditionally
 	var lastErr error
@@ -452,7 +469,7 @@ func (s *routedSession) acquireRoute(name string, op func(c *Conn) (bool, error)
 		// the fallback pick a surviving member after a short pause.
 		s.cl.cache.invalidate(name)
 		lastErr = err
-		time.Sleep(time.Duration(attempt+1) * s.cl.opts.RetryBackoff)
+		time.Sleep(retryDelay(attempt, s.cl.opts.RetryBackoff, s.cl.opts.RetryBackoffMax))
 	}
 	return false, fmt.Errorf("client: %s: no cluster member could serve the acquire: %w", name, lastErr)
 }

@@ -154,6 +154,15 @@ func TestDialOptionDefaults(t *testing.T) {
 			if o.MaxRedirects != 3 || o.RetryBackoff != 10*time.Millisecond || o.CrashTimeout != 10*time.Second {
 				return fmt.Errorf("defaults = %+v", o)
 			}
+			if o.RetryBackoffMax != time.Second || o.MaxAttempts != 6 {
+				return fmt.Errorf("retry defaults = %+v", o)
+			}
+			return nil
+		}},
+		{name: "backoff max floored at base", in: Options{Addrs: []string{"a:1"}, RetryBackoff: 3 * time.Second, RetryBackoffMax: time.Second}, check: func(o Options) error {
+			if o.RetryBackoffMax != 3*time.Second {
+				return fmt.Errorf("RetryBackoffMax = %v", o.RetryBackoffMax)
+			}
 			return nil
 		}},
 	}
@@ -175,6 +184,31 @@ func TestDialOptionDefaults(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRetryDelay pins the backoff envelope: every sample of retry n
+// lands in [min(base·2ⁿ, max)/2, min(base·2ⁿ, max)], and once the
+// exponent passes the cap the envelope stops growing.
+func TestRetryDelay(t *testing.T) {
+	const base = 10 * time.Millisecond
+	const max = 80 * time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		want := base << attempt
+		if want > max || want <= 0 {
+			want = max
+		}
+		for i := 0; i < 200; i++ {
+			d := retryDelay(attempt, base, max)
+			if d < want/2 || d > want {
+				t.Fatalf("retryDelay(%d) = %v, want within [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	// A giant attempt number must not overflow into a negative or
+	// over-cap delay.
+	if d := retryDelay(1<<30, base, max); d < max/2 || d > max {
+		t.Fatalf("retryDelay(huge) = %v", d)
 	}
 }
 

@@ -160,7 +160,10 @@ func (s *Server) checkOwner(name string) (Response, bool) {
 // cannot land in a band newer than the view it was validated under.
 func (s *Server) commitAcquire(sess *session, name string, l lockmgr.Lease) Response {
 	if s.Cluster == nil {
-		g := s.attachGrant(l)
+		g, err := s.attachGrant(l)
+		if err != nil {
+			return Response{Err: err.Error()}
+		}
 		sess.grants[name] = g
 		return s.grantResponse(g)
 	}
@@ -176,8 +179,13 @@ func (s *Server) commitAcquire(sess *session, name string, l lockmgr.Lease) Resp
 		return wire.WrongOwnerResponse(name, owner.Addr, v.Epoch)
 	}
 	s.leases.EnsureTokenFloor(cluster.TokenFloor(v.Epoch))
-	g := grant{l: l, token: s.leases.Attach(l)}
+	tok, err := s.leases.Attach(l)
 	s.handoffMu.Unlock()
+	if err != nil {
+		// Attach released the lock on failure; the acquire is refused.
+		return Response{Err: err.Error()}
+	}
+	g := grant{l: l, token: tok}
 	sess.grants[name] = g
 	return s.grantResponse(g)
 }
@@ -312,8 +320,14 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 			}
 			ttl, err := s.leases.Heartbeat(req.Name, g.token)
 			if err != nil {
-				delete(sess.grants, req.Name)
-				return Response{Err: err.Error(), Fenced: true}
+				// Only a fencing rejection means the grant is gone; a
+				// journal commit failure leaves the lease live, and the
+				// client should retry rather than drop its hold.
+				if errors.Is(err, lease.ErrFenced) {
+					delete(sess.grants, req.Name)
+					return Response{Err: err.Error(), Fenced: true}
+				}
+				return Response{Err: err.Error()}
 			}
 			return Response{OK: true, TTLMS: ttlMillis(ttl)}
 		}
@@ -325,8 +339,10 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 		for name, g := range sess.grants {
 			ttl, err := s.leases.Heartbeat(name, g.token)
 			if err != nil {
-				delete(sess.grants, name)
-				fenced = true
+				if errors.Is(err, lease.ErrFenced) {
+					delete(sess.grants, name)
+					fenced = true
+				}
 				continue
 			}
 			if min == 0 || ttl < min {

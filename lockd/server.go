@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"anonmutex/internal/cluster"
+	"anonmutex/internal/journal"
 	"anonmutex/internal/lease"
 	"anonmutex/internal/lockmgr"
 )
@@ -21,6 +22,34 @@ const DefaultMaxLineBytes = 1 << 20
 // ownership-handoff argument (revoke the old owner's grants, floor the
 // new owner's tokens) only exists when grants carry fencing tokens.
 var errClusterNeedsLeases = errors.New("lockd: clustered serving requires LeaseTTL > 0")
+
+// errDurabilityNeedsLeases rejects a durable server without leases:
+// the journal records lease transitions, so without the lease
+// subsystem there is nothing to persist.
+var errDurabilityNeedsLeases = errors.New("lockd: durable serving (Durability.Dir) requires LeaseTTL > 0")
+
+// Durability configures the lease journal: when Dir is set (and
+// LeaseTTL is positive), every lease transition is written to an
+// append-only journal there, grants and renewals are committed per the
+// Fsync policy before they are acknowledged, and a restarted server
+// pointed at the same Dir recovers its grants — holders resume where
+// they were instead of being expired. Set before Serve.
+type Durability struct {
+	// Dir is the journal directory. Empty disables persistence.
+	Dir string
+	// Fsync is the sync policy: "always" (the default — a grant is on
+	// stable storage before the client hears about it), "interval"
+	// (background fsync every FsyncInterval; a crash loses at most one
+	// interval), or "off" (no explicit fsync; a machine crash may lose
+	// anything the OS had not written back).
+	Fsync string
+	// FsyncInterval overrides the "interval" policy's period
+	// (default 5ms).
+	FsyncInterval time.Duration
+	// CompactBytes overrides the journal size at which a snapshot is
+	// taken and the log truncated (default 1 MiB).
+	CompactBytes int64
+}
 
 // Server serves the lock protocol over a listener, one session per
 // connection. Create with NewServer, start with Serve, stop with
@@ -79,8 +108,23 @@ type Server struct {
 	// to a server without a cluster. Set before Serve.
 	Cluster *cluster.Node
 
+	// Durability, when Dir is set, persists lease state to a journal so
+	// restarts recover grants. Requires LeaseTTL > 0. Set before Serve.
+	Durability Durability
+
 	// leases is non-nil iff LeaseTTL was positive when Serve started.
 	leases *lease.Manager
+
+	// journal is non-nil iff Durability.Dir was set when Serve started.
+	journal *journal.Log
+
+	// recovered is how many grants Serve reattached from the journal.
+	recovered uint64
+
+	// killed marks a crash-simulated stop (Kill): session teardown must
+	// not release grants — the "crash" has to leave them active for
+	// recovery to find, in memory and in the journal alike.
+	killed atomic.Bool
 
 	// liveStreams counts live logical sessions: one per JSON connection,
 	// one per open stream of a binary connection.
@@ -133,14 +177,46 @@ func (s *Server) Serve(ln net.Listener) error {
 		ln.Close()
 		return errClusterNeedsLeases
 	}
+	if s.Durability.Dir != "" && s.LeaseTTL <= 0 {
+		s.mu.Unlock()
+		ln.Close()
+		return errDurabilityNeedsLeases
+	}
 	if s.leases == nil && s.LeaseTTL > 0 {
-		lm, err := lease.New(s.mgr, lease.Config{TTL: s.LeaseTTL, Grace: s.LeaseGrace})
+		cfg := lease.Config{TTL: s.LeaseTTL, Grace: s.LeaseGrace}
+		if s.Durability.Dir != "" && s.journal == nil {
+			pol, err := journal.ParseSync(s.Durability.Fsync)
+			if err != nil {
+				s.mu.Unlock()
+				ln.Close()
+				return err
+			}
+			jn, st, err := journal.Open(s.Durability.Dir, journal.Options{
+				Sync:         pol,
+				SyncEvery:    s.Durability.FsyncInterval,
+				CompactBytes: s.Durability.CompactBytes,
+			})
+			if err != nil {
+				s.mu.Unlock()
+				ln.Close()
+				return err
+			}
+			s.journal = jn
+			cfg.Journal = jn
+			cfg.Recovered = &st
+		}
+		lm, err := lease.New(s.mgr, cfg)
 		if err != nil {
+			if s.journal != nil {
+				s.journal.Close()
+				s.journal = nil
+			}
 			s.mu.Unlock()
 			ln.Close()
 			return err
 		}
 		s.leases = lm
+		s.recovered = lm.Recovered()
 	}
 	if s.Cluster != nil && s.handoffQuit == nil {
 		s.wireCluster()
@@ -211,11 +287,72 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// revokes them so the lock manager is fully checked in.
 	s.mu.Lock()
 	leases := s.leases
+	jn := s.journal
 	s.mu.Unlock()
 	if leases != nil {
 		leases.Close()
 	}
+	// The journal closes after the lease manager: Close's revocations
+	// are deliberately un-journaled (a graceful restart must recover
+	// the orphans), so the close here just flushes and fsyncs what was
+	// already recorded — an orderly shutdown never needs torn-tail
+	// recovery.
+	if jn != nil {
+		jn.Close()
+	}
 	return nil
+}
+
+// Kill stops the server as kill -9 would, for crash testing: the
+// listener and every connection close, but no grant is released, no
+// lease revoked, and nothing further journaled — buffered journal
+// frames are dropped exactly as a dead process drops them. A server
+// opened later on the same Durability.Dir recovers what the sync
+// policy guaranteed. Terminal: use instead of Shutdown, not before it.
+func (s *Server) Kill() {
+	s.killed.Store(true)
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	quit := s.handoffQuit
+	s.handoffQuit = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if quit != nil {
+		close(quit)
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	// Sessions drain first (their teardown is a no-op under killed),
+	// then the lease manager halts without revoking, then the journal
+	// drops its buffer — the order matters: nothing may journal or
+	// commit after the journal is abandoned.
+	s.wg.Wait()
+	s.mu.Lock()
+	leases := s.leases
+	jn := s.journal
+	s.mu.Unlock()
+	if leases != nil {
+		leases.Abandon()
+	}
+	if jn != nil {
+		jn.Abandon()
+	}
+}
+
+// Recovered reports how many grants were reattached from the journal
+// when Serve started.
+func (s *Server) Recovered() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
 }
 
 // Sessions reports the number of live connections.

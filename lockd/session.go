@@ -40,12 +40,18 @@ func newSession() *session {
 }
 
 // attachGrant stamps a freshly acquired lease with its fencing token
-// (0 when leases are disabled).
-func (s *Server) attachGrant(l lockmgr.Lease) grant {
+// (0 when leases are disabled). On error the lease subsystem has
+// already released the underlying lock: the caller holds nothing and
+// must not acknowledge the acquire.
+func (s *Server) attachGrant(l lockmgr.Lease) (grant, error) {
 	if s.leases != nil {
-		return grant{l: l, token: s.leases.Attach(l)}
+		tok, err := s.leases.Attach(l)
+		if err != nil {
+			return grant{}, err
+		}
+		return grant{l: l, token: tok}, nil
 	}
-	return grant{l: l}
+	return grant{l: l}, nil
 }
 
 // grantResponse is the success response for a fresh acquire: the grant's
@@ -66,6 +72,12 @@ func (s *Server) grantResponse(g grant) Response {
 // end_stream ack, and both transports' teardown paths all route here;
 // there is exactly one release codepath.
 func (s *Server) releaseGrant(g grant) error {
+	if s.killed.Load() {
+		// A killed server releases nothing: the simulated crash must
+		// leave every grant active — in memory and in the journal — for
+		// restart recovery to find.
+		return nil
+	}
 	if s.leases != nil {
 		return s.leases.Release(g.l.Name(), g.token)
 	}
