@@ -21,6 +21,11 @@
 //	          -join host-b:7118,host-c:7118 \
 //	          -lease-ttl 2s                 # clustered: gossip membership,
 //	                                        # per-key ownership, redirects
+//	anonlockd -node-id a -gossip-addr :7118 \
+//	          -join host-b:7118 -lease-ttl 2s \
+//	          -proxy                        # proxy mode: forward foreign-key
+//	                                        # ops to their owner instead of
+//	                                        # redirecting the client
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // sessions get a drain window, every session grant is released, and the
@@ -77,6 +82,7 @@ func run(args []string, stop <-chan struct{}) error {
 	join := fs.String("join", "", "comma-separated peer gossip addresses to join through; peers need not be up yet")
 	gossipEvery := fs.Duration("gossip-interval", 0, "membership heartbeat period (0: the cluster default)")
 	advertise := fs.String("advertise", "", "lock-service address redirects send clients to (default: the listen address)")
+	proxy := fs.Bool("proxy", false, "clustered mode: forward ops for keys this node does not own to their owner over pooled inter-node connections, answering the client in one round trip instead of redirecting it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +94,9 @@ func run(args []string, stop <-chan struct{}) error {
 		if *leaseTTL <= 0 {
 			return fmt.Errorf("clustered serving needs -lease-ttl: lease handoff is what makes ownership moves safe")
 		}
+	}
+	if *proxy && !clustered {
+		return fmt.Errorf("-proxy needs clustered serving: it forwards between cluster members")
 	}
 	if *dataDir != "" && *leaseTTL <= 0 {
 		return fmt.Errorf("-data-dir needs -lease-ttl: the journal records lease transitions")
@@ -150,8 +159,12 @@ func run(args []string, stop <-chan struct{}) error {
 		}
 		defer node.Close()
 		srv.Cluster = node
+		srv.Proxy = *proxy
 		fmt.Printf("anonlockd: cluster node %s gossiping on %s (seeds: %s)\n",
 			*nodeID, node.GossipAddr(), *join)
+		if *proxy {
+			fmt.Println("anonlockd: proxy mode on (foreign-key ops forwarded to their owners)")
+		}
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -131,6 +131,11 @@ func Scenarios() []Scenario {
 			Doc:  "a three-node cluster under open-loop zipf load has one member — an owner of live keys — killed outright; the handoff must stay violation-free, every moved key re-acquirable within the failure detector's budget, and every post-failover token strictly above its pre-kill grant",
 			Run:  runKillNodeFailover,
 		},
+		{
+			Name: "kill-node-mid-failover-proxy",
+			Doc:  "the kill-a-node failover with every node in proxy mode: cross-node ops ride the inter-node forwarding pool, so the kill also severs live forwarded streams; the same invariants must hold — zero violations, recovery within the detector's budget, tokens strictly increasing",
+			Run:  runKillNodeFailoverProxy,
+		},
 	}
 }
 

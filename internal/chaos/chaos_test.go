@@ -8,8 +8,8 @@ import (
 // TestRegistry: every scenario is findable and documented.
 func TestRegistry(t *testing.T) {
 	scenarios := Scenarios()
-	if len(scenarios) != 6 {
-		t.Fatalf("registry has %d scenarios, want 6", len(scenarios))
+	if len(scenarios) != 7 {
+		t.Fatalf("registry has %d scenarios, want 7", len(scenarios))
 	}
 	for _, s := range scenarios {
 		if s.Name == "" || s.Doc == "" || s.Run == nil {

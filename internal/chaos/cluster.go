@@ -36,6 +36,12 @@ type ClusterConfig struct {
 	Clients int
 	// RatePerSec is the offered arrival rate (default 500).
 	RatePerSec float64
+	// Proxy turns on server-side forwarding: a node that receives an op
+	// for a foreign key relays it to the owner over the inter-node pool
+	// instead of redirecting the client. The failover invariants are
+	// identical — the mode changes who chases the new owner, not what
+	// the cluster promises.
+	Proxy bool
 }
 
 func (c ClusterConfig) withDefaults() (ClusterConfig, error) {
@@ -137,6 +143,7 @@ func startClusterHarness(cfg ClusterConfig) (*clusterHarness, error) {
 		srv := lockd.NewServer(mgr)
 		srv.LeaseTTL = cfg.TTL
 		srv.Cluster = node
+		srv.Proxy = cfg.Proxy
 		m := &clusterMember{mgr: mgr, srv: srv, node: node, addr: ln.Addr().String(), serveErr: make(chan error, 1)}
 		go func() { m.serveErr <- srv.Serve(ln) }()
 		h.members = append(h.members, m)
@@ -368,4 +375,13 @@ func RunClusterFailover(ccfg ClusterConfig) (*Report, error) {
 // single-config shape.
 func runKillNodeFailover(cfg Config) (*Report, error) {
 	return RunClusterFailover(ClusterConfig{Config: cfg})
+}
+
+// runKillNodeFailoverProxy is the same kill-a-node scenario with every
+// node in proxy mode, so mid-failover traffic crosses the inter-node
+// forwarding pool — including forwards addressed to the corpse — and
+// the grants the proxies hold on remote owners must be reaped when the
+// forwarding node's client sessions end.
+func runKillNodeFailoverProxy(cfg Config) (*Report, error) {
+	return RunClusterFailover(ClusterConfig{Config: cfg, Proxy: true})
 }

@@ -9,9 +9,10 @@ import (
 )
 
 // ClusterSweep (experiment S6) is the failover grid: cluster size ×
-// keyspace width × offered rate over the full clustered lockd path —
-// gossip membership, rendezvous ownership, redirect-routed clients —
-// with the owner of a probed key killed outright at half duration.
+// keyspace width × offered rate × routing mode over the full clustered
+// lockd path — gossip membership, rendezvous ownership, and either
+// redirect-routed clients or server-side proxy forwarding — with the
+// owner of a probed key killed outright at half duration.
 // Each cell runs the kill-a-node chaos scenario body, which enforces
 // the cluster spec's invariants before returning: zero mutual-exclusion
 // violations through the handoff, every key (the moved ones included)
@@ -22,8 +23,8 @@ import (
 // cost of surviving a crash from the cost of merely being clustered.
 func ClusterSweep() (*stats.Table, error) {
 	t := &stats.Table{
-		Title: "S6 — cluster failover sweep: nodes × keys × offered rate, one owner killed mid-run",
-		Header: []string{"nodes", "keys", "offered/s", "kill", "cycles",
+		Title: "S6 — cluster failover sweep: nodes × keys × offered rate × routing mode, one owner killed mid-run",
+		Header: []string{"nodes", "keys", "offered/s", "mode", "kill", "cycles",
 			"expired", "revoked", "fenced", "violations", "max recovery ms"},
 	}
 	const ttl = 50 * time.Millisecond
@@ -32,23 +33,35 @@ func ClusterSweep() (*stats.Table, error) {
 	for _, nodes := range []int{1, 3} {
 		for _, keys := range []int{4, 16} {
 			for _, rate := range []float64{400, 4_000} {
-				cell++
-				r, err := chaos.RunClusterFailover(chaos.ClusterConfig{
-					Config:     chaos.Config{TTL: ttl, Duration: cellTime, Seed: uint64(1200 + cell)},
-					Nodes:      nodes,
-					Keys:       keys,
-					RatePerSec: rate,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("S6 nodes=%d keys=%d rate=%g: %w", nodes, keys, rate, err)
+				for _, proxy := range []bool{false, true} {
+					if proxy && nodes == 1 {
+						// Single-node: every key is local, the forwarding
+						// pool would never carry an op. Skip the duplicate.
+						continue
+					}
+					cell++
+					r, err := chaos.RunClusterFailover(chaos.ClusterConfig{
+						Config:     chaos.Config{TTL: ttl, Duration: cellTime, Seed: uint64(1200 + cell)},
+						Nodes:      nodes,
+						Keys:       keys,
+						RatePerSec: rate,
+						Proxy:      proxy,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("S6 nodes=%d keys=%d rate=%g proxy=%v: %w", nodes, keys, rate, proxy, err)
+					}
+					mode := "redirect"
+					if proxy {
+						mode = "proxy"
+					}
+					kill := "owner@t/2"
+					if nodes == 1 {
+						kill = "-"
+					}
+					t.AddRow(nodes, keys, rate, mode, kill, r.Cycles,
+						r.Expired, r.Revoked, r.FencedRejects, r.Violations,
+						float64(r.MaxRecovery.Microseconds())/1000)
 				}
-				kill := "owner@t/2"
-				if nodes == 1 {
-					kill = "-"
-				}
-				t.AddRow(nodes, keys, rate, kill, r.Cycles,
-					r.Expired, r.Revoked, r.FencedRejects, r.Violations,
-					float64(r.MaxRecovery.Microseconds())/1000)
 			}
 		}
 	}
@@ -56,6 +69,7 @@ func ClusterSweep() (*stats.Table, error) {
 		"each multi-node cell kills the owner of a probed key at half duration; the load keeps arriving open-loop while ownership moves",
 		"max recovery is the worst post-kill blocking acquire over every key — the scenario body fails the cell past 2×TTL plus scheduling slack",
 		"per-key fencing tokens are checked strictly increasing across the handoff (new owners grant from the advanced epoch's floor); the violations column is exact and must be 0",
-		"single-node rows are the no-failover baseline: same clustered code path, nothing killed")
+		"single-node rows are the no-failover baseline: same clustered code path, nothing killed",
+		"proxy rows route cross-node ops through the inter-node forwarding pool instead of client redirects; post-failover the survivors re-route forwards server-side the moment their view advances, so the recovery ramp does not wait on every client's cache invalidation")
 	return t, nil
 }

@@ -6,7 +6,8 @@ import (
 )
 
 // TestClusterSweepStructure checks S6's grid: the full nodes × keys ×
-// rate cross appears, the kill column marks exactly the multi-node
+// rate × mode cross appears (proxy rows only where there is a second
+// node to forward to), the kill column marks exactly the multi-node
 // cells, every cell reads 0 violations, and every killed cell's
 // recovery stays within the failure detector's budget. The scenario
 // body additionally enforces per-key token monotonicity across the
@@ -16,32 +17,40 @@ func TestClusterSweepStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 8 {
-		t.Fatalf("rows = %d, want 8 (2 sizes × 2 keyspaces × 2 rates)", len(tbl.Rows))
+	if len(tbl.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (2 keyspaces × 2 rates × (1 single-node + 2 three-node modes))", len(tbl.Rows))
 	}
 	sizes := map[string]int{}
+	modes := map[string]int{}
 	for _, row := range tbl.Rows {
 		sizes[row[0]]++
+		modes[row[3]]++
 		baseline := row[0] == "1"
-		if baseline != (row[3] == "-") {
+		if baseline && row[3] != "redirect" {
+			t.Errorf("single-node cell ran in %s mode: %v", row[3], row)
+		}
+		if baseline != (row[4] == "-") {
 			t.Errorf("kill column inconsistent with cluster size: %v", row)
 		}
-		if row[8] != "0" {
-			t.Errorf("cell nodes=%s keys=%s rate=%s observed %s violations", row[0], row[1], row[2], row[8])
+		if row[9] != "0" {
+			t.Errorf("cell nodes=%s keys=%s rate=%s mode=%s observed %s violations", row[0], row[1], row[2], row[3], row[9])
 		}
-		recoveryMS, err := strconv.ParseFloat(row[9], 64)
+		recoveryMS, err := strconv.ParseFloat(row[10], 64)
 		if err != nil {
 			t.Fatalf("unparseable recovery in row %v", row)
 		}
 		if recoveryMS <= 0 {
-			t.Errorf("cell nodes=%s keys=%s rate=%s measured no recovery", row[0], row[1], row[2])
+			t.Errorf("cell nodes=%s keys=%s rate=%s mode=%s measured no recovery", row[0], row[1], row[2], row[3])
 		}
 		// TTL is 50ms; the scenario's bound is 2×TTL + 250ms slack.
 		if !baseline && recoveryMS > 350 {
-			t.Errorf("cell nodes=%s keys=%s rate=%s: recovery %.1fms past the 350ms bound", row[0], row[1], row[2], recoveryMS)
+			t.Errorf("cell nodes=%s keys=%s rate=%s mode=%s: recovery %.1fms past the 350ms bound", row[0], row[1], row[2], row[3], recoveryMS)
 		}
 	}
 	if len(sizes) != 2 {
 		t.Errorf("cluster-size coverage = %v, want 2 distinct sizes", sizes)
+	}
+	if modes["proxy"] != 4 || modes["redirect"] != 8 {
+		t.Errorf("mode coverage = %v, want 4 proxy + 8 redirect rows", modes)
 	}
 }

@@ -77,7 +77,7 @@ func All() []Experiment {
 		{"S3", "Deadline sweep: abortable acquisition, abort rate and tail latency", DeadlineSweep},
 		{"S4", "Open-loop load: backend × key distribution × offered rate", OpenLoadSweep},
 		{"S5", "Lease sweep: TTL × heartbeat × offered rate under a crash fraction", LeaseSweep},
-		{"S6", "Cluster failover sweep: nodes × keys × offered rate, one owner killed mid-run", ClusterSweep},
+		{"S6", "Cluster failover sweep: nodes × keys × offered rate × routing mode (redirect/proxy), one owner killed mid-run", ClusterSweep},
 	}
 }
 

@@ -62,9 +62,17 @@ type binConn struct {
 	cancel context.CancelFunc
 	// dialect pins the response encoding negotiated by the connection's
 	// magic preamble: v1 (no lease/fenced flags, 13-field stats), v2
-	// (lease fields, byte flags), or v3 (uvarint flags, redirects).
+	// (lease fields, byte flags), v3 (uvarint flags, redirects), or v4
+	// (owner hints).
 	dialect wire.Dialect
-	w       muxWriter
+	// fromProxy marks an inter-node connection (BinaryMagicProxy): its
+	// ops were already forwarded once, so its sessions never forward
+	// again — the proxy hop cap.
+	fromProxy bool
+	w         muxWriter
+	// rframe is the reader's scratch response frame for the inline fast
+	// path on inter-node connections; only the reader touches it.
+	rframe []byte
 
 	mu      sync.Mutex
 	streams map[uint32]*binStream
@@ -77,6 +85,14 @@ type binStream struct {
 	id   uint32
 	sess *session
 	q    *opQueue[Request]
+	// inflight counts ops handed to the stream goroutine whose responses
+	// have not yet reached the shared writer (queued, mid-handle, or
+	// batched unflushed). The reader increments before each push; the
+	// stream goroutine decrements as responses are flushed. Zero is the
+	// inline fast path's license: no ordering hazard exists between a
+	// response written by the reader and anything the stream goroutine
+	// still owes.
+	inflight atomic.Int32
 }
 
 // serveBinary runs one binary framed connection. The reader goroutine is
@@ -111,6 +127,11 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 		bc.dialect = wire.DialectV2
 	case BinaryMagicV3:
 		bc.dialect = wire.DialectV3
+	case BinaryMagicV4:
+		bc.dialect = wire.DialectV4
+	case BinaryMagicProxy:
+		bc.dialect = wire.DialectV4
+		bc.fromProxy = true
 	default:
 		bc.connError(fmt.Sprintf("lockd: bad protocol magic %x", magic[:]))
 		return
@@ -118,13 +139,20 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 	defer func() {
 		// Cancel first so any stream blocked in a slow-path acquire
 		// withdraws instead of competing on behalf of a dead connection,
-		// then let every stream drain and release its grants.
+		// then let every stream drain and release its grants. Streams
+		// blocked in a forwarded acquire are aborted at the owner
+		// (outside bc.mu: the abort is an inter-node write).
 		bc.cancel()
 		bc.mu.Lock()
+		streams := make([]*binStream, 0, len(bc.streams))
 		for _, st := range bc.streams {
-			st.q.close()
+			streams = append(streams, st)
 		}
 		bc.mu.Unlock()
+		for _, st := range streams {
+			st.q.close()
+			st.sess.abortRemote()
+		}
 		bc.wg.Wait()
 	}()
 
@@ -151,6 +179,20 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 			return
 		}
 		st := bc.stream(stream)
+		// Inline fast path, inter-node connections only: when the stream
+		// is idle (nothing queued, nothing mid-handle, nothing batched
+		// unflushed), the reader executes the frame's non-blocking ops
+		// itself and answers in one frame, sparing the handoff to the
+		// stream goroutine — this read is on the critical path of some
+		// client's proxied acquire at another node. The moment an op
+		// would block (a contended acquire), or on end_stream, the rest
+		// of the frame falls back to the queue and ordering is preserved:
+		// the reader's partial frame goes to the shared writer before
+		// anything is pushed.
+		inline := bc.fromProxy && st.inflight.Load() == 0
+		if inline {
+			bc.rframe = BeginFrame(bc.rframe[:0], stream)
+		}
 		for len(ops) > 0 {
 			if ops, err = decodeRequestBin(ops, &req, names); err != nil {
 				bc.connError(fmt.Sprintf("lockd: bad request: %v", err))
@@ -159,8 +201,58 @@ func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
 			if req.Op == OpCancel {
 				st.sess.cancelAcquire(req.Name)
 			}
+			if inline {
+				if handled := bc.handleInline(st, &req); handled {
+					continue
+				}
+				inline = false
+				if len(bc.rframe) > frameHeaderLen {
+					if bc.w.writeFrame(EndFrame(bc.rframe, 0)) != nil {
+						bc.conn.Close()
+						return
+					}
+				}
+			}
+			st.inflight.Add(1)
 			st.q.push(req)
 		}
+		if inline && len(bc.rframe) > frameHeaderLen {
+			if bc.w.writeFrame(EndFrame(bc.rframe, 0)) != nil {
+				bc.conn.Close()
+				return
+			}
+		}
+	}
+}
+
+// handleInline executes one op from the reader when the stream is
+// idle, appending any response to the reader's frame. It reports false
+// — leaving all state untouched beyond one uncontended probe — when
+// the op must go to the stream goroutine instead: a contended acquire
+// (whose blocking wait the reader must never perform, or cancels and
+// every other stream on the connection would stall behind it) or an
+// end_stream (whose retirement dance belongs to the goroutine being
+// retired).
+func (bc *binConn) handleInline(st *binStream, req *Request) bool {
+	switch req.Op {
+	case OpEndStream:
+		return false
+	case OpAcquire:
+		resp, done := bc.srv.handleAcquire(bc.ctx, st.sess, *req, nil, false)
+		if !done {
+			return false
+		}
+		bc.rframe = appendResponseBin(bc.rframe, &resp, bc.dialect)
+		return true
+	case OpReleaseNoAck:
+		nreq := *req
+		nreq.Op = OpRelease
+		bc.srv.handle(bc.ctx, st.sess, nreq, nil)
+		return true
+	default:
+		resp := bc.srv.handle(bc.ctx, st.sess, *req, nil)
+		bc.rframe = appendResponseBin(bc.rframe, &resp, bc.dialect)
+		return true
 	}
 }
 
@@ -182,6 +274,7 @@ func (bc *binConn) stream(id uint32) *binStream {
 			sess: newSession(),
 			q:    newOpQueue[Request](),
 		}
+		st.sess.noForward = bc.fromProxy
 		bc.streams[id] = st
 		bc.srv.liveStreams.Add(1)
 		bc.wg.Add(1)
@@ -204,7 +297,10 @@ func (bc *binConn) streamLoop(st *binStream) {
 		// Teardown routes through the same releaseGrant the end_stream ack
 		// and the release op use: with leases on, exactly one of teardown
 		// and TTL expiry wins each grant's token arbitration, so a stream
-		// dying mid-expiry can never double-release.
+		// dying mid-expiry can never double-release. Proxied grants are
+		// retired at their owners the same way, by ending the forwarded
+		// streams.
+		bc.srv.closeRemotes(st.sess)
 		for _, g := range st.sess.grants {
 			bc.srv.releaseGrant(g)
 		}
@@ -212,6 +308,12 @@ func (bc *binConn) streamLoop(st *binStream) {
 		bc.wg.Done()
 	}()
 	frame := BeginFrame(make([]byte, 0, 512), st.id)
+	// batched counts the ops whose responses sit in frame; their
+	// inflight debt is settled only once the responses reach the shared
+	// writer, keeping the reader's inline fast path (which keys on
+	// inflight reaching zero) ordered behind everything this goroutine
+	// still owes.
+	batched := 0
 	// flush pushes the batched responses, reporting false — after closing
 	// the connection so every stream unwinds — when the write failed.
 	flush := func() bool {
@@ -224,6 +326,8 @@ func (bc *binConn) streamLoop(st *binStream) {
 			bc.conn.Close()
 			return false
 		}
+		st.inflight.Add(int32(-batched))
+		batched = 0
 		return true
 	}
 	preBlock := func() { flush() }
@@ -243,6 +347,7 @@ func (bc *binConn) streamLoop(st *binStream) {
 			// Retire the stream: ack, then forget it so the id can be
 			// reused; the deferred cleanup releases its grants.
 			frame = appendResponseBin(frame, &Response{OK: true}, bc.dialect)
+			batched++
 			flush()
 			bc.mu.Lock()
 			if bc.streams[st.id] == st {
@@ -251,8 +356,18 @@ func (bc *binConn) streamLoop(st *binStream) {
 			bc.mu.Unlock()
 			return
 		}
+		if req.Op == OpReleaseNoAck {
+			// Fire-and-forget: the sender registered no response slot, so
+			// answering would desync its FIFO. Perform the release and
+			// move on without touching the response frame.
+			req.Op = OpRelease
+			bc.srv.handle(bc.ctx, st.sess, req, preBlock)
+			st.inflight.Add(-1)
+			continue
+		}
 		resp := bc.srv.handle(bc.ctx, st.sess, req, preBlock)
 		frame = appendResponseBin(frame, &resp, bc.dialect)
+		batched++
 		if len(frame) >= binResponseFlushBytes {
 			if !flush() {
 				return

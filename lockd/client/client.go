@@ -247,17 +247,37 @@ func (c *Conn) Token(name string) uint64 {
 	return c.tokens[name]
 }
 
+// doAcquire runs one acquire-type exchange, recording the fencing token
+// when a grant came back, and returns the raw response — the routing
+// layer reads owner hints (and Aborted/Acquired) off it directly.
+func (c *Conn) doAcquire(req lockd.Request) (lockd.Response, error) {
+	resp, err := c.do(req)
+	if err == nil && resp.Acquired {
+		c.noteToken(req.Name, resp.Token)
+	}
+	return resp, err
+}
+
+// acquireForRequest builds AcquireFor's wire request, rounding
+// sub-millisecond deadlines up to 1ms rather than down to "forever".
+func acquireForRequest(name string, timeout time.Duration) lockd.Request {
+	req := lockd.Request{Op: lockd.OpAcquire, Name: name, TimeoutMS: int64(timeout / time.Millisecond)}
+	if timeout > 0 && req.TimeoutMS == 0 {
+		req.TimeoutMS = 1
+	}
+	return req
+}
+
 // Acquire blocks until the session holds the named lock, or returns
 // ErrAborted if the attempt was cancelled or capped server-side.
 func (c *Conn) Acquire(name string) error {
-	resp, err := c.do(lockd.Request{Op: lockd.OpAcquire, Name: name})
+	resp, err := c.doAcquire(lockd.Request{Op: lockd.OpAcquire, Name: name})
 	if err != nil {
 		return err
 	}
 	if resp.Aborted {
 		return fmt.Errorf("%w: %s", ErrAborted, name)
 	}
-	c.noteToken(name, resp.Token)
 	return nil
 }
 
@@ -266,18 +286,8 @@ func (c *Conn) Acquire(name string) error {
 // an error: the server withdraws the waiter cleanly and AcquireFor
 // returns (false, nil).
 func (c *Conn) AcquireFor(name string, timeout time.Duration) (bool, error) {
-	req := lockd.Request{Op: lockd.OpAcquire, Name: name, TimeoutMS: int64(timeout / time.Millisecond)}
-	if timeout > 0 && req.TimeoutMS == 0 {
-		req.TimeoutMS = 1 // round sub-millisecond deadlines up, not to "forever"
-	}
-	resp, err := c.do(req)
-	if err != nil {
-		return false, err
-	}
-	if resp.Acquired {
-		c.noteToken(name, resp.Token)
-	}
-	return resp.Acquired, nil
+	resp, err := c.doAcquire(acquireForRequest(name, timeout))
+	return resp.Acquired, err
 }
 
 // Cancel aborts the session's in-flight acquire — or, if none is in
@@ -291,14 +301,8 @@ func (c *Conn) Cancel(name string) error {
 
 // TryAcquire reports whether the lock was available and is now held.
 func (c *Conn) TryAcquire(name string) (bool, error) {
-	resp, err := c.do(lockd.Request{Op: lockd.OpTryAcquire, Name: name})
-	if err != nil {
-		return false, err
-	}
-	if resp.Acquired {
-		c.noteToken(name, resp.Token)
-	}
-	return resp.Acquired, nil
+	resp, err := c.doAcquire(lockd.Request{Op: lockd.OpTryAcquire, Name: name})
+	return resp.Acquired, err
 }
 
 // Release gives a held lock back.

@@ -65,13 +65,13 @@ func DialMux(addr string) (*Mux, error) {
 
 // NewMux wraps an already-established connection as a binary multiplexed
 // client. The Mux takes ownership of c and immediately stakes the
-// protocol claim: the magic preamble — v3, so responses may carry
-// fencing tokens, TTLs, the fenced bit, and cluster wrong-owner
-// redirects — is buffered ahead of the first frame (the server reads it
-// before anything else).
+// protocol claim: the magic preamble — v4, so responses may carry
+// fencing tokens, TTLs, the fenced bit, cluster wrong-owner redirects,
+// and proxy-mode owner hints — is buffered ahead of the first frame
+// (the server reads it before anything else).
 func NewMux(c net.Conn) *Mux {
 	m := &Mux{c: c, bw: bufio.NewWriter(c), streams: make(map[uint32]*Conn)}
-	m.bw.Write(lockd.BinaryMagicV3[:])
+	m.bw.Write(lockd.BinaryMagicV4[:])
 	go m.readLoop()
 	return m
 }

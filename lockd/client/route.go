@@ -41,12 +41,19 @@ func retryDelay(attempt int, base, max time.Duration) time.Duration {
 // errClientClosed fails operations issued after Close.
 var errClientClosed = errors.New("client: closed")
 
+// ownerCacheCap bounds the ownership cache: past it, learning a new
+// key evicts an arbitrary resident entry (one map-range step — cheap,
+// and any entry is a fine victim since a miss only costs one redirect).
+// Without the cap a large keyspace would grow the routed client without
+// limit, one entry per key ever touched.
+const ownerCacheCap = 4096
+
 // ownerCache maps keys to the cluster address last seen owning them,
 // stamped with the membership epoch the information came from. Entries
-// are only ever learned from redirects (the server's own routing
-// table), invalidated when they mislead, and flushed wholesale when a
-// newer epoch appears — after a membership change every cached owner is
-// suspect, and one round of redirects re-learns the hot set.
+// are only ever learned from redirects or owner hints (the server's own
+// routing table), invalidated when they mislead, and flushed wholesale
+// when a newer epoch appears — after a membership change every cached
+// owner is suspect, and one round of redirects re-learns the hot set.
 type ownerCache struct {
 	mu     sync.RWMutex
 	epoch  uint64
@@ -77,6 +84,14 @@ func (oc *ownerCache) learn(name, addr string, epoch uint64) {
 	}
 	if oc.owners == nil {
 		oc.owners = make(map[string]string)
+	}
+	if len(oc.owners) >= ownerCacheCap {
+		if _, resident := oc.owners[name]; !resident {
+			for victim := range oc.owners {
+				delete(oc.owners, victim)
+				break
+			}
+		}
 	}
 	oc.owners[name] = addr
 }
@@ -127,20 +142,22 @@ type poolClient struct {
 	opts  Options
 	cache ownerCache
 
-	mu       sync.Mutex
-	pools    map[string]*MuxPool // ProtoBinary: one socket pool per address
-	down     map[string]time.Time
-	sessions map[*routedSession]struct{}
-	corpses  []*Conn
-	closed   bool
+	mu        sync.Mutex
+	pools     map[string]*MuxPool // ProtoBinary: one socket pool per address
+	down      map[string]time.Time
+	sessions  map[*routedSession]struct{}
+	statsSubs map[string]*Conn // cached per-address stats sub-sessions
+	corpses   []*Conn
+	closed    bool
 }
 
 func newPoolClient(opts Options) *poolClient {
 	return &poolClient{
-		opts:     opts,
-		pools:    make(map[string]*MuxPool),
-		down:     make(map[string]time.Time),
-		sessions: make(map[*routedSession]struct{}),
+		opts:      opts,
+		pools:     make(map[string]*MuxPool),
+		down:      make(map[string]time.Time),
+		sessions:  make(map[*routedSession]struct{}),
+		statsSubs: make(map[string]*Conn),
 	}
 }
 
@@ -191,22 +208,38 @@ func (cl *poolClient) openConn(addr string) (*Conn, error) {
 
 // markDown quarantines addr from the fallback guess for a few retry
 // periods, so a dead member stops being every cache miss's first hop.
+// Entries whose quarantine has lapsed are swept here, so the map stays
+// bounded by the members that failed recently, not ever.
 func (cl *poolClient) markDown(addr string) {
 	hold := 4 * cl.opts.RetryBackoff
 	if hold < 100*time.Millisecond {
 		hold = 100 * time.Millisecond
 	}
+	now := time.Now()
 	cl.mu.Lock()
-	cl.down[addr] = time.Now().Add(hold)
+	for a, until := range cl.down {
+		if !now.Before(until) {
+			delete(cl.down, a)
+		}
+	}
+	cl.down[addr] = now.Add(hold)
 	cl.mu.Unlock()
 }
 
-// isDown reports whether addr is still inside its quarantine.
+// isDown reports whether addr is still inside its quarantine; a lapsed
+// entry is dropped on the way out.
 func (cl *poolClient) isDown(addr string) bool {
 	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	until, ok := cl.down[addr]
-	cl.mu.Unlock()
-	return ok && time.Now().Before(until)
+	if !ok {
+		return false
+	}
+	if time.Now().Before(until) {
+		return true
+	}
+	delete(cl.down, addr)
+	return false
 }
 
 // route resolves the address to try first for name: the cached owner
@@ -219,21 +252,66 @@ func (cl *poolClient) route(name string) string {
 	return fallbackAddr(cl.opts.Addrs, name, cl.isDown)
 }
 
-// Stats sums counter snapshots across every reachable address; it fails
-// only when no address answers.
+// statsConn returns the cached stats sub-session for addr, opening one
+// over the client's configured transport on first use — under
+// ProtoBinary that is a stream on the pooled socket, not a new dial.
+func (cl *poolClient) statsConn(addr string) (*Conn, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, errClientClosed
+	}
+	if c := cl.statsSubs[addr]; c != nil {
+		cl.mu.Unlock()
+		return c, nil
+	}
+	cl.mu.Unlock()
+	c, err := cl.openConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		c.Close()
+		return nil, errClientClosed
+	}
+	if prior := cl.statsSubs[addr]; prior != nil {
+		cl.mu.Unlock()
+		c.Close()
+		return prior, nil
+	}
+	cl.statsSubs[addr] = c
+	cl.mu.Unlock()
+	return c, nil
+}
+
+// dropStatsConn retires a stats sub-session whose transport broke.
+func (cl *poolClient) dropStatsConn(addr string, c *Conn) {
+	cl.mu.Lock()
+	if cl.statsSubs[addr] == c {
+		delete(cl.statsSubs, addr)
+	}
+	cl.mu.Unlock()
+	c.Close()
+}
+
+// Stats sums counter snapshots across every reachable address, over the
+// client's existing per-address transports (a cached sub-session each —
+// no throwaway dial per call); it fails only when no address answers.
 func (cl *poolClient) Stats() (lockd.Stats, error) {
 	var sum lockd.Stats
 	var lastErr error
 	reached := 0
 	for _, addr := range cl.opts.Addrs {
-		c, err := DialConn(addr)
+		c, err := cl.statsConn(addr)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		st, err := c.Stats()
-		c.Close()
 		if err != nil {
+			cl.dropStatsConn(addr, c)
 			lastErr = err
 			continue
 		}
@@ -335,12 +413,17 @@ func (cl *poolClient) Close() error {
 	cl.corpses = nil
 	pools := cl.pools
 	cl.pools = nil
+	statsSubs := cl.statsSubs
+	cl.statsSubs = nil
 	cl.mu.Unlock()
 	var first error
 	for _, s := range sessions {
 		if err := s.closeSubs(); err != nil && first == nil {
 			first = err
 		}
+	}
+	for _, c := range statsSubs {
+		c.Close()
 	}
 	for _, c := range corpses {
 		c.Close()
@@ -417,8 +500,14 @@ func (s *routedSession) dropSub(addr string, c *Conn) {
 // acquireRoute runs one acquire-type op with routing: redirects are
 // followed (teaching the cache) up to MaxRedirects, unavailable members
 // are retried against the rest with backoff, and a success pins the
-// grant to the address that issued it.
-func (s *routedSession) acquireRoute(name string, op func(c *Conn) (bool, error)) (bool, error) {
+// grant to the address that issued it. A response carrying an owner
+// hint — a proxy-mode node answering for a key it forwarded — also
+// teaches the cache: the grant stays pinned to the node that served it
+// (release and heartbeat must go where the grant lives, and the proxy
+// relays them), but the session's next acquire of that key routes
+// straight to the owner, so hot keys converge to direct routing after
+// one forwarded trip.
+func (s *routedSession) acquireRoute(name string, op func(c *Conn) (lockd.Response, error)) (lockd.Response, error) {
 	maxAttempts := s.cl.opts.MaxAttempts
 	hops := 0
 	next := "" // a just-received redirect target, followed unconditionally
@@ -431,23 +520,26 @@ func (s *routedSession) acquireRoute(name string, op func(c *Conn) (bool, error)
 		}
 		c, err := s.sub(addr)
 		if err == nil {
-			var ok bool
-			ok, err = op(c)
+			var resp lockd.Response
+			resp, err = op(c)
 			if err == nil {
-				if ok {
+				if resp.OwnerHint && resp.Owner != "" {
+					s.cl.cache.learn(name, resp.Owner, resp.Epoch)
+				}
+				if resp.Acquired {
 					s.mu.Lock()
 					s.grants[name] = addr
 					s.granted[name] = c
 					s.mu.Unlock()
 				}
-				return ok, nil
+				return resp, nil
 			}
 			var redir *RedirectError
 			if errors.As(err, &redir) {
 				s.cl.cache.learn(redir.Name, redir.Owner, redir.Epoch)
 				hops++
 				if hops > s.cl.opts.MaxRedirects {
-					return false, err
+					return lockd.Response{}, err
 				}
 				// Go where the redirect points, not where the cache says:
 				// the cache may rightly refuse to learn from a node whose
@@ -461,7 +553,7 @@ func (s *routedSession) acquireRoute(name string, op func(c *Conn) (bool, error)
 				s.cl.markDown(addr)
 				s.dropSub(addr, c)
 			} else {
-				return false, err // a real rejection (aborted, held, fenced…)
+				return lockd.Response{}, err // a real rejection (aborted, held, fenced…)
 			}
 		}
 		// Dial failure or mid-op transport loss: the cached owner (if
@@ -471,7 +563,7 @@ func (s *routedSession) acquireRoute(name string, op func(c *Conn) (bool, error)
 		lastErr = err
 		time.Sleep(retryDelay(attempt, s.cl.opts.RetryBackoff, s.cl.opts.RetryBackoffMax))
 	}
-	return false, fmt.Errorf("client: %s: no cluster member could serve the acquire: %w", name, lastErr)
+	return lockd.Response{}, fmt.Errorf("client: %s: no cluster member could serve the acquire: %w", name, lastErr)
 }
 
 // grantConn resolves the connection a grant-bound op must use: the
@@ -490,27 +582,32 @@ func (s *routedSession) grantConn(name string) (*Conn, string, error) {
 
 // Acquire blocks until the session holds name on its owning node.
 func (s *routedSession) Acquire(name string) error {
-	_, err := s.acquireRoute(name, func(c *Conn) (bool, error) {
-		if err := c.Acquire(name); err != nil {
-			return false, err
-		}
-		return true, nil
+	resp, err := s.acquireRoute(name, func(c *Conn) (lockd.Response, error) {
+		return c.doAcquire(lockd.Request{Op: lockd.OpAcquire, Name: name})
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	if resp.Aborted {
+		return fmt.Errorf("%w: %s", ErrAborted, name)
+	}
+	return nil
 }
 
 // AcquireFor bounds the attempt; expiry reports (false, nil).
 func (s *routedSession) AcquireFor(name string, d time.Duration) (bool, error) {
-	return s.acquireRoute(name, func(c *Conn) (bool, error) {
-		return c.AcquireFor(name, d)
+	resp, err := s.acquireRoute(name, func(c *Conn) (lockd.Response, error) {
+		return c.doAcquire(acquireForRequest(name, d))
 	})
+	return resp.Acquired, err
 }
 
 // TryAcquire probes the owning node without waiting.
 func (s *routedSession) TryAcquire(name string) (bool, error) {
-	return s.acquireRoute(name, func(c *Conn) (bool, error) {
-		return c.TryAcquire(name)
+	resp, err := s.acquireRoute(name, func(c *Conn) (lockd.Response, error) {
+		return c.doAcquire(lockd.Request{Op: lockd.OpTryAcquire, Name: name})
 	})
+	return resp.Acquired, err
 }
 
 // Release gives a held name back to the node that granted it. The
@@ -565,9 +662,13 @@ func (s *routedSession) Crash(name string) (bool, error) {
 }
 
 // Heartbeat renews the session's leases on every node it has grants
-// from. A fenced beat (some grant already expired) is reported after
-// every sub has been renewed; a sub whose transport broke is dropped —
-// its grants are gone with the node, which the next op will discover.
+// from, in parallel — the beats are independent round trips to
+// independent nodes, and a slow member must not eat the other members'
+// renewal margin (serial beats made the effective deadline on the last
+// node TTL minus the sum of everyone else's latency). A fenced beat
+// (some grant already expired) is reported after every sub has been
+// renewed; a sub whose transport broke is dropped — its grants are gone
+// with the node, which the next op will discover.
 func (s *routedSession) Heartbeat() error {
 	s.mu.Lock()
 	type pair struct {
@@ -579,18 +680,40 @@ func (s *routedSession) Heartbeat() error {
 		subs = append(subs, pair{addr, c})
 	}
 	s.mu.Unlock()
-	var firstErr error
-	for _, p := range subs {
-		if err := p.c.Heartbeat(); err != nil {
+	if len(subs) == 1 {
+		// One node: no fan-out to pay for.
+		if err := subs[0].c.Heartbeat(); err != nil {
 			if errors.Is(err, ErrUnavailable) {
-				s.dropSub(p.addr, p.c)
-				continue
+				s.dropSub(subs[0].addr, subs[0].c)
+				return nil
 			}
-			if firstErr == nil {
-				firstErr = err
-			}
+			return err
 		}
+		return nil
 	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for _, p := range subs {
+		wg.Add(1)
+		go func(p pair) {
+			defer wg.Done()
+			if err := p.c.Heartbeat(); err != nil {
+				if errors.Is(err, ErrUnavailable) {
+					s.dropSub(p.addr, p.c)
+					return
+				}
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
 	return firstErr
 }
 

@@ -1,0 +1,89 @@
+package lockd_test
+
+// Cluster round-trip benchmarks: the cost of one acquire+release cycle
+// for a key owned by n0, measured three ways — direct (the client is
+// already talking to the owner), redirect (the client asked the wrong
+// node and must follow the redirect onto a fresh connection, the
+// pre-proxy worst case for a cold ownership cache), and proxy (the
+// wrong node forwards to the owner over the pooled inter-node
+// transport). Proxy's budget is ≤ 1.5× direct — the forwarded acquire
+// adds one loopback hop and the forwarded release is asynchronous —
+// and it must beat redirect, which pays a dial plus the retried op.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"anonmutex/lockd/client"
+)
+
+// benchAcquireRelease spins one acquire+release cycle per iteration on
+// an established connection.
+func benchAcquireRelease(b *testing.B, c *client.Conn, key string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := c.AcquireFor(key, time.Second)
+		if err != nil || !ok {
+			b.Fatalf("acquire: %v %v", ok, err)
+		}
+		if err := c.Release(key); err != nil {
+			b.Fatalf("release: %v", err)
+		}
+	}
+}
+
+func BenchmarkClusterRoundTrip_Direct(b *testing.B) {
+	nodes := startCluster(b, 2)
+	key := keyOwnedBy(b, nodes, "n0")
+	c, err := client.DialConn(nodes[0].addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	benchAcquireRelease(b, c, key)
+}
+
+func BenchmarkClusterRoundTrip_Redirect(b *testing.B) {
+	nodes := startCluster(b, 2)
+	key := keyOwnedBy(b, nodes, "n0")
+	wrong, err := client.DialConn(nodes[1].addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wrong.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The cold-cache dance: ask the wrong node, get redirected, dial
+		// the owner, redo the op there, release, hang up.
+		_, err := wrong.AcquireFor(key, time.Second)
+		var redir *client.RedirectError
+		if !errors.As(err, &redir) {
+			b.Fatalf("wrong node answered %v, want a redirect", err)
+		}
+		c, err := client.DialConn(redir.Owner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ok, err := c.AcquireFor(key, time.Second)
+		if err != nil || !ok {
+			b.Fatalf("redirected acquire: %v %v", ok, err)
+		}
+		if err := c.Release(key); err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+func BenchmarkClusterRoundTrip_Proxy(b *testing.B) {
+	nodes := startProxyCluster(b, 2)
+	key := keyOwnedBy(b, nodes, "n0")
+	c, err := client.DialConn(nodes[1].addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	benchAcquireRelease(b, c, key)
+}

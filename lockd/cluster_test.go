@@ -30,7 +30,19 @@ type clusterNode struct {
 // startCluster brings up n clustered lockd servers on loopback with fast
 // gossip timings, waits for every member to see every other alive, and
 // tears the whole thing down with the test.
-func startCluster(t *testing.T, n int) []*clusterNode {
+func startCluster(t testing.TB, n int) []*clusterNode {
+	t.Helper()
+	return startClusterMode(t, n, false)
+}
+
+// startProxyCluster is startCluster with proxy-mode forwarding on at
+// every member.
+func startProxyCluster(t testing.TB, n int) []*clusterNode {
+	t.Helper()
+	return startClusterMode(t, n, true)
+}
+
+func startClusterMode(t testing.TB, n int, proxy bool) []*clusterNode {
 	t.Helper()
 	nodes := make([]*clusterNode, 0, n)
 	var seeds []string
@@ -59,6 +71,7 @@ func startCluster(t *testing.T, n int) []*clusterNode {
 		srv := lockd.NewServer(mgr)
 		srv.LeaseTTL = time.Second
 		srv.Cluster = cn
+		srv.Proxy = proxy
 		serveErr := make(chan error, 1)
 		go func() { serveErr <- srv.Serve(ln) }()
 		node := &clusterNode{addr: ln.Addr().String(), srv: srv, node: cn, mgr: mgr, ln: ln}
@@ -95,7 +108,7 @@ func startCluster(t *testing.T, n int) []*clusterNode {
 
 // stop shuts one node down; killing it from the cluster's point of view
 // (Close is silent — peers find out via the failure detector).
-func (cn *clusterNode) stop(t *testing.T) {
+func (cn *clusterNode) stop(t testing.TB) {
 	t.Helper()
 	if cn.node != nil {
 		cn.node.Close()
@@ -113,7 +126,7 @@ func (cn *clusterNode) stop(t *testing.T) {
 
 // keyOwnedBy finds a lock name the given member owns under the current
 // view (every member owns some key within a few dozen candidates).
-func keyOwnedBy(t *testing.T, nodes []*clusterNode, id string) string {
+func keyOwnedBy(t testing.TB, nodes []*clusterNode, id string) string {
 	t.Helper()
 	view := nodes[0].node.View()
 	for i := 0; i < 10000; i++ {

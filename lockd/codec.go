@@ -71,6 +71,9 @@ func AppendResponse(dst []byte, resp *Response) []byte {
 	if resp.WrongOwner {
 		dst = append(dst, `,"wrong_owner":true`...)
 	}
+	if resp.OwnerHint {
+		dst = append(dst, `,"owner_hint":true`...)
+	}
 	if resp.Owner != "" {
 		dst = append(dst, `,"owner":`...)
 		dst = appendString(dst, resp.Owner)
@@ -328,6 +331,10 @@ func DecodeResponse(data []byte, resp *Response) error {
 		case "wrong_owner":
 			v, err := d.boolValue()
 			resp.WrongOwner = v
+			return err
+		case "owner_hint":
+			v, err := d.boolValue()
+			resp.OwnerHint = v
 			return err
 		case "owner":
 			raw, esc, err := d.stringValue()

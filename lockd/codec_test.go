@@ -192,6 +192,7 @@ func TestResponseCodecAllFieldCombinations(t *testing.T) {
 	}
 	type redirectFields struct {
 		wrongOwner bool
+		ownerHint  bool
 		owner      string
 		epoch      uint64
 	}
@@ -199,6 +200,8 @@ func TestResponseCodecAllFieldCombinations(t *testing.T) {
 		{},
 		{wrongOwner: true, owner: "10.0.0.7:7171", epoch: 3},
 		{wrongOwner: true, owner: "", epoch: math.MaxUint64},
+		{ownerHint: true, owner: "10.0.0.7:7171", epoch: 3},
+		{ownerHint: true, owner: "", epoch: math.MaxUint64},
 	}
 	errs := []string{"", "lockd: session does not hold \"x\"", "uni ✓ <err>"}
 	for _, ok := range []bool{false, true} {
@@ -213,7 +216,8 @@ func TestResponseCodecAllFieldCombinations(t *testing.T) {
 										OK: ok, Err: errStr, Acquired: acquired,
 										Aborted: aborted, Holds: holds,
 										Token: lf.token, TTLMS: lf.ttl, Fenced: lf.fenced,
-										WrongOwner: rd.wrongOwner, Owner: rd.owner, Epoch: rd.epoch,
+										WrongOwner: rd.wrongOwner, OwnerHint: rd.ownerHint,
+										Owner: rd.owner, Epoch: rd.epoch,
 										Stats: stats,
 									})
 								}

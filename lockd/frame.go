@@ -38,9 +38,14 @@ package lockd
 // exactly one version per connection. That gate is how each dialect
 // arrived compatibly: a v1 client's magic pins the pre-lease response
 // dialect (no lease flags, the 13-field stats sequence), v2 added the
-// lease token/TTL, fenced bit, and extended stats, and v3 widened the
+// lease token/TTL, fenced bit, and extended stats, v3 widened the
 // flag field and added the wrong_owner redirect (owner address plus
-// membership epoch) for clustered servers.
+// membership epoch) for clustered servers, and v4 added the proxy-mode
+// owner hint (same owner/epoch shape, riding a success). The proxy
+// magic is v4 plus a connection-scoped mark: ops arriving over it were
+// already forwarded once, so the server answers foreign keys with a
+// redirect instead of forwarding again — the structural hop cap that
+// makes forwarding loops impossible under divergent membership views.
 
 import (
 	"bufio"
@@ -66,12 +71,27 @@ var BinaryMagic = [4]byte{0xA9, 'L', 'K', '1'}
 // magic and pins the dialect per connection.
 var BinaryMagicV2 = [4]byte{0xA9, 'L', 'K', '2'}
 
-// BinaryMagicV3 negotiates the current binary dialect: the response
-// flag field is a uvarint (one byte for every pre-existing response)
-// and responses may carry a wrong_owner redirect — the owning node's
+// BinaryMagicV3 negotiates the v3 binary dialect: the response flag
+// field is a uvarint (one byte for every pre-existing response) and
+// responses may carry a wrong_owner redirect — the owning node's
 // address and the membership epoch — which is how a clustered server
-// bounces a key op to the right node. New clients lead with it.
+// bounces a key op to the right node.
 var BinaryMagicV3 = [4]byte{0xA9, 'L', 'K', '3'}
+
+// BinaryMagicV4 negotiates the current binary dialect: v3 plus the
+// owner hint a proxy-mode server stamps on ops it forwarded to the
+// key's owner, so routing clients converge to direct routing. New
+// clients lead with it.
+var BinaryMagicV4 = [4]byte{0xA9, 'L', 'K', '4'}
+
+// BinaryMagicProxy negotiates the v4 dialect and marks the connection
+// as inter-node: every op arriving over it was already forwarded once
+// by a proxy-mode peer, so the server never forwards it again — a key
+// it does not own is answered wrong_owner, which the first proxy
+// relays to the client as a plain redirect. Forwarding is therefore
+// structurally capped at one hop, whatever the nodes' membership views
+// disagree about.
+var BinaryMagicProxy = [4]byte{0xA9, 'L', 'K', 'P'}
 
 // DefaultMaxFrameBytes bounds one binary frame's payload when
 // Server.MaxFrameBytes is zero (and is the client-side bound too).
@@ -166,11 +186,19 @@ func decodeRequestBin(data []byte, req *Request, names *nameTable) (rest []byte,
 	return data[n:], nil
 }
 
-// AppendResponseBin appends resp's binary encoding (the current, v3
-// dialect: uvarint flags, redirects, lease fields, extended stats) to
-// dst and returns the extended slice. It allocates only if dst must
-// grow.
+// AppendResponseBin appends resp's binary encoding (the current, v4
+// dialect: uvarint flags, redirects, owner hints, lease fields,
+// extended stats) to dst and returns the extended slice. It allocates
+// only if dst must grow.
 func AppendResponseBin(dst []byte, resp *Response) []byte {
+	return appendResponseBin(dst, resp, wire.DialectV4)
+}
+
+// AppendResponseBinV3 appends resp's encoding in the v3 dialect served
+// to clients that negotiated with BinaryMagicV3: identical to v4 except
+// the owner-hint fields are silently dropped — the peer still sees the
+// grant, it just re-learns the owner by redirect next time.
+func AppendResponseBinV3(dst []byte, resp *Response) []byte {
 	return appendResponseBin(dst, resp, wire.DialectV3)
 }
 
@@ -221,6 +249,10 @@ func appendResponseBin(dst []byte, resp *Response, d wire.Dialect) []byte {
 	if redirect {
 		flags |= wire.FlagRedirect
 	}
+	hint := d >= wire.DialectV4 && resp.OwnerHint
+	if hint {
+		flags |= wire.FlagOwnerHint
+	}
 	if d >= wire.DialectV3 {
 		dst = binary.AppendUvarint(dst, flags)
 	} else {
@@ -235,6 +267,11 @@ func appendResponseBin(dst []byte, resp *Response, d wire.Dialect) []byte {
 		dst = binary.AppendVarint(dst, resp.TTLMS)
 	}
 	if redirect {
+		dst = binary.AppendUvarint(dst, uint64(len(resp.Owner)))
+		dst = append(dst, resp.Owner...)
+		dst = binary.AppendUvarint(dst, resp.Epoch)
+	}
+	if hint {
 		dst = binary.AppendUvarint(dst, uint64(len(resp.Owner)))
 		dst = append(dst, resp.Owner...)
 		dst = binary.AppendUvarint(dst, resp.Epoch)
@@ -262,12 +299,20 @@ func appendResponseBin(dst []byte, resp *Response, d wire.Dialect) []byte {
 	return dst
 }
 
-// DecodeResponseBin decodes one binary response (the current, v3
+// DecodeResponseBin decodes one binary response (the current, v4
 // dialect) from the front of data into resp, overwriting every field,
 // and returns the remainder (the next response of the frame). Arbitrary
 // input never panics; only a stats payload, an owner address, or an
 // error string allocates.
 func DecodeResponseBin(data []byte, resp *Response) (rest []byte, err error) {
+	return decodeResponseBin(data, resp, wire.DialectV4)
+}
+
+// DecodeResponseBinV3 decodes a v3-dialect response: the owner-hint bit
+// is unknown (a protocol error, as it was before it existed). It is
+// what a v3 client's decoder does, kept exported so the compat tests
+// can pin the dialect byte-for-byte.
+func DecodeResponseBinV3(data []byte, resp *Response) (rest []byte, err error) {
 	return decodeResponseBin(data, resp, wire.DialectV3)
 }
 
@@ -347,6 +392,20 @@ func decodeResponseBin(data []byte, resp *Response, d wire.Dialect) (rest []byte
 		}
 		data = data[n:]
 		resp.WrongOwner = true
+		resp.Owner = string(owner)
+		resp.Epoch = epoch
+	}
+	if flags&wire.FlagOwnerHint != 0 {
+		var owner []byte
+		if owner, data, err = binBytes(data); err != nil {
+			return nil, fmt.Errorf("lockd: binary response hint owner address: %w", err)
+		}
+		epoch, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, errors.New("lockd: binary response: bad hint epoch varint")
+		}
+		data = data[n:]
+		resp.OwnerHint = true
 		resp.Owner = string(owner)
 		resp.Epoch = epoch
 	}

@@ -135,7 +135,22 @@ func (s *Server) checkOwner(name string) (Response, bool) {
 	if owner.ID == v.Self.ID {
 		return Response{}, true
 	}
-	return wire.WrongOwnerResponse(name, owner.Addr, v.Epoch), false
+	// The error text is stamped lazily (stampRedirect): in proxy mode the
+	// redirect is usually consumed by a successful forward, and formatting
+	// a string per forwarded op would be pure waste on that hot path.
+	return Response{WrongOwner: true, Owner: owner.Addr, Epoch: v.Epoch}, false
+}
+
+// stampRedirect fills in the human-readable error text of a redirect
+// about to be answered to a client, completing what checkOwner left
+// lazy. The text is exactly wire.WrongOwnerResponse's, so clients too
+// old for the wrong_owner field see the same plain failure they always
+// did.
+func stampRedirect(name string, r Response) Response {
+	if r.WrongOwner && r.Err == "" {
+		r.Err = wire.WrongOwnerResponse(name, r.Owner, r.Epoch).Err
+	}
+	return r
 }
 
 // commitAcquire turns a lock the manager just granted into the
@@ -190,6 +205,74 @@ func (s *Server) commitAcquire(sess *session, name string, l lockmgr.Lease) Resp
 	return s.grantResponse(g)
 }
 
+// handleAcquire is handle's OpAcquire case. With block=true it always
+// answers (done=true). With block=false it answers only when no
+// blocking would be needed: done=false means the acquire ran its
+// validations and one uncontended fast probe, found the lock busy, and
+// stopped — with no residue, so re-submitting the same request through
+// the blocking path is exactly an acquire that started a moment later.
+// The binary reader's inline fast path uses the non-blocking mode; it
+// only ever does so for sessions whose ops arrived over an inter-node
+// connection, whose noForward flag also keeps maybeForward — the one
+// other spot this path could stall — an immediate return.
+func (s *Server) handleAcquire(connCtx context.Context, sess *session, req Request, preBlock func(), block bool) (resp Response, done bool) {
+	if req.Name == "" {
+		return needName(req.Op), true
+	}
+	if req.TimeoutMS < 0 {
+		return Response{Err: fmt.Sprintf("lockd: negative timeout_ms %d", req.TimeoutMS)}, true
+	}
+	if _, held := sess.grants[req.Name]; held {
+		return alreadyHeld(req.Name), true
+	}
+	if _, held := sess.remoteGrants[req.Name]; held {
+		return alreadyHeld(req.Name), true
+	}
+	if s.Cluster != nil {
+		if resp, ok := s.checkOwner(req.Name); !ok {
+			return s.maybeForward(sess, req, resp, preBlock), true
+		}
+	}
+	// Fast path: no contexts, no timers, no allocation — consume a
+	// remembered cancel, then take the lock manager's uncontended
+	// probe. Only a lock that is actually busy pays the slow path.
+	if sess.beginFastAcquire(req.Name) {
+		return Response{OK: true, Aborted: true}, true
+	}
+	l, ok, err := s.mgr.AcquireFast(req.Name)
+	cancelled := sess.endFastAcquire()
+	if err != nil {
+		return Response{Err: err.Error()}, true
+	}
+	if ok {
+		// A cancel that raced in during the attempt lost, exactly as a
+		// cancel observed after a slow-path acquisition completes.
+		return s.commitAcquire(sess, req.Name, l), true
+	}
+	if cancelled {
+		return Response{OK: true, Aborted: true}, true
+	}
+	if !block {
+		return Response{}, false
+	}
+	if preBlock != nil {
+		preBlock()
+	}
+	base, baseCancel := s.acquireCtx(connCtx, req)
+	defer baseCancel()
+	ctx, cancel := sess.beginAcquire(base, req.Name)
+	defer cancel()
+	held, err := s.mgr.AcquireLeaseCtx(ctx, req.Name)
+	sess.endAcquire()
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return Response{OK: true, Aborted: true}, true
+		}
+		return Response{Err: err.Error()}, true
+	}
+	return s.commitAcquire(sess, req.Name, held), true
+}
+
 // handle executes one request against the session. preBlock, when
 // non-nil, is called right before an acquire commits to the blocking
 // slow path — the transport uses it to flush responses batched so far,
@@ -198,55 +281,8 @@ func (s *Server) commitAcquire(sess *session, name string, l lockmgr.Lease) Resp
 func (s *Server) handle(connCtx context.Context, sess *session, req Request, preBlock func()) Response {
 	switch req.Op {
 	case OpAcquire:
-		if req.Name == "" {
-			return needName(req.Op)
-		}
-		if req.TimeoutMS < 0 {
-			return Response{Err: fmt.Sprintf("lockd: negative timeout_ms %d", req.TimeoutMS)}
-		}
-		if _, held := sess.grants[req.Name]; held {
-			return alreadyHeld(req.Name)
-		}
-		if s.Cluster != nil {
-			if resp, ok := s.checkOwner(req.Name); !ok {
-				return resp
-			}
-		}
-		// Fast path: no contexts, no timers, no allocation — consume a
-		// remembered cancel, then take the lock manager's uncontended
-		// probe. Only a lock that is actually busy pays the slow path.
-		if sess.beginFastAcquire(req.Name) {
-			return Response{OK: true, Aborted: true}
-		}
-		l, ok, err := s.mgr.AcquireFast(req.Name)
-		cancelled := sess.endFastAcquire()
-		if err != nil {
-			return Response{Err: err.Error()}
-		}
-		if ok {
-			// A cancel that raced in during the attempt lost, exactly as a
-			// cancel observed after a slow-path acquisition completes.
-			return s.commitAcquire(sess, req.Name, l)
-		}
-		if cancelled {
-			return Response{OK: true, Aborted: true}
-		}
-		if preBlock != nil {
-			preBlock()
-		}
-		base, baseCancel := s.acquireCtx(connCtx, req)
-		defer baseCancel()
-		ctx, cancel := sess.beginAcquire(base, req.Name)
-		defer cancel()
-		held, err := s.mgr.AcquireLeaseCtx(ctx, req.Name)
-		sess.endAcquire()
-		if err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return Response{OK: true, Aborted: true}
-			}
-			return Response{Err: err.Error()}
-		}
-		return s.commitAcquire(sess, req.Name, held)
+		resp, _ := s.handleAcquire(connCtx, sess, req, preBlock, true)
+		return resp
 	case OpCancel:
 		// The abort itself already happened out of band (or was
 		// remembered) when the reader saw this line; this is just the
@@ -259,9 +295,12 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 		if _, held := sess.grants[req.Name]; held {
 			return alreadyHeld(req.Name)
 		}
+		if _, held := sess.remoteGrants[req.Name]; held {
+			return alreadyHeld(req.Name)
+		}
 		if s.Cluster != nil {
 			if resp, ok := s.checkOwner(req.Name); !ok {
-				return resp
+				return s.maybeForward(sess, req, resp, preBlock)
 			}
 		}
 		l, ok, err := s.mgr.TryAcquireLease(req.Name)
@@ -275,6 +314,9 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 	case OpRelease:
 		if req.Name == "" {
 			return needName(req.Op)
+		}
+		if owner, held := sess.remoteGrants[req.Name]; held {
+			return s.forwardRelease(sess, req, owner)
 		}
 		g, held := sess.grants[req.Name]
 		if !held {
@@ -291,6 +333,9 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 	case OpHolds:
 		if req.Name == "" {
 			return needName(req.Op)
+		}
+		if owner, held := sess.remoteGrants[req.Name]; held {
+			return s.forwardHeld(sess, req, owner)
 		}
 		g, held := sess.grants[req.Name]
 		resp := Response{OK: true, Holds: held}
@@ -314,6 +359,9 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 			return Response{OK: true}
 		}
 		if req.Name != "" {
+			if owner, held := sess.remoteGrants[req.Name]; held {
+				return s.forwardHeld(sess, req, owner)
+			}
 			g, held := sess.grants[req.Name]
 			if !held {
 				return Response{Err: fmt.Sprintf("lockd: session does not hold %q", req.Name)}
@@ -348,6 +396,9 @@ func (s *Server) handle(connCtx context.Context, sess *session, req Request, pre
 			if min == 0 || ttl < min {
 				min = ttl
 			}
+		}
+		if len(sess.remotes) > 0 {
+			s.heartbeatRemotes(sess, &fenced, &min)
 		}
 		return Response{OK: true, Fenced: fenced, TTLMS: ttlMillis(min)}
 	case OpStats:

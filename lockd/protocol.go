@@ -77,6 +77,11 @@ const (
 	OpHeartbeat  = wire.OpHeartbeat
 	OpStats      = wire.OpStats
 	OpPing       = wire.OpPing
+	// OpReleaseNoAck is a fire-and-forget release: the server performs
+	// it and answers nothing, so the sender must not wait for (or
+	// FIFO-match) a response. The proxy uses it to retire forwarded
+	// grants without an inter-node round trip.
+	OpReleaseNoAck = wire.OpReleaseNoAck
 )
 
 // Request is one client request line. Alias of wire.Request.

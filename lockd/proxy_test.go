@@ -1,0 +1,447 @@
+package lockd_test
+
+// Proxy-mode forwarding tests: the happy path (a foreign-key acquire
+// through a proxy node lands on the owner and comes back in one
+// client-visible round trip, hinted), the structural loop guard (two
+// nodes with divergent views degrade to a redirect instead of
+// forwarding in a cycle), the client-side redirect hop cap the guard
+// falls back on, forwarded cancel, and old clients riding through a
+// proxy untouched.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"anonmutex/internal/cluster"
+	"anonmutex/internal/lockmgr"
+	"anonmutex/lockd"
+	"anonmutex/lockd/client"
+)
+
+// TestProxyForward drives the full proxied-grant lifecycle through the
+// non-owner of a 2-node proxy cluster: acquire, holds, heartbeat, and
+// release all answer on the client's connection to the wrong node, with
+// mutual exclusion enforced at the owner throughout.
+func TestProxyForward(t *testing.T) {
+	nodes := startProxyCluster(t, 2)
+	key := keyOwnedBy(t, nodes, "n0")
+
+	other, err := client.DialConn(nodes[1].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.Acquire(key); err != nil {
+		t.Fatalf("proxied acquire: %v", err)
+	}
+	if tok := other.Token(key); tok == 0 {
+		t.Error("proxied grant carried no fencing token")
+	}
+
+	// Exclusion is the owner's: a direct try at n0 must lose.
+	owner, err := client.DialConn(nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	if ok, err := owner.TryAcquire(key); err != nil || ok {
+		t.Fatalf("TryAcquire of proxied-held key at the owner = %v, %v; exclusion broken", ok, err)
+	}
+
+	// Grant-bound ops route through the proxy to the owner's truth.
+	if held, err := other.Holds(key); err != nil || !held {
+		t.Errorf("Holds through the proxy = %v, %v", held, err)
+	}
+	if err := other.Heartbeat(); err != nil {
+		t.Errorf("Heartbeat through the proxy: %v", err)
+	}
+
+	if err := other.Release(key); err != nil {
+		t.Fatalf("proxied release: %v", err)
+	}
+	// The release rides the stream's FIFO; a fresh forwarded try through
+	// the same proxy is ordered after it and must win immediately.
+	if ok, err := other.TryAcquire(key); err != nil || !ok {
+		t.Fatalf("TryAcquire after proxied release = %v, %v", ok, err)
+	}
+	if err := other.Release(key); err != nil {
+		t.Fatal(err)
+	}
+
+	fwd, fb := nodes[1].srv.ProxyCounters()
+	if fwd == 0 {
+		t.Error("proxy node forwarded nothing")
+	}
+	if fb != 0 {
+		t.Errorf("proxy node recorded %d fallbacks", fb)
+	}
+	if fwd0, _ := nodes[0].srv.ProxyCounters(); fwd0 != 0 {
+		t.Errorf("owner node forwarded %d ops; nothing should leave it", fwd0)
+	}
+}
+
+// TestProxyOwnerHint checks the wire-visible half of convergence: a
+// forwarded grant's response carries owner_hint naming the real owner,
+// so routing clients can go direct next time.
+func TestProxyOwnerHint(t *testing.T) {
+	nodes := startProxyCluster(t, 2)
+	key := keyOwnedBy(t, nodes, "n0")
+
+	conn, err := net.Dial("tcp", nodes[1].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, `{"op":%q,"name":%q}`+"\n", lockd.OpTryAcquire, key)
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp struct {
+		OK        bool   `json:"ok"`
+		Acquired  bool   `json:"acquired"`
+		OwnerHint bool   `json:"owner_hint"`
+		Owner     string `json:"owner"`
+		Epoch     uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		t.Fatalf("unparseable response %q: %v", line, err)
+	}
+	if !resp.OK || !resp.Acquired {
+		t.Fatalf("forwarded try was not granted: %s", line)
+	}
+	if !resp.OwnerHint || resp.Owner != nodes[0].addr {
+		t.Errorf("hint = %v owner = %q, want hint at %q", resp.OwnerHint, resp.Owner, nodes[0].addr)
+	}
+	if resp.Epoch == 0 {
+		t.Error("owner hint carried no epoch")
+	}
+}
+
+// TestProxyRoutedClientConverges pins hot-key convergence: a routing
+// client that only knows the proxy's address learns the owner from the
+// hint on its first forwarded acquire, and its next acquire of the key
+// goes to the owner directly — the proxy forwards nothing further.
+func TestProxyRoutedClientConverges(t *testing.T) {
+	nodes := startProxyCluster(t, 2)
+	key := keyOwnedBy(t, nodes, "n0")
+
+	cl, err := client.Dial(client.Options{Addrs: []string{nodes[1].addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	s, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// First trip: forwarded (the client knows only the non-owner).
+	if err := s.Acquire(key); err != nil {
+		t.Fatalf("first routed acquire: %v", err)
+	}
+	if err := s.Release(key); err != nil {
+		t.Fatal(err)
+	}
+	fwdAfterFirst, _ := nodes[1].srv.ProxyCounters()
+	if fwdAfterFirst == 0 {
+		t.Fatal("first acquire was not forwarded")
+	}
+
+	// Second trip: the hint sent it direct; the proxy's counter freezes.
+	if err := s.Acquire(key); err != nil {
+		t.Fatalf("second routed acquire: %v", err)
+	}
+	if err := s.Release(key); err != nil {
+		t.Fatal(err)
+	}
+	if fwd, _ := nodes[1].srv.ProxyCounters(); fwd != fwdAfterFirst {
+		t.Errorf("proxy forwarded %d more ops after the hint; the client should have gone direct", fwd-fwdAfterFirst)
+	}
+}
+
+// TestProxyCancelForwarded checks that Cancel chases an acquire blocked
+// at the owner through the forwarding hop: the proxied waiter withdraws
+// cleanly with Aborted instead of hanging until the holder releases.
+func TestProxyCancelForwarded(t *testing.T) {
+	nodes := startProxyCluster(t, 2)
+	key := keyOwnedBy(t, nodes, "n0")
+
+	holder, err := client.DialConn(nodes[0].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	if err := holder.Acquire(key); err != nil {
+		t.Fatal(err)
+	}
+
+	waiter, err := client.DialConn(nodes[1].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer waiter.Close()
+	acquired := make(chan error, 1)
+	go func() { acquired <- waiter.Acquire(key) }()
+	// Let the forwarded acquire park at the owner before chasing it.
+	time.Sleep(200 * time.Millisecond)
+	select {
+	case err := <-acquired:
+		t.Fatalf("forwarded acquire resolved early: %v", err)
+	default:
+	}
+	if err := waiter.Cancel(key); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-acquired:
+		if !errors.Is(err, client.ErrAborted) {
+			t.Fatalf("cancelled forwarded acquire = %v, want ErrAborted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel never reached the forwarded acquire")
+	}
+	// The holder was never disturbed.
+	if held, err := holder.Holds(key); err != nil || !held {
+		t.Errorf("holder lost the lock to a cancelled waiter: %v, %v", held, err)
+	}
+}
+
+// aliasedPair builds the divergent-view fixture the loop-guard tests
+// need: two single-server "universes" that each gossip with a dummy
+// member advertising the other universe's lock address. Universe A
+// believes some keys belong to a member at B's address and vice versa,
+// so a key both sides disown bounces between them — exactly the views
+// under which forwarding must not cycle. It returns the two servers,
+// their lock addresses, and a key each side routes to the other.
+func aliasedPair(t *testing.T, proxy bool) (srvA, srvB *lockd.Server, addrA, addrB, key string) {
+	t.Helper()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrA, addrB = lnA.Addr().String(), lnB.Addr().String()
+
+	start := func(selfID, selfAddr, dummyID, dummyAddr string, ln net.Listener) (*lockd.Server, *cluster.Node) {
+		mgr, err := lockmgr.New(lockmgr.Config{HandlesPerLock: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mgr.Close() })
+		self, err := cluster.Start(cluster.Config{
+			ID:         selfID,
+			Addr:       selfAddr,
+			GossipAddr: "127.0.0.1:0",
+			Interval:   20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { self.Close() })
+		dummy, err := cluster.Start(cluster.Config{
+			ID:         dummyID,
+			Addr:       dummyAddr,
+			GossipAddr: "127.0.0.1:0",
+			Seeds:      []string{self.GossipAddr()},
+			Interval:   20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { dummy.Close() })
+		srv := lockd.NewServer(mgr)
+		srv.LeaseTTL = time.Second
+		srv.Cluster = self
+		srv.Proxy = proxy
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(ln) }()
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Errorf("Shutdown: %v", err)
+			}
+			if err := <-serveErr; err != nil {
+				t.Errorf("Serve: %v", err)
+			}
+		})
+		// Wait until the universe has converged on both members.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			alive := 0
+			for _, m := range self.View().Members {
+				if m.State == cluster.StateAlive {
+					alive++
+				}
+			}
+			if alive == 2 {
+				return srv, self
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("universe of %s never converged", selfID)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	srvA, nodeA := start("a", addrA, "peer-b", addrB, lnA)
+	srvB, nodeB := start("b", addrB, "peer-a", addrA, lnB)
+
+	viewA, viewB := nodeA.View(), nodeB.View()
+	for i := 0; i < 100000; i++ {
+		name := fmt.Sprintf("bounced-%d", i)
+		oa, okA := viewA.Owner(name)
+		ob, okB := viewB.Owner(name)
+		if okA && okB && oa.ID == "peer-b" && ob.ID == "peer-a" {
+			return srvA, srvB, addrA, addrB, name
+		}
+	}
+	t.Fatal("no key routed across both universes")
+	return nil, nil, "", "", ""
+}
+
+// TestProxyLoopGuard pins the hop cap: when two proxy nodes' views each
+// route a key to the other, the op is forwarded exactly once — the
+// second node, seeing the op arrive over an inter-node connection,
+// answers wrong_owner instead of forwarding again — and the client gets
+// a redirect, never a hang or a forwarding cycle.
+func TestProxyLoopGuard(t *testing.T) {
+	srvA, srvB, addrA, _, key := aliasedPair(t, true)
+
+	c, err := client.DialConn(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.TryAcquire(key)
+		done <- err
+	}()
+	var acqErr error
+	select {
+	case acqErr = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-routed acquire hung: the forwarding loop was not cut")
+	}
+	var redir *client.RedirectError
+	if !errors.As(acqErr, &redir) {
+		t.Fatalf("cross-routed acquire = %v, want RedirectError", acqErr)
+	}
+	if redir.Owner != addrA {
+		t.Errorf("redirect points at %q, want %q (b's view of the owner)", redir.Owner, addrA)
+	}
+
+	// a paid one wasted hop and fell back; b forwarded nothing.
+	if fwd, fb := srvA.ProxyCounters(); fwd != 0 || fb != 1 {
+		t.Errorf("a forwarded=%d fallbacks=%d, want 0/1", fwd, fb)
+	}
+	if fwd, _ := srvB.ProxyCounters(); fwd != 0 {
+		t.Errorf("b forwarded %d ops over an inter-node connection", fwd)
+	}
+}
+
+// TestRedirectHopCap pins the client-side bound the loop guard degrades
+// to: with proxying off, a key both nodes disown redirects back and
+// forth, and the routed client gives up with the redirect error after
+// MaxRedirects hops instead of following the cycle forever.
+func TestRedirectHopCap(t *testing.T) {
+	_, _, addrA, _, key := aliasedPair(t, false)
+
+	cl, err := client.Dial(client.Options{
+		Addrs:        []string{addrA},
+		MaxRedirects: 2,
+		MaxAttempts:  8,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	s, err := cl.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.TryAcquire(key)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cross-routed acquire succeeded; both views disown the key")
+		}
+		var redir *client.RedirectError
+		if !errors.As(err, &redir) {
+			t.Fatalf("hop-capped acquire = %v, want the terminal RedirectError", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("routed client followed the redirect cycle past its hop cap")
+	}
+}
+
+// TestProxyOldClientForwarded runs a v1 binary client — two protocol
+// generations before redirects existed — against a proxy node: its
+// foreign-key ops are forwarded transparently and it gets plain grants,
+// where a redirect-mode node could only reject it.
+func TestProxyOldClientForwarded(t *testing.T) {
+	nodes := startProxyCluster(t, 2)
+	awayKey := keyOwnedBy(t, nodes, "n0")
+
+	conn, err := net.Dial("tcp", nodes[1].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(lockd.BinaryMagic[:]); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	do := func(op, name string) lockd.Response {
+		t.Helper()
+		frame := lockd.BeginFrame(nil, 1)
+		frame, err := lockd.AppendRequestBin(frame, &lockd.Request{Op: op, Name: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(lockd.EndFrame(frame, 0)); err != nil {
+			t.Fatal(err)
+		}
+		stream, ops, _, err := lockd.ReadFrame(br, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stream != 1 {
+			t.Fatalf("response on stream %d", stream)
+		}
+		var resp lockd.Response
+		if _, err := lockd.DecodeResponseBinV1(ops, &resp); err != nil {
+			t.Fatalf("v1 decode: %v", err)
+		}
+		return resp
+	}
+
+	if resp := do(lockd.OpTryAcquire, awayKey); !resp.OK || !resp.Acquired {
+		t.Fatalf("v1 foreign-key try through the proxy = %+v, want a grant", resp)
+	}
+	if resp := do(lockd.OpRelease, awayKey); !resp.OK {
+		t.Fatalf("v1 release through the proxy = %+v", resp)
+	}
+	if fwd, _ := nodes[1].srv.ProxyCounters(); fwd == 0 {
+		t.Error("v1 ops were not forwarded")
+	}
+}

@@ -28,6 +28,10 @@ var errClusterNeedsLeases = errors.New("lockd: clustered serving requires LeaseT
 // subsystem there is nothing to persist.
 var errDurabilityNeedsLeases = errors.New("lockd: durable serving (Durability.Dir) requires LeaseTTL > 0")
 
+// errProxyNeedsCluster rejects proxy mode on a single-node server:
+// there is no owner to forward to without a membership view.
+var errProxyNeedsCluster = errors.New("lockd: proxy mode requires Cluster")
+
 // Durability configures the lease journal: when Dir is set (and
 // LeaseTTL is positive), every lease transition is written to an
 // append-only journal there, grants and renewals are committed per the
@@ -108,6 +112,16 @@ type Server struct {
 	// to a server without a cluster. Set before Serve.
 	Cluster *cluster.Node
 
+	// Proxy, when true (clustered mode only), makes this node forward
+	// acquire-type ops for keys it does not own to their owner over a
+	// pooled inter-node connection and relay the answer — one
+	// client-visible round trip — instead of redirecting. Responses to
+	// forwarded ops carry an owner hint so routing clients converge to
+	// direct routing; ops that arrive already forwarded are never
+	// forwarded again (they degrade to a redirect), capping forwarding
+	// at one hop however membership views diverge. Set before Serve.
+	Proxy bool
+
 	// Durability, when Dir is set, persists lease state to a journal so
 	// restarts recover grants. Requires LeaseTTL > 0. Set before Serve.
 	Durability Durability
@@ -129,6 +143,15 @@ type Server struct {
 	// liveStreams counts live logical sessions: one per JSON connection,
 	// one per open stream of a binary connection.
 	liveStreams atomic.Int64
+
+	// peers is the inter-node forwarding pool; non-nil iff Proxy was set
+	// when Serve started.
+	peers *peerPool
+
+	// proxyForwarded counts ops forwarded to their owner; proxyFallbacks
+	// counts cross-node ops that degraded to a client-visible redirect.
+	proxyForwarded atomic.Uint64
+	proxyFallbacks atomic.Uint64
 
 	// handoffMu serializes clustered grant attachment (ownership re-check,
 	// token-floor raise, token draw — commitAcquire) against the
@@ -181,6 +204,14 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		ln.Close()
 		return errDurabilityNeedsLeases
+	}
+	if s.Proxy && s.Cluster == nil {
+		s.mu.Unlock()
+		ln.Close()
+		return errProxyNeedsCluster
+	}
+	if s.Proxy && s.peers == nil {
+		s.peers = newPeerPool(s.MaxFrameBytes)
 	}
 	if s.leases == nil && s.LeaseTTL > 0 {
 		cfg := lease.Config{TTL: s.LeaseTTL, Grace: s.LeaseGrace}
@@ -284,11 +315,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// Every session has drained and released its live grants; what
 	// remains in the lease manager are crash orphans (holders that
 	// stopped heartbeating and kept their sockets open). Closing it
-	// revokes them so the lock manager is fully checked in.
+	// revokes them so the lock manager is fully checked in. The peer
+	// pool closes only now — sessions needed it to retire their
+	// forwarded streams during the drain above.
 	s.mu.Lock()
 	leases := s.leases
 	jn := s.journal
+	peers := s.peers
 	s.mu.Unlock()
+	if peers != nil {
+		peers.Close()
+	}
 	if leases != nil {
 		leases.Close()
 	}
@@ -329,6 +366,17 @@ func (s *Server) Kill() {
 	}
 	for _, conn := range conns {
 		conn.Close()
+	}
+	// The peer pool dies with the process: its sockets break, so owners
+	// release this node's forwarded grants by connection teardown —
+	// exactly what a real crash would look like to them — and any
+	// forward blocked on a response fails immediately instead of
+	// stalling the drain below.
+	s.mu.Lock()
+	peers := s.peers
+	s.mu.Unlock()
+	if peers != nil {
+		peers.Close()
 	}
 	// Sessions drain first (their teardown is a no-op under killed),
 	// then the lease manager halts without revoking, then the journal

@@ -26,6 +26,20 @@ type grant struct {
 type session struct {
 	grants map[string]grant
 
+	// noForward marks a session whose ops arrived over an inter-node
+	// proxy connection (BinaryMagicProxy): they were already forwarded
+	// once, so foreign keys answer wrong_owner instead of forwarding
+	// again — the structural hop cap that makes proxy loops impossible.
+	noForward bool
+
+	// remotes are this session's forwarded streams in proxy mode, one
+	// per owner address; remoteGrants maps each proxied grant's name to
+	// the owner address whose stream holds it. Both nil until the first
+	// forward, so non-proxied sessions pay nothing. Owned by the
+	// processing loop, like grants.
+	remotes      map[string]*peerStream
+	remoteGrants map[string]string
+
 	mu             sync.Mutex
 	inflightName   string             // name of the acquire being processed
 	inflightCancel context.CancelFunc // cancels a slow-path acquire; nil when none
@@ -33,6 +47,7 @@ type session struct {
 	fastCancelled  bool               // a cancel matched that fast attempt
 	cancelPending  bool               // a cancel arrived with no acquire in flight
 	pendingName    string             // the name that pending cancel targets ("" = any)
+	remoteInflight *peerStream        // stream carrying a forwarded acquire in flight; nil when none
 }
 
 func newSession() *session {
@@ -142,6 +157,11 @@ func (sess *session) endAcquire() {
 // cancelAcquire implements the cancel op's out-of-band side: abort the
 // in-flight acquire if its name matches — whichever path it is on —
 // otherwise remember the cancellation for the session's next acquire.
+// A forwarded acquire blocked at another node is aborted by forwarding
+// the cancel on its stream (from a goroutine: the reader must never
+// block on an inter-node write); if the cancel loses the race against
+// the grant, the owner remembers it for the stream's next acquire,
+// mirroring the local remembered-cancel semantics.
 func (sess *session) cancelAcquire(name string) {
 	sess.mu.Lock()
 	switch {
@@ -149,11 +169,59 @@ func (sess *session) cancelAcquire(name string) {
 		sess.inflightCancel()
 	case sess.fastInflight && (name == "" || name == sess.inflightName):
 		sess.fastCancelled = true
+	case sess.remoteInflight != nil && (name == "" || name == sess.inflightName):
+		st := sess.remoteInflight
+		go st.postCancel(name)
 	default:
 		sess.cancelPending = true
 		sess.pendingName = name
 	}
 	sess.mu.Unlock()
+}
+
+// consumePendingCancel consumes a remembered cancel matching name (one
+// that raced ahead of the acquire line), exactly as beginFastAcquire
+// does for local acquires; the forwarding path checks it before paying
+// the inter-node round trip.
+func (sess *session) consumePendingCancel(name string) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.cancelPending && (sess.pendingName == "" || sess.pendingName == name) {
+		sess.cancelPending = false
+		sess.pendingName = ""
+		return true
+	}
+	return false
+}
+
+// beginRemote registers a forwarded acquire in flight on st so an
+// out-of-band cancel (or the teardown abort) can reach it at the owner.
+func (sess *session) beginRemote(name string, st *peerStream) {
+	sess.mu.Lock()
+	sess.inflightName = name
+	sess.remoteInflight = st
+	sess.mu.Unlock()
+}
+
+func (sess *session) endRemote() {
+	sess.mu.Lock()
+	sess.inflightName = ""
+	sess.remoteInflight = nil
+	sess.mu.Unlock()
+}
+
+// abortRemote aborts a forwarded acquire blocked at another node — the
+// remote analogue of the connection-context cancellation that reaps
+// local acquires when a client disconnects. Called from transport
+// teardown; the aborted response unblocks the processing loop so the
+// session can drain.
+func (sess *session) abortRemote() {
+	sess.mu.Lock()
+	st := sess.remoteInflight
+	sess.mu.Unlock()
+	if st != nil {
+		st.postCancel("")
+	}
 }
 
 // opQueue is the unbounded handoff between a session's reader and its

@@ -106,7 +106,10 @@ func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
 		connCancel()
 		// Same single release codepath as the release op: with leases on,
 		// a teardown that lost its grant's token arbitration to a TTL
-		// expiry is a no-op, never a double release.
+		// expiry is a no-op, never a double release. Proxied grants are
+		// retired at their owners the same way, by ending the forwarded
+		// streams.
+		s.closeRemotes(sess)
 		for _, g := range sess.grants {
 			s.releaseGrant(g)
 		}
@@ -127,7 +130,10 @@ func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
 		// instead of competing on behalf of a ghost. The queue's pushes
 		// never block, so the reader is always back in Read and observes
 		// the disconnect promptly no matter how many lines are pipelined
-		// behind a blocked acquire.
+		// behind a blocked acquire. An acquire forwarded to another node
+		// is out of the session context's reach, so it is aborted at the
+		// owner explicitly.
+		defer sess.abortRemote()
 		defer connCancel()
 		names := newNameTable() // per-session lock-name interning (byte-bounded)
 		var scratch []byte
@@ -175,6 +181,11 @@ func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
 		if in.parseErr != nil {
 			// The stream is unusable; answer once and hang up.
 			resp = Response{Err: fmt.Sprintf("lockd: bad request: %v", in.parseErr)}
+		} else if in.req.Op == OpReleaseNoAck {
+			// Fire-and-forget: perform the release, answer nothing.
+			in.req.Op = OpRelease
+			s.handle(connCtx, sess, in.req, flushPending)
+			continue
 		} else {
 			resp = s.handle(connCtx, sess, in.req, flushPending)
 		}

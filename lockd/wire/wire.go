@@ -33,6 +33,14 @@ const (
 	// transport; the JSON protocol's equivalent is closing the
 	// connection.
 	OpEndStream = "end_stream"
+
+	// OpReleaseNoAck is a fire-and-forget release: identical to
+	// OpRelease server-side, but the server sends NO response — the
+	// sender must not register a response slot for it. Proxy-mode nodes
+	// use it to retire forwarded grants without costing the inter-node
+	// stream a round trip; it is valid (if rarely useful) from ordinary
+	// clients too.
+	OpReleaseNoAck = "release_noack"
 )
 
 // Request is one client request line.
@@ -83,9 +91,19 @@ type Response struct {
 	// client can invalidate everything it cached under older epochs.
 	// Single-node servers never set it.
 	WrongOwner bool `json:"wrong_owner,omitempty"`
-	// Owner is the owning node's lock-service address (with WrongOwner).
+	// OwnerHint marks a successful op that a proxy-mode node forwarded
+	// to the key's owner on the client's behalf: Owner/Epoch name that
+	// owner, so a routing client can send its next op for the key
+	// directly — the proxy path is a cold-start accelerator, not a
+	// steady-state tax. Unlike WrongOwner it rides a success (OK=true);
+	// old clients that skip unknown fields lose only the routing hint,
+	// never the grant.
+	OwnerHint bool `json:"owner_hint,omitempty"`
+	// Owner is the owning node's lock-service address (with WrongOwner
+	// or OwnerHint).
 	Owner string `json:"owner,omitempty"`
-	// Epoch is the membership epoch of the redirect (with WrongOwner).
+	// Epoch is the membership epoch of the redirect or hint (with
+	// WrongOwner or OwnerHint).
 	Epoch uint64 `json:"epoch,omitempty"`
 	// Stats answers stats.
 	Stats *Stats `json:"stats,omitempty"`
@@ -156,6 +174,10 @@ const (
 	// 128 still cost one byte) and adds the wrong_owner redirect: flag
 	// FlagRedirect, owner address, membership epoch.
 	DialectV3 Dialect = 3
+	// DialectV4 adds the proxy-mode owner hint: flag FlagOwnerHint,
+	// followed by the owning node's address and the membership epoch —
+	// the same shape as the redirect, but riding a success.
+	DialectV4 Dialect = 4
 )
 
 // Binary opcodes, one per wire op (OpEndStream is transport-level and
@@ -170,6 +192,7 @@ const (
 	binOpPing
 	binOpEndStream
 	binOpHeartbeat
+	binOpReleaseNoAck
 )
 
 // Opcode maps a protocol op string to its binary opcode (0 = unknown).
@@ -193,6 +216,8 @@ func Opcode(op string) byte {
 		return binOpEndStream
 	case OpHeartbeat:
 		return binOpHeartbeat
+	case OpReleaseNoAck:
+		return binOpReleaseNoAck
 	}
 	return 0
 }
@@ -218,6 +243,8 @@ func OpOfCode(c byte) string {
 		return OpEndStream
 	case binOpHeartbeat:
 		return OpHeartbeat
+	case binOpReleaseNoAck:
+		return OpReleaseNoAck
 	}
 	return ""
 }
@@ -229,15 +256,16 @@ func OpOfCode(c byte) string {
 // them as unknown — that strictness is what makes the magic preamble
 // the version gate).
 const (
-	FlagOK       = 1 << iota // Response.OK
-	FlagAcquired             // Response.Acquired
-	FlagAborted              // Response.Aborted
-	FlagHolds                // Response.Holds
-	FlagErr                  // an error string follows
-	FlagStats                // a stats payload follows
-	FlagLease                // v2+: a fencing token uvarint + ttl_ms varint follow
-	FlagFenced               // v2+: Response.Fenced
-	FlagRedirect             // v3+: an owner address + epoch uvarint follow
+	FlagOK        = 1 << iota // Response.OK
+	FlagAcquired              // Response.Acquired
+	FlagAborted               // Response.Aborted
+	FlagHolds                 // Response.Holds
+	FlagErr                   // an error string follows
+	FlagStats                 // a stats payload follows
+	FlagLease                 // v2+: a fencing token uvarint + ttl_ms varint follow
+	FlagFenced                // v2+: Response.Fenced
+	FlagRedirect              // v3+: an owner address + epoch uvarint follow
+	FlagOwnerHint             // v4+: a proxied op's owner address + epoch uvarint follow
 )
 
 // KnownFlags is the set of flag bits a dialect defines; anything
@@ -249,8 +277,11 @@ func KnownFlags(d Dialect) uint64 {
 	case DialectV2:
 		return FlagOK | FlagAcquired | FlagAborted | FlagHolds | FlagErr | FlagStats |
 			FlagLease | FlagFenced
-	default:
+	case DialectV3:
 		return FlagOK | FlagAcquired | FlagAborted | FlagHolds | FlagErr | FlagStats |
 			FlagLease | FlagFenced | FlagRedirect
+	default:
+		return FlagOK | FlagAcquired | FlagAborted | FlagHolds | FlagErr | FlagStats |
+			FlagLease | FlagFenced | FlagRedirect | FlagOwnerHint
 	}
 }
